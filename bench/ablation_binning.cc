@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation on histogram binning: the paper chooses "the minimum bin
+ * width between the Sturges method and the Freedman-Diaconis rule"
+ * (§V-A.2). This bench shows, per benchmark, the bin width/count each
+ * rule yields and which rule the minimum picks — FD wins on long-tail
+ * or outlier-laden data where Sturges over-widens, Sturges wins on
+ * small well-behaved samples where FD over-fragments.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "rng/synthetic.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "sim/workload.hh"
+#include "stats/histogram.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace sharp;
+
+void
+addRow(util::TextTable &table, const std::string &name,
+       const std::vector<double> &values)
+{
+    double sturges = stats::binWidth(values, stats::BinRule::Sturges);
+    double fd =
+        stats::binWidth(values, stats::BinRule::FreedmanDiaconis);
+    double chosen =
+        stats::binWidth(values, stats::BinRule::SturgesFdMin);
+    stats::Histogram hist =
+        stats::Histogram::build(values, stats::BinRule::SturgesFdMin);
+    table.addRow({name, util::formatDouble(sturges, 4),
+                  util::formatDouble(fd, 4),
+                  chosen == sturges ? "sturges" : "freedman-diaconis",
+                  std::to_string(hist.numBins())});
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Ablation C",
+                  "Histogram bin rules: Sturges vs Freedman-Diaconis "
+                  "vs the paper's min rule");
+
+    util::TextTable table({"Sample", "Sturges width", "FD width",
+                           "Min picks", "Bins used"});
+
+    // Rodinia run-time samples (5000 runs, Machine 1).
+    for (const char *name : {"backprop", "hotspot", "srad", "lud",
+                             "sc-CUDA"}) {
+        sim::SimulatedWorkload workload(sim::rodiniaByName(name),
+                                        sim::machineById("machine1"), 0,
+                                        5);
+        addRow(table, name, workload.sampleMany(5000));
+    }
+
+    // Synthetic shapes, small and large samples.
+    for (const auto &spec : rng::syntheticRegistry()) {
+        if (spec.name == "constant")
+            continue; // zero-width degenerate case
+        rng::Xoshiro256 gen(3);
+        auto sampler = spec.make();
+        addRow(table, spec.name + " (n=100)",
+               sampler->sampleMany(gen, 100));
+        auto sampler_big = spec.make();
+        addRow(table, spec.name + " (n=5000)",
+               sampler_big->sampleMany(gen, 5000));
+    }
+
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nheavy-tailed rows (cauchy, lognormal) show FD "
+                "winning by a wide margin: outliers inflate the range "
+                "Sturges divides evenly,\nwhile FD's IQR base ignores "
+                "them — the reason the paper takes the minimum.\n");
+    return 0;
+}

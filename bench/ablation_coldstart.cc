@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation E: serverless cold starts as a distribution phenomenon.
+ *
+ * The paper's launcher distinguishes "cold- and warm-start
+ * invocations" (§IV-a). This ablation shows why that control matters
+ * for distribution-first evaluation: with aggressive scale-to-zero,
+ * the *response-time* distribution grows a separate cold-start mode
+ * that a mean conflates into a small average penalty, and warmup-run
+ * discarding changes the measured distribution materially.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "report/ascii_plot.hh"
+#include "sim/faas.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "stats/descriptive.hh"
+#include "stats/kde.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace sharp;
+
+/** Collect response times with a given keep-alive window. */
+std::vector<double>
+responseTimes(int keep_alive, size_t rounds, int burst_gap)
+{
+    sim::ColdStartModel cold;
+    cold.keepAliveInvocations = keep_alive;
+    sim::FaasCluster cluster(
+        sim::rodiniaByName("bfs-CUDA"),
+        {sim::machineById("machine1"), sim::machineById("machine3")},
+        2024, sim::ConcurrencyModel(), cold);
+
+    std::vector<double> times;
+    for (size_t round = 0; round < rounds; ++round) {
+        // Bursty traffic: between bursts one worker idles long enough
+        // to be reclaimed when the keep-alive is short.
+        for (int gap = 0; gap < burst_gap; ++gap)
+            cluster.invoke(1); // single requests keep worker 0 warm
+        for (const auto &inv : cluster.invoke(2))
+            times.push_back(inv.responseTime);
+    }
+    return times;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Ablation E",
+                  "Cold starts and the response-time distribution "
+                  "(bfs-CUDA on the 2-worker cluster, bursty traffic)");
+
+    util::TextTable table({"keep-alive (invocations)", "mean (s)",
+                           "p95 (s)", "p99 (s)", "modes"});
+    for (int keep_alive : {2, 8, 64}) {
+        auto times = responseTimes(keep_alive, 300, 6);
+        auto summary = stats::Summary::compute(times);
+        size_t modes = stats::findModes(times, 0.05).size();
+        table.addRow({std::to_string(keep_alive),
+                      util::formatDouble(summary.mean, 3),
+                      util::formatDouble(summary.p95, 3),
+                      util::formatDouble(summary.p99, 3),
+                      std::to_string(modes)});
+        if (keep_alive == 2) {
+            bench::section("response-time distribution, keep-alive 2 "
+                           "(cold-start mode visible)");
+            std::fputs(report::asciiHistogram(times, 48, 14).c_str(),
+                       stdout);
+        }
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf(
+        "\nreading: shorter keep-alive -> a distinct cold-start mode "
+        "and a p99 far above the mean.\nPoint summaries average the "
+        "mode away; the distribution exposes it — and SHARP's warmup "
+        "control\n(cold/warm invocations) decides whether it belongs "
+        "in your result at all.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation D: duet vs sequential benchmarking on a noisy cloud node
+ * (Bulej et al., cited in the paper's related work). At a fixed run
+ * budget, the paired (duet) speedup estimator's confidence interval
+ * should shrink dramatically relative to sequential measurement as
+ * shared interference grows — while both stay unbiased.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "sim/duet.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "stats/ci.hh"
+#include "stats/descriptive.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace sharp;
+using sim::DuetHarness;
+using sim::DuetPair;
+
+/** Width of the 95% CI on the speedup estimate from @p n rounds. */
+double
+speedupCiWidth(double sigma, bool duet, size_t rounds, uint64_t seed)
+{
+    DuetHarness::NoiseModel noise;
+    noise.sigma = sigma;
+    DuetHarness harness(sim::rodiniaByName("backprop"),
+                        sim::rodiniaByName("kmeans"),
+                        sim::machineById("machine1"), seed, noise);
+    std::vector<DuetPair> pairs;
+    pairs.reserve(rounds);
+    for (size_t i = 0; i < rounds; ++i)
+        pairs.push_back(duet ? harness.samplePair()
+                             : harness.sampleSequential());
+    auto ratios = DuetHarness::pairedLogRatios(pairs);
+    auto ci = stats::meanCi(ratios, 0.95);
+    // Back-transform the log-scale CI to a multiplicative width.
+    return std::exp(ci.upper) - std::exp(ci.lower);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Ablation D",
+                  "Duet vs sequential speedup measurement under "
+                  "co-tenant interference (400-round budget)");
+
+    util::TextTable table({"interference sigma", "sequential CI width",
+                           "duet CI width", "duet advantage"});
+    for (double sigma : {0.0, 0.1, 0.2, 0.4}) {
+        double seq = speedupCiWidth(sigma, false, 400, 11);
+        double duet = speedupCiWidth(sigma, true, 400, 12);
+        table.addRow({util::formatDouble(sigma, 2),
+                      util::formatDouble(seq, 4),
+                      util::formatDouble(duet, 4),
+                      util::formatDouble(seq / duet, 1) + "x"});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf(
+        "\nreading: on a quiet node (sigma 0) pairing buys nothing; as "
+        "shared interference grows,\nthe duet estimator's CI stays "
+        "nearly flat while the sequential one balloons — the Duet "
+        "paper's effect.\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Ablation on the §IV-c synthetic tuning distributions:
+ *
+ *  1. classifier accuracy at the paper's tuning size (1000 samples);
+ *  2. runs-to-stop of every tailored rule, the generic KS rule, and
+ *     the meta-heuristic on every synthetic — showing why a single
+ *     fixed rule cannot serve all distribution shapes and what the
+ *     meta-heuristic buys.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "core/classifier.hh"
+#include "core/stopping/ks_rule.hh"
+#include "core/stopping/meta_rule.hh"
+#include "core/stopping/stopping_rule.hh"
+#include "rng/synthetic.hh"
+#include "rng/xoshiro.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace sharp;
+
+size_t
+runsUntilStop(core::StoppingRule &rule, rng::Sampler &sampler,
+              rng::Xoshiro256 &gen, size_t cap)
+{
+    rule.reset();
+    core::SampleSeries series;
+    while (series.size() < cap) {
+        series.append(sampler.sample(gen));
+        if (series.size() < rule.minSamples())
+            continue;
+        if ((series.size() - rule.minSamples()) % 5 != 0)
+            continue; // evaluate every 5 samples for speed
+        if (rule.evaluate(series).stop)
+            break;
+    }
+    return series.size();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Ablation A",
+                  "Classifier accuracy on the 10 synthetic tuning "
+                  "distributions (1000 samples, 10 seeds)");
+
+    util::TextTable acc({"Synthetic", "Truth", "Correct/10",
+                         "Typical misclassification"});
+    int correct_total = 0, trials_total = 0;
+    for (const auto &spec : rng::syntheticRegistry()) {
+        int correct = 0;
+        std::string miss = "-";
+        for (uint64_t s = 1; s <= 10; ++s) {
+            rng::Xoshiro256 gen(s * 1000 + 7);
+            auto sampler = spec.make();
+            auto values = sampler->sampleMany(gen, 1000);
+            auto result = core::classifyDistribution(values);
+            std::string got =
+                core::distributionClassName(result.cls);
+            std::string want = rng::syntheticClassName(spec.truth);
+            // The classifier folds 2 modes into "bimodal" and 3+ into
+            // "multimodal", matching the synthetic labels directly.
+            if (got == want)
+                ++correct;
+            else
+                miss = got;
+        }
+        correct_total += correct;
+        trials_total += 10;
+        acc.addRow({spec.name, rng::syntheticClassName(spec.truth),
+                    std::to_string(correct) + "/10", miss});
+    }
+    std::fputs(acc.render().c_str(), stdout);
+    std::printf("overall accuracy: %d/%d (%.0f%%)\n", correct_total,
+                trials_total,
+                100.0 * correct_total / trials_total);
+
+    bench::banner("Ablation B",
+                  "Runs-to-stop per rule per synthetic (cap 5000)");
+
+    const char *rule_names[] = {"ks", "normal-ci", "geomean-ci",
+                                "median-ci", "uniform-range",
+                                "autocorr-ess", "modality",
+                                "tail-quantile", "meta"};
+    std::vector<std::string> headers = {"Synthetic"};
+    for (const char *name : rule_names)
+        headers.push_back(name);
+    util::TextTable runs_table(headers);
+
+    for (const auto &spec : rng::syntheticRegistry()) {
+        std::vector<std::string> row = {spec.name};
+        for (const char *name : rule_names) {
+            rng::Xoshiro256 gen(99);
+            auto sampler = spec.make();
+            auto rule =
+                core::StoppingRuleFactory::instance().make(name);
+            size_t runs = runsUntilStop(*rule, *sampler, gen, 5000);
+            row.push_back(runs >= 5000 ? ">5000"
+                                       : std::to_string(runs));
+        }
+        runs_table.addRow(std::move(row));
+    }
+    std::fputs(runs_table.render().c_str(), stdout);
+    std::printf(
+        "\nreading guide: a tailored rule is efficient on its own "
+        "family and unreliable off-family;\nthe meta column shows the "
+        "classifier routing each stream to an appropriate rule.\n");
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses. Each
+ * bench binary regenerates one table or figure from the paper's
+ * evaluation; these helpers keep their output format consistent.
+ */
+
+#ifndef SHARP_BENCH_COMMON_HH
+#define SHARP_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+namespace bench
+{
+
+/** Print a figure/table banner. */
+inline void
+banner(const std::string &id, const std::string &caption)
+{
+    std::printf("\n");
+    std::printf("=============================================================="
+                "==\n");
+    std::printf("%s — %s\n", id.c_str(), caption.c_str());
+    std::printf("=============================================================="
+                "==\n");
+}
+
+/** Print a sub-section header. */
+inline void
+section(const std::string &title)
+{
+    std::printf("\n--- %s ---\n", title.c_str());
+}
+
+} // namespace bench
+
+#endif // SHARP_BENCH_COMMON_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces paper Fig. 4: "Distributions and boxplots for 5000 runs
+ * on Machine 1" for all 20 Rodinia benchmarks, with the paper's bin
+ * rule (min of Sturges and Freedman–Diaconis), plus the §I Question-1
+ * modality census: 70% of the benchmarks are multimodal — 40% bimodal,
+ * 20% trimodal, 10% with more than three modes.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hh"
+#include "report/ascii_plot.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "sim/workload.hh"
+#include "stats/descriptive.hh"
+#include "stats/kde.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace sharp;
+
+    constexpr size_t runsPerDay = 1000;
+    constexpr int days = 5;
+    constexpr uint64_t seed = 2024;
+
+    bench::banner("Figure 4",
+                  "Run-time distributions, 5000 runs on Machine 1");
+
+    const auto &machine = sim::machineById("machine1");
+    std::map<size_t, int> census;
+    util::TextTable summary({"Benchmark", "mean (s)", "sd", "median",
+                             "min", "max", "modes"});
+
+    for (const auto &spec : sim::rodiniaRegistry()) {
+        if (spec.kind == sim::BenchmarkKind::Cuda &&
+            !machine.hasGpu()) {
+            continue;
+        }
+        // 5000 runs spread across five days, as in the paper.
+        std::vector<double> runs;
+        runs.reserve(runsPerDay * days);
+        for (int day = 0; day < days; ++day) {
+            sim::SimulatedWorkload workload(spec, machine, day, seed);
+            for (double v : workload.sampleMany(runsPerDay))
+                runs.push_back(v);
+        }
+
+        auto stats_summary = stats::Summary::compute(runs);
+        size_t modes = stats::findModes(runs, 0.1).size();
+        ++census[std::min<size_t>(modes, 4)];
+
+        summary.addRow({spec.name,
+                        util::formatDouble(stats_summary.mean, 3),
+                        util::formatDouble(stats_summary.stddev, 3),
+                        util::formatDouble(stats_summary.median, 3),
+                        util::formatDouble(stats_summary.min, 3),
+                        util::formatDouble(stats_summary.max, 3),
+                        std::to_string(modes)});
+
+        bench::section(spec.name + " (" + spec.parameters + ")");
+        std::fputs(report::asciiHistogram(runs, 48, 16).c_str(), stdout);
+        std::fputs(report::asciiBoxplot(runs, 64).c_str(), stdout);
+    }
+
+    bench::section("Summary across the suite");
+    std::fputs(summary.render().c_str(), stdout);
+
+    int total = 0;
+    for (const auto &[modes, count] : census)
+        total += count;
+    bench::section("Modality census (paper: 30%/40%/20%/10%)");
+    std::printf("unimodal:        %2d (%d%%)\n", census[1],
+                census[1] * 100 / total);
+    std::printf("bimodal:         %2d (%d%%)\n", census[2],
+                census[2] * 100 / total);
+    std::printf("trimodal:        %2d (%d%%)\n", census[3],
+                census[3] * 100 / total);
+    std::printf(">three modes:    %2d (%d%%)\n", census[4],
+                census[4] * 100 / total);
+    std::printf("multimodal share: %d%% (paper: 70%%)\n",
+                (total - census[1]) * 100 / total);
+    return 0;
+}

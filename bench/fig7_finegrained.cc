@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces paper Fig. 7 (use case 1): fine-grained analysis of the
+ * leukocyte tracking application. SHARP collects execution, detection,
+ * and tracking time per run; the distributions localize the overall
+ * bimodality to the tracking phase.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "core/stopping/fixed_rule.hh"
+#include "launcher/launcher.hh"
+#include "launcher/sim_backend.hh"
+#include "report/ascii_plot.hh"
+#include "report/report.hh"
+#include "sim/machine.hh"
+
+int
+main()
+{
+    using namespace sharp;
+
+    bench::banner("Figure 7",
+                  "Fine-grained breakdown of leukocyte (Machine 1)");
+
+    auto backend = std::make_shared<launcher::PhasedSimBackend>(
+        sim::machineById("machine1"), 31);
+    launcher::LaunchOptions opts;
+    opts.maxSamples = 3000;
+    launcher::Launcher l(backend,
+                         std::make_unique<core::FixedCountRule>(3000),
+                         opts);
+    auto report = l.launch();
+
+    // Pull each metric column out of the tidy log, exactly the way a
+    // user would from the CSV.
+    auto metricColumn = [&](const std::string &name) {
+        std::vector<double> out;
+        for (const auto &rec : report.log.records()) {
+            auto it = rec.metrics.find(name);
+            if (it != rec.metrics.end() && !rec.warmup)
+                out.push_back(it->second);
+        }
+        return out;
+    };
+
+    struct Panel
+    {
+        const char *metric;
+        const char *caption;
+    };
+    const Panel panels[] = {
+        {"execution_time", "(a) Overall execution time"},
+        {"detection_time", "(b) Detection phase (GICOV + dilation)"},
+        {"tracking_time", "(c) Tracking phase (MGVF + snake)"},
+    };
+
+    for (const auto &panel : panels) {
+        auto values = metricColumn(panel.metric);
+        auto analysis =
+            report::DistributionReport::analyze(panel.metric, values);
+        bench::section(panel.caption);
+        std::fputs(report::asciiHistogram(values, 48, 14).c_str(),
+                   stdout);
+        std::printf("modes: %zu", analysis.modes.size());
+        for (const auto &mode : analysis.modes)
+            std::printf("  [at %.2f s, %.0f%% mass]", mode.location,
+                        mode.mass * 100.0);
+        std::printf("\n%s\n", analysis.renderBrief().c_str());
+    }
+
+    bench::section("Insight");
+    size_t total_modes =
+        report::DistributionReport::analyze(
+            "t", metricColumn("execution_time"))
+            .modes.size();
+    size_t detect_modes =
+        report::DistributionReport::analyze(
+            "d", metricColumn("detection_time"))
+            .modes.size();
+    size_t track_modes =
+        report::DistributionReport::analyze(
+            "k", metricColumn("tracking_time"))
+            .modes.size();
+    std::printf("execution modes = %zu, detection modes = %zu, tracking "
+                "modes = %zu\n",
+                total_modes, detect_modes, track_modes);
+    std::printf("=> the dual modes in overall execution time originate "
+                "in the tracking phase (paper's Fig. 7 insight: %s)\n",
+                (total_modes == 2 && detect_modes == 1 &&
+                 track_modes == 2)
+                    ? "REPRODUCED"
+                    : "shape differs");
+    return 0;
+}

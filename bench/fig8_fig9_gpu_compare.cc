@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces paper Figs. 8 and 9 (use case 2): A100 vs H100
+ * performance distributions for bfs-CUDA (~2x speedup) and srad-CUDA
+ * (~1.2x), plus the full per-benchmark H100 speedup table behind the
+ * §I Question-2 finding that speedups range from 1.2x to 2x.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "report/ascii_plot.hh"
+#include "report/compare.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "sim/workload.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+constexpr size_t runs = 3000;
+constexpr uint64_t seed = 88;
+
+void
+compareFigure(const char *figure, const char *name)
+{
+    using namespace sharp;
+    const auto &spec = sim::rodiniaByName(name);
+    sim::SimulatedWorkload a100(spec, sim::machineById("machine1"), 0,
+                                seed);
+    sim::SimulatedWorkload h100(spec, sim::machineById("machine3"), 0,
+                                seed);
+    auto a = a100.sampleMany(runs);
+    auto h = h100.sampleMany(runs);
+
+    auto rep = report::ComparisonReport::analyze("A100", a, "H100", h);
+    bench::section(std::string(figure) + " — " + name +
+                   " on A100 vs H100");
+    std::printf("A100 distribution:\n%s\n",
+                report::asciiHistogram(a, 48, 12).c_str());
+    std::printf("H100 distribution:\n%s\n",
+                report::asciiHistogram(h, 48, 12).c_str());
+    std::printf("%s\n", rep.renderBrief().c_str());
+    std::printf("mean speedup %.2fx, median speedup %.2fx, KS %.3f, "
+                "p(KS) %.2g\n",
+                rep.meanSpeedup, rep.medianSpeedup, rep.similarity.ks,
+                rep.ks.pValue);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    using namespace sharp;
+
+    bench::banner("Figures 8 and 9",
+                  "GPU accelerator comparison: A100 (Machine 1) vs "
+                  "H100 (Machine 3)");
+
+    compareFigure("Fig. 8", "bfs-CUDA");
+    compareFigure("Fig. 9", "srad-CUDA");
+
+    bench::section("All CUDA benchmarks (Q2: speedups 1.2x-2x)");
+    util::TextTable table({"Benchmark", "A100 mean (s)", "H100 mean (s)",
+                           "Speedup"});
+    double lo = 99.0, hi = 0.0;
+    for (const auto &spec : sim::rodiniaCudaBenchmarks()) {
+        sim::SimulatedWorkload a100(spec, sim::machineById("machine1"),
+                                    0, seed);
+        sim::SimulatedWorkload h100(spec, sim::machineById("machine3"),
+                                    0, seed);
+        auto a = a100.sampleMany(runs);
+        auto h = h100.sampleMany(runs);
+        double mean_a = stats::mean(a);
+        double mean_h = stats::mean(h);
+        double speedup = mean_a / mean_h;
+        lo = std::min(lo, speedup);
+        hi = std::max(hi, speedup);
+        table.addRow({spec.name, util::formatDouble(mean_a, 3),
+                      util::formatDouble(mean_h, 3),
+                      util::formatDouble(speedup, 2) + "x"});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nspeedup range across the CUDA suite: %.2fx .. %.2fx "
+                "(paper: 1.2x .. 2x; H100 consistently faster)\n",
+                lo, hi);
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces paper Tables II and III: the benchmark classification and
+ * configuration, and the hardware configurations of the (simulated)
+ * testbed. Everything is read from the registries so this output stays
+ * in lockstep with what the other benches actually run.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace sharp;
+
+    bench::banner("Table II", "Benchmark classification and configuration");
+    util::TextTable benchmarks({"Benchmark", "Kind", "Parameters",
+                                "Modes", "Base (s)"});
+    for (const auto &spec : sim::rodiniaRegistry()) {
+        benchmarks.addRow({spec.name,
+                           spec.kind == sim::BenchmarkKind::Cpu ? "CPU"
+                                                                : "CUDA",
+                           spec.parameters,
+                           std::to_string(spec.numModes()),
+                           util::formatDouble(spec.baseSeconds, 2)});
+    }
+    std::fputs(benchmarks.render().c_str(), stdout);
+    std::printf("%zu benchmarks: %zu CPU-based, %zu CUDA-based\n",
+                sim::rodiniaRegistry().size(),
+                sim::rodiniaCpuBenchmarks().size(),
+                sim::rodiniaCudaBenchmarks().size());
+
+    bench::banner("Table III", "Hardware configurations (simulated)");
+    util::TextTable machines(
+        {"Server", "CPU (cores)", "RAM", "GPU"});
+    for (const auto &machine : sim::machineRegistry()) {
+        machines.addRow({machine.id,
+                         machine.cpu + " (" +
+                             std::to_string(machine.cores) + " cores)",
+                         std::to_string(machine.ramGib) + "GB",
+                         machine.hasGpu() ? machine.gpu->name : "-"});
+    }
+    std::fputs(machines.render().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Use case 1 (paper §VI-A): fine-grained application analysis.
+ *
+ * SHARP can collect arbitrary, user-configured metrics per run with no
+ * code changes to the workload. Here the leukocyte tracking app
+ * reports per-phase times; analyzing each metric's *distribution*
+ * localizes the overall bimodality to the tracking phase — the insight
+ * a mean would never surface.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/stopping/adaptive_rules.hh"
+#include "launcher/launcher.hh"
+#include "launcher/sim_backend.hh"
+#include "report/report.hh"
+#include "sim/machine.hh"
+
+int
+main()
+{
+    using namespace sharp;
+
+    auto backend = std::make_shared<launcher::PhasedSimBackend>(
+        sim::machineById("machine1"), 7);
+
+    // The modality rule keeps sampling until the *shape* (mode count)
+    // is stable — exactly what a multimodal workload needs.
+    launcher::LaunchOptions options;
+    options.maxSamples = 4000;
+    launcher::Launcher launcher(
+        backend, std::make_unique<core::ModalityRule>(0.08, 0.15, 100),
+        options);
+    auto result = launcher.launch();
+    std::printf("sampled %zu runs; %s\n\n", result.series.size(),
+                result.finalDecision.reason.c_str());
+
+    // Per-metric distribution analysis from the tidy log.
+    for (const char *metric :
+         {"execution_time", "detection_time", "tracking_time"}) {
+        std::vector<double> values;
+        for (const auto &rec : result.log.records()) {
+            auto it = rec.metrics.find(metric);
+            if (it != rec.metrics.end())
+                values.push_back(it->second);
+        }
+        auto report = report::DistributionReport::analyze(metric,
+                                                          values);
+        std::printf("%s\n", report.renderBrief().c_str());
+        for (const auto &mode : report.modes)
+            std::printf("    mode at %.2f s carrying %.0f%% of runs\n",
+                        mode.location, mode.mass * 100.0);
+    }
+
+    std::printf("\ninsight: the dual modes of the total time come from "
+                "the tracking phase -> optimize the snake evolution, "
+                "not the detection kernel.\n");
+    return 0;
+}

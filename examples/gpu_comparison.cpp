@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Use case 2 (paper §VI-B): which GPU accelerator — A100 or H100 —
+ * is the better buy for *your* application?
+ *
+ * SHARP's answer is distribution-based: run the workload under
+ * adaptive stopping on both machines, then compare the complete
+ * distributions — speedup, similarity metrics, and hypothesis tests —
+ * rather than a single average.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/stopping/ks_rule.hh"
+#include "launcher/launcher.hh"
+#include "launcher/sim_backend.hh"
+#include "report/compare.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+
+namespace
+{
+
+std::vector<double>
+measure(const char *benchmark, const char *machine)
+{
+    using namespace sharp;
+    auto backend = std::make_shared<launcher::SimBackend>(
+        sim::rodiniaByName(benchmark), sim::machineById(machine), 0,
+        2024);
+    launcher::LaunchOptions options;
+    options.maxSamples = 3000;
+    launcher::Launcher launcher(
+        backend, std::make_unique<core::KsHalvesRule>(0.05, 100),
+        options);
+    return launcher.launch().series.values();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    using namespace sharp;
+
+    for (const char *benchmark : {"bfs-CUDA", "srad-CUDA"}) {
+        std::printf("\n############ %s ############\n", benchmark);
+        auto a100 = measure(benchmark, "machine1");
+        auto h100 = measure(benchmark, "machine3");
+        auto report = report::ComparisonReport::analyze(
+            "A100 (machine1)", a100, "H100 (machine3)", h100);
+        std::fputs(report.renderMarkdown().c_str(), stdout);
+
+        std::printf("decision hint: the H100 runs %s %.2fx faster on "
+                    "average — weigh that against its price premium.\n",
+                    benchmark, report.meanSpeedup);
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Real measurements on this host.
+ *
+ * Everything else in the examples runs against the simulated testbed;
+ * this one exercises SHARP end-to-end on *your* machine: the eleven
+ * microbenchmark probes each measure one aspect of the system (ALU,
+ * memory, syscalls, threading, I/O), the launcher repeats each one
+ * under the paper's CI stopping rule, and the reporter summarizes the
+ * resulting distributions — including whatever modality your OS's
+ * scheduling and frequency scaling produce.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/stopping/ci_rules.hh"
+#include "launcher/launcher.hh"
+#include "micro/micro_backend.hh"
+#include "stats/descriptive.hh"
+#include "stats/kde.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace sharp;
+
+    util::TextTable table({"probe", "n", "median", "p95", "CV",
+                           "modes", "unit"});
+
+    for (const auto &probe : micro::microRegistry()) {
+        // The slow probes (sleep, fork) get a smaller budget.
+        bool slow = probe.name == "sleep-precision" ||
+                    probe.name == "fork-exec" ||
+                    probe.name == "thread-spawn";
+        launcher::LaunchOptions options;
+        options.warmupRounds = 2;
+        options.primaryMetric = "value";
+        options.maxSamples = slow ? 40 : 150;
+
+        auto backend = std::make_shared<micro::MicroBackend>(probe);
+        launcher::Launcher launcher(
+            backend,
+            std::make_unique<core::MeanCiRule>(0.05, 0.95, 10),
+            options);
+        auto report = launcher.launch();
+        if (report.series.size() < 2)
+            continue;
+
+        auto values = report.series.values();
+        auto summary = stats::Summary::compute(values);
+        size_t modes = stats::findModes(values, 0.2).size();
+        table.addRow({probe.name,
+                      std::to_string(summary.n),
+                      util::formatDouble(summary.median, 4),
+                      util::formatDouble(summary.p95, 4),
+                      util::formatDouble(
+                          summary.coefficientOfVariation, 3),
+                      std::to_string(modes), probe.unit});
+    }
+
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nn varies per probe: the CI rule stopped each one as "
+                "soon as its own noise level allowed.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Workflows (paper §IV-b): translate a CNCF Serverless Workflow
+ * document into a task graph, emit the equivalent Makefile (the
+ * paper's execution mechanism), and run the DAG natively with real
+ * shell commands.
+ */
+
+#include <cstdio>
+
+#include "workflow/executor.hh"
+#include "workflow/makefile_writer.hh"
+#include "workflow/workflow_parser.hh"
+
+int
+main()
+{
+    using namespace sharp::workflow;
+
+    // A generate -> {cpu sweep || gpu sweep} -> merge pipeline in the
+    // Serverless Workflow subset SHARP understands.
+    const char *document = R"({
+        "id": "rodinia-sweep",
+        "name": "Rodinia parameter sweep",
+        "functions": [
+            {"name": "generate", "operation": "echo generating inputs"},
+            {"name": "cpuSweep", "operation": "echo sweeping CPU benchmarks"},
+            {"name": "gpuSweep", "operation": "echo sweeping GPU benchmarks"},
+            {"name": "merge",   "operation": "echo merging results"}
+        ],
+        "states": [
+            {"name": "prepare", "type": "operation",
+             "actions": [{"functionRef": "generate"}],
+             "transition": "sweep"},
+            {"name": "sweep", "type": "parallel",
+             "branches": [
+                {"name": "cpu", "actions": [{"functionRef": "cpuSweep"}]},
+                {"name": "gpu", "actions": [{"functionRef": "gpuSweep"}]}
+             ],
+             "transition": "finish"},
+            {"name": "finish", "type": "operation",
+             "actions": [{"functionRef": "merge"}]}
+        ]
+    })";
+
+    Workflow workflow = parseServerlessWorkflowText(document);
+    std::printf("parsed workflow '%s' with %zu tasks\n",
+                workflow.name.c_str(), workflow.graph.size());
+
+    std::printf("\nparallel waves:\n");
+    size_t wave_index = 0;
+    for (const auto &wave : workflow.graph.waves()) {
+        std::printf("  wave %zu:", wave_index++);
+        for (const auto &task : wave)
+            std::printf(" %s", task.c_str());
+        std::printf("\n");
+    }
+
+    std::printf("\nequivalent Makefile (run with `make -j`):\n");
+    std::printf("--------------------------------------------\n");
+    std::fputs(renderMakefile(workflow.graph, workflow.id).c_str(),
+               stdout);
+    std::printf("--------------------------------------------\n");
+
+    std::printf("\nexecuting natively:\n");
+    Executor executor(shellRunner(30.0));
+    ExecutionReport report = executor.execute(workflow.graph);
+    for (const auto &task : report.executionOrder) {
+        std::printf("  %-24s %s\n", task.c_str(),
+                    taskStatusName(report.status.at(task)));
+    }
+    std::printf("workflow %s\n", report.success ? "succeeded" : "failed");
+    return report.success ? 0 : 1;
+}

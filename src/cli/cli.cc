@@ -1,0 +1,573 @@
+#include "cli/cli.hh"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/stopping/stopping_rule.hh"
+#include "launcher/launcher.hh"
+#include "launcher/reproduce.hh"
+#include "launcher/suite.hh"
+#include "micro/micro_backend.hh"
+#include "launcher/sim_backend.hh"
+#include "json/parser.hh"
+#include "record/csv.hh"
+#include "record/metadata.hh"
+#include "record/sysinfo.hh"
+#include "report/compare.hh"
+#include "report/gate.hh"
+#include "report/html.hh"
+#include "report/report.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "stats/descriptive.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+#include "workflow/executor.hh"
+#include "workflow/makefile_writer.hh"
+#include "workflow/workflow_parser.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace sharp
+{
+namespace cli
+{
+
+std::string
+ParsedArgs::get(const std::string &key, const std::string &fallback) const
+{
+    auto it = flags.find(key);
+    return it != flags.end() ? it->second : fallback;
+}
+
+bool
+ParsedArgs::has(const std::string &key) const
+{
+    return flags.count(key) > 0;
+}
+
+ParsedArgs
+parseArgs(const std::vector<std::string> &argv)
+{
+    ParsedArgs parsed;
+    size_t i = 0;
+    if (!argv.empty() && !util::startsWith(argv[0], "--")) {
+        parsed.command = argv[0];
+        i = 1;
+    }
+    while (i < argv.size()) {
+        const std::string &token = argv[i];
+        if (util::startsWith(token, "--")) {
+            std::string key = token.substr(2);
+            if (key.empty())
+                throw std::invalid_argument("empty flag name");
+            // A value follows unless the next token is another flag or
+            // the end of the line.
+            if (i + 1 < argv.size() &&
+                !util::startsWith(argv[i + 1], "--")) {
+                parsed.flags[key] = argv[i + 1];
+                i += 2;
+            } else {
+                parsed.flags[key] = "";
+                ++i;
+            }
+        } else {
+            parsed.positional.push_back(token);
+            ++i;
+        }
+    }
+    return parsed;
+}
+
+namespace
+{
+
+const char *const usageText = R"(usage: sharp <command> [options]
+
+commands:
+  list                         show benchmarks, machines, stopping rules
+  run                          run one experiment on the simulated testbed
+      --config FILE.json       full run spec from a JSON file, or:
+      --workload NAME          Rodinia benchmark (required)
+      --machine ID             machine1|machine2|machine3 (default machine1)
+      --rule NAME              stopping rule (default ks)
+      --threshold X            rule threshold
+      --max N                  sample cap (default 2000)
+      --day D --seed S         environment controls
+      --concurrency C          parallel instances per round
+      --out BASE               write BASE.csv + BASE.md
+      --html FILE              write an HTML report
+  reproduce FILE.md            re-run an experiment from its metadata
+  report FILE.csv              analyze a recorded run
+      --metric NAME            column to analyze (default execution_time)
+      --workload NAME          filter rows by workload
+      --html FILE              write an HTML report
+  compare A.csv B.csv          compare two recorded runs
+      --metric NAME --html FILE
+  workflow SPEC.json           translate a serverless workflow
+      --makefile FILE          write the Makefile
+      --execute                run the DAG natively
+  help                         this text
+)";
+
+int
+cmdList(std::ostream &out)
+{
+    out << "Benchmarks (Rodinia models):\n";
+    util::TextTable benchmarks({"name", "kind", "modes", "base (s)"});
+    for (const auto &spec : sim::rodiniaRegistry()) {
+        benchmarks.addRow(
+            {spec.name,
+             spec.kind == sim::BenchmarkKind::Cpu ? "CPU" : "CUDA",
+             std::to_string(spec.numModes()),
+             util::formatDouble(spec.baseSeconds, 2)});
+    }
+    out << benchmarks.render();
+
+    out << "\nMachines:\n";
+    util::TextTable machines({"id", "cpu", "cores", "ram (GiB)", "gpu"});
+    for (const auto &machine : sim::machineRegistry()) {
+        machines.addRow({machine.id, machine.cpu,
+                         std::to_string(machine.cores),
+                         std::to_string(machine.ramGib),
+                         machine.hasGpu() ? machine.gpu->name : "-"});
+    }
+    out << machines.render();
+
+    out << "\nStopping rules:\n";
+    for (const auto &name :
+         core::StoppingRuleFactory::instance().names()) {
+        out << "  " << name << "\n";
+    }
+    return 0;
+}
+
+int
+cmdRun(const ParsedArgs &args, std::ostream &out, std::ostream &err)
+{
+    // A JSON config file describes the entire run; command-line flags
+    // below are the quick path.
+    std::string config_path = args.get("config");
+    if (!config_path.empty()) {
+        launcher::ReproSpec spec =
+            launcher::ReproSpec::fromJson(json::parseFile(config_path));
+        launcher::Launcher l = launcher::makeLauncher(spec);
+        launcher::LaunchReport result = l.launch();
+        launcher::annotate(result.log, spec);
+        out << "collected " << result.series.size() << " samples ("
+            << result.finalDecision.reason << ")\n\n";
+        auto analysis = report::DistributionReport::analyze(
+            spec.workload, result.series.values());
+        out << analysis.renderMarkdown();
+        std::string base = args.get("out");
+        if (!base.empty()) {
+            result.log.save(base);
+            out << "\nwrote " << base << ".csv and " << base
+                << ".md\n";
+        }
+        return 0;
+    }
+
+    std::string workload = args.get("workload");
+    if (workload.empty()) {
+        err << "run: --workload is required (see `sharp list`)\n";
+        return 2;
+    }
+    std::string machine_id = args.get("machine", "machine1");
+    std::string rule_name = args.get("rule", "ks");
+
+    core::StoppingRuleFactory::Params params;
+    for (const char *key : {"threshold", "level", "count", "min",
+                            "quantile", "prominence"}) {
+        std::string value = args.get(key);
+        if (!value.empty()) {
+            auto parsed = util::parseDouble(value);
+            if (!parsed) {
+                err << "run: --" << key << " must be a number\n";
+                return 2;
+            }
+            params[key] = *parsed;
+        }
+    }
+
+    auto parse_count = [&](const char *key, long fallback) {
+        std::string value = args.get(key);
+        if (value.empty())
+            return fallback;
+        auto parsed = util::parseLong(value);
+        return parsed ? *parsed : fallback;
+    };
+
+    launcher::ReproSpec spec;
+    spec.backendKind = "sim";
+    spec.workload = workload;
+    spec.machines = {machine_id};
+    spec.day = static_cast<int>(parse_count("day", 0));
+    spec.seed = static_cast<uint64_t>(parse_count("seed", 1));
+    spec.concurrency =
+        static_cast<size_t>(parse_count("concurrency", 1));
+    spec.experiment.ruleName = rule_name;
+    spec.experiment.ruleParams = params;
+    spec.experiment.options.maxSamples =
+        static_cast<size_t>(parse_count("max", 2000));
+
+    launcher::Launcher l = launcher::makeLauncher(spec);
+    launcher::LaunchReport result = l.launch();
+    launcher::annotate(result.log, spec);
+    result.log.setSystemInfo(
+        record::describeSimulatedMachine(sim::machineById(machine_id)));
+
+    out << "collected " << result.series.size() << " samples ("
+        << result.finalDecision.reason << ")\n\n";
+    auto analysis = report::DistributionReport::analyze(
+        workload + " @ " + machine_id, result.series.values());
+    out << analysis.renderMarkdown();
+
+    std::string base = args.get("out");
+    if (!base.empty()) {
+        result.log.save(base);
+        out << "\nwrote " << base << ".csv and " << base << ".md\n";
+    }
+    std::string html = args.get("html");
+    if (!html.empty()) {
+        report::saveHtml(report::renderHtml(analysis), html);
+        out << "wrote " << html << "\n";
+    }
+    return 0;
+}
+
+int
+cmdReproduce(const ParsedArgs &args, std::ostream &out,
+             std::ostream &err)
+{
+    if (args.positional.empty()) {
+        err << "reproduce: a metadata file is required\n";
+        return 2;
+    }
+    record::MetadataDocument doc =
+        record::MetadataDocument::load(args.positional[0]);
+    launcher::LaunchReport result = launcher::reproduce(doc);
+    out << "reproduced " << result.series.size() << " samples ("
+        << result.finalDecision.reason << ")\n";
+    auto analysis = report::DistributionReport::analyze(
+        doc.getTitle().empty() ? "reproduction" : doc.getTitle(),
+        result.series.values());
+    out << analysis.renderBrief() << "\n";
+    std::string base = args.get("out");
+    if (!base.empty()) {
+        result.log.save(base);
+        out << "wrote " << base << ".csv and " << base << ".md\n";
+    }
+    return 0;
+}
+
+std::vector<double>
+loadMetric(const std::string &path, const ParsedArgs &args)
+{
+    record::CsvTable table = record::CsvTable::load(path);
+    std::string metric = args.get("metric", "execution_time");
+    std::string workload = args.get("workload");
+    if (!workload.empty()) {
+        return table.numericColumnWhere(metric, "workload", workload);
+    }
+    // Exclude warmup rows when the column exists.
+    if (table.columnIndex("warmup")) {
+        return table.numericColumnWhere(metric, "warmup", "false");
+    }
+    return table.numericColumn(metric);
+}
+
+int
+cmdReport(const ParsedArgs &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positional.empty()) {
+        err << "report: a CSV file is required\n";
+        return 2;
+    }
+    auto values = loadMetric(args.positional[0], args);
+    if (values.size() < 2) {
+        err << "report: fewer than 2 usable values in '"
+            << args.positional[0] << "'\n";
+        return 1;
+    }
+    auto analysis = report::DistributionReport::analyze(
+        args.positional[0] + " / " +
+            args.get("metric", "execution_time"),
+        values);
+    out << analysis.renderMarkdown();
+    std::string html = args.get("html");
+    if (!html.empty()) {
+        report::saveHtml(report::renderHtml(analysis), html);
+        out << "wrote " << html << "\n";
+    }
+    return 0;
+}
+
+int
+cmdCompare(const ParsedArgs &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positional.size() < 2) {
+        err << "compare: two CSV files are required\n";
+        return 2;
+    }
+    auto a = loadMetric(args.positional[0], args);
+    auto b = loadMetric(args.positional[1], args);
+    if (a.size() < 2 || b.size() < 2) {
+        err << "compare: fewer than 2 usable values per file\n";
+        return 1;
+    }
+    auto analysis = report::ComparisonReport::analyze(
+        args.positional[0], a, args.positional[1], b);
+    out << analysis.renderMarkdown();
+    std::string html = args.get("html");
+    if (!html.empty()) {
+        report::saveHtml(report::renderHtml(analysis), html);
+        out << "wrote " << html << "\n";
+    }
+    return 0;
+}
+
+int
+cmdMicro(const ParsedArgs &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positional.empty()) {
+        util::TextTable table({"probe", "measures", "unit"});
+        for (const auto &probe : micro::microRegistry())
+            table.addRow({probe.name, probe.description, probe.unit});
+        out << table.render();
+        out << "run one with: sharp micro <probe>\n";
+        return 0;
+    }
+
+    const auto &probe = micro::microByName(args.positional[0]);
+    core::StoppingRuleFactory::Params params;
+    std::string threshold = args.get("threshold");
+    if (!threshold.empty()) {
+        auto parsed = util::parseDouble(threshold);
+        if (!parsed) {
+            err << "micro: --threshold must be a number\n";
+            return 2;
+        }
+        params["threshold"] = *parsed;
+    }
+    auto rule = core::StoppingRuleFactory::instance().make(
+        args.get("rule", "ks"), params);
+
+    launcher::LaunchOptions options;
+    options.warmupRounds = 3;
+    options.primaryMetric = "value";
+    options.maxSamples = 500;
+    std::string max_flag = args.get("max");
+    if (!max_flag.empty()) {
+        auto parsed = util::parseLong(max_flag);
+        if (parsed && *parsed >= 2)
+            options.maxSamples = static_cast<size_t>(*parsed);
+    }
+
+    auto backend = std::make_shared<micro::MicroBackend>(probe);
+    launcher::Launcher l(backend, std::move(rule), options);
+    auto report = l.launch();
+
+    out << probe.name << " (" << probe.description << "): "
+        << report.series.size() << " measurements ("
+        << report.finalDecision.reason << ")\n";
+    auto analysis = report::DistributionReport::analyze(
+        probe.name + " [" + probe.unit + "]",
+        report.series.values());
+    out << analysis.renderMarkdown();
+    return 0;
+}
+
+int
+cmdSuite(const ParsedArgs &args, std::ostream &out, std::ostream &err)
+{
+    std::string machine = args.get("machine", "machine1");
+    core::ExperimentConfig config;
+    config.ruleName = args.get("rule", "ks");
+    for (const char *key : {"threshold", "level", "count", "min"}) {
+        std::string value = args.get(key);
+        if (!value.empty()) {
+            auto parsed = util::parseDouble(value);
+            if (!parsed) {
+                err << "suite: --" << key << " must be a number\n";
+                return 2;
+            }
+            config.ruleParams[key] = *parsed;
+        }
+    }
+    std::string max_flag = args.get("max");
+    if (!max_flag.empty()) {
+        auto parsed = util::parseLong(max_flag);
+        if (!parsed || *parsed < 2) {
+            err << "suite: --max must be an integer >= 2\n";
+            return 2;
+        }
+        config.options.maxSamples = static_cast<size_t>(*parsed);
+    } else {
+        config.options.maxSamples = 1000;
+    }
+    std::string seed_flag = args.get("seed");
+    if (!seed_flag.empty()) {
+        auto parsed = util::parseLong(seed_flag);
+        if (parsed && *parsed >= 0)
+            config.seed = static_cast<uint64_t>(*parsed);
+    }
+    config.makeRule(); // validate eagerly
+
+    auto entries = launcher::rodiniaSuite(machine);
+    auto suite = launcher::runSuite(entries, config);
+
+    util::TextTable table({"workload", "runs", "mean", "median",
+                           "stopped by"});
+    for (const auto &outcome : suite.outcomes) {
+        if (outcome.failed) {
+            table.addRow({outcome.entry.workload, "-", "-", "-",
+                          "error: " + outcome.error});
+            continue;
+        }
+        auto values = outcome.series.values();
+        table.addRow(
+            {outcome.entry.workload,
+             std::to_string(outcome.series.size()),
+             util::formatDouble(stats::mean(values), 3),
+             util::formatDouble(stats::median(values), 3),
+             outcome.ruleFired ? config.ruleName : "max-samples"});
+    }
+    out << table.render();
+    out << "total runs: " << suite.totalRuns << " ("
+        << util::formatDouble(
+               suite.savedVersusFixed(config.options.maxSamples) *
+                   100.0,
+               1)
+        << "% saved vs fixed-" << config.options.maxSamples << ")\n";
+    return suite.failures == 0 ? 0 : 1;
+}
+
+int
+cmdGate(const ParsedArgs &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positional.size() < 2) {
+        err << "gate: baseline and candidate CSV files are required\n";
+        return 2;
+    }
+    auto baseline = loadMetric(args.positional[0], args);
+    auto candidate = loadMetric(args.positional[1], args);
+
+    report::GateConfig config;
+    auto parse_flag = [&](const char *key, double &target) {
+        std::string value = args.get(key);
+        if (value.empty())
+            return true;
+        auto parsed = util::parseDouble(value);
+        if (!parsed) {
+            err << "gate: --" << key << " must be a number\n";
+            return false;
+        }
+        target = *parsed;
+        return true;
+    };
+    if (!parse_flag("slowdown", config.maxSlowdown) ||
+        !parse_flag("ks", config.maxKsDistance) ||
+        !parse_flag("alpha", config.alpha)) {
+        return 2;
+    }
+    if (args.has("larger-is-better"))
+        config.largerIsWorse = false;
+
+    report::GateResult result =
+        report::evaluateGate(baseline, candidate, config);
+    out << result.verdict << "\n";
+    out << "median change: "
+        << util::formatDouble(result.medianChange * 100.0, 2)
+        << "%  KS: " << util::formatDouble(result.ksDistance, 4)
+        << "  Mann-Whitney p: "
+        << util::formatDouble(result.mannWhitneyP, 5) << "\n";
+    return result.pass ? 0 : 1;
+}
+
+int
+cmdWorkflow(const ParsedArgs &args, std::ostream &out,
+            std::ostream &err)
+{
+    if (args.positional.empty()) {
+        err << "workflow: a spec file is required\n";
+        return 2;
+    }
+    std::ifstream in(args.positional[0]);
+    if (!in) {
+        err << "workflow: cannot open '" << args.positional[0] << "'\n";
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    workflow::Workflow wf =
+        workflow::parseServerlessWorkflowText(buf.str());
+    out << "workflow '" << wf.name << "' with " << wf.graph.size()
+        << " tasks\n";
+
+    std::string makefile = args.get("makefile");
+    if (!makefile.empty()) {
+        workflow::writeMakefile(wf.graph, makefile, wf.id);
+        out << "wrote " << makefile << "\n";
+    } else if (!args.has("execute")) {
+        out << workflow::renderMakefile(wf.graph, wf.id);
+    }
+
+    if (args.has("execute")) {
+        workflow::Executor executor(workflow::shellRunner(120.0));
+        auto report = executor.execute(wf.graph);
+        for (const auto &task : report.executionOrder) {
+            out << "  " << task << ": "
+                << workflow::taskStatusName(report.status.at(task))
+                << "\n";
+        }
+        out << "workflow "
+            << (report.success ? "succeeded" : "failed") << "\n";
+        return report.success ? 0 : 1;
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+runCli(const std::vector<std::string> &argv, std::ostream &out,
+       std::ostream &err)
+{
+    try {
+        ParsedArgs args = parseArgs(argv);
+        if (args.command.empty() || args.command == "help" ||
+            args.has("help")) {
+            out << usageText;
+            return args.command.empty() && argv.empty() ? 2 : 0;
+        }
+        if (args.command == "list")
+            return cmdList(out);
+        if (args.command == "run")
+            return cmdRun(args, out, err);
+        if (args.command == "reproduce")
+            return cmdReproduce(args, out, err);
+        if (args.command == "report")
+            return cmdReport(args, out, err);
+        if (args.command == "compare")
+            return cmdCompare(args, out, err);
+        if (args.command == "gate")
+            return cmdGate(args, out, err);
+        if (args.command == "suite")
+            return cmdSuite(args, out, err);
+        if (args.command == "micro")
+            return cmdMicro(args, out, err);
+        if (args.command == "workflow")
+            return cmdWorkflow(args, out, err);
+        err << "unknown command '" << args.command
+            << "' (try `sharp help`)\n";
+        return 2;
+    } catch (const std::exception &ex) {
+        err << "error: " << ex.what() << "\n";
+        return 1;
+    }
+}
+
+} // namespace cli
+} // namespace sharp

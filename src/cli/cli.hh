@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The `sharp` command-line interface.
+ *
+ * The paper's launcher "is typically controlled via the command line
+ * and is highly customizable" (§IV-a). This module implements that
+ * surface over the C++ framework:
+ *
+ *   sharp list                          registries: benchmarks,
+ *                                       machines, stopping rules
+ *   sharp run --workload B --machine M  run one experiment
+ *        [--rule R --threshold T --max N --day D --seed S
+ *         --concurrency C --out BASE --html FILE]
+ *   sharp reproduce METADATA.md         re-run a recorded experiment
+ *   sharp report CSV [--metric M]       analyze a tidy CSV column
+ *        [--workload W --html FILE]
+ *   sharp compare CSV_A CSV_B           compare two recorded runs
+ *        [--metric M --html FILE]
+ *   sharp workflow SPEC.json            translate/execute a workflow
+ *        [--makefile FILE --execute]
+ *
+ * All logic lives here (streams in, integer status out) so it is unit
+ * testable; tools/sharp_main.cc is a thin wrapper.
+ */
+
+#ifndef SHARP_CLI_CLI_HH
+#define SHARP_CLI_CLI_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace cli
+{
+
+/** Tokenized command line. */
+struct ParsedArgs
+{
+    /** First token, e.g. "run". Empty when no arguments given. */
+    std::string command;
+    /** Non-flag tokens after the command. */
+    std::vector<std::string> positional;
+    /** --key value / --key pairs ("" value for bare flags). */
+    std::map<std::string, std::string> flags;
+
+    /** Flag lookup with default. */
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+
+    /** True when the flag appeared (with or without a value). */
+    bool has(const std::string &key) const;
+};
+
+/**
+ * Tokenize argv (excluding argv[0]).
+ * @throws std::invalid_argument for malformed flags.
+ */
+ParsedArgs parseArgs(const std::vector<std::string> &argv);
+
+/**
+ * Execute a CLI invocation.
+ *
+ * @param argv arguments excluding the program name
+ * @param out  stream for normal output
+ * @param err  stream for error messages
+ * @return process exit status (0 on success)
+ */
+int runCli(const std::vector<std::string> &argv, std::ostream &out,
+           std::ostream &err);
+
+} // namespace cli
+} // namespace sharp
+
+#endif // SHARP_CLI_CLI_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Online distribution classifier.
+ *
+ * The stopping meta-heuristic "characterize[s] the performance
+ * distribution in real-time and appl[ies] the most appropriate stopping
+ * criterion". This classifier implements that characterization: given
+ * the samples observed so far, it assigns one of the distribution
+ * classes the paper tunes against (§IV-c).
+ *
+ * The decision procedure is layered:
+ *   1. structural screens that parametric fits cannot express —
+ *      constant, autocorrelated, multimodal;
+ *   2. a minimum-distance parametric stage: fit each candidate family
+ *      by moments/quantiles and pick the family whose fitted CDF has
+ *      the smallest one-sample KS distance to the empirical CDF.
+ *
+ * The screen thresholds were tuned on the ten synthetic distributions
+ * in sharp::rng::syntheticRegistry() (see tests/test_classifier.cc).
+ */
+
+#ifndef SHARP_CORE_CLASSIFIER_HH
+#define SHARP_CORE_CLASSIFIER_HH
+
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace core
+{
+
+/** Distribution classes recognized by the meta-heuristic. */
+enum class DistributionClass
+{
+    Unknown,        ///< not enough data to say
+    Constant,       ///< zero (or numerically zero) dispersion
+    Autocorrelated, ///< successive samples are strongly dependent
+    Bimodal,        ///< two density modes
+    Multimodal,     ///< three or more density modes
+    HeavyTail,      ///< Cauchy-like: extreme outliers, unstable mean
+    Normal,
+    LogNormal,
+    Uniform,
+    LogUniform,
+    Logistic,
+};
+
+/** Name of a distribution class, e.g. "lognormal". */
+const char *distributionClassName(DistributionClass cls);
+
+/** Tunable thresholds for the structural screens. */
+struct ClassifierConfig
+{
+    /** Below this many samples the classifier returns Unknown. */
+    size_t minSamples = 30;
+    /** CV below this is considered constant. */
+    double constantCvThreshold = 1e-9;
+    /** Lag-1 autocorrelation above this flags autocorrelation. */
+    double autocorrThreshold = 0.5;
+    /** Ljung–Box p-value below this corroborates autocorrelation. */
+    double ljungBoxAlpha = 0.01;
+    /** KDE mode prominence used for modality detection. */
+    double modePromincence = 0.15;
+    /** Tail-weight screen: (p99-p01)/IQR above this is heavy-tailed. */
+    double tailWeightThreshold = 12.0;
+};
+
+/** A classification outcome with supporting evidence. */
+struct Classification
+{
+    DistributionClass cls = DistributionClass::Unknown;
+    /** Number of KDE modes found (when the modality stage ran). */
+    size_t modes = 0;
+    /** Lag-1 autocorrelation measured. */
+    double lag1 = 0.0;
+    /** KS distance of the winning parametric fit (when stage 2 ran). */
+    double fitDistance = 0.0;
+    /** Human-readable explanation of the decision. */
+    std::string rationale;
+};
+
+/**
+ * Classify a sample.
+ *
+ * @param values samples in arrival order (order matters for the
+ *               autocorrelation screen)
+ * @param config screen thresholds
+ */
+Classification classifyDistribution(const std::vector<double> &values,
+                                    const ClassifierConfig &config = {});
+
+} // namespace core
+} // namespace sharp
+
+#endif // SHARP_CORE_CLASSIFIER_HH

@@ -1,0 +1,83 @@
+#include "core/config.hh"
+
+#include <stdexcept>
+
+namespace sharp
+{
+namespace core
+{
+
+ExperimentConfig
+ExperimentConfig::fromJson(const json::Value &doc)
+{
+    if (!doc.isObject())
+        throw std::invalid_argument(
+            "experiment config must be a JSON object");
+
+    ExperimentConfig config;
+    config.ruleName = doc.getString("rule", config.ruleName);
+
+    if (const json::Value *params = doc.find("params")) {
+        if (!params->isObject())
+            throw std::invalid_argument("'params' must be an object");
+        for (const auto &[key, value] : params->members()) {
+            if (!value.isNumber())
+                throw std::invalid_argument("rule parameter '" + key +
+                                            "' must be a number");
+            config.ruleParams[key] = value.asNumber();
+        }
+    }
+
+    long warmup = doc.getLong("warmup", 0);
+    long min_samples =
+        doc.getLong("min", static_cast<long>(config.options.minSamples));
+    long max_samples =
+        doc.getLong("max", static_cast<long>(config.options.maxSamples));
+    long interval = doc.getLong(
+        "checkInterval", static_cast<long>(config.options.checkInterval));
+    if (warmup < 0 || min_samples < 1 || max_samples < min_samples ||
+        interval < 1) {
+        throw std::invalid_argument(
+            "invalid sampling bounds in experiment config");
+    }
+    config.options.warmupRuns = static_cast<size_t>(warmup);
+    config.options.minSamples = static_cast<size_t>(min_samples);
+    config.options.maxSamples = static_cast<size_t>(max_samples);
+    config.options.checkInterval = static_cast<size_t>(interval);
+
+    long seed = doc.getLong("seed", 1);
+    if (seed < 0)
+        throw std::invalid_argument("seed must be non-negative");
+    config.seed = static_cast<uint64_t>(seed);
+
+    // Validate the rule name and parameters eagerly so configuration
+    // errors surface at parse time, not mid-experiment.
+    config.makeRule();
+    return config;
+}
+
+json::Value
+ExperimentConfig::toJson() const
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("rule", ruleName);
+    json::Value params = json::Value::makeObject();
+    for (const auto &[key, value] : ruleParams)
+        params.set(key, value);
+    doc.set("params", std::move(params));
+    doc.set("warmup", options.warmupRuns);
+    doc.set("min", options.minSamples);
+    doc.set("max", options.maxSamples);
+    doc.set("checkInterval", options.checkInterval);
+    doc.set("seed", static_cast<double>(seed));
+    return doc;
+}
+
+std::unique_ptr<StoppingRule>
+ExperimentConfig::makeRule() const
+{
+    return StoppingRuleFactory::instance().make(ruleName, ruleParams);
+}
+
+} // namespace core
+} // namespace sharp

@@ -1,0 +1,71 @@
+#include "core/experiment.hh"
+
+#include <stdexcept>
+
+namespace sharp
+{
+namespace core
+{
+
+Experiment::Experiment(MeasurementSource source_in,
+                       std::unique_ptr<StoppingRule> rule,
+                       ExperimentOptions options_in)
+    : source(std::move(source_in)), stoppingRule(std::move(rule)),
+      options(options_in)
+{
+    if (!source)
+        throw std::invalid_argument("Experiment requires a source");
+    if (!stoppingRule)
+        throw std::invalid_argument("Experiment requires a stopping rule");
+    if (options.minSamples == 0)
+        options.minSamples = 1;
+    if (options.maxSamples < options.minSamples)
+        throw std::invalid_argument(
+            "Experiment requires maxSamples >= minSamples");
+    if (options.checkInterval == 0)
+        options.checkInterval = 1;
+}
+
+ExperimentResult
+Experiment::run()
+{
+    ExperimentResult result;
+    stoppingRule->reset();
+
+    for (size_t i = 0; i < options.warmupRuns; ++i) {
+        result.warmupSamples.push_back(source());
+        ++result.totalRuns;
+    }
+
+    size_t rule_floor =
+        std::max(options.minSamples, stoppingRule->minSamples());
+
+    while (result.series.size() < options.maxSamples) {
+        result.series.append(source());
+        ++result.totalRuns;
+
+        size_t n = result.series.size();
+        if (n < rule_floor)
+            continue;
+        if ((n - rule_floor) % options.checkInterval != 0)
+            continue;
+
+        StopDecision decision = stoppingRule->evaluate(result.series);
+        result.finalDecision = decision;
+        if (decision.stop) {
+            result.ruleFired = true;
+            return result;
+        }
+    }
+
+    if (!result.ruleFired && result.finalDecision.reason.empty()) {
+        result.finalDecision = StopDecision::keepGoing(
+            0.0, 0.0, "reached maxSamples without rule evaluation");
+    }
+    result.finalDecision.reason +=
+        result.ruleFired ? "" : " [stopped at maxSamples cap]";
+    return result;
+}
+
+} // namespace core
+} // namespace sharp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The experiment driver: the sampling loop that binds a measurement
+ * source to a stopping rule.
+ *
+ * This is deliberately independent of how measurements are produced —
+ * the source is any callable yielding one scalar per invocation (a
+ * simulated benchmark, a forked process's wall time, a FaaS response
+ * latency). The Launcher in sharp::launcher wraps backends into
+ * sources and adds orchestration concerns (warmups, concurrency,
+ * logging); this class owns only the statistical loop.
+ */
+
+#ifndef SHARP_CORE_EXPERIMENT_HH
+#define SHARP_CORE_EXPERIMENT_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/sample_series.hh"
+#include "core/stopping/stopping_rule.hh"
+
+namespace sharp
+{
+namespace core
+{
+
+/** Produces one measurement per call. */
+using MeasurementSource = std::function<double()>;
+
+/** Result of a completed experiment. */
+struct ExperimentResult
+{
+    /** All retained measurements (post-warmup). */
+    SampleSeries series;
+    /** Warmup measurements that were discarded from analysis. */
+    std::vector<double> warmupSamples;
+    /** True if the stopping rule fired (false = hit maxSamples). */
+    bool ruleFired = false;
+    /** The decision that ended the experiment. */
+    StopDecision finalDecision;
+    /** Total measurements taken including warmup. */
+    size_t totalRuns = 0;
+};
+
+/**
+ * Configuration of the sampling loop.
+ */
+struct ExperimentOptions
+{
+    /** Discard this many initial runs (cold starts, cache warmup). */
+    size_t warmupRuns = 0;
+    /** Never stop before this many retained samples. */
+    size_t minSamples = 2;
+    /** Hard cap on retained samples (safety net; must be >= min). */
+    size_t maxSamples = 10000;
+    /** Evaluate the stopping rule every this many samples (>= 1). */
+    size_t checkInterval = 1;
+};
+
+/**
+ * Runs the sampling loop: warmup, then sample until the stopping rule
+ * fires or maxSamples is reached.
+ */
+class Experiment
+{
+  public:
+    /**
+     * @param source  measurement source
+     * @param rule    stopping rule (owned)
+     * @param options loop configuration
+     */
+    Experiment(MeasurementSource source,
+               std::unique_ptr<StoppingRule> rule,
+               ExperimentOptions options = {});
+
+    /** Execute the experiment. May be called repeatedly. */
+    ExperimentResult run();
+
+    /** The stopping rule in use. */
+    const StoppingRule &rule() const { return *stoppingRule; }
+
+  private:
+    MeasurementSource source;
+    std::unique_ptr<StoppingRule> stoppingRule;
+    ExperimentOptions options;
+};
+
+} // namespace core
+} // namespace sharp
+
+#endif // SHARP_CORE_EXPERIMENT_HH

@@ -1,0 +1,91 @@
+#include "core/sample_series.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sharp
+{
+namespace core
+{
+
+SampleSeries::SampleSeries(const std::vector<double> &values)
+{
+    appendAll(values);
+}
+
+void
+SampleSeries::append(double value)
+{
+    data.push_back(value);
+    ++count;
+    if (count == 1) {
+        runningMean = value;
+        m2 = 0.0;
+        minValue = maxValue = value;
+        return;
+    }
+    double delta = value - runningMean;
+    runningMean += delta / static_cast<double>(count);
+    m2 += delta * (value - runningMean);
+    minValue = std::min(minValue, value);
+    maxValue = std::max(maxValue, value);
+}
+
+void
+SampleSeries::appendAll(const std::vector<double> &values)
+{
+    for (double v : values)
+        append(v);
+}
+
+void
+SampleSeries::clear()
+{
+    data.clear();
+    count = 0;
+    runningMean = 0.0;
+    m2 = 0.0;
+    minValue = 0.0;
+    maxValue = 0.0;
+}
+
+double
+SampleSeries::variance() const
+{
+    if (count < 2)
+        return 0.0;
+    return m2 / static_cast<double>(count - 1);
+}
+
+double
+SampleSeries::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+std::vector<double>
+SampleSeries::firstHalf() const
+{
+    size_t half = data.size() / 2;
+    return std::vector<double>(data.begin(),
+                               data.begin() + static_cast<long>(half));
+}
+
+std::vector<double>
+SampleSeries::secondHalf() const
+{
+    size_t half = data.size() / 2;
+    return std::vector<double>(data.begin() + static_cast<long>(half),
+                               data.end());
+}
+
+std::vector<double>
+SampleSeries::tail(size_t n) const
+{
+    size_t take = std::min(n, data.size());
+    return std::vector<double>(data.end() - static_cast<long>(take),
+                               data.end());
+}
+
+} // namespace core
+} // namespace sharp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * SampleSeries: the running record of measurements for one experiment.
+ *
+ * Stopping rules are evaluated repeatedly as samples arrive, so the
+ * series maintains streaming aggregates (Welford mean/variance,
+ * min/max) in O(1) per append, while also retaining the full sample —
+ * SHARP's whole point is that the complete distribution is the
+ * artifact of record.
+ */
+
+#ifndef SHARP_CORE_SAMPLE_SERIES_HH
+#define SHARP_CORE_SAMPLE_SERIES_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace sharp
+{
+namespace core
+{
+
+/**
+ * Append-only series of scalar measurements with streaming moments.
+ */
+class SampleSeries
+{
+  public:
+    SampleSeries() = default;
+
+    /** Construct pre-filled from existing values. */
+    explicit SampleSeries(const std::vector<double> &values);
+
+    /** Append one measurement. */
+    void append(double value);
+
+    /** Append a batch. */
+    void appendAll(const std::vector<double> &values);
+
+    /** Remove all samples and reset aggregates. */
+    void clear();
+
+    /** Number of samples so far. */
+    size_t size() const { return data.size(); }
+    bool empty() const { return data.empty(); }
+
+    /** All samples in arrival order. */
+    const std::vector<double> &values() const { return data; }
+
+    /** Sample @p index in arrival order. */
+    double operator[](size_t index) const { return data[index]; }
+
+    /** Streaming mean (0 when empty). */
+    double mean() const { return count > 0 ? runningMean : 0.0; }
+
+    /** Streaming sample variance, n-1 denominator (0 for n < 2). */
+    double variance() const;
+
+    /** Streaming standard deviation. */
+    double stddev() const;
+
+    /** Minimum so far. */
+    double min() const { return minValue; }
+
+    /** Maximum so far. */
+    double max() const { return maxValue; }
+
+    /** First half of the series (floor(n/2) samples, arrival order). */
+    std::vector<double> firstHalf() const;
+
+    /** Second half of the series (remaining samples, arrival order). */
+    std::vector<double> secondHalf() const;
+
+    /** The last @p n samples (fewer if the series is shorter). */
+    std::vector<double> tail(size_t n) const;
+
+  private:
+    std::vector<double> data;
+    size_t count = 0;
+    double runningMean = 0.0;
+    double m2 = 0.0; // sum of squared deviations (Welford)
+    double minValue = 0.0;
+    double maxValue = 0.0;
+};
+
+} // namespace core
+} // namespace sharp
+
+#endif // SHARP_CORE_SAMPLE_SERIES_HH

@@ -1,0 +1,238 @@
+#include "core/stopping/adaptive_rules.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/autocorr.hh"
+#include "stats/ci.hh"
+#include "stats/ecdf.hh"
+#include "stats/kde.hh"
+#include "stats/special.hh"
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace core
+{
+
+using util::formatDouble;
+
+ConstantRule::ConstantRule(double cvTolerance, size_t minRuns)
+    : cvTolerance(cvTolerance), minRunsCfg(std::max<size_t>(minRuns, 2))
+{
+    if (cvTolerance < 0.0)
+        throw std::invalid_argument(
+            "ConstantRule requires cvTolerance >= 0");
+}
+
+std::string
+ConstantRule::describe() const
+{
+    return "constant(cv<=" + formatDouble(cvTolerance, 12) + ", min=" +
+           std::to_string(minRunsCfg) + ")";
+}
+
+StopDecision
+ConstantRule::evaluate(const SampleSeries &series)
+{
+    if (series.size() < minRunsCfg)
+        return StopDecision::keepGoing(0.0, cvTolerance, "warming up");
+    double m = series.mean();
+    double cv = m != 0.0 ? series.stddev() / std::fabs(m)
+                         : series.stddev();
+    std::string detail = "CV = " + formatDouble(cv, 12);
+    if (cv <= cvTolerance)
+        return StopDecision::stopNow(cv, cvTolerance,
+                                     detail + " (constant)");
+    return StopDecision::keepGoing(cv, cvTolerance,
+                                   detail + " (not constant)");
+}
+
+UniformRangeRule::UniformRangeRule(double growthTolerance,
+                                   double windowFraction, size_t minRuns)
+    : growthTolerance(growthTolerance), windowFraction(windowFraction),
+      minRunsCfg(std::max<size_t>(minRuns, 8))
+{
+    if (growthTolerance < 0.0)
+        throw std::invalid_argument(
+            "UniformRangeRule requires growthTolerance >= 0");
+    if (!(windowFraction > 0.0 && windowFraction < 1.0))
+        throw std::invalid_argument(
+            "UniformRangeRule requires windowFraction in (0, 1)");
+}
+
+std::string
+UniformRangeRule::describe() const
+{
+    return "uniform-range(growth<=" + formatDouble(growthTolerance) +
+           ", window=" + formatDouble(windowFraction) + ")";
+}
+
+StopDecision
+UniformRangeRule::evaluate(const SampleSeries &series)
+{
+    if (series.size() < minRunsCfg)
+        return StopDecision::keepGoing(1.0, growthTolerance,
+                                       "warming up");
+
+    const auto &values = series.values();
+    size_t n = values.size();
+    size_t window = std::max<size_t>(
+        1, static_cast<size_t>(windowFraction * static_cast<double>(n)));
+    size_t old_n = n - window;
+
+    double old_min = values[0], old_max = values[0];
+    for (size_t i = 0; i < old_n; ++i) {
+        old_min = std::min(old_min, values[i]);
+        old_max = std::max(old_max, values[i]);
+    }
+    double full_range = series.max() - series.min();
+    double old_range = old_max - old_min;
+    double growth = full_range > 0.0
+                        ? (full_range - old_range) / full_range
+                        : 0.0;
+    std::string detail = "range growth " + formatDouble(growth, 5) +
+                         " over last " + std::to_string(window) +
+                         " samples";
+    if (growth <= growthTolerance)
+        return StopDecision::stopNow(growth, growthTolerance, detail);
+    return StopDecision::keepGoing(growth, growthTolerance, detail);
+}
+
+AutocorrEssRule::AutocorrEssRule(double threshold, double level,
+                                 double minEss, size_t minRuns)
+    : threshold(threshold), level(level), minEss(minEss),
+      minRunsCfg(std::max<size_t>(minRuns, 8))
+{
+    if (!(threshold > 0.0))
+        throw std::invalid_argument(
+            "AutocorrEssRule requires threshold > 0");
+    if (!(level > 0.0 && level < 1.0))
+        throw std::invalid_argument(
+            "AutocorrEssRule requires level in (0, 1)");
+    if (minEss < 2.0)
+        throw std::invalid_argument("AutocorrEssRule requires minEss >= 2");
+}
+
+std::string
+AutocorrEssRule::describe() const
+{
+    return "autocorr-ess(threshold=" + formatDouble(threshold) +
+           ", minEss=" + formatDouble(minEss) + ")";
+}
+
+StopDecision
+AutocorrEssRule::evaluate(const SampleSeries &series)
+{
+    if (series.size() < minRunsCfg)
+        return StopDecision::keepGoing(1.0, threshold, "warming up");
+
+    double ess = stats::effectiveSampleSize(series.values());
+    if (ess < minEss) {
+        return StopDecision::keepGoing(
+            1.0, threshold, "effective sample size " +
+                                formatDouble(ess, 1) + " < " +
+                                formatDouble(minEss, 1));
+    }
+    // t CI on the mean with n replaced by the effective sample size.
+    double se = series.stddev() / std::sqrt(ess);
+    double t = stats::studentTQuantile(0.5 + level / 2.0, ess - 1.0);
+    double width = 2.0 * t * se;
+    double rel = series.mean() != 0.0
+                     ? width / std::fabs(series.mean())
+                     : 0.0;
+    std::string detail = "ESS-adjusted CI relative width " +
+                         formatDouble(rel, 5) + " (ESS " +
+                         formatDouble(ess, 1) + ")";
+    if (rel < threshold)
+        return StopDecision::stopNow(rel, threshold, detail);
+    return StopDecision::keepGoing(rel, threshold, detail);
+}
+
+ModalityRule::ModalityRule(double ksThreshold, double prominence,
+                           size_t minRuns)
+    : ksThreshold(ksThreshold), prominence(prominence),
+      minRunsCfg(std::max<size_t>(minRuns, 16))
+{
+    if (!(ksThreshold > 0.0 && ksThreshold <= 1.0))
+        throw std::invalid_argument(
+            "ModalityRule requires ksThreshold in (0, 1]");
+    if (!(prominence > 0.0 && prominence < 1.0))
+        throw std::invalid_argument(
+            "ModalityRule requires prominence in (0, 1)");
+}
+
+std::string
+ModalityRule::describe() const
+{
+    return "modality(ks=" + formatDouble(ksThreshold) +
+           ", prominence=" + formatDouble(prominence) + ")";
+}
+
+StopDecision
+ModalityRule::evaluate(const SampleSeries &series)
+{
+    if (series.size() < minRunsCfg)
+        return StopDecision::keepGoing(1.0, ksThreshold, "warming up");
+
+    auto first = series.firstHalf();
+    auto second = series.secondHalf();
+    size_t modes_half = stats::findModes(first, prominence).size();
+    size_t modes_full = stats::findModes(series.values(),
+                                         prominence).size();
+    double ks = stats::ksStatistic(first, second);
+
+    std::string detail = "modes " + std::to_string(modes_half) + "->" +
+                         std::to_string(modes_full) + ", KS(halves) " +
+                         formatDouble(ks, 4);
+    if (modes_half == modes_full && ks < ksThreshold)
+        return StopDecision::stopNow(ks, ksThreshold,
+                                     detail + " (shape stable)");
+    return StopDecision::keepGoing(ks, ksThreshold,
+                                   detail + " (shape still changing)");
+}
+
+TailQuantileRule::TailQuantileRule(double quantile, double threshold,
+                                   double level, size_t minRuns)
+    : quantileP(quantile), threshold(threshold), level(level),
+      minRunsCfg(std::max<size_t>(minRuns, 10))
+{
+    if (!(quantile > 0.0 && quantile < 1.0))
+        throw std::invalid_argument(
+            "TailQuantileRule requires quantile in (0, 1)");
+    if (!(threshold > 0.0))
+        throw std::invalid_argument(
+            "TailQuantileRule requires threshold > 0");
+    if (!(level > 0.0 && level < 1.0))
+        throw std::invalid_argument(
+            "TailQuantileRule requires level in (0, 1)");
+}
+
+std::string
+TailQuantileRule::describe() const
+{
+    return "tail-quantile(p=" + formatDouble(quantileP) +
+           ", threshold=" + formatDouble(threshold) + ")";
+}
+
+StopDecision
+TailQuantileRule::evaluate(const SampleSeries &series)
+{
+    if (series.size() < minRunsCfg)
+        return StopDecision::keepGoing(1.0, threshold, "warming up");
+
+    auto ci = stats::quantileCi(series.values(), quantileP, level);
+    double center = 0.5 * (ci.lower + ci.upper);
+    double rel = ci.relativeWidth(center);
+    std::string detail = "p" +
+                         std::to_string(static_cast<int>(
+                             std::lround(quantileP * 100))) +
+                         " CI relative width " + formatDouble(rel, 5);
+    if (rel < threshold)
+        return StopDecision::stopNow(rel, threshold, detail);
+    return StopDecision::keepGoing(rel, threshold, detail);
+}
+
+} // namespace core
+} // namespace sharp

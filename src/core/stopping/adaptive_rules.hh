@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Distribution-tailored adaptive stopping rules: constant detection,
+ * uniform range stabilization, autocorrelation-aware effective-sample-
+ * size CI, modality stabilization, and tail-quantile precision. With
+ * the CI family in ci_rules.hh these form the paper's "eight dynamic
+ * stopping rules tailored for specific types of distributions".
+ */
+
+#ifndef SHARP_CORE_STOPPING_ADAPTIVE_RULES_HH
+#define SHARP_CORE_STOPPING_ADAPTIVE_RULES_HH
+
+#include "core/stopping/stopping_rule.hh"
+
+namespace sharp
+{
+namespace core
+{
+
+/**
+ * Stop as soon as the sample is numerically constant: coefficient of
+ * variation below a tolerance after a few runs. Tailored to
+ * deterministic workloads (e.g. simulators with fixed seeds) where
+ * every additional run is pure waste.
+ */
+class ConstantRule : public StoppingRule
+{
+  public:
+    explicit ConstantRule(double cvTolerance = 1e-9, size_t minRuns = 5);
+
+    std::string name() const override { return "constant"; }
+    std::string describe() const override;
+    size_t minSamples() const override { return minRunsCfg; }
+    StopDecision evaluate(const SampleSeries &series) override;
+
+  private:
+    double cvTolerance;
+    size_t minRunsCfg;
+};
+
+/**
+ * Tailored to uniform-like data: the sufficient statistics are the
+ * range endpoints, so stop when the observed range has stopped growing.
+ * Criterion: relative growth of (max - min) contributed by the most
+ * recent `window` fraction of samples.
+ */
+class UniformRangeRule : public StoppingRule
+{
+  public:
+    /**
+     * @param growthTolerance max relative range growth from the last
+     *                        window (default 0.01 = 1%)
+     * @param windowFraction  trailing fraction of samples considered
+     *                        "recent" (default 0.25)
+     */
+    explicit UniformRangeRule(double growthTolerance = 0.01,
+                              double windowFraction = 0.25,
+                              size_t minRuns = 20);
+
+    std::string name() const override { return "uniform-range"; }
+    std::string describe() const override;
+    size_t minSamples() const override { return minRunsCfg; }
+    StopDecision evaluate(const SampleSeries &series) override;
+
+  private:
+    double growthTolerance;
+    double windowFraction;
+    size_t minRunsCfg;
+};
+
+/**
+ * Tailored to autocorrelated series: a mean CI computed with the
+ * *effective* sample size n_eff = n / (1 + 2 Σρ_k), so dependence does
+ * not cause premature confidence. Also requires a minimum n_eff so at
+ * least a few independent "equivalent samples" exist.
+ */
+class AutocorrEssRule : public StoppingRule
+{
+  public:
+    explicit AutocorrEssRule(double threshold = 0.05,
+                             double level = 0.95, double minEss = 25.0,
+                             size_t minRuns = 30);
+
+    std::string name() const override { return "autocorr-ess"; }
+    std::string describe() const override;
+    size_t minSamples() const override { return minRunsCfg; }
+    StopDecision evaluate(const SampleSeries &series) override;
+
+  private:
+    double threshold;
+    double level;
+    double minEss;
+    size_t minRunsCfg;
+};
+
+/**
+ * Tailored to multimodal data: stop when the *shape* has stabilized —
+ * the KDE mode count of the first half equals that of the full series
+ * and the halves pass a (looser) KS similarity check. A plain CI can
+ * fire long before a rare mode has even been observed.
+ */
+class ModalityRule : public StoppingRule
+{
+  public:
+    explicit ModalityRule(double ksThreshold = 0.1,
+                          double prominence = 0.15, size_t minRuns = 40);
+
+    std::string name() const override { return "modality"; }
+    std::string describe() const override;
+    size_t minSamples() const override { return minRunsCfg; }
+    StopDecision evaluate(const SampleSeries &series) override;
+
+  private:
+    double ksThreshold;
+    double prominence;
+    size_t minRunsCfg;
+};
+
+/**
+ * Tailored to long-tail analysis: stop when the order-statistic CI on
+ * a high quantile (default p95) is tight relative to its value. Useful
+ * when the quantity of interest is tail latency rather than a central
+ * tendency.
+ */
+class TailQuantileRule : public StoppingRule
+{
+  public:
+    explicit TailQuantileRule(double quantile = 0.95,
+                              double threshold = 0.1,
+                              double level = 0.95, size_t minRuns = 50);
+
+    std::string name() const override { return "tail-quantile"; }
+    std::string describe() const override;
+    size_t minSamples() const override { return minRunsCfg; }
+    StopDecision evaluate(const SampleSeries &series) override;
+
+  private:
+    double quantileP;
+    double threshold;
+    double level;
+    size_t minRunsCfg;
+};
+
+} // namespace core
+} // namespace sharp
+
+#endif // SHARP_CORE_STOPPING_ADAPTIVE_RULES_HH

@@ -1,0 +1,38 @@
+#include "core/stopping/fixed_rule.hh"
+
+#include <stdexcept>
+
+namespace sharp
+{
+namespace core
+{
+
+FixedCountRule::FixedCountRule(size_t count) : target(count)
+{
+    if (count == 0)
+        throw std::invalid_argument("FixedCountRule requires count >= 1");
+}
+
+std::string
+FixedCountRule::describe() const
+{
+    return "fixed(" + std::to_string(target) + " runs)";
+}
+
+StopDecision
+FixedCountRule::evaluate(const SampleSeries &series)
+{
+    double n = static_cast<double>(series.size());
+    double t = static_cast<double>(target);
+    if (series.size() >= target) {
+        return StopDecision::stopNow(n, t,
+                                     "reached fixed count of " +
+                                         std::to_string(target));
+    }
+    return StopDecision::keepGoing(n, t,
+                                   std::to_string(series.size()) + "/" +
+                                       std::to_string(target) + " runs");
+}
+
+} // namespace core
+} // namespace sharp

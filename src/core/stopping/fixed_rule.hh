@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The fixed-sample-count stopping rule — the baseline SHARP argues
+ * against. "The fixed stopping rule stops the experiment after a fixed
+ * number of 100 runs, as recommended in the SeBS framework." (§V-C)
+ */
+
+#ifndef SHARP_CORE_STOPPING_FIXED_RULE_HH
+#define SHARP_CORE_STOPPING_FIXED_RULE_HH
+
+#include "core/stopping/stopping_rule.hh"
+
+namespace sharp
+{
+namespace core
+{
+
+/**
+ * Stop unconditionally once @p count samples have been collected.
+ */
+class FixedCountRule : public StoppingRule
+{
+  public:
+    /** @param count number of runs to perform (>= 1). */
+    explicit FixedCountRule(size_t count = 100);
+
+    std::string name() const override { return "fixed"; }
+    std::string describe() const override;
+    size_t minSamples() const override { return 1; }
+    StopDecision evaluate(const SampleSeries &series) override;
+
+    /** The configured run count. */
+    size_t count() const { return target; }
+
+  private:
+    size_t target;
+};
+
+} // namespace core
+} // namespace sharp
+
+#endif // SHARP_CORE_STOPPING_FIXED_RULE_HH

@@ -1,0 +1,49 @@
+#include "core/stopping/ks_rule.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/ecdf.hh"
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace core
+{
+
+KsHalvesRule::KsHalvesRule(double threshold, size_t minRuns)
+    : threshold(threshold), minRunsCfg(std::max<size_t>(minRuns, 4))
+{
+    if (!(threshold > 0.0 && threshold <= 1.0))
+        throw std::invalid_argument(
+            "KsHalvesRule requires threshold in (0, 1]");
+}
+
+std::string
+KsHalvesRule::describe() const
+{
+    return "ks(threshold=" + util::formatDouble(threshold) +
+           ", min=" + std::to_string(minRunsCfg) + ")";
+}
+
+StopDecision
+KsHalvesRule::evaluate(const SampleSeries &series)
+{
+    if (series.size() < minRunsCfg) {
+        return StopDecision::keepGoing(
+            1.0, threshold, "warming up (" +
+                                std::to_string(series.size()) + "/" +
+                                std::to_string(minRunsCfg) + ")");
+    }
+    double ks = stats::ksStatistic(series.firstHalf(),
+                                   series.secondHalf());
+    std::string detail = "KS(halves) = " + util::formatDouble(ks, 4) +
+                         (ks < threshold ? " < " : " >= ") +
+                         util::formatDouble(threshold, 4);
+    if (ks < threshold)
+        return StopDecision::stopNow(ks, threshold, detail);
+    return StopDecision::keepGoing(ks, threshold, detail);
+}
+
+} // namespace core
+} // namespace sharp

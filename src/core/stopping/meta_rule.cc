@@ -1,0 +1,109 @@
+#include "core/stopping/meta_rule.hh"
+
+#include "core/stopping/adaptive_rules.hh"
+#include "core/stopping/ci_rules.hh"
+#include "core/stopping/ks_rule.hh"
+
+namespace sharp
+{
+namespace core
+{
+
+MetaRule::MetaRule() : MetaRule(Config())
+{
+}
+
+MetaRule::MetaRule(Config config_in) : config(config_in)
+{
+    if (config.reclassifyInterval == 0)
+        config.reclassifyInterval = 1;
+    active = std::make_unique<KsHalvesRule>();
+}
+
+std::string
+MetaRule::describe() const
+{
+    return "meta(class=" +
+           std::string(distributionClassName(lastClass.cls)) +
+           ", delegate=" + active->describe() + ")";
+}
+
+void
+MetaRule::reset()
+{
+    lastClass = Classification{};
+    lastClassifiedAt = 0;
+    active = std::make_unique<KsHalvesRule>();
+}
+
+std::unique_ptr<StoppingRule>
+MetaRule::ruleFor(DistributionClass cls)
+{
+    switch (cls) {
+      case DistributionClass::Constant:
+        return std::make_unique<ConstantRule>();
+      case DistributionClass::Normal:
+        return std::make_unique<NormalMeanCiRule>();
+      case DistributionClass::LogNormal:
+        return std::make_unique<GeoMeanCiRule>();
+      case DistributionClass::LogUniform:
+        // Like the uniform, the log-uniform is characterized by its
+        // endpoints; a CI on any mean-like quantity converges far more
+        // slowly than the range does.
+        return std::make_unique<UniformRangeRule>();
+      case DistributionClass::Logistic:
+        return std::make_unique<NormalMeanCiRule>();
+      case DistributionClass::HeavyTail:
+        return std::make_unique<MedianCiRule>();
+      case DistributionClass::Uniform:
+        return std::make_unique<UniformRangeRule>();
+      case DistributionClass::Autocorrelated:
+        return std::make_unique<AutocorrEssRule>();
+      case DistributionClass::Bimodal:
+      case DistributionClass::Multimodal:
+        return std::make_unique<ModalityRule>();
+      case DistributionClass::Unknown:
+      default:
+        return std::make_unique<KsHalvesRule>();
+    }
+}
+
+StopDecision
+MetaRule::evaluate(const SampleSeries &series)
+{
+    if (series.size() < config.minRuns) {
+        return StopDecision::keepGoing(
+            0.0, 0.0, "meta warming up (" +
+                          std::to_string(series.size()) + "/" +
+                          std::to_string(config.minRuns) + ")");
+    }
+
+    // Re-classify on a geometric schedule: every `reclassifyInterval`
+    // samples early on, backing off to ~20% growth for long runs —
+    // the classification stabilizes while classification cost grows
+    // with n, so a fixed interval would make long experiments
+    // quadratic in wall time.
+    size_t next_due =
+        std::max(lastClassifiedAt + config.reclassifyInterval,
+                 lastClassifiedAt + lastClassifiedAt / 5);
+    bool due = lastClassifiedAt == 0 || series.size() >= next_due;
+    if (due) {
+        Classification fresh =
+            classifyDistribution(series.values(), config.classifier);
+        lastClassifiedAt = series.size();
+        if (fresh.cls != lastClass.cls) {
+            active = ruleFor(fresh.cls);
+            active->reset();
+        }
+        lastClass = fresh;
+    }
+
+    StopDecision decision = active->evaluate(series);
+    decision.reason = "[" +
+                      std::string(distributionClassName(lastClass.cls)) +
+                      " -> " + active->name() + "] " + decision.reason;
+    return decision;
+}
+
+} // namespace core
+} // namespace sharp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The stopping meta-heuristic — the paper's novel contribution on top
+ * of the tailored rules: "a novel meta-heuristic to identify the most
+ * appropriate stopping rule for the dynamically observed distribution"
+ * (§IV-c). It classifies the observed samples online (see
+ * core/classifier.hh) and delegates the stopping decision to the rule
+ * tailored to the detected distribution class.
+ */
+
+#ifndef SHARP_CORE_STOPPING_META_RULE_HH
+#define SHARP_CORE_STOPPING_META_RULE_HH
+
+#include <memory>
+
+#include "core/classifier.hh"
+#include "core/stopping/stopping_rule.hh"
+
+namespace sharp
+{
+namespace core
+{
+
+/**
+ * Classifier-driven stopping rule.
+ *
+ * Every @p reclassifyInterval samples the distribution is
+ * re-classified; if the class changed, the delegate rule is swapped.
+ * Until the classifier has enough data (its own minSamples), the
+ * generic KS self-similarity rule is used.
+ */
+class MetaRule : public StoppingRule
+{
+  public:
+    struct Config
+    {
+        /** Re-run the classifier every this many new samples. */
+        size_t reclassifyInterval = 10;
+        /** Classifier thresholds. */
+        ClassifierConfig classifier;
+        /** Hard floor of samples before any delegate may fire. */
+        size_t minRuns = 30;
+    };
+
+    /** Construct with default configuration. */
+    MetaRule();
+
+    explicit MetaRule(Config config);
+
+    std::string name() const override { return "meta"; }
+    std::string describe() const override;
+    size_t minSamples() const override { return config.minRuns; }
+    StopDecision evaluate(const SampleSeries &series) override;
+    void reset() override;
+
+    /** The most recent classification (Unknown before warmup). */
+    const Classification &classification() const { return lastClass; }
+
+    /** The currently delegated-to rule. */
+    const StoppingRule &delegate() const { return *active; }
+
+  private:
+    Config config;
+    Classification lastClass;
+    size_t lastClassifiedAt = 0;
+    std::unique_ptr<StoppingRule> active;
+
+    /** Build the tailored rule for @p cls. */
+    static std::unique_ptr<StoppingRule>
+    ruleFor(DistributionClass cls);
+};
+
+} // namespace core
+} // namespace sharp
+
+#endif // SHARP_CORE_STOPPING_META_RULE_HH

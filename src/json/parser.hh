@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Recursive-descent JSON parser (RFC 8259 subset: full JSON plus an
+ * extension for `//` line comments, which SHARP config files may use).
+ */
+
+#ifndef SHARP_JSON_PARSER_HH
+#define SHARP_JSON_PARSER_HH
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "json/value.hh"
+
+namespace sharp
+{
+namespace json
+{
+
+/** Thrown on malformed JSON input; carries a line/column position. */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(const std::string &what, size_t line, size_t column)
+        : std::runtime_error("JSON parse error at line " +
+                             std::to_string(line) + ", column " +
+                             std::to_string(column) + ": " + what),
+          line(line), column(column)
+    {}
+
+    /** 1-based line of the error. */
+    const size_t line;
+    /** 1-based column of the error. */
+    const size_t column;
+};
+
+/**
+ * Parse a complete JSON document.
+ *
+ * @param text the document text; trailing whitespace is allowed, any
+ *             other trailing content is an error.
+ * @return the parsed value.
+ * @throws ParseError on malformed input.
+ */
+Value parse(std::string_view text);
+
+/** Parse the contents of a file. @throws ParseError / std::runtime_error. */
+Value parseFile(const std::string &path);
+
+} // namespace json
+} // namespace sharp
+
+#endif // SHARP_JSON_PARSER_HH

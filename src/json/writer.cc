@@ -1,0 +1,163 @@
+#include "json/writer.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace sharp
+{
+namespace json
+{
+
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+std::string
+numberToString(double value)
+{
+    if (!std::isfinite(value))
+        return "null"; // JSON has no representation for NaN/Inf.
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    // Prefer the shortest representation that round-trips.
+    for (int precision = 1; precision < 17; ++precision) {
+        char probe[40];
+        std::snprintf(probe, sizeof(probe), "%.*g", precision, value);
+        if (std::strtod(probe, nullptr) == value)
+            return probe;
+    }
+    return buf;
+}
+
+void
+writeValue(const Value &value, std::string &out, int indent, int depth)
+{
+    const bool pretty = indent > 0;
+    auto newline = [&](int level) {
+        if (pretty) {
+            out.push_back('\n');
+            out.append(static_cast<size_t>(indent * level), ' ');
+        }
+    };
+
+    switch (value.type()) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Boolean:
+        out += value.asBool() ? "true" : "false";
+        break;
+      case Type::Number:
+        out += numberToString(value.asNumber());
+        break;
+      case Type::String:
+        out.push_back('"');
+        out += escape(value.asString());
+        out.push_back('"');
+        break;
+      case Type::Array: {
+        const auto &arr = value.asArray();
+        if (arr.empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        for (size_t i = 0; i < arr.size(); ++i) {
+            if (i > 0)
+                out.push_back(',');
+            newline(depth + 1);
+            writeValue(arr[i], out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back(']');
+        break;
+      }
+      case Type::Object: {
+        const auto &mem = value.members();
+        if (mem.empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        for (size_t i = 0; i < mem.size(); ++i) {
+            if (i > 0)
+                out.push_back(',');
+            newline(depth + 1);
+            out.push_back('"');
+            out += escape(mem[i].first);
+            out += pretty ? "\": " : "\":";
+            writeValue(mem[i].second, out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+} // anonymous namespace
+
+std::string
+write(const Value &value)
+{
+    std::string out;
+    writeValue(value, out, 0, 0);
+    return out;
+}
+
+std::string
+writePretty(const Value &value)
+{
+    std::string out;
+    writeValue(value, out, 2, 0);
+    out.push_back('\n');
+    return out;
+}
+
+void
+writeFile(const Value &value, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot open file for writing: " + path);
+    out << writePretty(value);
+    if (!out)
+        throw std::runtime_error("error writing JSON file: " + path);
+}
+
+} // namespace json
+} // namespace sharp

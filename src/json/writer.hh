@@ -1,0 +1,34 @@
+/**
+ * @file
+ * JSON serializer: compact and pretty-printed forms, round-trippable
+ * with the parser.
+ */
+
+#ifndef SHARP_JSON_WRITER_HH
+#define SHARP_JSON_WRITER_HH
+
+#include <string>
+
+#include "json/value.hh"
+
+namespace sharp
+{
+namespace json
+{
+
+/** Serialize @p value compactly (no insignificant whitespace). */
+std::string write(const Value &value);
+
+/** Serialize @p value with 2-space indentation and one member per line. */
+std::string writePretty(const Value &value);
+
+/** Serialize to a file (pretty form). @throws std::runtime_error on I/O. */
+void writeFile(const Value &value, const std::string &path);
+
+/** Escape a string for inclusion in a JSON document (without quotes). */
+std::string escape(const std::string &text);
+
+} // namespace json
+} // namespace sharp
+
+#endif // SHARP_JSON_WRITER_HH

@@ -1,0 +1,30 @@
+#include "launcher/backend.hh"
+
+#include <limits>
+
+namespace sharp
+{
+namespace launcher
+{
+
+double
+RunResult::metric(const std::string &name) const
+{
+    auto it = metrics.find(name);
+    if (it == metrics.end())
+        return std::numeric_limits<double>::quiet_NaN();
+    return it->second;
+}
+
+std::vector<RunResult>
+Backend::runBatch(size_t n)
+{
+    std::vector<RunResult> results;
+    results.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        results.push_back(run());
+    return results;
+}
+
+} // namespace launcher
+} // namespace sharp

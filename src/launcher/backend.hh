@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Execution backends.
+ *
+ * The paper's launcher "executes individual functions or programs as
+ * prescribed by the workload whilst coordinating the execution
+ * backend" and "can be configured for new backends either by deriving
+ * from its base class, or ... by adding a JSON or YAML configuration
+ * file" (§IV-a). This is that base class: one invocation = one
+ * RunResult carrying a metric map. Backends may support batched
+ * concurrent invocation (used by FaaS and multiprogramming runs).
+ */
+
+#ifndef SHARP_LAUNCHER_BACKEND_HH
+#define SHARP_LAUNCHER_BACKEND_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace launcher
+{
+
+/** Outcome of a single executed invocation. */
+struct RunResult
+{
+    /** False when the run failed (timeout, crash, unparsable output). */
+    bool success = true;
+    /** Collected metrics; must contain the experiment's primary metric. */
+    std::map<std::string, double> metrics;
+    /** Captured program output (black-box backends). */
+    std::string output;
+    /** Failure description when !success. */
+    std::string error;
+    /** Identifier of the machine/worker that served the run. */
+    std::string machineId;
+
+    /** Convenience accessor; NaN when the metric is missing. */
+    double metric(const std::string &name) const;
+};
+
+/**
+ * Abstract execution backend.
+ */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    /** Registry-style backend name, e.g. "sim", "local", "faas". */
+    virtual std::string name() const = 0;
+
+    /** Name of the workload this backend runs. */
+    virtual std::string workloadName() const = 0;
+
+    /** Execute one invocation. */
+    virtual RunResult run() = 0;
+
+    /**
+     * Execute @p n concurrent invocations. The default runs them
+     * sequentially; backends with a real notion of concurrency
+     * (FaaS dispatch, multiprogramming) override this.
+     */
+    virtual std::vector<RunResult> runBatch(size_t n);
+
+    /**
+     * Advance the environment to @p day (simulated backends);
+     * default is a no-op.
+     */
+    virtual void setDay(int day) { (void)day; }
+};
+
+} // namespace launcher
+} // namespace sharp
+
+#endif // SHARP_LAUNCHER_BACKEND_HH

@@ -1,0 +1,54 @@
+#include "launcher/faas_backend.hh"
+
+#include <stdexcept>
+
+namespace sharp
+{
+namespace launcher
+{
+
+FaasBackend::FaasBackend(std::unique_ptr<sim::FaasCluster> cluster_in,
+                         std::string functionName_in,
+                         bool measureResponse_in)
+    : cluster(std::move(cluster_in)),
+      functionName(std::move(functionName_in)),
+      measureResponse(measureResponse_in)
+{
+    if (!cluster)
+        throw std::invalid_argument("FaasBackend requires a cluster");
+}
+
+RunResult
+FaasBackend::toResult(const sim::Invocation &invocation) const
+{
+    RunResult result;
+    result.machineId = invocation.workerId;
+    result.metrics["execution_time"] = measureResponse
+                                           ? invocation.responseTime
+                                           : invocation.executionTime;
+    result.metrics["response_time"] = invocation.responseTime;
+    result.metrics["cold_start"] = invocation.coldStart ? 1.0 : 0.0;
+    return result;
+}
+
+RunResult
+FaasBackend::run()
+{
+    auto invocations = cluster->invoke(1, currentDay);
+    return toResult(invocations.front());
+}
+
+std::vector<RunResult>
+FaasBackend::runBatch(size_t n)
+{
+    auto invocations =
+        cluster->invoke(static_cast<int>(n), currentDay);
+    std::vector<RunResult> results;
+    results.reserve(invocations.size());
+    for (const auto &invocation : invocations)
+        results.push_back(toResult(invocation));
+    return results;
+}
+
+} // namespace launcher
+} // namespace sharp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * FaaS backend: invokes a function on the simulated Knative cluster.
+ * Batched invocation maps directly onto the cluster's parallel-request
+ * dispatch, reproducing the §V-C data-collection path (two parallel
+ * requests split across the A100 and H100 workers).
+ */
+
+#ifndef SHARP_LAUNCHER_FAAS_BACKEND_HH
+#define SHARP_LAUNCHER_FAAS_BACKEND_HH
+
+#include <memory>
+
+#include "launcher/backend.hh"
+#include "sim/faas.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+/**
+ * Runs a function on a FaasCluster; one run() = one request, one
+ * runBatch(n) = n parallel requests.
+ */
+class FaasBackend : public Backend
+{
+  public:
+    /**
+     * @param cluster the cluster serving the function (owned)
+     * @param measureResponse when true, the primary "execution_time"
+     *        metric is the end-to-end response time (including cold
+     *        starts); otherwise it is the pure execution time
+     */
+    explicit FaasBackend(std::unique_ptr<sim::FaasCluster> cluster,
+                         std::string functionName,
+                         bool measureResponse = false);
+
+    std::string name() const override { return "faas"; }
+    std::string workloadName() const override { return functionName; }
+    RunResult run() override;
+    std::vector<RunResult> runBatch(size_t n) override;
+    void setDay(int day) override { currentDay = day; }
+
+  private:
+    std::unique_ptr<sim::FaasCluster> cluster;
+    std::string functionName;
+    bool measureResponse;
+    int currentDay = 0;
+
+    RunResult toResult(const sim::Invocation &invocation) const;
+};
+
+} // namespace launcher
+} // namespace sharp
+
+#endif // SHARP_LAUNCHER_FAAS_BACKEND_HH

@@ -1,0 +1,136 @@
+#include "launcher/launcher.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/message.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+Launcher::Launcher(std::shared_ptr<Backend> backend_in,
+                   std::unique_ptr<core::StoppingRule> rule,
+                   LaunchOptions options_in)
+    : backend(std::move(backend_in)), stoppingRule(std::move(rule)),
+      options(options_in)
+{
+    if (!backend)
+        throw std::invalid_argument("Launcher requires a backend");
+    if (!stoppingRule)
+        throw std::invalid_argument("Launcher requires a stopping rule");
+    if (options.concurrency == 0)
+        throw std::invalid_argument("Launcher requires concurrency >= 1");
+    if (options.maxSamples < options.minSamples)
+        throw std::invalid_argument(
+            "Launcher requires maxSamples >= minSamples");
+}
+
+LaunchReport
+Launcher::launch()
+{
+    LaunchReport report;
+    report.log = record::RunLog(backend->workloadName(),
+                                options.primaryMetric);
+    report.log.setConfigEntry("backend", backend->name());
+    report.log.setConfigEntry("stopping_rule",
+                              stoppingRule->describe());
+    report.log.setConfigEntry("concurrency",
+                              std::to_string(options.concurrency));
+    report.log.setConfigEntry("warmup_rounds",
+                              std::to_string(options.warmupRounds));
+    report.log.setConfigEntry("max_samples",
+                              std::to_string(options.maxSamples));
+    report.log.setConfigEntry("day", std::to_string(options.day));
+
+    stoppingRule->reset();
+    backend->setDay(options.day);
+
+    size_t run_index = 0;
+    auto logBatch = [&](const std::vector<RunResult> &results,
+                        bool warmup) {
+        for (size_t i = 0; i < results.size(); ++i) {
+            const RunResult &res = results[i];
+            record::RunRecord rec;
+            rec.run = run_index;
+            rec.instance = i;
+            rec.workload = backend->workloadName();
+            rec.backend = backend->name();
+            rec.machine = res.machineId;
+            rec.day = options.day;
+            rec.warmup = warmup;
+            rec.metrics = res.metrics;
+            report.log.add(std::move(rec));
+        }
+        ++run_index;
+    };
+
+    // Warmup rounds.
+    for (size_t w = 0; w < options.warmupRounds; ++w) {
+        auto results = backend->runBatch(options.concurrency);
+        logBatch(results, true);
+    }
+
+    size_t rule_floor =
+        std::max(options.minSamples, stoppingRule->minSamples());
+
+    while (report.series.size() < options.maxSamples) {
+        auto results = backend->runBatch(options.concurrency);
+        logBatch(results, false);
+        ++report.rounds;
+
+        for (const auto &res : results) {
+            if (!res.success) {
+                ++report.failures;
+                util::warn("run failed: %s", res.error.c_str());
+                continue;
+            }
+            double value = res.metric(options.primaryMetric);
+            if (std::isnan(value)) {
+                ++report.failures;
+                util::warn("run lacks primary metric '%s'",
+                           options.primaryMetric.c_str());
+                continue;
+            }
+            report.series.append(value);
+        }
+
+        if (report.failures > options.maxFailures) {
+            report.aborted = true;
+            report.finalDecision = core::StopDecision::stopNow(
+                static_cast<double>(report.failures),
+                static_cast<double>(options.maxFailures),
+                "aborted: too many failed runs");
+            return report;
+        }
+
+        if (report.series.size() < rule_floor)
+            continue;
+
+        core::StopDecision decision =
+            stoppingRule->evaluate(report.series);
+        report.finalDecision = decision;
+        if (decision.stop) {
+            report.ruleFired = true;
+            break;
+        }
+    }
+
+    if (!report.ruleFired) {
+        report.finalDecision.reason +=
+            report.finalDecision.reason.empty()
+                ? "stopped at maxSamples cap"
+                : " [stopped at maxSamples cap]";
+    }
+
+    report.log.setConfigEntry("stopped_by",
+                              report.ruleFired ? stoppingRule->name()
+                                               : "max-samples");
+    report.log.setConfigEntry("stop_reason",
+                              report.finalDecision.reason);
+    return report;
+}
+
+} // namespace launcher
+} // namespace sharp

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The Launcher — SHARP's centerpiece (§IV-a): "It executes individual
+ * functions or programs as prescribed by the workload whilst
+ * coordinating the execution backend, the stopping criteria, and the
+ * logging."
+ *
+ * A launch proceeds in rounds. Each round issues `concurrency`
+ * invocations through the backend (batched, so FaaS dispatch sees
+ * genuinely parallel requests), logs every instance as its own tidy
+ * row, appends the primary metric to the sample series, and consults
+ * the stopping rule. Warmup rounds are executed, logged, and flagged,
+ * but excluded from analysis ("cold- and warm-start invocations").
+ */
+
+#ifndef SHARP_LAUNCHER_LAUNCHER_HH
+#define SHARP_LAUNCHER_LAUNCHER_HH
+
+#include <memory>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/stopping/stopping_rule.hh"
+#include "launcher/backend.hh"
+#include "record/run_log.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+/** Orchestration options for one launch. */
+struct LaunchOptions
+{
+    /** Warmup rounds (logged, flagged, excluded from analysis). */
+    size_t warmupRounds = 0;
+    /** Minimum retained samples before the rule may stop the run. */
+    size_t minSamples = 2;
+    /** Hard cap on retained samples. */
+    size_t maxSamples = 10000;
+    /** Concurrent instances per round. */
+    size_t concurrency = 1;
+    /** Environment day passed to the backend. */
+    int day = 0;
+    /** Metric the stopping rule watches. */
+    std::string primaryMetric = "execution_time";
+    /** Abort the launch after this many failed invocations. */
+    size_t maxFailures = 10;
+};
+
+/** Everything a launch produces. */
+struct LaunchReport
+{
+    /** Primary-metric samples (non-warmup, all instances). */
+    core::SampleSeries series;
+    /** True if the stopping rule fired (vs. hitting maxSamples). */
+    bool ruleFired = false;
+    /** The decision that ended the launch. */
+    core::StopDecision finalDecision;
+    /** Rounds executed (excluding warmup). */
+    size_t rounds = 0;
+    /** Failed invocations observed. */
+    size_t failures = 0;
+    /** True when the launch aborted due to excessive failures. */
+    bool aborted = false;
+    /** The complete tidy log (warmup rows included, flagged). */
+    record::RunLog log;
+
+    LaunchReport() : log("unnamed") {}
+};
+
+/**
+ * Binds a backend, a stopping rule, and logging into one experiment.
+ */
+class Launcher
+{
+  public:
+    /**
+     * @param backend execution backend (shared so callers can keep
+     *                inspecting it after the launch)
+     * @param rule    stopping rule (owned)
+     * @param options orchestration options
+     */
+    Launcher(std::shared_ptr<Backend> backend,
+             std::unique_ptr<core::StoppingRule> rule,
+             LaunchOptions options = LaunchOptions());
+
+    /** Execute the launch. */
+    LaunchReport launch();
+
+    /** The stopping rule in use. */
+    const core::StoppingRule &rule() const { return *stoppingRule; }
+
+  private:
+    std::shared_ptr<Backend> backend;
+    std::unique_ptr<core::StoppingRule> stoppingRule;
+    LaunchOptions options;
+};
+
+} // namespace launcher
+} // namespace sharp
+
+#endif // SHARP_LAUNCHER_LAUNCHER_HH

@@ -1,0 +1,181 @@
+#include "launcher/local_backend.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/time_utils.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+ProcessOutcome
+runProcess(const std::vector<std::string> &argv, double timeout_seconds)
+{
+    ProcessOutcome outcome;
+    if (argv.empty()) {
+        outcome.error = "empty argv";
+        return outcome;
+    }
+
+    int pipe_fds[2];
+    if (pipe(pipe_fds) != 0) {
+        outcome.error = std::string("pipe: ") + std::strerror(errno);
+        return outcome;
+    }
+
+    util::Stopwatch watch;
+    pid_t pid = fork();
+    if (pid < 0) {
+        outcome.error = std::string("fork: ") + std::strerror(errno);
+        close(pipe_fds[0]);
+        close(pipe_fds[1]);
+        return outcome;
+    }
+
+    if (pid == 0) {
+        // Child: merge stdout/stderr into the pipe and exec.
+        close(pipe_fds[0]);
+        dup2(pipe_fds[1], STDOUT_FILENO);
+        dup2(pipe_fds[1], STDERR_FILENO);
+        close(pipe_fds[1]);
+
+        std::vector<char *> cargv;
+        cargv.reserve(argv.size() + 1);
+        for (const auto &arg : argv)
+            cargv.push_back(const_cast<char *>(arg.c_str()));
+        cargv.push_back(nullptr);
+        execvp(cargv[0], cargv.data());
+        // Exec failed; report via the pipe and a distinctive status.
+        std::string msg = "execvp failed: ";
+        msg += std::strerror(errno);
+        msg += "\n";
+        ssize_t ignored = write(STDOUT_FILENO, msg.c_str(), msg.size());
+        (void)ignored;
+        _exit(127);
+    }
+
+    // Parent: read output with a poll-based timeout.
+    close(pipe_fds[1]);
+    outcome.started = true;
+
+    const int chunk = 4096;
+    char buf[chunk];
+    bool child_killed = false;
+    while (true) {
+        double remaining_ms = -1.0;
+        if (timeout_seconds > 0.0) {
+            remaining_ms =
+                (timeout_seconds - watch.elapsedSeconds()) * 1000.0;
+            if (remaining_ms <= 0.0 && !child_killed) {
+                kill(pid, SIGKILL);
+                child_killed = true;
+                outcome.timedOut = true;
+                remaining_ms = 1000.0; // drain whatever remains
+            }
+        }
+
+        struct pollfd pfd = {pipe_fds[0], POLLIN, 0};
+        int rc = poll(&pfd, 1,
+                      remaining_ms < 0.0
+                          ? -1
+                          : static_cast<int>(remaining_ms) + 1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            outcome.error = std::string("poll: ") + std::strerror(errno);
+            break;
+        }
+        if (rc == 0)
+            continue; // timeout path handled above on next iteration
+        ssize_t got = read(pipe_fds[0], buf, chunk);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            outcome.error = std::string("read: ") + std::strerror(errno);
+            break;
+        }
+        if (got == 0)
+            break; // EOF: child closed its end
+        outcome.output.append(buf, static_cast<size_t>(got));
+    }
+    close(pipe_fds[0]);
+
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    outcome.wallSeconds = watch.elapsedSeconds();
+    if (WIFEXITED(status))
+        outcome.exitStatus = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        outcome.exitStatus = 128 + WTERMSIG(status);
+    return outcome;
+}
+
+LocalProcessBackend::LocalProcessBackend(std::vector<std::string> argv_in)
+    : LocalProcessBackend(std::move(argv_in), Options())
+{
+}
+
+LocalProcessBackend::LocalProcessBackend(std::vector<std::string> argv_in,
+                                         Options options_in)
+    : argv(std::move(argv_in)), options(std::move(options_in))
+{
+    if (argv.empty())
+        throw std::invalid_argument(
+            "LocalProcessBackend requires a command");
+    if (options.metrics.empty())
+        options.metrics = defaultMetricSpecs();
+    workload = options.workload.empty() ? argv[0] : options.workload;
+}
+
+RunResult
+LocalProcessBackend::run()
+{
+    ProcessOutcome outcome = runProcess(argv, options.timeoutSeconds);
+
+    RunResult result;
+    result.output = outcome.output;
+    result.machineId = "localhost";
+
+    if (!outcome.started) {
+        result.success = false;
+        result.error = outcome.error;
+        return result;
+    }
+    if (outcome.timedOut) {
+        result.success = false;
+        result.error = "timed out after " +
+                       std::to_string(options.timeoutSeconds) + " s";
+        return result;
+    }
+    if (outcome.exitStatus != 0) {
+        result.success = false;
+        result.error =
+            "exited with status " + std::to_string(outcome.exitStatus);
+        return result;
+    }
+
+    for (const auto &spec : options.metrics) {
+        auto value = spec.extract(outcome.output, outcome.wallSeconds);
+        if (!value) {
+            result.success = false;
+            result.error = "metric '" + spec.name +
+                           "' could not be extracted from output";
+            return result;
+        }
+        result.metrics[spec.name] = *value;
+    }
+    return result;
+}
+
+} // namespace launcher
+} // namespace sharp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The local-process backend: runs real black-box programs.
+ *
+ * SHARP "runs two classes of executable units ... and black-box
+ * programs (user-provided binaries)" (§IV). This backend forks and
+ * execs a command, measures wall time around it, captures stdout and
+ * stderr, enforces a timeout, and feeds the output through the
+ * configured MetricSpecs. It is fully functional (not simulated) and
+ * exercised against real processes in the tests and examples.
+ */
+
+#ifndef SHARP_LAUNCHER_LOCAL_BACKEND_HH
+#define SHARP_LAUNCHER_LOCAL_BACKEND_HH
+
+#include <string>
+#include <vector>
+
+#include "launcher/backend.hh"
+#include "launcher/metrics.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+/**
+ * Executes a command line per invocation.
+ */
+class LocalProcessBackend : public Backend
+{
+  public:
+    struct Options
+    {
+        /** Kill the child after this many seconds (0 = no timeout). */
+        double timeoutSeconds = 60.0;
+        /** Metrics to collect (default: wall time). */
+        std::vector<MetricSpec> metrics;
+        /** Logical workload name (defaults to argv[0]). */
+        std::string workload;
+    };
+
+    /**
+     * @param argv command and arguments; argv[0] is resolved via PATH
+     * @throws std::invalid_argument when argv is empty
+     */
+    explicit LocalProcessBackend(std::vector<std::string> argv);
+    LocalProcessBackend(std::vector<std::string> argv, Options options);
+
+    std::string name() const override { return "local"; }
+    std::string workloadName() const override { return workload; }
+    RunResult run() override;
+
+  private:
+    std::vector<std::string> argv;
+    Options options;
+    std::string workload;
+};
+
+/**
+ * Low-level helper: run @p argv, capture combined stdout+stderr,
+ * measure wall time, enforce @p timeout_seconds.
+ */
+struct ProcessOutcome
+{
+    bool started = false;
+    bool timedOut = false;
+    int exitStatus = -1;
+    double wallSeconds = 0.0;
+    std::string output;
+    std::string error;
+};
+ProcessOutcome runProcess(const std::vector<std::string> &argv,
+                          double timeout_seconds);
+
+} // namespace launcher
+} // namespace sharp
+
+#endif // SHARP_LAUNCHER_LOCAL_BACKEND_HH

@@ -1,0 +1,95 @@
+#include "launcher/metrics.hh"
+
+#include <stdexcept>
+
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+std::optional<double>
+MetricSpec::extract(const std::string &output, double wall_time) const
+{
+    if (source == MetricSource::WallTime)
+        return wall_time;
+
+    std::regex re;
+    try {
+        re = std::regex(pattern);
+    } catch (const std::regex_error &) {
+        return std::nullopt;
+    }
+    std::smatch match;
+    if (!std::regex_search(output, match, re) || match.size() < 2)
+        return std::nullopt;
+    return util::parseDouble(match[1].str());
+}
+
+MetricSpec
+MetricSpec::fromJson(const json::Value &doc)
+{
+    if (!doc.isObject())
+        throw std::invalid_argument("metric spec must be a JSON object");
+    MetricSpec spec;
+    spec.name = doc.getString("name", "");
+    if (spec.name.empty())
+        throw std::invalid_argument("metric spec requires a 'name'");
+
+    std::string source = doc.getString("source", "");
+    if (doc.contains("pattern")) {
+        spec.source = MetricSource::OutputRegex;
+        spec.pattern = doc.at("pattern").asString();
+        // Validate the pattern eagerly.
+        try {
+            std::regex probe(spec.pattern);
+        } catch (const std::regex_error &err) {
+            throw std::invalid_argument("metric '" + spec.name +
+                                        "' has invalid pattern: " +
+                                        err.what());
+        }
+    } else if (source.empty() || source == "wall_time") {
+        spec.source = MetricSource::WallTime;
+    } else {
+        throw std::invalid_argument("metric '" + spec.name +
+                                    "' has unknown source '" + source +
+                                    "'");
+    }
+    return spec;
+}
+
+json::Value
+MetricSpec::toJson() const
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("name", name);
+    if (source == MetricSource::WallTime)
+        doc.set("source", "wall_time");
+    else
+        doc.set("pattern", pattern);
+    return doc;
+}
+
+std::vector<MetricSpec>
+metricSpecsFromJson(const json::Value &doc)
+{
+    if (!doc.isArray())
+        throw std::invalid_argument("metric specs must be a JSON array");
+    std::vector<MetricSpec> specs;
+    for (const auto &entry : doc.asArray())
+        specs.push_back(MetricSpec::fromJson(entry));
+    return specs;
+}
+
+std::vector<MetricSpec>
+defaultMetricSpecs()
+{
+    MetricSpec wall;
+    wall.name = "execution_time";
+    wall.source = MetricSource::WallTime;
+    return {wall};
+}
+
+} // namespace launcher
+} // namespace sharp

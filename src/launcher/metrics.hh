@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Declarative metric collection.
+ *
+ * "A particularly useful control is the set of performance metrics to
+ * collect, also defined via a simple JSON or YAML interface. This
+ * runtime mechanism allows the launcher to collect arbitrary metrics
+ * such as latency or power consumption from any function with no code
+ * changes." (§IV-a)
+ *
+ * A MetricSpec either maps to a built-in source (the measured wall
+ * time) or extracts a number from the program's output with a regular
+ * expression whose first capture group is the value.
+ */
+
+#ifndef SHARP_LAUNCHER_METRICS_HH
+#define SHARP_LAUNCHER_METRICS_HH
+
+#include <optional>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "json/value.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+/** How a metric's value is obtained. */
+enum class MetricSource
+{
+    WallTime,    ///< measured by the launcher around the invocation
+    OutputRegex, ///< first capture group of a regex over the output
+};
+
+/** Declarative description of one metric to collect. */
+struct MetricSpec
+{
+    /** Column name in the log, e.g. "execution_time". */
+    std::string name;
+    MetricSource source = MetricSource::WallTime;
+    /** Extraction pattern when source == OutputRegex. */
+    std::string pattern;
+
+    /**
+     * Extract the metric from @p output (OutputRegex) or return
+     * @p wall_time (WallTime). nullopt when extraction fails.
+     */
+    std::optional<double> extract(const std::string &output,
+                                  double wall_time) const;
+
+    /**
+     * Parse from JSON: {"name": "...", "source": "wall_time"} or
+     * {"name": "...", "pattern": "regex with one capture group"}.
+     * @throws std::invalid_argument on malformed specs.
+     */
+    static MetricSpec fromJson(const json::Value &doc);
+
+    /** Serialize back to JSON (round-trips through fromJson). */
+    json::Value toJson() const;
+};
+
+/** Parse a JSON array of metric specs. */
+std::vector<MetricSpec> metricSpecsFromJson(const json::Value &doc);
+
+/** The default collection: wall time as "execution_time". */
+std::vector<MetricSpec> defaultMetricSpecs();
+
+} // namespace launcher
+} // namespace sharp
+
+#endif // SHARP_LAUNCHER_METRICS_HH

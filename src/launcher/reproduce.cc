@@ -1,0 +1,182 @@
+#include "launcher/reproduce.hh"
+
+#include <stdexcept>
+
+#include "json/parser.hh"
+#include "json/writer.hh"
+#include "launcher/faas_backend.hh"
+#include "launcher/sim_backend.hh"
+#include "sim/faas.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+LaunchOptions
+ReproSpec::launchOptions() const
+{
+    LaunchOptions options;
+    options.warmupRounds = experiment.options.warmupRuns;
+    options.minSamples = experiment.options.minSamples;
+    options.maxSamples = experiment.options.maxSamples;
+    options.concurrency = concurrency;
+    options.day = day;
+    return options;
+}
+
+ReproSpec
+ReproSpec::fromJson(const json::Value &doc)
+{
+    if (!doc.isObject())
+        throw std::invalid_argument("run spec must be a JSON object");
+
+    ReproSpec spec;
+    spec.backendKind = doc.getString("backend", spec.backendKind);
+    spec.workload = doc.getString("workload", "");
+    if (const json::Value *machines = doc.find("machines")) {
+        if (!machines->isArray())
+            throw std::invalid_argument("'machines' must be an array");
+        for (const auto &machine : machines->asArray())
+            spec.machines.push_back(machine.asString());
+    }
+    if (spec.machines.empty())
+        spec.machines = {"machine1"};
+
+    long day = doc.getLong("day", 0);
+    long seed = doc.getLong("seed", 1);
+    long concurrency = doc.getLong("concurrency", 1);
+    if (seed < 0 || concurrency < 1)
+        throw std::invalid_argument("invalid seed or concurrency");
+    spec.day = static_cast<int>(day);
+    spec.seed = static_cast<uint64_t>(seed);
+    spec.concurrency = static_cast<size_t>(concurrency);
+
+    if (const json::Value *experiment = doc.find("experiment"))
+        spec.experiment = core::ExperimentConfig::fromJson(*experiment);
+    spec.experiment.seed = spec.seed;
+    return spec;
+}
+
+json::Value
+ReproSpec::toJson() const
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("backend", backendKind);
+    doc.set("workload", workload);
+    json::Value machine_list = json::Value::makeArray();
+    for (const auto &machine : machines)
+        machine_list.append(machine);
+    doc.set("machines", std::move(machine_list));
+    doc.set("day", day);
+    doc.set("seed", static_cast<double>(seed));
+    doc.set("concurrency", concurrency);
+    doc.set("experiment", experiment.toJson());
+    return doc;
+}
+
+void
+annotate(record::RunLog &log, const ReproSpec &spec)
+{
+    log.setConfigEntry("repro_backend", spec.backendKind);
+    log.setConfigEntry("repro_workload", spec.workload);
+    log.setConfigEntry("repro_machines",
+                       util::join(spec.machines, ";"));
+    log.setConfigEntry("repro_day", std::to_string(spec.day));
+    log.setConfigEntry("repro_seed", std::to_string(spec.seed));
+    log.setConfigEntry("repro_concurrency",
+                       std::to_string(spec.concurrency));
+    log.setConfigEntry("repro_experiment",
+                       json::write(spec.experiment.toJson()));
+}
+
+ReproSpec
+reproSpecFromMetadata(const record::MetadataDocument &doc)
+{
+    const std::string sec = "Configuration";
+    auto require = [&](const std::string &key) {
+        auto value = doc.get(sec, key);
+        if (!value) {
+            throw std::invalid_argument(
+                "metadata lacks reproduction entry '" + key + "'");
+        }
+        return *value;
+    };
+
+    ReproSpec spec;
+    spec.backendKind = require("repro_backend");
+    spec.workload = require("repro_workload");
+    for (const auto &machine :
+         util::split(require("repro_machines"), ';')) {
+        if (!machine.empty())
+            spec.machines.push_back(machine);
+    }
+    auto day = util::parseLong(require("repro_day"));
+    auto seed = util::parseLong(require("repro_seed"));
+    auto concurrency = util::parseLong(require("repro_concurrency"));
+    if (!day || !seed || seed < 0 || !concurrency || *concurrency < 1) {
+        throw std::invalid_argument(
+            "malformed numeric reproduction entries");
+    }
+    spec.day = static_cast<int>(*day);
+    spec.seed = static_cast<uint64_t>(*seed);
+    spec.concurrency = static_cast<size_t>(*concurrency);
+    spec.experiment = core::ExperimentConfig::fromJson(
+        json::parse(require("repro_experiment")));
+    return spec;
+}
+
+std::shared_ptr<Backend>
+makeBackend(const ReproSpec &spec)
+{
+    if (spec.machines.empty())
+        throw std::invalid_argument("ReproSpec requires >= 1 machine");
+
+    if (spec.backendKind == "sim") {
+        return std::make_shared<SimBackend>(
+            sim::rodiniaByName(spec.workload),
+            sim::machineById(spec.machines.front()), spec.day,
+            spec.seed);
+    }
+    if (spec.backendKind == "sim-phased") {
+        return std::make_shared<PhasedSimBackend>(
+            sim::machineById(spec.machines.front()), spec.seed);
+    }
+    if (spec.backendKind == "faas") {
+        std::vector<sim::MachineSpec> workers;
+        for (const auto &id : spec.machines)
+            workers.push_back(sim::machineById(id));
+        auto cluster = std::make_unique<sim::FaasCluster>(
+            sim::rodiniaByName(spec.workload), std::move(workers),
+            spec.seed);
+        return std::make_shared<FaasBackend>(std::move(cluster),
+                                             spec.workload);
+    }
+    throw std::invalid_argument("unknown reproduction backend kind '" +
+                                spec.backendKind + "'");
+}
+
+Launcher
+makeLauncher(const ReproSpec &spec)
+{
+    return Launcher(makeBackend(spec), spec.experiment.makeRule(),
+                    spec.launchOptions());
+}
+
+LaunchReport
+reproduce(const record::MetadataDocument &doc)
+{
+    ReproSpec spec = reproSpecFromMetadata(doc);
+    Launcher launcher = makeLauncher(spec);
+    LaunchReport report = launcher.launch();
+    // Re-annotate so the reproduction's own artifacts can seed the
+    // next reproduction.
+    annotate(report.log, spec);
+    return report;
+}
+
+} // namespace launcher
+} // namespace sharp

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Experiment reproduction from recorded metadata.
+ *
+ * "This metadata file is both human-readable and machine-readable:
+ * SHARP itself can parse it to recreate the same parameters for a
+ * reproduction run." (§IV-d)
+ *
+ * A ReproSpec captures everything needed to re-run an experiment:
+ * backend kind, workload, machines, day, seed, concurrency, and the
+ * full stopping/sampling configuration. annotate() embeds it in a
+ * RunLog's metadata; reproduce() parses a metadata document back into
+ * a live Launcher and runs it. With the simulated testbed the
+ * reproduction is bit-exact: same seed, same samples.
+ */
+
+#ifndef SHARP_LAUNCHER_REPRODUCE_HH
+#define SHARP_LAUNCHER_REPRODUCE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "json/value.hh"
+#include "launcher/backend.hh"
+#include "launcher/launcher.hh"
+#include "record/metadata.hh"
+#include "record/run_log.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+/** Everything needed to recreate an experiment. */
+struct ReproSpec
+{
+    /** Backend kind: "sim", "sim-phased", or "faas". */
+    std::string backendKind = "sim";
+    /** Workload (Rodinia benchmark) name; unused for sim-phased. */
+    std::string workload;
+    /** Machine ids; one for sim backends, the workers for faas. */
+    std::vector<std::string> machines;
+    /** Environment day. */
+    int day = 0;
+    /** Stream seed. */
+    uint64_t seed = 1;
+    /** Parallel requests per round. */
+    size_t concurrency = 1;
+    /** Stopping rule + sampling bounds. */
+    core::ExperimentConfig experiment;
+
+    /** Launch options equivalent to this spec. */
+    LaunchOptions launchOptions() const;
+
+    /**
+     * Parse from a JSON document, e.g.
+     * {
+     *   "backend": "sim", "workload": "hotspot",
+     *   "machines": ["machine1"], "day": 0, "seed": 42,
+     *   "concurrency": 1,
+     *   "experiment": {"rule": "ks", "params": {"threshold": 0.1},
+     *                  "max": 1000}
+     * }
+     * @throws std::invalid_argument on malformed documents.
+     */
+    static ReproSpec fromJson(const json::Value &doc);
+
+    /** Serialize to JSON (round-trips through fromJson). */
+    json::Value toJson() const;
+};
+
+/** Record @p spec in @p log's metadata ("Reproduction" section). */
+void annotate(record::RunLog &log, const ReproSpec &spec);
+
+/**
+ * Parse a spec back out of a metadata document.
+ * @throws std::invalid_argument when the document lacks a
+ *         Reproduction section or holds malformed entries.
+ */
+ReproSpec reproSpecFromMetadata(const record::MetadataDocument &doc);
+
+/**
+ * Build the backend a spec describes.
+ * @throws std::invalid_argument for unknown kinds/workloads/machines.
+ */
+std::shared_ptr<Backend> makeBackend(const ReproSpec &spec);
+
+/** Build a ready-to-run launcher from a spec. */
+Launcher makeLauncher(const ReproSpec &spec);
+
+/**
+ * One-call reproduction: parse the metadata, rebuild the experiment,
+ * run it, and return the fresh report.
+ */
+LaunchReport reproduce(const record::MetadataDocument &doc);
+
+} // namespace launcher
+} // namespace sharp
+
+#endif // SHARP_LAUNCHER_REPRODUCE_HH

@@ -1,0 +1,67 @@
+#include "launcher/sim_backend.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+SimBackend::SimBackend(const sim::BenchmarkSpec &bench_in,
+                       const sim::MachineSpec &machine_in, int day,
+                       uint64_t seed_in)
+    : bench(bench_in), machine(machine_in), seed(seed_in),
+      currentDay(day)
+{
+    rebuild();
+}
+
+void
+SimBackend::rebuild()
+{
+    workload = std::make_unique<sim::SimulatedWorkload>(bench, machine,
+                                                        currentDay, seed);
+}
+
+std::string
+SimBackend::workloadName() const
+{
+    return bench.name;
+}
+
+RunResult
+SimBackend::run()
+{
+    RunResult result;
+    result.metrics["execution_time"] = workload->sample();
+    result.machineId = machine.id;
+    return result;
+}
+
+void
+SimBackend::setDay(int day)
+{
+    if (day == currentDay)
+        return;
+    currentDay = day;
+    rebuild();
+}
+
+PhasedSimBackend::PhasedSimBackend(const sim::MachineSpec &machine_in,
+                                   uint64_t seed)
+    : machine(machine_in), workload(machine_in, seed)
+{
+}
+
+RunResult
+PhasedSimBackend::run()
+{
+    sim::PhasedSample sample = workload.sample();
+    RunResult result;
+    result.metrics["execution_time"] = sample.total;
+    result.metrics["detection_time"] = sample.detection;
+    result.metrics["tracking_time"] = sample.tracking;
+    result.machineId = machine.id;
+    return result;
+}
+
+} // namespace launcher
+} // namespace sharp

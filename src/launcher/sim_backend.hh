@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Backends over the simulated testbed: plain benchmark runs
+ * (SimBackend) and phase-resolved leukocyte runs (PhasedSimBackend),
+ * which demonstrate the launcher's arbitrary-metric collection — the
+ * paper's use case 1.
+ */
+
+#ifndef SHARP_LAUNCHER_SIM_BACKEND_HH
+#define SHARP_LAUNCHER_SIM_BACKEND_HH
+
+#include <memory>
+
+#include "launcher/backend.hh"
+#include "sim/phases.hh"
+#include "sim/workload.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+/**
+ * Runs a simulated Rodinia benchmark on a simulated machine.
+ */
+class SimBackend : public Backend
+{
+  public:
+    /**
+     * @param bench   benchmark model
+     * @param machine machine model
+     * @param day     initial environment day
+     * @param seed    stream seed
+     */
+    SimBackend(const sim::BenchmarkSpec &bench,
+               const sim::MachineSpec &machine, int day = 0,
+               uint64_t seed = 1);
+
+    std::string name() const override { return "sim"; }
+    std::string workloadName() const override;
+    RunResult run() override;
+    void setDay(int day) override;
+
+    /** Current environment day. */
+    int day() const { return currentDay; }
+
+  private:
+    sim::BenchmarkSpec bench;
+    sim::MachineSpec machine;
+    uint64_t seed;
+    int currentDay;
+    std::unique_ptr<sim::SimulatedWorkload> workload;
+
+    void rebuild();
+};
+
+/**
+ * Runs the phase-resolved leukocyte model, reporting execution_time,
+ * detection_time, and tracking_time per run.
+ */
+class PhasedSimBackend : public Backend
+{
+  public:
+    explicit PhasedSimBackend(const sim::MachineSpec &machine,
+                              uint64_t seed = 1);
+
+    std::string name() const override { return "sim-phased"; }
+    std::string workloadName() const override { return "leukocyte"; }
+    RunResult run() override;
+
+  private:
+    sim::MachineSpec machine;
+    sim::PhasedWorkload workload;
+};
+
+} // namespace launcher
+} // namespace sharp
+
+#endif // SHARP_LAUNCHER_SIM_BACKEND_HH

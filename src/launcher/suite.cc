@@ -1,0 +1,71 @@
+#include "launcher/suite.hh"
+
+#include <stdexcept>
+
+#include "launcher/launcher.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+double
+SuiteReport::savedVersusFixed(size_t fixedRuns) const
+{
+    size_t attempted = outcomes.size() - failures;
+    if (attempted == 0 || fixedRuns == 0)
+        return 0.0;
+    double budget = static_cast<double>(attempted * fixedRuns);
+    return 1.0 - static_cast<double>(totalRuns) / budget;
+}
+
+SuiteReport
+runSuite(const std::vector<SuiteEntry> &entries,
+         const core::ExperimentConfig &config, int day)
+{
+    SuiteReport report;
+    for (const auto &entry : entries) {
+        SuiteOutcome outcome;
+        outcome.entry = entry;
+        try {
+            ReproSpec spec;
+            spec.backendKind = "sim";
+            spec.workload = entry.workload;
+            spec.machines = {entry.machine};
+            spec.day = day;
+            spec.seed = config.seed;
+            spec.experiment = config;
+
+            Launcher launcher = makeLauncher(spec);
+            LaunchReport launch = launcher.launch();
+            outcome.series = std::move(launch.series);
+            outcome.ruleFired = launch.ruleFired;
+            outcome.stopReason = launch.finalDecision.reason;
+            report.totalRuns += outcome.series.size();
+        } catch (const std::exception &ex) {
+            outcome.failed = true;
+            outcome.error = ex.what();
+            ++report.failures;
+        }
+        report.outcomes.push_back(std::move(outcome));
+    }
+    return report;
+}
+
+std::vector<SuiteEntry>
+rodiniaSuite(const std::string &machine)
+{
+    const auto &spec = sim::machineById(machine); // validates the id
+    std::vector<SuiteEntry> entries;
+    for (const auto &bench : sim::rodiniaRegistry()) {
+        if (bench.kind == sim::BenchmarkKind::Cuda && !spec.hasGpu())
+            continue;
+        entries.push_back({bench.name, machine});
+    }
+    return entries;
+}
+
+} // namespace launcher
+} // namespace sharp

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Suite runs: orchestrate a whole set of (workload, machine)
+ * experiments under one stopping configuration — the way the paper
+ * evaluates "20 Rodinia benchmarks over several high-performance
+ * servers" — and collect the per-experiment outcomes for combined
+ * reporting.
+ */
+
+#ifndef SHARP_LAUNCHER_SUITE_HH
+#define SHARP_LAUNCHER_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/sample_series.hh"
+#include "launcher/reproduce.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+/** One entry of a suite: a workload on a machine. */
+struct SuiteEntry
+{
+    std::string workload;
+    std::string machine;
+};
+
+/** Outcome of one suite entry. */
+struct SuiteOutcome
+{
+    SuiteEntry entry;
+    /** Collected primary-metric samples. */
+    core::SampleSeries series;
+    /** True if the stopping rule fired before the cap. */
+    bool ruleFired = false;
+    /** Why the entry stopped. */
+    std::string stopReason;
+    /** True when the entry failed to run (error recorded instead). */
+    bool failed = false;
+    /** Error description when failed. */
+    std::string error;
+};
+
+/** Results of a whole suite run. */
+struct SuiteReport
+{
+    std::vector<SuiteOutcome> outcomes;
+    /** Total measured runs across the suite. */
+    size_t totalRuns = 0;
+    /** Entries that failed to execute. */
+    size_t failures = 0;
+
+    /** Fraction of the fixed-N budget saved, for Fig. 1b-style math. */
+    double savedVersusFixed(size_t fixedRuns) const;
+};
+
+/**
+ * Run every entry with the given experiment configuration on the
+ * simulated testbed.
+ *
+ * Entries that cannot run (unknown workload/machine, CUDA benchmark on
+ * a GPU-less machine) are recorded as failed outcomes rather than
+ * aborting the suite.
+ *
+ * @param entries   the suite
+ * @param config    stopping rule + sampling bounds (+ seed)
+ * @param day       environment day for every entry
+ */
+SuiteReport runSuite(const std::vector<SuiteEntry> &entries,
+                     const core::ExperimentConfig &config, int day = 0);
+
+/** The full 20-benchmark Rodinia suite on one machine. */
+std::vector<SuiteEntry> rodiniaSuite(const std::string &machine);
+
+} // namespace launcher
+} // namespace sharp
+
+#endif // SHARP_LAUNCHER_SUITE_HH

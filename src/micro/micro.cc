@@ -1,0 +1,256 @@
+#include "micro/micro.hh"
+
+#include <fcntl.h>
+#include <sys/syscall.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/time_utils.hh"
+
+namespace sharp
+{
+namespace micro
+{
+
+namespace
+{
+
+/** Prevent the optimizer from discarding a computed value. */
+template <typename T>
+inline void
+keep(T &&value)
+{
+    asm volatile("" : : "g"(value) : "memory");
+}
+
+double
+aluOps()
+{
+    util::Stopwatch watch;
+    uint64_t x = 0x12345678;
+    for (int i = 0; i < 2000000; ++i)
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    keep(x);
+    return watch.elapsedSeconds();
+}
+
+double
+fpOps()
+{
+    util::Stopwatch watch;
+    double x = 1.000000001;
+    for (int i = 0; i < 1000000; ++i)
+        x = x * 1.0000001 + 1e-12;
+    keep(x);
+    return watch.elapsedSeconds();
+}
+
+double
+memSeqRead()
+{
+    // Sum a buffer well beyond L2; report bandwidth in MB/s.
+    static const std::vector<uint64_t> buffer = [] {
+        std::vector<uint64_t> data(4 * 1024 * 1024 / sizeof(uint64_t));
+        for (size_t i = 0; i < data.size(); ++i)
+            data[i] = i * 2654435761ULL;
+        return data;
+    }();
+    util::Stopwatch watch;
+    uint64_t sum = 0;
+    for (uint64_t v : buffer)
+        sum += v;
+    keep(sum);
+    double seconds = watch.elapsedSeconds();
+    double bytes = static_cast<double>(buffer.size() * sizeof(uint64_t));
+    return bytes / seconds / (1024.0 * 1024.0);
+}
+
+double
+memRandLatency()
+{
+    // Pointer chase through a shuffled permutation; ns per access.
+    static const std::vector<uint32_t> chain = [] {
+        const size_t n = 1 << 18; // 1 MiB of uint32 indices
+        std::vector<uint32_t> next(n);
+        // Sattolo's algorithm with a fixed LCG yields a single cycle.
+        std::vector<uint32_t> perm(n);
+        for (size_t i = 0; i < n; ++i)
+            perm[i] = static_cast<uint32_t>(i);
+        uint64_t state = 88172645463325252ULL;
+        for (size_t i = n - 1; i > 0; --i) {
+            state = state * 6364136223846793005ULL + 1;
+            size_t j = static_cast<size_t>((state >> 33) % i);
+            std::swap(perm[i], perm[j]);
+        }
+        for (size_t i = 0; i < n; ++i)
+            next[perm[i]] = perm[(i + 1) % n];
+        return next;
+    }();
+    const int hops = 100000;
+    util::Stopwatch watch;
+    uint32_t index = 0;
+    for (int i = 0; i < hops; ++i)
+        index = chain[index];
+    keep(index);
+    return watch.elapsedSeconds() * 1e9 / hops;
+}
+
+double
+mallocChurn()
+{
+    util::Stopwatch watch;
+    for (int i = 0; i < 5000; ++i) {
+        size_t size = 64 + (static_cast<size_t>(i) % 1024);
+        void *block = std::malloc(size);
+        if (!block)
+            throw std::runtime_error("malloc failed");
+        static_cast<char *>(block)[0] = static_cast<char>(i);
+        keep(block);
+        std::free(block);
+    }
+    return watch.elapsedSeconds() * 1e9 / 5000.0; // ns per pair
+}
+
+double
+syscallOverhead()
+{
+    const int calls = 20000;
+    util::Stopwatch watch;
+    for (int i = 0; i < calls; ++i)
+        keep(syscall(SYS_getpid));
+    return watch.elapsedSeconds() * 1e9 / calls; // ns per syscall
+}
+
+double
+threadSpawn()
+{
+    util::Stopwatch watch;
+    std::thread worker([] {});
+    worker.join();
+    return watch.elapsedSeconds() * 1e6; // microseconds
+}
+
+double
+mutexContention()
+{
+    std::mutex lock;
+    std::atomic<bool> go{false};
+    long counter = 0;
+    const int per_thread = 20000;
+    auto work = [&] {
+        while (!go.load())
+            std::this_thread::yield();
+        for (int i = 0; i < per_thread; ++i) {
+            std::lock_guard<std::mutex> guard(lock);
+            ++counter;
+        }
+    };
+    std::thread t1(work), t2(work);
+    util::Stopwatch watch;
+    go.store(true);
+    t1.join();
+    t2.join();
+    double seconds = watch.elapsedSeconds();
+    keep(counter);
+    return seconds * 1e9 / (2.0 * per_thread); // ns per locked op
+}
+
+double
+fileWrite()
+{
+    // Write 256 KiB to a temp file, report MB/s (page-cache speed;
+    // that is the point — it is the OS path being probed).
+    char path[] = "/tmp/sharp_micro_XXXXXX";
+    int fd = mkstemp(path);
+    if (fd < 0)
+        throw std::runtime_error("mkstemp failed");
+    std::vector<char> data(256 * 1024, 'x');
+    util::Stopwatch watch;
+    ssize_t written = write(fd, data.data(), data.size());
+    double seconds = watch.elapsedSeconds();
+    close(fd);
+    unlink(path);
+    if (written != static_cast<ssize_t>(data.size()))
+        throw std::runtime_error("short write in file-write probe");
+    return static_cast<double>(written) / seconds / (1024.0 * 1024.0);
+}
+
+double
+sleepPrecision()
+{
+    // Request 1 ms; report the oversleep factor (>= 1).
+    util::Stopwatch watch;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return watch.elapsedSeconds() / 0.001;
+}
+
+double
+forkExec()
+{
+    util::Stopwatch watch;
+    pid_t pid = fork();
+    if (pid < 0)
+        throw std::runtime_error("fork failed");
+    if (pid == 0) {
+        execl("/bin/true", "true", static_cast<char *>(nullptr));
+        _exit(127);
+    }
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0) {
+    }
+    return watch.elapsedSeconds() * 1e3; // milliseconds
+}
+
+} // anonymous namespace
+
+const std::vector<MicroBenchmark> &
+microRegistry()
+{
+    static const std::vector<MicroBenchmark> registry = {
+        {"alu-ops", "integer ALU dependency chain", "seconds", true,
+         &aluOps},
+        {"fp-ops", "floating-point dependency chain", "seconds", true,
+         &fpOps},
+        {"mem-seq-read", "sequential memory read bandwidth", "MB/s",
+         false, &memSeqRead},
+        {"mem-rand-latency", "random-access memory latency", "ns/op",
+         true, &memRandLatency},
+        {"malloc-churn", "malloc/free round trip", "ns/op", true,
+         &mallocChurn},
+        {"syscall", "getpid syscall overhead", "ns/op", true,
+         &syscallOverhead},
+        {"thread-spawn", "thread create + join", "us", true,
+         &threadSpawn},
+        {"mutex-contention", "contended mutex lock/unlock", "ns/op",
+         true, &mutexContention},
+        {"file-write", "256 KiB file write (page cache)", "MB/s",
+         false, &fileWrite},
+        {"sleep-precision", "1 ms sleep oversleep factor", "ratio",
+         true, &sleepPrecision},
+        {"fork-exec", "fork + exec /bin/true + wait", "ms", true,
+         &forkExec},
+    };
+    return registry;
+}
+
+const MicroBenchmark &
+microByName(const std::string &name)
+{
+    for (const auto &probe : microRegistry()) {
+        if (probe.name == name)
+            return probe;
+    }
+    throw std::out_of_range("unknown microbenchmark: " + name);
+}
+
+} // namespace micro
+} // namespace sharp

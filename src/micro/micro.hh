@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SHARP's microbenchmark functions.
+ *
+ * "SHARP includes eleven microbenchmark functions, all stateless and
+ * atomic" (§IV): small probes that each measure one aspect of the
+ * system — compute, memory, OS services, I/O. Unlike the simulated
+ * Rodinia models, these run *real* work on the host, so SHARP's
+ * orchestration (adaptive stopping, logging, reporting) can be
+ * exercised end-to-end against genuine machine noise.
+ *
+ * Every microbenchmark is a stateless callable returning one scalar
+ * measurement per invocation; work sizes are chosen so a call costs
+ * well under ~10 ms, keeping adaptive experiments quick.
+ */
+
+#ifndef SHARP_MICRO_MICRO_HH
+#define SHARP_MICRO_MICRO_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace micro
+{
+
+/** One microbenchmark probe. */
+struct MicroBenchmark
+{
+    /** Registry name, e.g. "mem-seq-read". */
+    std::string name;
+    /** What it measures. */
+    std::string description;
+    /** Unit of the returned value, e.g. "seconds", "ns/op", "MB/s". */
+    std::string unit;
+    /** True when smaller values are better. */
+    bool smallerIsBetter;
+    /** One measurement. */
+    std::function<double()> run;
+};
+
+/**
+ * The microbenchmark registry (eleven probes, like the paper's):
+ *   alu-ops, fp-ops, mem-seq-read, mem-rand-latency, malloc-churn,
+ *   syscall, thread-spawn, mutex-contention, file-write, sleep-precision,
+ *   fork-exec.
+ */
+const std::vector<MicroBenchmark> &microRegistry();
+
+/** Find a probe by name. @throws std::out_of_range if unknown. */
+const MicroBenchmark &microByName(const std::string &name);
+
+} // namespace micro
+} // namespace sharp
+
+#endif // SHARP_MICRO_MICRO_HH

@@ -1,0 +1,35 @@
+#include "micro/micro_backend.hh"
+
+#include <exception>
+#include <stdexcept>
+
+namespace sharp
+{
+namespace micro
+{
+
+MicroBackend::MicroBackend(MicroBenchmark probe_in)
+    : probe(std::move(probe_in))
+{
+    if (!probe.run)
+        throw std::invalid_argument("MicroBackend requires a probe");
+}
+
+launcher::RunResult
+MicroBackend::run()
+{
+    launcher::RunResult result;
+    result.machineId = "localhost";
+    try {
+        double value = probe.run();
+        result.metrics["value"] = value;
+        result.metrics["execution_time"] = value;
+    } catch (const std::exception &ex) {
+        result.success = false;
+        result.error = ex.what();
+    }
+    return result;
+}
+
+} // namespace micro
+} // namespace sharp

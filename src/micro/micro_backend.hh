@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Backend adapter for the microbenchmark probes, so SHARP's launcher
+ * can orchestrate real host measurements with the same stopping rules,
+ * logging, and reporting as every other workload.
+ */
+
+#ifndef SHARP_MICRO_MICRO_BACKEND_HH
+#define SHARP_MICRO_MICRO_BACKEND_HH
+
+#include "launcher/backend.hh"
+#include "micro/micro.hh"
+
+namespace sharp
+{
+namespace micro
+{
+
+/**
+ * Runs one microbenchmark per invocation. The probe's value is
+ * reported both as "value" and, for compatibility with the default
+ * primary metric, as "execution_time".
+ */
+class MicroBackend : public launcher::Backend
+{
+  public:
+    /** @param probe the microbenchmark to run. */
+    explicit MicroBackend(MicroBenchmark probe);
+
+    std::string name() const override { return "micro"; }
+    std::string workloadName() const override { return probe.name; }
+    launcher::RunResult run() override;
+
+    /** The probe being run. */
+    const MicroBenchmark &benchmark() const { return probe; }
+
+  private:
+    MicroBenchmark probe;
+};
+
+} // namespace micro
+} // namespace sharp
+
+#endif // SHARP_MICRO_MICRO_BACKEND_HH

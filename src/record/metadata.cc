@@ -1,0 +1,187 @@
+#include "record/metadata.hh"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace record
+{
+
+using util::startsWith;
+using util::trim;
+
+MetadataDocument::Section &
+MetadataDocument::sectionByName(const std::string &name)
+{
+    for (auto &section : sectionList) {
+        if (section.name == name)
+            return section;
+    }
+    sectionList.push_back(Section{name, {}});
+    return sectionList.back();
+}
+
+const MetadataDocument::Section *
+MetadataDocument::findSection(const std::string &name) const
+{
+    for (const auto &section : sectionList) {
+        if (section.name == name)
+            return &section;
+    }
+    return nullptr;
+}
+
+void
+MetadataDocument::set(const std::string &section, const std::string &key,
+                      const std::string &value)
+{
+    Section &sec = sectionByName(section);
+    for (auto &entry : sec.entries) {
+        if (entry.first == key) {
+            entry.second = value;
+            return;
+        }
+    }
+    sec.entries.emplace_back(key, value);
+}
+
+void
+MetadataDocument::set(const std::string &section, const std::string &key,
+                      double value)
+{
+    set(section, key, util::formatDouble(value, 10));
+}
+
+std::optional<std::string>
+MetadataDocument::get(const std::string &section,
+                      const std::string &key) const
+{
+    const Section *sec = findSection(section);
+    if (!sec)
+        return std::nullopt;
+    for (const auto &entry : sec->entries) {
+        if (entry.first == key)
+            return entry.second;
+    }
+    return std::nullopt;
+}
+
+std::optional<double>
+MetadataDocument::getNumber(const std::string &section,
+                            const std::string &key) const
+{
+    auto text = get(section, key);
+    if (!text)
+        return std::nullopt;
+    return util::parseDouble(*text);
+}
+
+bool
+MetadataDocument::hasSection(const std::string &name) const
+{
+    return findSection(name) != nullptr;
+}
+
+std::string
+MetadataDocument::render() const
+{
+    std::string out;
+    if (!title.empty())
+        out += "# " + title + "\n\n";
+    for (const auto &section : sectionList) {
+        out += "## " + section.name + "\n\n";
+        for (const auto &[key, value] : section.entries)
+            out += "- **" + key + "**: " + value + "\n";
+        out += "\n";
+    }
+    return out;
+}
+
+void
+MetadataDocument::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error(
+            "cannot open metadata file for writing: " + path);
+    out << render();
+    if (!out)
+        throw std::runtime_error("error writing metadata file: " + path);
+}
+
+MetadataDocument
+MetadataDocument::parse(const std::string &text)
+{
+    MetadataDocument doc;
+    Section *current = nullptr;
+
+    std::istringstream stream(text);
+    std::string raw_line;
+    size_t line_no = 0;
+    while (std::getline(stream, raw_line)) {
+        ++line_no;
+        std::string line = trim(raw_line);
+        if (line.empty())
+            continue;
+        if (startsWith(line, "## ")) {
+            doc.sectionList.push_back(
+                Section{trim(line.substr(3)), {}});
+            current = &doc.sectionList.back();
+        } else if (startsWith(line, "# ")) {
+            doc.title = trim(line.substr(2));
+        } else if (startsWith(line, "- **")) {
+            size_t close = line.find("**:", 4);
+            if (close == std::string::npos) {
+                throw std::runtime_error(
+                    "metadata parse error at line " +
+                    std::to_string(line_no) + ": malformed entry");
+            }
+            if (!current) {
+                throw std::runtime_error(
+                    "metadata parse error at line " +
+                    std::to_string(line_no) + ": entry before section");
+            }
+            std::string key = line.substr(4, close - 4);
+            std::string value = trim(line.substr(close + 3));
+            current->entries.emplace_back(key, value);
+        } else {
+            // Free-form narrative lines are tolerated and ignored so
+            // humans may annotate the file without breaking parsing.
+        }
+    }
+    return doc;
+}
+
+MetadataDocument
+MetadataDocument::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open metadata file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+bool
+MetadataDocument::operator==(const MetadataDocument &other) const
+{
+    if (title != other.title ||
+        sectionList.size() != other.sectionList.size()) {
+        return false;
+    }
+    for (size_t i = 0; i < sectionList.size(); ++i) {
+        if (sectionList[i].name != other.sectionList[i].name ||
+            sectionList[i].entries != other.sectionList[i].entries) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace record
+} // namespace sharp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The experiment metadata document.
+ *
+ * "An accompanying markdown description file is automatically written
+ * alongside the raw data, describing each field in detail, as well as
+ * the metadata required to recreate the System Under Test ... This
+ * metadata file is both human-readable and machine-readable: SHARP
+ * itself can parse it to recreate the same parameters for a
+ * reproduction run." (§IV-d)
+ *
+ * The format is a constrained markdown dialect: `## section` headers
+ * with `- **key**: value` entries, plus an optional field-description
+ * section. parse(render(doc)) == doc, which is the property that makes
+ * reproduction runs possible.
+ */
+
+#ifndef SHARP_RECORD_METADATA_HH
+#define SHARP_RECORD_METADATA_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sharp
+{
+namespace record
+{
+
+/**
+ * An ordered collection of named sections of key/value pairs,
+ * round-trippable through markdown.
+ */
+class MetadataDocument
+{
+  public:
+    /** One section of the document. */
+    struct Section
+    {
+        std::string name;
+        std::vector<std::pair<std::string, std::string>> entries;
+    };
+
+    MetadataDocument() = default;
+
+    /** Document title (rendered as `# title`). */
+    void setTitle(std::string title_in) { title = std::move(title_in); }
+    const std::string &getTitle() const { return title; }
+
+    /**
+     * Set @p key in @p section (created on demand); replaces an
+     * existing key in place.
+     */
+    void set(const std::string &section, const std::string &key,
+             const std::string &value);
+
+    /** Numeric convenience overload. */
+    void set(const std::string &section, const std::string &key,
+             double value);
+
+    /** Lookup; nullopt when the section or key is missing. */
+    std::optional<std::string> get(const std::string &section,
+                                   const std::string &key) const;
+
+    /** Lookup parsed as a double. */
+    std::optional<double> getNumber(const std::string &section,
+                                    const std::string &key) const;
+
+    /** All sections in insertion order. */
+    const std::vector<Section> &sections() const { return sectionList; }
+
+    /** True when a section exists. */
+    bool hasSection(const std::string &name) const;
+
+    /** Render as markdown. */
+    std::string render() const;
+
+    /** Write to a file. @throws std::runtime_error on I/O failure. */
+    void save(const std::string &path) const;
+
+    /**
+     * Parse the markdown dialect produced by render().
+     * @throws std::runtime_error on malformed input.
+     */
+    static MetadataDocument parse(const std::string &text);
+
+    /** Load from a file. */
+    static MetadataDocument load(const std::string &path);
+
+    /** Deep equality (title + sections + entries, order-sensitive). */
+    bool operator==(const MetadataDocument &other) const;
+
+  private:
+    std::string title;
+    std::vector<Section> sectionList;
+
+    Section &sectionByName(const std::string &name);
+    const Section *findSection(const std::string &name) const;
+};
+
+} // namespace record
+} // namespace sharp
+
+#endif // SHARP_RECORD_METADATA_HH

@@ -1,0 +1,160 @@
+#include "record/run_log.hh"
+
+#include "util/string_utils.hh"
+#include "util/time_utils.hh"
+
+namespace sharp
+{
+namespace record
+{
+
+RunLog::RunLog(std::string experimentName, std::string primaryMetric)
+    : name(std::move(experimentName)), primary(std::move(primaryMetric))
+{
+}
+
+void
+RunLog::add(RunRecord record)
+{
+    entries.push_back(std::move(record));
+}
+
+void
+RunLog::setSystemInfo(SystemInfo info)
+{
+    sut = std::move(info);
+    sutSet = true;
+}
+
+void
+RunLog::setConfigEntry(const std::string &key, const std::string &value)
+{
+    for (auto &entry : configEntries) {
+        if (entry.first == key) {
+            entry.second = value;
+            return;
+        }
+    }
+    configEntries.emplace_back(key, value);
+}
+
+void
+RunLog::describeMetric(const std::string &metric,
+                       const std::string &description)
+{
+    metricDocs[metric] = description;
+}
+
+std::vector<std::string>
+RunLog::metricNames() const
+{
+    std::vector<std::string> names;
+    auto seen = [&names](const std::string &name) {
+        for (const auto &existing : names) {
+            if (existing == name)
+                return true;
+        }
+        return false;
+    };
+    for (const auto &record : entries) {
+        for (const auto &[metric, value] : record.metrics) {
+            (void)value;
+            if (!seen(metric))
+                names.push_back(metric);
+        }
+    }
+    return names;
+}
+
+std::vector<double>
+RunLog::primaryValues() const
+{
+    std::vector<double> out;
+    for (const auto &record : entries) {
+        if (record.warmup)
+            continue;
+        auto it = record.metrics.find(primary);
+        if (it != record.metrics.end())
+            out.push_back(it->second);
+    }
+    return out;
+}
+
+CsvTable
+RunLog::toCsv() const
+{
+    std::vector<std::string> metrics = metricNames();
+    std::vector<std::string> columns = {"run",     "instance", "workload",
+                                        "backend", "machine",  "day",
+                                        "warmup"};
+    for (const auto &metric : metrics)
+        columns.push_back(metric);
+
+    CsvTable table(columns);
+    for (const auto &record : entries) {
+        std::vector<std::string> row = {
+            std::to_string(record.run),
+            std::to_string(record.instance),
+            record.workload,
+            record.backend,
+            record.machine,
+            std::to_string(record.day),
+            record.warmup ? "true" : "false",
+        };
+        for (const auto &metric : metrics) {
+            auto it = record.metrics.find(metric);
+            row.push_back(it != record.metrics.end()
+                              ? util::formatDouble(it->second, 9)
+                              : "");
+        }
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+MetadataDocument
+RunLog::toMetadata() const
+{
+    MetadataDocument doc;
+    doc.setTitle(name);
+
+    doc.set("Experiment", "name", name);
+    doc.set("Experiment", "primary_metric", primary);
+    doc.set("Experiment", "records", std::to_string(entries.size()));
+    doc.set("Experiment", "written_at", util::isoTimestamp());
+    doc.set("Experiment", "sharp_version", "sharp-cpp 1.0.0");
+    for (const auto &[key, value] : configEntries)
+        doc.set("Configuration", key, value);
+
+    if (sutSet)
+        sut.addToMetadata(doc);
+
+    const std::string fields = "Field Dictionary";
+    doc.set(fields, "run", "0-based repetition index of the experiment");
+    doc.set(fields, "instance",
+            "0-based concurrent instance index within a run");
+    doc.set(fields, "workload", "benchmark or function name");
+    doc.set(fields, "backend", "execution backend that served the run");
+    doc.set(fields, "machine", "machine or worker identifier");
+    doc.set(fields, "day", "environment day index (simulated runs)");
+    doc.set(fields, "warmup",
+            "true for discarded warmup runs (excluded from analysis)");
+    for (const auto &metric : metricNames()) {
+        auto it = metricDocs.find(metric);
+        doc.set(fields, metric,
+                it != metricDocs.end()
+                    ? it->second
+                    : "collected metric (seconds unless noted)");
+    }
+    return doc;
+}
+
+void
+RunLog::save(const std::string &basePath) const
+{
+    toCsv().save(basePath + ".csv");
+    toMetadata().save(basePath + ".md");
+}
+
+} // namespace record
+} // namespace sharp

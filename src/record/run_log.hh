@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The run log: SHARP's Logger component (§IV-d). Accumulates one
+ * record per concurrent instance per run ("tidy data"), then writes
+ * the CSV plus the accompanying metadata markdown. The metadata holds
+ * the field dictionary, SUT description, experiment configuration, and
+ * SHARP's own version, so a run can be recreated from its artifacts.
+ */
+
+#ifndef SHARP_RECORD_RUN_LOG_HH
+#define SHARP_RECORD_RUN_LOG_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "record/csv.hh"
+#include "record/metadata.hh"
+#include "record/sysinfo.hh"
+
+namespace sharp
+{
+namespace record
+{
+
+/** One logged measurement instance. */
+struct RunRecord
+{
+    /** 0-based run (round) index. */
+    size_t run = 0;
+    /** 0-based concurrent-instance index within the run. */
+    size_t instance = 0;
+    /** Workload (benchmark/function) name. */
+    std::string workload;
+    /** Backend name, e.g. "sim", "local", "faas". */
+    std::string backend;
+    /** Machine/worker identifier. */
+    std::string machine;
+    /** Day index of the environment (simulated runs). */
+    int day = 0;
+    /** True for discarded warmup runs (still logged, flagged). */
+    bool warmup = false;
+    /** Metric name -> value; must include the primary metric. */
+    std::map<std::string, double> metrics;
+};
+
+/**
+ * Accumulates run records and writes the paired CSV + metadata files.
+ */
+class RunLog
+{
+  public:
+    /**
+     * @param experimentName  logical name, used as the file title
+     * @param primaryMetric   the metric the stopping rule watches
+     */
+    RunLog(std::string experimentName,
+           std::string primaryMetric = "execution_time");
+
+    /** Append a record. */
+    void add(RunRecord record);
+
+    /** All records, in insertion order. */
+    const std::vector<RunRecord> &records() const { return entries; }
+
+    /** Number of records. */
+    size_t size() const { return entries.size(); }
+
+    /** Attach the SUT description included in the metadata. */
+    void setSystemInfo(SystemInfo info);
+
+    /** Attach experiment configuration entries (key -> value). */
+    void setConfigEntry(const std::string &key, const std::string &value);
+
+    /** Record a descriptive note for a metric column. */
+    void describeMetric(const std::string &name,
+                        const std::string &description);
+
+    /** Union of metric names across records, in first-seen order. */
+    std::vector<std::string> metricNames() const;
+
+    /** Values of the primary metric from non-warmup records. */
+    std::vector<double> primaryValues() const;
+
+    /** Build the tidy CSV table. */
+    CsvTable toCsv() const;
+
+    /** Build the metadata document (field dictionary + SUT + config). */
+    MetadataDocument toMetadata() const;
+
+    /**
+     * Write <basePath>.csv and <basePath>.md.
+     * @throws std::runtime_error on I/O failure.
+     */
+    void save(const std::string &basePath) const;
+
+  private:
+    std::string name;
+    std::string primary;
+    std::vector<RunRecord> entries;
+    SystemInfo sut;
+    bool sutSet = false;
+    std::vector<std::pair<std::string, std::string>> configEntries;
+    std::map<std::string, std::string> metricDocs;
+};
+
+} // namespace record
+} // namespace sharp
+
+#endif // SHARP_RECORD_RUN_LOG_HH

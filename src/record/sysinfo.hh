@@ -1,0 +1,55 @@
+/**
+ * @file
+ * System-Under-Test capture.
+ *
+ * The metadata file "includes the description of the hardware, OS,
+ * libraries, and software" (§IV-d). For real runs we read /proc and
+ * uname; for simulated runs the MachineSpec supplies the description.
+ * Either way the result is a metadata section that feeds the logger.
+ */
+
+#ifndef SHARP_RECORD_SYSINFO_HH
+#define SHARP_RECORD_SYSINFO_HH
+
+#include <string>
+#include <vector>
+
+#include "record/metadata.hh"
+#include "sim/machine.hh"
+
+namespace sharp
+{
+namespace record
+{
+
+/** Description of a System Under Test. */
+struct SystemInfo
+{
+    std::string hostname;
+    std::string os;
+    std::string kernel;
+    std::string cpuModel;
+    int cpuCores = 0;
+    long memoryMib = 0;
+    std::string gpuModel; // empty when none
+
+    /** True if this SUT was simulated rather than captured. */
+    bool simulated = false;
+
+    /** Add a "System Under Test" section to @p doc. */
+    void addToMetadata(MetadataDocument &doc) const;
+
+    /** Recover a SystemInfo from a metadata document. */
+    static SystemInfo fromMetadata(const MetadataDocument &doc);
+};
+
+/** Capture the real host via /proc and uname. */
+SystemInfo captureHostInfo();
+
+/** Describe a simulated machine model as a SUT. */
+SystemInfo describeSimulatedMachine(const sim::MachineSpec &machine);
+
+} // namespace record
+} // namespace sharp
+
+#endif // SHARP_RECORD_SYSINFO_HH

@@ -1,0 +1,217 @@
+#include "report/ascii_plot.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hh"
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace report
+{
+
+using util::formatDouble;
+
+std::string
+asciiHistogram(const stats::Histogram &histogram, size_t width)
+{
+    size_t peak = 0;
+    for (size_t i = 0; i < histogram.numBins(); ++i)
+        peak = std::max(peak, histogram.count(i));
+    if (peak == 0)
+        peak = 1;
+
+    // Label column width from the widest bin label.
+    std::vector<std::string> labels;
+    size_t label_width = 0;
+    for (size_t i = 0; i < histogram.numBins(); ++i) {
+        std::string label = formatDouble(histogram.center(i), 3);
+        label_width = std::max(label_width, label.size());
+        labels.push_back(std::move(label));
+    }
+
+    std::string out;
+    for (size_t i = 0; i < histogram.numBins(); ++i) {
+        size_t bar = histogram.count(i) * width / peak;
+        out += std::string(label_width - labels[i].size(), ' ') +
+               labels[i] + " | " + std::string(bar, '#') + " " +
+               std::to_string(histogram.count(i)) + "\n";
+    }
+    return out;
+}
+
+std::string
+asciiHistogram(const std::vector<double> &values, size_t width,
+               size_t maxBins)
+{
+    stats::Histogram h =
+        stats::Histogram::build(values, stats::BinRule::SturgesFdMin);
+    if (h.numBins() > maxBins)
+        h = stats::Histogram::buildWithBins(values, maxBins);
+    return asciiHistogram(h, width);
+}
+
+std::string
+asciiBoxplot(const std::vector<double> &values, size_t width)
+{
+    if (values.empty())
+        throw std::invalid_argument("asciiBoxplot requires a sample");
+    if (width < 10)
+        width = 10;
+
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    double mn = sorted.front();
+    double mx = sorted.back();
+    double q1 = stats::quantileSorted(sorted, 0.25);
+    double med = stats::quantileSorted(sorted, 0.5);
+    double q3 = stats::quantileSorted(sorted, 0.75);
+
+    auto position = [&](double v) -> size_t {
+        if (mx <= mn)
+            return width / 2;
+        double t = (v - mn) / (mx - mn);
+        return static_cast<size_t>(t * static_cast<double>(width - 1));
+    };
+
+    std::string line(width, ' ');
+    size_t p_min = position(mn), p_q1 = position(q1),
+           p_med = position(med), p_q3 = position(q3),
+           p_max = position(mx);
+    for (size_t i = p_min; i <= p_q1; ++i)
+        line[i] = '-';
+    for (size_t i = p_q3; i <= p_max; ++i)
+        line[i] = '-';
+    for (size_t i = p_q1; i <= p_q3; ++i)
+        line[i] = '=';
+    line[p_min] = '|';
+    line[p_max] = '|';
+    line[p_q1] = '[';
+    line[p_q3] = ']';
+    line[p_med] = '*';
+
+    return line + "\n" + "min=" + formatDouble(mn, 4) +
+           "  q1=" + formatDouble(q1, 4) +
+           "  median=" + formatDouble(med, 4) +
+           "  q3=" + formatDouble(q3, 4) +
+           "  max=" + formatDouble(mx, 4) + "\n";
+}
+
+std::string
+asciiHeatmap(const std::vector<std::vector<double>> &matrix,
+             const std::vector<std::string> &rowLabels,
+             const std::vector<std::string> &colLabels)
+{
+    if (matrix.empty())
+        throw std::invalid_argument("asciiHeatmap requires data");
+    size_t cols = matrix.front().size();
+    for (const auto &row : matrix) {
+        if (row.size() != cols)
+            throw std::invalid_argument("asciiHeatmap: ragged matrix");
+    }
+
+    double lo = matrix[0][0], hi = matrix[0][0];
+    for (const auto &row : matrix) {
+        for (double v : row) {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+
+    static const char shades[] = " .:-=+*#%@";
+    const size_t n_shades = sizeof(shades) - 2; // index of last shade
+    auto shade = [&](double v) {
+        if (hi <= lo)
+            return shades[n_shades / 2];
+        double t = (v - lo) / (hi - lo);
+        return shades[static_cast<size_t>(
+            t * static_cast<double>(n_shades))];
+    };
+
+    size_t label_width = 0;
+    for (const auto &label : rowLabels)
+        label_width = std::max(label_width, label.size());
+
+    std::string out;
+    const size_t cell = 5; // "=0.21" style cells
+    if (!colLabels.empty()) {
+        out += std::string(label_width + 1, ' ');
+        for (size_t c = 0; c < cols && c < colLabels.size(); ++c) {
+            std::string label = colLabels[c].substr(0, cell);
+            out += label + std::string(cell + 1 - label.size(), ' ');
+        }
+        out += "\n";
+    }
+    for (size_t r = 0; r < matrix.size(); ++r) {
+        std::string label =
+            r < rowLabels.size() ? rowLabels[r] : std::to_string(r);
+        out += label + std::string(label_width + 1 - label.size(), ' ');
+        for (double v : matrix[r]) {
+            std::string num = formatDouble(v, 2);
+            if (num.size() > cell - 1)
+                num = num.substr(0, cell - 1);
+            out += shade(v);
+            out += num + std::string(cell - num.size(), ' ');
+        }
+        out += "\n";
+    }
+    out += "scale: '" + std::string(1, shades[0]) + "'=" +
+           formatDouble(lo, 3) + " ... '" +
+           std::string(1, shades[n_shades]) + "'=" + formatDouble(hi, 3) +
+           "\n";
+    return out;
+}
+
+std::string
+asciiScatter(const std::vector<double> &x, const std::vector<double> &y,
+             size_t width, size_t height, const std::string &xLabel,
+             const std::string &yLabel)
+{
+    if (x.empty() || x.size() != y.size())
+        throw std::invalid_argument(
+            "asciiScatter requires matching non-empty x and y");
+    if (width < 8)
+        width = 8;
+    if (height < 4)
+        height = 4;
+
+    auto [min_x_it, max_x_it] = std::minmax_element(x.begin(), x.end());
+    auto [min_y_it, max_y_it] = std::minmax_element(y.begin(), y.end());
+    double min_x = *min_x_it, max_x = *max_x_it;
+    double min_y = *min_y_it, max_y = *max_y_it;
+    if (max_x <= min_x)
+        max_x = min_x + 1.0;
+    if (max_y <= min_y)
+        max_y = min_y + 1.0;
+
+    std::vector<std::string> grid(height, std::string(width, ' '));
+    for (size_t i = 0; i < x.size(); ++i) {
+        size_t col = static_cast<size_t>(
+            (x[i] - min_x) / (max_x - min_x) *
+            static_cast<double>(width - 1));
+        size_t row = static_cast<size_t>(
+            (y[i] - min_y) / (max_y - min_y) *
+            static_cast<double>(height - 1));
+        char &cell = grid[height - 1 - row][col];
+        if (cell == ' ')
+            cell = 'o';
+        else if (cell == 'o')
+            cell = 'O';
+        else
+            cell = '@';
+    }
+
+    std::string out = yLabel + " (" + formatDouble(min_y, 3) + " .. " +
+                      formatDouble(max_y, 3) + ")\n";
+    for (const auto &row : grid)
+        out += "|" + row + "\n";
+    out += "+" + std::string(width, '-') + "\n";
+    out += " " + xLabel + " (" + formatDouble(min_x, 3) + " .. " +
+           formatDouble(max_x, 3) + ")\n";
+    return out;
+}
+
+} // namespace report
+} // namespace sharp

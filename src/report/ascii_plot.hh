@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Terminal-friendly visualizations: histograms, boxplots, heatmaps,
+ * and scatter plots. The paper's Reporter renders figures through
+ * RMarkdown; this C++ port renders the same artifacts as monospace
+ * text so reports work anywhere (and diff cleanly in version control).
+ */
+
+#ifndef SHARP_REPORT_ASCII_PLOT_HH
+#define SHARP_REPORT_ASCII_PLOT_HH
+
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hh"
+
+namespace sharp
+{
+namespace report
+{
+
+/**
+ * Horizontal-bar histogram of @p values with the paper's default bin
+ * rule (min of Sturges and Freedman–Diaconis).
+ *
+ * @param values   the sample (non-empty)
+ * @param width    maximum bar width in characters
+ * @param maxBins  cap on displayed bins (re-binned if exceeded)
+ */
+std::string asciiHistogram(const std::vector<double> &values,
+                           size_t width = 50, size_t maxBins = 24);
+
+/** Histogram of a pre-built stats::Histogram. */
+std::string asciiHistogram(const stats::Histogram &histogram,
+                           size_t width = 50);
+
+/**
+ * One-line boxplot: |----[  |  ]-----| over the data range, showing
+ * min, Q1, median, Q3, max, annotated with the numbers.
+ */
+std::string asciiBoxplot(const std::vector<double> &values,
+                         size_t width = 60);
+
+/**
+ * Shaded heatmap of a matrix (e.g. the day-pair similarity matrices of
+ * Fig. 5b). Values are mapped onto " .:-=+*#%@" from min to max.
+ *
+ * @param matrix     row-major values; rows may not be ragged
+ * @param rowLabels  optional row labels (empty = indices)
+ * @param colLabels  optional column labels
+ */
+std::string asciiHeatmap(const std::vector<std::vector<double>> &matrix,
+                         const std::vector<std::string> &rowLabels = {},
+                         const std::vector<std::string> &colLabels = {});
+
+/**
+ * Scatter plot of (x, y) points on a character grid (Fig. 5a-style).
+ */
+std::string asciiScatter(const std::vector<double> &x,
+                         const std::vector<double> &y,
+                         size_t width = 60, size_t height = 20,
+                         const std::string &xLabel = "x",
+                         const std::string &yLabel = "y");
+
+} // namespace report
+} // namespace sharp
+
+#endif // SHARP_REPORT_ASCII_PLOT_HH

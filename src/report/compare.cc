@@ -1,0 +1,126 @@
+#include "report/compare.hh"
+
+#include <stdexcept>
+
+#include "report/ascii_plot.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+
+namespace sharp
+{
+namespace report
+{
+
+using util::formatDouble;
+
+ComparisonReport
+ComparisonReport::analyze(std::string nameA_in, std::vector<double> a,
+                          std::string nameB_in, std::vector<double> b)
+{
+    if (a.size() < 2 || b.size() < 2)
+        throw std::invalid_argument(
+            "ComparisonReport requires >= 2 samples per side");
+
+    ComparisonReport rep;
+    rep.nameA = std::move(nameA_in);
+    rep.nameB = std::move(nameB_in);
+    rep.summaryA = stats::Summary::compute(a);
+    rep.summaryB = stats::Summary::compute(b);
+    rep.meanSpeedup = rep.summaryB.mean != 0.0
+                          ? rep.summaryA.mean / rep.summaryB.mean
+                          : 0.0;
+    rep.medianSpeedup = rep.summaryB.median != 0.0
+                            ? rep.summaryA.median / rep.summaryB.median
+                            : 0.0;
+    rep.similarity = stats::SimilarityReport::compute(a, b);
+    rep.ks = stats::ksTest(a, b);
+    rep.mannWhitney = stats::mannWhitneyU(a, b);
+    rep.welch = stats::welchTTest(a, b);
+    rep.hedgesG = stats::hedgesG(a, b);
+    rep.cliffsDelta = stats::cliffsDelta(a, b);
+    rep.commonLanguage = stats::commonLanguageEffect(a, b);
+    rep.valuesA = std::move(a);
+    rep.valuesB = std::move(b);
+    return rep;
+}
+
+bool
+ComparisonReport::similarAt(double ksThreshold) const
+{
+    return similarity.ks < ksThreshold;
+}
+
+std::string
+ComparisonReport::renderMarkdown() const
+{
+    std::string out =
+        "## Comparison: " + nameA + " vs " + nameB + "\n\n";
+
+    util::TextTable table({"statistic", nameA, nameB});
+    auto addRow = [&](const char *label, double a, double b) {
+        table.addRow({label, formatDouble(a, 5), formatDouble(b, 5)});
+    };
+    table.addRow({"n", std::to_string(summaryA.n),
+                  std::to_string(summaryB.n)});
+    addRow("mean", summaryA.mean, summaryB.mean);
+    addRow("median", summaryA.median, summaryB.median);
+    addRow("std dev", summaryA.stddev, summaryB.stddev);
+    addRow("min", summaryA.min, summaryB.min);
+    addRow("max", summaryA.max, summaryB.max);
+    addRow("p95", summaryA.p95, summaryB.p95);
+    out += table.renderMarkdown() + "\n";
+
+    out += "**Speedup (" + nameB + " over " + nameA + ")**: mean " +
+           formatDouble(meanSpeedup, 3) + "x, median " +
+           formatDouble(medianSpeedup, 3) + "x\n\n";
+
+    util::TextTable sim({"similarity metric", "value"});
+    sim.addRow({"NAMD (point-summary)",
+                formatDouble(similarity.namd, 4)});
+    sim.addRow({"KS distance (distribution)",
+                formatDouble(similarity.ks, 4)});
+    sim.addRow({"Wasserstein-1", formatDouble(similarity.wasserstein, 4)});
+    sim.addRow({"overlap coefficient",
+                formatDouble(similarity.overlap, 4)});
+    sim.addRow({"Jensen-Shannon", formatDouble(similarity.jensenShannon,
+                                               4)});
+    out += sim.renderMarkdown() + "\n";
+
+    util::TextTable effects({"effect size", "value", "reading"});
+    effects.addRow({"Hedges' g", formatDouble(hedgesG, 3),
+                    "standardized mean difference"});
+    effects.addRow({"Cliff's delta", formatDouble(cliffsDelta, 3),
+                    stats::cliffsDeltaMagnitude(cliffsDelta)});
+    effects.addRow({"P(" + nameA + " > " + nameB + ")",
+                    formatDouble(commonLanguage, 3),
+                    "common-language effect"});
+    out += effects.renderMarkdown() + "\n";
+
+    util::TextTable tests({"test", "statistic", "p-value"});
+    tests.addRow({"Kolmogorov-Smirnov", formatDouble(ks.statistic, 4),
+                  formatDouble(ks.pValue, 5)});
+    tests.addRow({"Mann-Whitney U",
+                  formatDouble(mannWhitney.statistic, 1),
+                  formatDouble(mannWhitney.pValue, 5)});
+    tests.addRow({"Welch t", formatDouble(welch.statistic, 3),
+                  formatDouble(welch.pValue, 5)});
+    out += tests.renderMarkdown() + "\n";
+
+    out += "### " + nameA + "\n\n```\n" + asciiHistogram(valuesA) +
+           "```\n\n### " + nameB + "\n\n```\n" + asciiHistogram(valuesB) +
+           "```\n";
+    return out;
+}
+
+std::string
+ComparisonReport::renderBrief() const
+{
+    return nameA + " vs " + nameB + ": speedup " +
+           formatDouble(meanSpeedup, 3) + "x, NAMD " +
+           formatDouble(similarity.namd, 3) + ", KS " +
+           formatDouble(similarity.ks, 3) +
+           (similarAt() ? " (similar)" : " (dissimilar)");
+}
+
+} // namespace report
+} // namespace sharp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Two-sample comparison reports — the artifact behind the paper's GPU
+ * comparison use case (Figs. 8, 9) and the day-to-day similarity study
+ * (Fig. 5). Combines point-summary speedups, distribution similarity
+ * metrics (NAMD vs. KS — the paper's central contrast), and hypothesis
+ * tests into one rendered document.
+ */
+
+#ifndef SHARP_REPORT_COMPARE_HH
+#define SHARP_REPORT_COMPARE_HH
+
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.hh"
+#include "stats/effect_size.hh"
+#include "stats/similarity.hh"
+#include "stats/tests.hh"
+
+namespace sharp
+{
+namespace report
+{
+
+/**
+ * A complete A-vs-B comparison.
+ */
+struct ComparisonReport
+{
+    std::string nameA;
+    std::string nameB;
+    stats::Summary summaryA;
+    stats::Summary summaryB;
+    /** mean(A)/mean(B): > 1 means B is faster (for time metrics). */
+    double meanSpeedup = 1.0;
+    /** median(A)/median(B). */
+    double medianSpeedup = 1.0;
+    stats::SimilarityReport similarity;
+    stats::TestResult ks;
+    stats::TestResult mannWhitney;
+    stats::TestResult welch;
+    /** Standardized mean difference (bias-corrected). */
+    double hedgesG = 0.0;
+    /** Rank-based effect size in [-1, 1]. */
+    double cliffsDelta = 0.0;
+    /** P(a random A sample exceeds a random B sample). */
+    double commonLanguage = 0.5;
+    /** Retained samples for rendering. */
+    std::vector<double> valuesA;
+    std::vector<double> valuesB;
+
+    /** Analyze two samples (each >= 2 points). */
+    static ComparisonReport analyze(std::string nameA,
+                                    std::vector<double> a,
+                                    std::string nameB,
+                                    std::vector<double> b);
+
+    /**
+     * Are the two distributions similar at the paper's operating
+     * point? True when the KS distance is below @p ksThreshold.
+     */
+    bool similarAt(double ksThreshold = 0.1) const;
+
+    /** Render as markdown (tables + overlaid histograms). */
+    std::string renderMarkdown() const;
+
+    /** Render a compact one-line verdict. */
+    std::string renderBrief() const;
+};
+
+} // namespace report
+} // namespace sharp
+
+#endif // SHARP_REPORT_COMPARE_HH

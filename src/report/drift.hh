@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Day-over-day (run-over-run) drift analysis — the library form of
+ * the paper's Fig. 5 study: pairwise NAMD and KS matrices over a set
+ * of repeated measurement sessions, the count of dissimilar pairs,
+ * and the most "NAMD-blind" pair (similar means, different shape),
+ * like the paper's hotspot day-3 vs day-5 highlight.
+ */
+
+#ifndef SHARP_REPORT_DRIFT_HH
+#define SHARP_REPORT_DRIFT_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sharp
+{
+namespace report
+{
+
+/**
+ * Pairwise similarity analysis over k sessions of the same workload.
+ */
+class DriftReport
+{
+  public:
+    /**
+     * Analyze k labeled sessions.
+     *
+     * @param labels  one label per session (e.g. "day1".."day5")
+     * @param samples one sample vector per session (each >= 2 values)
+     * @throws std::invalid_argument on mismatched sizes or < 2 sessions
+     */
+    static DriftReport analyze(
+        std::vector<std::string> labels,
+        const std::vector<std::vector<double>> &samples);
+
+    /** Session labels. */
+    const std::vector<std::string> &sessionLabels() const
+    {
+        return labels;
+    }
+
+    /** Pairwise KS matrix (symmetric, zero diagonal). */
+    const std::vector<std::vector<double>> &ksMatrix() const
+    {
+        return ks;
+    }
+
+    /** Pairwise NAMD matrix (symmetric, zero diagonal). */
+    const std::vector<std::vector<double>> &namdMatrix() const
+    {
+        return namd;
+    }
+
+    /** KDE mode count of each session. */
+    const std::vector<size_t> &modeCounts() const { return modes; }
+
+    /** Number of unordered session pairs. */
+    size_t totalPairs() const;
+
+    /** Pairs whose KS distance exceeds @p ksThreshold. */
+    size_t dissimilarPairs(double ksThreshold = 0.1) const;
+
+    /**
+     * Pairs the point-summary metric is blind to: NAMD below
+     * @p namdThreshold while KS exceeds @p ksThreshold.
+     */
+    size_t blindPairs(double namdThreshold = 0.05,
+                      double ksThreshold = 0.1) const;
+
+    /**
+     * The pair with the largest KS-minus-NAMD gap, preferring pairs
+     * whose mode counts differ (the Fig. 5c situation). Returns
+     * (i, j) with i < j.
+     */
+    std::pair<size_t, size_t> mostShapeDivergentPair() const;
+
+    /** Render the matrices and findings as markdown + ASCII heatmaps. */
+    std::string renderMarkdown() const;
+
+  private:
+    DriftReport() = default;
+
+    std::vector<std::string> labels;
+    std::vector<std::vector<double>> ks;
+    std::vector<std::vector<double>> namd;
+    std::vector<size_t> modes;
+};
+
+} // namespace report
+} // namespace sharp
+
+#endif // SHARP_REPORT_DRIFT_HH

@@ -1,0 +1,84 @@
+#include "report/gate.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hh"
+#include "stats/ecdf.hh"
+#include "stats/tests.hh"
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace report
+{
+
+GateResult
+evaluateGate(const std::vector<double> &baseline,
+             const std::vector<double> &candidate,
+             const GateConfig &config)
+{
+    if (baseline.size() < 5 || candidate.size() < 5)
+        throw std::invalid_argument(
+            "evaluateGate requires >= 5 runs per sample");
+
+    GateResult result;
+    double base_median = stats::median(baseline);
+    double cand_median = stats::median(candidate);
+    if (base_median == 0.0)
+        throw std::invalid_argument("baseline median is zero");
+
+    double change = (cand_median - base_median) / std::fabs(base_median);
+    result.medianChange = config.largerIsWorse ? change : -change;
+    result.mannWhitneyP =
+        stats::mannWhitneyU(baseline, candidate).pValue;
+
+    // Shape comparison with medians aligned: a uniform speedup or
+    // slowdown is a *location* change (judged by the median rule), not
+    // a shape change. Shifting the candidate onto the baseline median
+    // isolates spread/modality/tail differences.
+    std::vector<double> aligned = candidate;
+    double shift = base_median - cand_median;
+    for (double &v : aligned)
+        v += shift;
+    stats::TestResult ks_aligned = stats::ksTest(baseline, aligned);
+    result.ksDistance = ks_aligned.statistic;
+
+    bool evidence = result.mannWhitneyP < config.alpha;
+    bool slower = result.medianChange > config.maxSlowdown;
+    // A shape verdict needs both a material distance and statistical
+    // significance — raw KS noise at small n easily exceeds any fixed
+    // threshold.
+    bool reshaped = result.ksDistance > config.maxKsDistance &&
+                    ks_aligned.pValue < config.alpha;
+
+    using util::formatDouble;
+    if (evidence && slower) {
+        result.pass = false;
+        result.verdict = "FAIL: median regressed " +
+                         formatDouble(result.medianChange * 100.0, 1) +
+                         "% (limit " +
+                         formatDouble(config.maxSlowdown * 100.0, 1) +
+                         "%), Mann-Whitney p = " +
+                         formatDouble(result.mannWhitneyP, 5);
+    } else if (reshaped) {
+        result.pass = false;
+        result.verdict =
+            "FAIL: distribution shape changed (KS " +
+            formatDouble(result.ksDistance, 3) + " > " +
+            formatDouble(config.maxKsDistance, 3) +
+            ") — new modes or tails even though the median held";
+    } else {
+        result.pass = true;
+        result.verdict = "PASS: median change " +
+                         formatDouble(result.medianChange * 100.0, 1) +
+                         "%, KS " +
+                         formatDouble(result.ksDistance, 3) +
+                         ", Mann-Whitney p = " +
+                         formatDouble(result.mannWhitneyP, 4);
+    }
+    return result;
+}
+
+} // namespace report
+} // namespace sharp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Automated performance-regression gating.
+ *
+ * The paper's related work notes that "regression testing of the
+ * variability can be accomplished with enough repetitions and using
+ * the Mann-Whitney U test" (Eismann et al.) and that Popper includes
+ * "automated performance regression testing" among reproducibility
+ * practices. This module provides that artifact: compare a candidate
+ * run against a recorded baseline and emit a pass/fail verdict fit for
+ * CI pipelines.
+ *
+ * A candidate FAILS the gate when there is both statistical evidence
+ * of a change (Mann–Whitney) *and* a practically meaningful effect:
+ * a median slowdown beyond the tolerance, or — because SHARP treats
+ * the distribution as the artifact — a KS shape change beyond the
+ * threshold even at equal medians (a new mode or a fatter tail is a
+ * regression of predictability).
+ */
+
+#ifndef SHARP_REPORT_GATE_HH
+#define SHARP_REPORT_GATE_HH
+
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace report
+{
+
+/** Gate thresholds. */
+struct GateConfig
+{
+    /** Allowed relative median slowdown (0.05 = +5%). */
+    double maxSlowdown = 0.05;
+    /** Allowed KS distance between baseline and candidate shapes. */
+    double maxKsDistance = 0.15;
+    /** Significance level for the Mann–Whitney evidence test. */
+    double alpha = 0.01;
+    /** True when larger metric values are worse (run times). */
+    bool largerIsWorse = true;
+};
+
+/** Gate outcome. */
+struct GateResult
+{
+    /** True when the candidate passes. */
+    bool pass = true;
+    /** Relative median change, positive = slower (when largerIsWorse). */
+    double medianChange = 0.0;
+    /** KS distance after aligning medians (pure shape difference). */
+    double ksDistance = 0.0;
+    /** Mann–Whitney p-value. */
+    double mannWhitneyP = 1.0;
+    /** Human-readable verdict. */
+    std::string verdict;
+};
+
+/**
+ * Evaluate a candidate against a baseline.
+ *
+ * @param baseline  recorded reference sample (>= 20 runs recommended)
+ * @param candidate new sample to judge
+ * @param config    thresholds
+ * @throws std::invalid_argument for samples with < 5 runs
+ */
+GateResult evaluateGate(const std::vector<double> &baseline,
+                        const std::vector<double> &candidate,
+                        const GateConfig &config = GateConfig());
+
+} // namespace report
+} // namespace sharp
+
+#endif // SHARP_REPORT_GATE_HH

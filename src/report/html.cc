@@ -1,0 +1,337 @@
+#include "report/html.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "stats/ecdf.hh"
+#include "stats/histogram.hh"
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace report
+{
+
+using util::formatDouble;
+
+std::string
+htmlEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+constexpr int marginLeft = 46;
+constexpr int marginBottom = 26;
+constexpr int marginTop = 10;
+constexpr int marginRight = 12;
+
+std::string
+svgOpen(int width, int height)
+{
+    return "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+           std::to_string(width) + "\" height=\"" +
+           std::to_string(height) + "\" viewBox=\"0 0 " +
+           std::to_string(width) + " " + std::to_string(height) +
+           "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+}
+
+std::string
+axisLabels(double lo, double hi, int width, int height)
+{
+    std::string out;
+    int plot_w = width - marginLeft - marginRight;
+    for (int tick = 0; tick <= 4; ++tick) {
+        double frac = static_cast<double>(tick) / 4.0;
+        double value = lo + frac * (hi - lo);
+        int x = marginLeft + static_cast<int>(frac * plot_w);
+        out += "<text x=\"" + std::to_string(x) + "\" y=\"" +
+               std::to_string(height - 8) +
+               "\" text-anchor=\"middle\" fill=\"#555\">" +
+               formatDouble(value, 3) + "</text>\n";
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+svgHistogram(const std::vector<double> &values, int width, int height,
+             const std::string &color)
+{
+    if (values.empty())
+        throw std::invalid_argument("svgHistogram requires a sample");
+    if (width < 120 || height < 80)
+        throw std::invalid_argument("svgHistogram figure too small");
+
+    stats::Histogram hist =
+        stats::Histogram::build(values, stats::BinRule::SturgesFdMin);
+    if (hist.numBins() > 64)
+        hist = stats::Histogram::buildWithBins(values, 64);
+
+    size_t peak = 1;
+    for (size_t i = 0; i < hist.numBins(); ++i)
+        peak = std::max(peak, hist.count(i));
+
+    int plot_w = width - marginLeft - marginRight;
+    int plot_h = height - marginTop - marginBottom;
+    double bar_w =
+        static_cast<double>(plot_w) / static_cast<double>(hist.numBins());
+
+    std::string svg = svgOpen(width, height);
+    // Axes.
+    svg += "<line x1=\"" + std::to_string(marginLeft) + "\" y1=\"" +
+           std::to_string(marginTop + plot_h) + "\" x2=\"" +
+           std::to_string(marginLeft + plot_w) + "\" y2=\"" +
+           std::to_string(marginTop + plot_h) +
+           "\" stroke=\"#999\"/>\n";
+    svg += "<line x1=\"" + std::to_string(marginLeft) + "\" y1=\"" +
+           std::to_string(marginTop) + "\" x2=\"" +
+           std::to_string(marginLeft) + "\" y2=\"" +
+           std::to_string(marginTop + plot_h) +
+           "\" stroke=\"#999\"/>\n";
+
+    for (size_t i = 0; i < hist.numBins(); ++i) {
+        double frac = static_cast<double>(hist.count(i)) /
+                      static_cast<double>(peak);
+        int bar_h = static_cast<int>(std::lround(frac * plot_h));
+        int x = marginLeft + static_cast<int>(
+                                 std::floor(bar_w * static_cast<double>(
+                                                        i)));
+        int y = marginTop + plot_h - bar_h;
+        svg += "<rect x=\"" + std::to_string(x) + "\" y=\"" +
+               std::to_string(y) + "\" width=\"" +
+               formatDouble(std::max(1.0, bar_w - 1.0), 2) +
+               "\" height=\"" + std::to_string(bar_h) + "\" fill=\"" +
+               htmlEscape(color) + "\"><title>" +
+               formatDouble(hist.center(i), 4) + ": " +
+               std::to_string(hist.count(i)) + "</title></rect>\n";
+    }
+
+    // Peak count on the y axis.
+    svg += "<text x=\"" + std::to_string(marginLeft - 4) + "\" y=\"" +
+           std::to_string(marginTop + 10) +
+           "\" text-anchor=\"end\" fill=\"#555\">" +
+           std::to_string(peak) + "</text>\n";
+    svg += axisLabels(hist.lowerBound(), hist.upperBound(), width,
+                      height);
+    svg += "</svg>\n";
+    return svg;
+}
+
+std::string
+svgEcdfOverlay(const std::vector<double> &a, const std::string &labelA,
+               const std::vector<double> &b, const std::string &labelB,
+               int width, int height)
+{
+    if (a.empty() || b.empty())
+        throw std::invalid_argument("svgEcdfOverlay requires samples");
+    if (width < 120 || height < 80)
+        throw std::invalid_argument("svgEcdfOverlay figure too small");
+
+    stats::Ecdf fa(a), fb(b);
+    double lo = std::min(fa.sortedSample().front(),
+                         fb.sortedSample().front());
+    double hi = std::max(fa.sortedSample().back(),
+                         fb.sortedSample().back());
+    if (hi <= lo)
+        hi = lo + 1.0;
+
+    int plot_w = width - marginLeft - marginRight;
+    int plot_h = height - marginTop - marginBottom;
+
+    auto polyline = [&](const stats::Ecdf &f, const char *color) {
+        std::string points;
+        const auto &sorted = f.sortedSample();
+        double n = static_cast<double>(sorted.size());
+        points += formatDouble(marginLeft, 1) + "," +
+                  formatDouble(marginTop + plot_h, 1) + " ";
+        for (size_t i = 0; i < sorted.size(); ++i) {
+            double x = marginLeft +
+                       (sorted[i] - lo) / (hi - lo) * plot_w;
+            double y_prev = marginTop + plot_h -
+                            static_cast<double>(i) / n * plot_h;
+            double y = marginTop + plot_h -
+                       static_cast<double>(i + 1) / n * plot_h;
+            points += formatDouble(x, 1) + "," +
+                      formatDouble(y_prev, 1) + " ";
+            points += formatDouble(x, 1) + "," + formatDouble(y, 1) +
+                      " ";
+        }
+        points += formatDouble(marginLeft + plot_w, 1) + "," +
+                  formatDouble(marginTop, 1);
+        return "<polyline fill=\"none\" stroke=\"" +
+               std::string(color) + "\" stroke-width=\"1.5\" points=\"" +
+               points + "\"/>\n";
+    };
+
+    std::string svg = svgOpen(width, height);
+    svg += "<line x1=\"" + std::to_string(marginLeft) + "\" y1=\"" +
+           std::to_string(marginTop + plot_h) + "\" x2=\"" +
+           std::to_string(marginLeft + plot_w) + "\" y2=\"" +
+           std::to_string(marginTop + plot_h) +
+           "\" stroke=\"#999\"/>\n";
+    svg += polyline(fa, "#4878d0");
+    svg += polyline(fb, "#d65f5f");
+    svg += "<text x=\"" + std::to_string(marginLeft + 8) + "\" y=\"" +
+           std::to_string(marginTop + 14) +
+           "\" fill=\"#4878d0\">" + htmlEscape(labelA) + "</text>\n";
+    svg += "<text x=\"" + std::to_string(marginLeft + 8) + "\" y=\"" +
+           std::to_string(marginTop + 28) +
+           "\" fill=\"#d65f5f\">" + htmlEscape(labelB) + "</text>\n";
+    svg += axisLabels(lo, hi, width, height);
+    svg += "</svg>\n";
+    return svg;
+}
+
+namespace
+{
+
+std::string
+htmlHeader(const std::string &title)
+{
+    return "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+           "<title>" +
+           htmlEscape(title) +
+           "</title>\n<style>\n"
+           "body { font-family: sans-serif; margin: 2em; color: #222; }\n"
+           "table { border-collapse: collapse; margin: 1em 0; }\n"
+           "td, th { border: 1px solid #ccc; padding: 4px 10px; "
+           "text-align: left; }\n"
+           "th { background: #f0f0f0; }\n"
+           "h1, h2 { color: #333; }\n"
+           ".footer { color: #888; font-size: 0.85em; margin-top: 2em; }\n"
+           "</style></head><body>\n";
+}
+
+std::string
+htmlFooter()
+{
+    return "<div class=\"footer\">generated by sharp-cpp 1.0.0 — "
+           "distributions, not point summaries.</div>\n</body></html>\n";
+}
+
+std::string
+summaryTable(const stats::Summary &s)
+{
+    auto row = [](const std::string &k, const std::string &v) {
+        return "<tr><th>" + k + "</th><td>" + v + "</td></tr>\n";
+    };
+    std::string out = "<table>\n";
+    out += row("n", std::to_string(s.n));
+    out += row("mean", formatDouble(s.mean, 5));
+    out += row("std dev", formatDouble(s.stddev, 5));
+    out += row("median", formatDouble(s.median, 5));
+    out += row("min / max",
+               formatDouble(s.min, 5) + " / " + formatDouble(s.max, 5));
+    out += row("q1 / q3",
+               formatDouble(s.q1, 5) + " / " + formatDouble(s.q3, 5));
+    out += row("p95 / p99", formatDouble(s.p95, 5) + " / " +
+                                formatDouble(s.p99, 5));
+    out += row("skewness", formatDouble(s.skewness, 4));
+    out += row("excess kurtosis", formatDouble(s.excessKurtosis, 4));
+    out += row("CV", formatDouble(s.coefficientOfVariation, 5));
+    out += "</table>\n";
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+renderHtml(const DistributionReport &report)
+{
+    std::string html = htmlHeader("SHARP report: " + report.name);
+    html += "<h1>Distribution report: " + htmlEscape(report.name) +
+            "</h1>\n";
+    html += summaryTable(report.summary);
+    html += "<p><b>Distribution class</b>: " +
+            htmlEscape(core::distributionClassName(
+                report.classification.cls)) +
+            " <i>(" + htmlEscape(report.classification.rationale) +
+            ")</i></p>\n";
+    html += "<p><b>95% CI (mean)</b>: [" +
+            formatDouble(report.meanCi.lower, 5) + ", " +
+            formatDouble(report.meanCi.upper, 5) +
+            "] &nbsp; <b>95% CI (median)</b>: [" +
+            formatDouble(report.medianCi.lower, 5) + ", " +
+            formatDouble(report.medianCi.upper, 5) + "]</p>\n";
+    html += "<h2>Modes (" + std::to_string(report.modes.size()) +
+            ")</h2>\n<ul>\n";
+    for (const auto &mode : report.modes) {
+        html += "<li>at " + formatDouble(mode.location, 4) + " with " +
+                formatDouble(mode.mass * 100.0, 1) + "% of mass</li>\n";
+    }
+    html += "</ul>\n<h2>Histogram</h2>\n";
+    html += svgHistogram(report.values);
+    html += htmlFooter();
+    return html;
+}
+
+std::string
+renderHtml(const ComparisonReport &report)
+{
+    std::string html = htmlHeader("SHARP comparison: " + report.nameA +
+                                  " vs " + report.nameB);
+    html += "<h1>" + htmlEscape(report.nameA) + " vs " +
+            htmlEscape(report.nameB) + "</h1>\n";
+    html += "<p><b>Speedup</b>: mean " +
+            formatDouble(report.meanSpeedup, 3) + "&times;, median " +
+            formatDouble(report.medianSpeedup, 3) + "&times;</p>\n";
+
+    html += "<table>\n<tr><th>metric</th><th>value</th></tr>\n";
+    auto row = [&](const std::string &k, double v) {
+        html += "<tr><th>" + k + "</th><td>" + formatDouble(v, 4) +
+                "</td></tr>\n";
+    };
+    row("NAMD (point-summary)", report.similarity.namd);
+    row("KS distance (distribution)", report.similarity.ks);
+    row("Wasserstein-1", report.similarity.wasserstein);
+    row("overlap coefficient", report.similarity.overlap);
+    row("Jensen-Shannon divergence", report.similarity.jensenShannon);
+    row("Hedges' g", report.hedgesG);
+    row("Cliff's delta", report.cliffsDelta);
+    row("KS test p-value", report.ks.pValue);
+    row("Mann-Whitney p-value", report.mannWhitney.pValue);
+    row("Welch t p-value", report.welch.pValue);
+    html += "</table>\n";
+
+    html += "<h2>Empirical CDFs</h2>\n";
+    html += svgEcdfOverlay(report.valuesA, report.nameA, report.valuesB,
+                           report.nameB);
+    html += "<h2>" + htmlEscape(report.nameA) + "</h2>\n";
+    html += svgHistogram(report.valuesA, 640, 220, "#4878d0");
+    html += "<h2>" + htmlEscape(report.nameB) + "</h2>\n";
+    html += svgHistogram(report.valuesB, 640, 220, "#d65f5f");
+    html += htmlFooter();
+    return html;
+}
+
+void
+saveHtml(const std::string &html, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot open HTML file for writing: " +
+                                 path);
+    out << html;
+    if (!out)
+        throw std::runtime_error("error writing HTML file: " + path);
+}
+
+} // namespace report
+} // namespace sharp

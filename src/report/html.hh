@@ -1,0 +1,64 @@
+/**
+ * @file
+ * HTML export of reports with embedded SVG figures.
+ *
+ * The paper's Reporter renders RMarkdown to "PDF, DOCX, LaTeX, HTML,
+ * or PPTX". This module covers the HTML target natively: standalone
+ * documents (no external assets) with real vector figures — histogram
+ * bars and ECDF overlays — so a report opens in any browser exactly as
+ * generated.
+ */
+
+#ifndef SHARP_REPORT_HTML_HH
+#define SHARP_REPORT_HTML_HH
+
+#include <string>
+#include <vector>
+
+#include "report/compare.hh"
+#include "report/report.hh"
+
+namespace sharp
+{
+namespace report
+{
+
+/** Escape text for inclusion in HTML element content. */
+std::string htmlEscape(const std::string &text);
+
+/**
+ * Histogram of @p values as a standalone SVG element, binned with the
+ * paper's min(Sturges, FD) rule.
+ *
+ * @param values non-empty sample
+ * @param width  figure width in px
+ * @param height figure height in px
+ * @param color  CSS fill color for the bars
+ */
+std::string svgHistogram(const std::vector<double> &values,
+                         int width = 640, int height = 260,
+                         const std::string &color = "#4878d0");
+
+/**
+ * Overlayed empirical CDFs of two samples — the picture behind the KS
+ * statistic; the vertical gap at any x is |F1(x) - F2(x)|.
+ */
+std::string svgEcdfOverlay(const std::vector<double> &a,
+                           const std::string &labelA,
+                           const std::vector<double> &b,
+                           const std::string &labelB, int width = 640,
+                           int height = 260);
+
+/** Render a single-distribution report as a standalone HTML page. */
+std::string renderHtml(const DistributionReport &report);
+
+/** Render a comparison report as a standalone HTML page. */
+std::string renderHtml(const ComparisonReport &report);
+
+/** Write HTML to a file. @throws std::runtime_error on I/O failure. */
+void saveHtml(const std::string &html, const std::string &path);
+
+} // namespace report
+} // namespace sharp
+
+#endif // SHARP_REPORT_HTML_HH

@@ -1,0 +1,88 @@
+#include "report/report.hh"
+
+#include <stdexcept>
+
+#include "report/ascii_plot.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+
+namespace sharp
+{
+namespace report
+{
+
+using util::formatDouble;
+
+DistributionReport
+DistributionReport::analyze(std::string name, std::vector<double> values)
+{
+    if (values.size() < 2)
+        throw std::invalid_argument(
+            "DistributionReport requires >= 2 samples");
+
+    DistributionReport rep;
+    rep.name = std::move(name);
+    rep.summary = stats::Summary::compute(values);
+    rep.meanCi = stats::meanCi(values, 0.95);
+    rep.medianCi = stats::medianCi(values, 0.95);
+    rep.modes = stats::findModes(values, 0.15);
+    core::ClassifierConfig cfg;
+    cfg.minSamples = std::min<size_t>(cfg.minSamples, values.size());
+    rep.classification = core::classifyDistribution(values, cfg);
+    rep.values = std::move(values);
+    return rep;
+}
+
+std::string
+DistributionReport::renderMarkdown() const
+{
+    std::string out = "## Distribution report: " + name + "\n\n";
+
+    util::TextTable table({"statistic", "value"});
+    table.addRow({"n", std::to_string(summary.n)});
+    table.addRow({"mean", formatDouble(summary.mean, 5)});
+    table.addRow({"std dev", formatDouble(summary.stddev, 5)});
+    table.addRow({"median", formatDouble(summary.median, 5)});
+    table.addRow({"min", formatDouble(summary.min, 5)});
+    table.addRow({"max", formatDouble(summary.max, 5)});
+    table.addRow({"q1", formatDouble(summary.q1, 5)});
+    table.addRow({"q3", formatDouble(summary.q3, 5)});
+    table.addRow({"p95", formatDouble(summary.p95, 5)});
+    table.addRow({"p99", formatDouble(summary.p99, 5)});
+    table.addRow({"skewness", formatDouble(summary.skewness, 4)});
+    table.addRow({"excess kurtosis",
+                  formatDouble(summary.excessKurtosis, 4)});
+    table.addRow({"CV", formatDouble(summary.coefficientOfVariation, 5)});
+    table.addRow({"95% CI (mean)",
+                  "[" + formatDouble(meanCi.lower, 5) + ", " +
+                      formatDouble(meanCi.upper, 5) + "]"});
+    table.addRow({"95% CI (median)",
+                  "[" + formatDouble(medianCi.lower, 5) + ", " +
+                      formatDouble(medianCi.upper, 5) + "]"});
+    out += table.renderMarkdown() + "\n";
+
+    out += "**Distribution class**: " +
+           std::string(core::distributionClassName(classification.cls)) +
+           " (" + classification.rationale + ")\n\n";
+
+    out += "**Modes** (" + std::to_string(modes.size()) + "):\n\n";
+    for (const auto &mode : modes) {
+        out += "- at " + formatDouble(mode.location, 4) + " with " +
+               formatDouble(mode.mass * 100.0, 1) + "% of mass\n";
+    }
+    out += "\n### Histogram\n\n```\n" + asciiHistogram(values) +
+           "```\n\n### Boxplot\n\n```\n" + asciiBoxplot(values) +
+           "```\n";
+    return out;
+}
+
+std::string
+DistributionReport::renderBrief() const
+{
+    return name + ": " + summary.toString() + ", " +
+           std::to_string(modes.size()) + " mode(s), class " +
+           core::distributionClassName(classification.cls);
+}
+
+} // namespace report
+} // namespace sharp

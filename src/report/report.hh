@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The Reporter (§IV-e): turns raw samples into a human-friendly
+ * distribution report — descriptive statistics, confidence intervals,
+ * modality analysis, normality tests, and an ASCII histogram/boxplot —
+ * rendered as markdown. The same data feeds ComparisonReport
+ * (report/compare.hh) for two-system comparisons.
+ */
+
+#ifndef SHARP_REPORT_REPORT_HH
+#define SHARP_REPORT_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/classifier.hh"
+#include "stats/ci.hh"
+#include "stats/descriptive.hh"
+#include "stats/kde.hh"
+
+namespace sharp
+{
+namespace report
+{
+
+/**
+ * A complete single-distribution analysis.
+ */
+struct DistributionReport
+{
+    std::string name;
+    stats::Summary summary;
+    stats::ConfidenceInterval meanCi;
+    stats::ConfidenceInterval medianCi;
+    std::vector<stats::Mode> modes;
+    core::Classification classification;
+    /** The analyzed values (retained for rendering). */
+    std::vector<double> values;
+
+    /**
+     * Analyze a sample.
+     * @param name   label used in the rendering
+     * @param values the sample (>= 8 points for a meaningful report)
+     */
+    static DistributionReport analyze(std::string name,
+                                      std::vector<double> values);
+
+    /** Render as markdown (tables + ASCII figures). */
+    std::string renderMarkdown() const;
+
+    /** Render a compact one-paragraph text summary. */
+    std::string renderBrief() const;
+};
+
+} // namespace report
+} // namespace sharp
+
+#endif // SHARP_REPORT_REPORT_HH

@@ -1,0 +1,139 @@
+#include "rng/synthetic.hh"
+
+#include <stdexcept>
+
+namespace sharp
+{
+namespace rng
+{
+
+const char *
+syntheticClassName(SyntheticClass cls)
+{
+    switch (cls) {
+      case SyntheticClass::Normal: return "normal";
+      case SyntheticClass::LogNormal: return "lognormal";
+      case SyntheticClass::Uniform: return "uniform";
+      case SyntheticClass::LogUniform: return "loguniform";
+      case SyntheticClass::Logistic: return "logistic";
+      case SyntheticClass::Bimodal: return "bimodal";
+      case SyntheticClass::Multimodal: return "multimodal";
+      case SyntheticClass::Autocorrelated: return "autocorrelated";
+      case SyntheticClass::HeavyTail: return "heavytail";
+      case SyntheticClass::Constant: return "constant";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+std::shared_ptr<Sampler>
+makeNormal()
+{
+    return std::make_shared<NormalSampler>(10.0, 0.5);
+}
+
+std::shared_ptr<Sampler>
+makeLogNormal()
+{
+    // Median exp(2) ~ 7.4 s, strong right skew.
+    return std::make_shared<LogNormalSampler>(2.0, 0.5);
+}
+
+std::shared_ptr<Sampler>
+makeUniform()
+{
+    return std::make_shared<UniformSampler>(5.0, 15.0);
+}
+
+std::shared_ptr<Sampler>
+makeLogUniform()
+{
+    return std::make_shared<LogUniformSampler>(1.0, 100.0);
+}
+
+std::shared_ptr<Sampler>
+makeLogistic()
+{
+    return std::make_shared<LogisticSampler>(10.0, 0.6);
+}
+
+std::shared_ptr<Sampler>
+makeBimodal()
+{
+    // Two well-separated operating points, e.g. boosted vs. throttled
+    // clock states.
+    std::vector<MixtureSampler::Component> comps;
+    comps.push_back({0.6, std::make_shared<NormalSampler>(8.0, 0.3)});
+    comps.push_back({0.4, std::make_shared<NormalSampler>(11.0, 0.4)});
+    return std::make_shared<MixtureSampler>(std::move(comps));
+}
+
+std::shared_ptr<Sampler>
+makeMultimodal()
+{
+    std::vector<MixtureSampler::Component> comps;
+    comps.push_back({0.35, std::make_shared<NormalSampler>(6.0, 0.25)});
+    comps.push_back({0.30, std::make_shared<NormalSampler>(9.0, 0.30)});
+    comps.push_back({0.20, std::make_shared<NormalSampler>(12.0, 0.35)});
+    comps.push_back({0.15, std::make_shared<NormalSampler>(15.0, 0.40)});
+    return std::make_shared<MixtureSampler>(std::move(comps));
+}
+
+std::shared_ptr<Sampler>
+makeSinusoidal()
+{
+    // Period of 50 samples with noise well below the amplitude yields
+    // strong positive lag-1 autocorrelation (~cos(2*pi/50) ~ 0.99 before
+    // noise dilution).
+    return std::make_shared<SinusoidalSampler>(10.0, 2.0, 50.0, 0.3);
+}
+
+std::shared_ptr<Sampler>
+makeCauchy()
+{
+    return std::make_shared<CauchySampler>(10.0, 0.5);
+}
+
+std::shared_ptr<Sampler>
+makeConstant()
+{
+    return std::make_shared<ConstantSampler>(10.0);
+}
+
+} // anonymous namespace
+
+const std::vector<SyntheticSpec> &
+syntheticRegistry()
+{
+    static const std::vector<SyntheticSpec> registry = {
+        {"normal", SyntheticClass::Normal, 1, false, &makeNormal},
+        {"lognormal", SyntheticClass::LogNormal, 1, false, &makeLogNormal},
+        {"uniform", SyntheticClass::Uniform, 1, false, &makeUniform},
+        {"loguniform", SyntheticClass::LogUniform, 1, false,
+         &makeLogUniform},
+        {"logistic", SyntheticClass::Logistic, 1, false, &makeLogistic},
+        {"bimodal", SyntheticClass::Bimodal, 2, false, &makeBimodal},
+        {"multimodal", SyntheticClass::Multimodal, 4, false,
+         &makeMultimodal},
+        {"sinusoidal", SyntheticClass::Autocorrelated, 1, true,
+         &makeSinusoidal},
+        {"cauchy", SyntheticClass::HeavyTail, 1, false, &makeCauchy},
+        {"constant", SyntheticClass::Constant, 1, false, &makeConstant},
+    };
+    return registry;
+}
+
+const SyntheticSpec &
+syntheticByName(const std::string &name)
+{
+    for (const auto &spec : syntheticRegistry()) {
+        if (spec.name == name)
+            return spec;
+    }
+    throw std::out_of_range("unknown synthetic distribution: " + name);
+}
+
+} // namespace rng
+} // namespace sharp

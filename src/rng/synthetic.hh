@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The SHARP paper's ten synthetic tuning distributions (§IV-c).
+ *
+ * The stopping meta-heuristic's classification thresholds were "tuned ...
+ * based on a set of 10 synthetic distributions that capture different
+ * distributions we observe in real experiments — normal, log-normal,
+ * uniform, log-uniform, logistic, bi-modal, multi-modal and
+ * autocorrelated sinusoidal distributions — and some distributions that
+ * would not really be observed — Cauchy and constant."
+ *
+ * This module provides exactly that registry, with canonical parameters
+ * in a run-time-like range (seconds), each tagged with its ground-truth
+ * distribution class so tests and ablation benches can score the
+ * classifier and the stopping rules against known answers.
+ */
+
+#ifndef SHARP_RNG_SYNTHETIC_HH
+#define SHARP_RNG_SYNTHETIC_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rng/sampler.hh"
+
+namespace sharp
+{
+namespace rng
+{
+
+/**
+ * Ground-truth labels for the synthetic distributions; mirrors (and is
+ * convertible to) the online classifier's classes in sharp::core.
+ */
+enum class SyntheticClass
+{
+    Normal,
+    LogNormal,
+    Uniform,
+    LogUniform,
+    Logistic,
+    Bimodal,
+    Multimodal,
+    Autocorrelated,
+    HeavyTail,
+    Constant,
+};
+
+/** Name of a synthetic class, e.g. "bimodal". */
+const char *syntheticClassName(SyntheticClass cls);
+
+/** One entry in the synthetic registry. */
+struct SyntheticSpec
+{
+    /** Registry key, e.g. "lognormal". */
+    std::string name;
+    /** Ground-truth class label. */
+    SyntheticClass truth;
+    /** Number of modes in the true density (1 for unimodal). */
+    int trueModes;
+    /** Whether successive samples are autocorrelated. */
+    bool correlated;
+    /** Construct a fresh sampler for this spec. */
+    std::shared_ptr<Sampler> (*make)();
+};
+
+/**
+ * The ten tuning distributions, in the paper's order.
+ * Samplers are freshly constructed per call, so stateful samplers
+ * (sinusoidal) restart from sample index zero.
+ */
+const std::vector<SyntheticSpec> &syntheticRegistry();
+
+/** Find a spec by name. @throws std::out_of_range if unknown. */
+const SyntheticSpec &syntheticByName(const std::string &name);
+
+} // namespace rng
+} // namespace sharp
+
+#endif // SHARP_RNG_SYNTHETIC_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * SHARP's simulated testbed and synthetic distributions must be exactly
+ * reproducible across platforms and standard-library versions, so we
+ * implement our own generator (xoshiro256++, Blackman & Vigna) and our
+ * own samplers rather than relying on `std::normal_distribution` et al.,
+ * whose output is implementation-defined.
+ */
+
+#ifndef SHARP_RNG_XOSHIRO_HH
+#define SHARP_RNG_XOSHIRO_HH
+
+#include <array>
+#include <cstdint>
+
+namespace sharp
+{
+namespace rng
+{
+
+/**
+ * SplitMix64: used to expand a single 64-bit seed into the generator
+ * state, per the xoshiro authors' recommendation.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state(seed) {}
+
+    /** Next 64-bit output. */
+    uint64_t next();
+
+  private:
+    uint64_t state;
+};
+
+/**
+ * xoshiro256++ 1.0 — a fast, high-quality 64-bit PRNG with 256 bits of
+ * state and period 2^256 - 1. Satisfies UniformRandomBitGenerator.
+ */
+class Xoshiro256
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Seed via SplitMix64 expansion; any seed (including 0) is valid. */
+    explicit Xoshiro256(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next 64 random bits. */
+    result_type operator()() { return next(); }
+
+    /** Next 64 random bits. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1) with 53 bits of precision. */
+    double nextDouble();
+
+    /** Uniform double in (0, 1) — never exactly 0; safe for log(). */
+    double nextDoubleOpen();
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /**
+     * Jump ahead 2^128 steps; yields a stream independent from the
+     * original, for parallel sub-generators.
+     */
+    void jump();
+
+    /** Spawn an independent child generator (jump-based). */
+    Xoshiro256 split();
+
+  private:
+    std::array<uint64_t, 4> state;
+};
+
+} // namespace rng
+} // namespace sharp
+
+#endif // SHARP_RNG_XOSHIRO_HH

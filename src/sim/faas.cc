@@ -1,0 +1,112 @@
+#include "sim/faas.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/sampler.hh"
+
+namespace sharp
+{
+namespace sim
+{
+
+FaasCluster::FaasCluster(const BenchmarkSpec &bench_in,
+                         std::vector<MachineSpec> workers,
+                         uint64_t seed_in, ConcurrencyModel concurrency_in,
+                         ColdStartModel cold_start)
+    : bench(bench_in), workerSpecs(std::move(workers)),
+      concurrency(concurrency_in), coldStart(cold_start), seed(seed_in),
+      gen(seed_in ^ 0xFAA5C1A5ULL)
+{
+    if (workerSpecs.empty())
+        throw std::invalid_argument("FaasCluster requires >= 1 worker");
+    if (bench.kind == BenchmarkKind::Cuda) {
+        for (const auto &worker : workerSpecs) {
+            if (!worker.hasGpu()) {
+                throw std::invalid_argument(
+                    "CUDA function needs GPUs on all workers; '" +
+                    worker.id + "' has none");
+            }
+        }
+    }
+    idleCounters.assign(workerSpecs.size(), 0);
+    everUsed.assign(workerSpecs.size(), false);
+    states.resize(workerSpecs.size());
+}
+
+std::vector<Invocation>
+FaasCluster::invoke(int parallelRequests, int day)
+{
+    if (parallelRequests < 1)
+        throw std::invalid_argument("invoke requires >= 1 request");
+
+    size_t n_workers = workerSpecs.size();
+
+    // Round-robin division of the batch across workers.
+    std::vector<int> per_worker(n_workers, 0);
+    for (int r = 0; r < parallelRequests; ++r)
+        ++per_worker[static_cast<size_t>(r) % n_workers];
+
+    std::vector<Invocation> results;
+    results.reserve(static_cast<size_t>(parallelRequests));
+
+    for (size_t w = 0; w < n_workers; ++w) {
+        int share = per_worker[w];
+        if (share == 0) {
+            // Worker idles this round; advance its reclaim clock.
+            if (everUsed[w])
+                ++idleCounters[w];
+            continue;
+        }
+
+        // Refresh the cached workload when the day changes.
+        WorkerState &state = states[w];
+        if (!state.workload || state.day != day) {
+            state.workload = std::make_unique<SimulatedWorkload>(
+                bench, workerSpecs[w], day, seed + w);
+            state.day = day;
+        }
+
+        // Cold start if the instance was never used or was reclaimed.
+        bool cold = !everUsed[w] ||
+                    idleCounters[w] >= coldStart.keepAliveInvocations;
+        everUsed[w] = true;
+        idleCounters[w] = 0;
+
+        double contention = concurrency.multiplier(share);
+        for (int r = 0; r < share; ++r) {
+            Invocation inv;
+            inv.workerId = workerSpecs[w].id;
+            inv.executionTime = state.workload->sample() * contention /
+                                concurrency.multiplier(1);
+            inv.coldStart = cold && r == 0;
+            double startup = 0.0;
+            if (inv.coldStart) {
+                startup = coldStart.coldLatency *
+                          std::max(0.1,
+                                   1.0 + coldStart.coldJitter *
+                                             rng::NormalSampler::standard(
+                                                 gen));
+            }
+            inv.responseTime = inv.executionTime + startup;
+            results.push_back(inv);
+        }
+    }
+    return results;
+}
+
+std::vector<double>
+FaasCluster::collectExecutionTimes(size_t rounds, int parallelRequests,
+                                   int day)
+{
+    std::vector<double> times;
+    times.reserve(rounds * static_cast<size_t>(parallelRequests));
+    for (size_t i = 0; i < rounds; ++i) {
+        for (const auto &inv : invoke(parallelRequests, day))
+            times.push_back(inv.executionTime);
+    }
+    return times;
+}
+
+} // namespace sim
+} // namespace sharp

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Serverless (FaaS) execution model: cold/warm starts, a Knative-style
+ * cluster dispatching parallel requests across worker machines, and
+ * the concurrency contention model behind Table V.
+ *
+ * The paper gathered its stopping-rule dataset "on the Knative
+ * serverless environment with Machine 1 and 3 as worker nodes",
+ * sending "two parallel requests to Knative which were divided and
+ * executed on A100 (Machine 1) and H100 (Machine 3)" (§V-C), and
+ * studied concurrency scaling of the sc workload on Machine 3 (§VI-C).
+ */
+
+#ifndef SHARP_SIM_FAAS_HH
+#define SHARP_SIM_FAAS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rng/xoshiro.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "sim/workload.hh"
+
+namespace sharp
+{
+namespace sim
+{
+
+/**
+ * How execution time degrades when c instances share one machine:
+ * time(c) = time(1) * (fixedFraction + linearFraction * c).
+ *
+ * Defaults are fitted to Table V: sc on Machine 3 goes from 3.46 s at
+ * c = 1 to ~23 s at c = 16, while per-unit time falls from 3.46 s to
+ * ~1.45 s.
+ */
+struct ConcurrencyModel
+{
+    /** Parallelizable overhead share that does not grow with c. */
+    double fixedFraction = 0.63;
+    /** Per-instance contention share. */
+    double linearFraction = 0.37;
+
+    /** The multiplier applied to single-instance time at level @p c. */
+    double
+    multiplier(int c) const
+    {
+        return fixedFraction + linearFraction * static_cast<double>(c);
+    }
+};
+
+/** Cold-start behavior of a FaaS worker. */
+struct ColdStartModel
+{
+    /** Added latency (seconds) when a request hits a cold instance. */
+    double coldLatency = 1.8;
+    /** Relative jitter of the cold-start latency. */
+    double coldJitter = 0.3;
+    /** Idle invocations before an instance is reclaimed (scale-down). */
+    int keepAliveInvocations = 64;
+};
+
+/** One completed FaaS invocation. */
+struct Invocation
+{
+    /** Worker machine id that served the request. */
+    std::string workerId;
+    /** End-to-end response time (startup + execution). */
+    double responseTime;
+    /** Execution time excluding cold-start latency. */
+    double executionTime;
+    /** True if this request paid a cold start. */
+    bool coldStart;
+};
+
+/**
+ * A Knative-style cluster: a set of worker machines serving a single
+ * function (benchmark). Parallel request batches are split across
+ * workers round-robin; instances on the same worker contend per the
+ * ConcurrencyModel.
+ */
+class FaasCluster
+{
+  public:
+    /**
+     * @param bench   the function's benchmark model
+     * @param workers worker machines (CUDA benchmarks need GPUs on all)
+     * @param seed    deterministic stream seed
+     */
+    FaasCluster(const BenchmarkSpec &bench,
+                std::vector<MachineSpec> workers, uint64_t seed = 1,
+                ConcurrencyModel concurrency = ConcurrencyModel(),
+                ColdStartModel coldStart = ColdStartModel());
+
+    /**
+     * Send @p parallelRequests simultaneous requests; they are divided
+     * across workers (round-robin) and contend within each worker.
+     * @param day day index shaping each worker's environment
+     * @return one Invocation per request.
+     */
+    std::vector<Invocation> invoke(int parallelRequests, int day = 0);
+
+    /**
+     * Convenience for the §V-C dataset: invoke repeatedly and return
+     * only execution times, flattened across workers.
+     */
+    std::vector<double> collectExecutionTimes(size_t rounds,
+                                              int parallelRequests,
+                                              int day = 0);
+
+    /** The worker machines. */
+    const std::vector<MachineSpec> &workers() const { return workerSpecs; }
+
+  private:
+    BenchmarkSpec bench;
+    std::vector<MachineSpec> workerSpecs;
+    ConcurrencyModel concurrency;
+    ColdStartModel coldStart;
+    uint64_t seed;
+    rng::Xoshiro256 gen;
+
+    /** Warm-instance pool per worker: invocations since last use. */
+    std::vector<int> idleCounters;
+    std::vector<bool> everUsed;
+
+    /** Per-(worker, day) cached workload generators. */
+    struct WorkerState
+    {
+        int day = -1;
+        std::unique_ptr<SimulatedWorkload> workload;
+    };
+    std::vector<WorkerState> states;
+};
+
+} // namespace sim
+} // namespace sharp
+
+#endif // SHARP_SIM_FAAS_HH

@@ -1,0 +1,62 @@
+#include "sim/machine.hh"
+
+#include <stdexcept>
+
+namespace sharp
+{
+namespace sim
+{
+
+const std::vector<MachineSpec> &
+machineRegistry()
+{
+    static const std::vector<MachineSpec> registry = {
+        {
+            "machine1",
+            "AMD EPYC 7443",
+            48,
+            256,
+            GpuSpec{"Nvidia A100X 80GB", 1.0},
+            1.0,   // cpuSpeedFactor (baseline)
+            0.015, // jitterFraction
+            0.02,  // dailyDriftFraction
+            0.01,  // spikeProbability
+        },
+        {
+            "machine2",
+            "AMD EPYC 7443",
+            48,
+            230,
+            std::nullopt,
+            0.98,  // same CPU, slightly different memory configuration
+            0.018,
+            0.025,
+            0.012,
+        },
+        {
+            "machine3",
+            "Intel(R) Xeon(R) Platinum 8468V",
+            96,
+            1024,
+            GpuSpec{"Nvidia H100 80GB", 2.0},
+            1.15,  // newer CPU generation
+            0.012,
+            0.015,
+            0.008,
+        },
+    };
+    return registry;
+}
+
+const MachineSpec &
+machineById(const std::string &id)
+{
+    for (const auto &machine : machineRegistry()) {
+        if (machine.id == id)
+            return machine;
+    }
+    throw std::out_of_range("unknown machine: " + id);
+}
+
+} // namespace sim
+} // namespace sharp

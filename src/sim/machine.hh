@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Machine models for the simulated testbed.
+ *
+ * The paper's evaluation ran on three HPC servers (Table III). We do
+ * not have that hardware, so each server is modeled as a MachineSpec:
+ * descriptive metadata (reproduced verbatim from Table III, for the
+ * metadata logger) plus performance parameters that shape simulated
+ * run-time distributions — CPU/GPU speed factors and noise levels.
+ * See DESIGN.md §2 for why this substitution preserves the evaluated
+ * behaviour.
+ */
+
+#ifndef SHARP_SIM_MACHINE_HH
+#define SHARP_SIM_MACHINE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace sim
+{
+
+/** GPU device model. */
+struct GpuSpec
+{
+    /** Marketing name, e.g. "Nvidia A100X 80GB". */
+    std::string name;
+    /**
+     * Relative GPU throughput generation: 1.0 for the A100 baseline;
+     * an H100 realizes a per-benchmark speedup between ~1.2x and ~2x,
+     * scaled by each benchmark's gpuSensitivity.
+     */
+    double generationFactor;
+};
+
+/** One server of the simulated testbed (paper Table III). */
+struct MachineSpec
+{
+    /** Identifier used in logs, e.g. "machine1". */
+    std::string id;
+    /** CPU description, e.g. "AMD EPYC 7443". */
+    std::string cpu;
+    /** Physical core count. */
+    int cores;
+    /** RAM in GiB. */
+    int ramGib;
+    /** GPU, if the server has one. */
+    std::optional<GpuSpec> gpu;
+
+    /** Relative CPU speed (1.0 = Machine 1 baseline). */
+    double cpuSpeedFactor;
+    /** Relative run-to-run jitter level (std dev fraction). */
+    double jitterFraction;
+    /** Strength of day-to-day environment drift (fraction). */
+    double dailyDriftFraction;
+    /** Probability of an interference slowdown spike per run. */
+    double spikeProbability;
+
+    /** True if a CUDA workload can run here. */
+    bool hasGpu() const { return gpu.has_value(); }
+};
+
+/**
+ * The three-machine testbed of Table III:
+ *   machine1: AMD EPYC 7443 (48c), 256 GiB, Nvidia A100X 80GB
+ *   machine2: AMD EPYC 7443 (48c), 230 GiB, no GPU
+ *   machine3: Intel Xeon Platinum 8468V (96c), 1024 GiB, H100 80GB
+ */
+const std::vector<MachineSpec> &machineRegistry();
+
+/** Find a machine by id. @throws std::out_of_range if unknown. */
+const MachineSpec &machineById(const std::string &id);
+
+} // namespace sim
+} // namespace sharp
+
+#endif // SHARP_SIM_MACHINE_HH

@@ -1,0 +1,154 @@
+#include "sim/rodinia.hh"
+
+#include <stdexcept>
+
+namespace sharp
+{
+namespace sim
+{
+
+namespace
+{
+
+/**
+ * The modality census across the suite matches Fig. 4: six unimodal
+ * (30%), eight bimodal (40%), four trimodal (20%), and two with more
+ * than three modes (10%).
+ */
+std::vector<BenchmarkSpec>
+buildRegistry()
+{
+    using K = BenchmarkKind;
+    std::vector<BenchmarkSpec> all;
+
+    // --- CPU-based benchmarks (11) ---
+    all.push_back({"backprop", "6553600", K::Cpu, 2.6,
+                   {{1.00, 1.0, 0.012}},
+                   0.0, 0.05});
+    all.push_back({"bfs", "graph1MW_6.txt", K::Cpu, 1.9,
+                   {{1.00, 0.62, 0.012}, {1.18, 0.38, 0.015}},
+                   0.0, 0.15});
+    all.push_back({"heartwall", "test.avi, 20, 4", K::Cpu, 11.5,
+                   {{1.00, 0.70, 0.010}, {1.12, 0.30, 0.012}},
+                   0.0, 0.10});
+    all.push_back({"hotspot",
+                   "1024, 1024, 2, 4, temp_1024, power_1024", K::Cpu,
+                   4.1,
+                   {{1.00, 0.45, 0.010},
+                    {1.14, 0.33, 0.012},
+                    {1.30, 0.22, 0.014}},
+                   0.0, 0.40});
+    all.push_back({"leukocyte", "5, 4, testfile.avi", K::Cpu, 24.0,
+                   {{1.00, 0.58, 0.008}, {1.09, 0.42, 0.010}},
+                   0.0, 0.10});
+    all.push_back({"srad", "1000, 0.5, 502, 458, 4", K::Cpu, 7.8,
+                   {{1.00, 0.40, 0.010},
+                    {1.11, 0.35, 0.012},
+                    {1.24, 0.25, 0.013}},
+                   0.0, 0.20});
+    all.push_back({"needle", "20480, 10, 2", K::Cpu, 6.2,
+                   {{1.00, 0.66, 0.011}, {1.15, 0.34, 0.014}},
+                   0.0, 0.12});
+    all.push_back({"kmeans", "4, kdd_cup", K::Cpu, 8.9,
+                   {{1.00, 1.0, 0.018}},
+                   0.0, 0.05});
+    all.push_back({"lavaMD", "4, 10", K::Cpu, 7.1,
+                   {{1.00, 0.44, 0.009},
+                    {1.10, 0.34, 0.011},
+                    {1.22, 0.22, 0.012}},
+                   0.0, 0.20});
+    all.push_back({"lud", "8000", K::Cpu, 14.3,
+                   {{1.00, 1.0, 0.014}},
+                   0.0, 0.05});
+    all.push_back({"sc",
+                   "10, 20, 256, 65536, 65536, 1000, none, 4", K::Cpu,
+                   3.7,
+                   {{1.00, 0.72, 0.012}, {1.21, 0.28, 0.016}},
+                   0.0, 0.12});
+
+    // --- CUDA-based benchmarks (9) ---
+    all.push_back({"backprop-CUDA", "955360", K::Cuda, 0.92,
+                   {{1.00, 0.60, 0.014}, {1.20, 0.40, 0.016}},
+                   0.5, 0.10});
+    all.push_back({"bfs-CUDA", "graph1MW_6.txt", K::Cuda, 0.74,
+                   {{1.00, 0.46, 0.013},
+                    {1.16, 0.32, 0.015},
+                    {1.34, 0.22, 0.017}},
+                   1.0, 0.15});
+    all.push_back({"heartwall-CUDA", "test.avi, 100", K::Cuda, 3.1,
+                   {{1.00, 1.0, 0.015}},
+                   0.7, 0.05});
+    all.push_back({"hotspot-CUDA",
+                   "1024, 2, 4, temp_512, power_512", K::Cuda, 1.15,
+                   {{1.00, 0.38, 0.011},
+                    {1.12, 0.28, 0.012},
+                    {1.26, 0.20, 0.013},
+                    {1.42, 0.14, 0.015}},
+                   0.6, 0.25});
+    all.push_back({"srad-CUDA", "100000, 0.5, 502, 45", K::Cuda, 2.3,
+                   {{1.00, 0.64, 0.012}, {1.17, 0.36, 0.014}},
+                   0.2, 0.10});
+    all.push_back({"needle-CUDA", "20480, 10, 2", K::Cuda, 1.7,
+                   {{1.00, 1.0, 0.016}},
+                   0.45, 0.05});
+    all.push_back({"lavaMD-CUDA", "100", K::Cuda, 2.6,
+                   {{1.00, 1.0, 0.013}},
+                   0.8, 0.05});
+    all.push_back({"lud-CUDA", "1024", K::Cuda, 0.55,
+                   {{1.00, 0.68, 0.015}, {1.22, 0.32, 0.018}},
+                   0.35, 0.12});
+    all.push_back({"sc-CUDA",
+                   "10, 20, 256, 65536, 65536, 1000, none, 1", K::Cuda,
+                   1.4,
+                   {{1.00, 0.34, 0.010},
+                    {1.11, 0.28, 0.011},
+                    {1.24, 0.22, 0.012},
+                    {1.40, 0.16, 0.013}},
+                   0.55, 0.25});
+
+    return all;
+}
+
+} // anonymous namespace
+
+const std::vector<BenchmarkSpec> &
+rodiniaRegistry()
+{
+    static const std::vector<BenchmarkSpec> registry = buildRegistry();
+    return registry;
+}
+
+std::vector<BenchmarkSpec>
+rodiniaCpuBenchmarks()
+{
+    std::vector<BenchmarkSpec> out;
+    for (const auto &bench : rodiniaRegistry()) {
+        if (bench.kind == BenchmarkKind::Cpu)
+            out.push_back(bench);
+    }
+    return out;
+}
+
+std::vector<BenchmarkSpec>
+rodiniaCudaBenchmarks()
+{
+    std::vector<BenchmarkSpec> out;
+    for (const auto &bench : rodiniaRegistry()) {
+        if (bench.kind == BenchmarkKind::Cuda)
+            out.push_back(bench);
+    }
+    return out;
+}
+
+const BenchmarkSpec &
+rodiniaByName(const std::string &name)
+{
+    for (const auto &bench : rodiniaRegistry()) {
+        if (bench.name == name)
+            return bench;
+    }
+    throw std::out_of_range("unknown Rodinia benchmark: " + name);
+}
+
+} // namespace sim
+} // namespace sharp

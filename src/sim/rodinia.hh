@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Models of the 20 Rodinia benchmarks used in the paper's evaluation
+ * (Table II): eleven CPU-based and nine CUDA-based programs.
+ *
+ * Each benchmark is modeled by its run-time distribution structure —
+ * base execution time, density modes (operating states such as boost
+ * vs. sustained clocks, page-cache hits vs. misses), jitter, and how
+ * strongly it responds to a faster GPU. The mode structures are chosen
+ * so the suite reproduces the Fig. 4 modality census: 30% unimodal,
+ * 40% bimodal, 20% trimodal, 10% with more than three modes — and the
+ * per-benchmark H100 speedups span the paper's 1.2x–2x range, with
+ * bfs-CUDA at ~2x (Fig. 8) and srad-CUDA at ~1.2x (Fig. 9).
+ */
+
+#ifndef SHARP_SIM_RODINIA_HH
+#define SHARP_SIM_RODINIA_HH
+
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace sim
+{
+
+/** Execution domain of a benchmark. */
+enum class BenchmarkKind
+{
+    Cpu,
+    Cuda,
+};
+
+/** One density mode of a benchmark's run-time distribution. */
+struct ModeSpec
+{
+    /** Relative location: run time multiplier vs. the base time. */
+    double multiplier;
+    /** Mixture weight (normalized across the benchmark's modes). */
+    double weight;
+    /** Mode-local jitter as a fraction of base time. */
+    double sigmaFraction;
+};
+
+/** Static description of one Rodinia benchmark (paper Table II). */
+struct BenchmarkSpec
+{
+    /** Name, e.g. "hotspot" or "bfs-CUDA". */
+    std::string name;
+    /** Invocation parameters, verbatim from Table II. */
+    std::string parameters;
+    BenchmarkKind kind;
+    /** Base (fastest-mode) execution time on machine1, seconds. */
+    double baseSeconds;
+    /** Density modes; one entry = unimodal. */
+    std::vector<ModeSpec> modes;
+    /**
+     * How strongly the benchmark benefits from a faster GPU, in
+     * [0, 1]: realized speedup = 1 + sensitivity * (gen - 1) where gen
+     * is the GPU generationFactor. CPU benchmarks ignore this.
+     */
+    double gpuSensitivity;
+    /**
+     * Probability that a given day's environment suppresses one of the
+     * benchmark's modes (drives the hotspot day-3 vs day-5 effect of
+     * Fig. 5c).
+     */
+    double modeDropProbability;
+
+    /** Number of modes in the model. */
+    size_t numModes() const { return modes.size(); }
+};
+
+/** All 20 benchmarks (11 CPU, 9 CUDA), in Table II order. */
+const std::vector<BenchmarkSpec> &rodiniaRegistry();
+
+/** The CPU-based subset (11 benchmarks). */
+std::vector<BenchmarkSpec> rodiniaCpuBenchmarks();
+
+/** The CUDA-based subset (9 benchmarks). */
+std::vector<BenchmarkSpec> rodiniaCudaBenchmarks();
+
+/** Find a benchmark by name. @throws std::out_of_range if unknown. */
+const BenchmarkSpec &rodiniaByName(const std::string &name);
+
+} // namespace sim
+} // namespace sharp
+
+#endif // SHARP_SIM_RODINIA_HH

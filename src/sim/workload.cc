@@ -1,0 +1,167 @@
+#include "sim/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/sampler.hh"
+
+namespace sharp
+{
+namespace sim
+{
+
+double
+machineSpeedup(const BenchmarkSpec &bench, const MachineSpec &machine)
+{
+    if (bench.kind == BenchmarkKind::Cuda) {
+        if (!machine.hasGpu()) {
+            throw std::invalid_argument(
+                "CUDA benchmark '" + bench.name + "' cannot run on '" +
+                machine.id + "' (no GPU)");
+        }
+        // GPU-bound portion accelerates with the GPU generation; the
+        // small host-side remainder tracks the CPU.
+        double gpu_speedup = 1.0 + bench.gpuSensitivity *
+                                       (machine.gpu->generationFactor -
+                                        1.0);
+        return gpu_speedup * std::pow(machine.cpuSpeedFactor, 0.15);
+    }
+    return machine.cpuSpeedFactor;
+}
+
+uint64_t
+SimulatedWorkload::mixSeed(const std::string &bench_name,
+                           const std::string &machine_id, int day,
+                           uint64_t seed)
+{
+    // FNV-1a over the identifying strings, then SplitMix64 finalization.
+    uint64_t h = 1469598103934665603ULL;
+    auto feed = [&h](const std::string &text) {
+        for (unsigned char c : text) {
+            h ^= c;
+            h *= 1099511628211ULL;
+        }
+        h ^= 0xFF;
+        h *= 1099511628211ULL;
+    };
+    feed(bench_name);
+    feed(machine_id);
+    h ^= static_cast<uint64_t>(day) * 0x9E3779B97F4A7C15ULL;
+    h ^= seed * 0xD1B54A32D192ED03ULL;
+    return rng::SplitMix64(h).next();
+}
+
+SimulatedWorkload::SimulatedWorkload(const BenchmarkSpec &bench_in,
+                                     const MachineSpec &machine_in,
+                                     int day, uint64_t seed)
+    : bench(bench_in), mach(machine_in),
+      gen(mixSeed(bench_in.name, machine_in.id, day, seed))
+{
+    double speedup = machineSpeedup(bench, mach);
+    double base = bench.baseSeconds / speedup;
+
+    // Day-environment generator: depends on (bench, machine, day) but
+    // NOT on the experiment seed, so different experiments on the same
+    // day see the same environment while drawing different run noise.
+    rng::Xoshiro256 day_gen(mixSeed(bench.name, mach.id, day,
+                                    0xDA11F00DULL));
+
+    // 1. Daily drift of the base time.
+    double drift = mach.dailyDriftFraction *
+                   (2.0 * day_gen.nextDouble() - 1.0);
+    dayBase = base * (1.0 + drift);
+
+    // 2. Mode weight jitter.
+    modes = bench.modes;
+    for (auto &mode : modes) {
+        double u = 2.0 * day_gen.nextDouble() - 1.0;
+        mode.weight *= std::exp(0.45 * u);
+    }
+
+    // 3. Possible mode drop (never the primary mode).
+    if (modes.size() >= 2 &&
+        day_gen.nextDouble() < bench.modeDropProbability) {
+        size_t victim =
+            1 + static_cast<size_t>(day_gen.nextBelow(modes.size() - 1));
+        modes.erase(modes.begin() + static_cast<long>(victim));
+    }
+
+    // 4. Normalize weights and recenter multipliers so the mixture
+    // mean matches the nominal (day-0 structure) mean. Day-to-day
+    // *shape* changes; the mean stays comparable.
+    double weight_sum = 0.0;
+    for (const auto &mode : modes)
+        weight_sum += mode.weight;
+    for (auto &mode : modes)
+        mode.weight /= weight_sum;
+
+    double nominal_mean = 0.0, nominal_weight = 0.0;
+    for (const auto &mode : bench.modes) {
+        nominal_mean += mode.weight * mode.multiplier;
+        nominal_weight += mode.weight;
+    }
+    nominal_mean /= nominal_weight;
+
+    double day_mean = 0.0;
+    for (const auto &mode : modes)
+        day_mean += mode.weight * mode.multiplier;
+
+    double recenter = nominal_mean / day_mean;
+    for (auto &mode : modes)
+        mode.multiplier *= recenter;
+
+    cumulativeWeights.clear();
+    double acc = 0.0;
+    for (const auto &mode : modes) {
+        acc += mode.weight;
+        cumulativeWeights.push_back(acc);
+    }
+    cumulativeWeights.back() = 1.0;
+}
+
+double
+SimulatedWorkload::sample()
+{
+    // Pick a mode.
+    double u = gen.nextDouble();
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(cumulativeWeights.begin(),
+                         cumulativeWeights.end(), u) -
+        cumulativeWeights.begin());
+    if (idx >= modes.size())
+        idx = modes.size() - 1;
+    const ModeSpec &mode = modes[idx];
+
+    // Gaussian around the mode center; sigma combines the mode's own
+    // width with the machine's jitter level.
+    double sigma = dayBase * std::sqrt(mode.sigmaFraction *
+                                           mode.sigmaFraction +
+                                       mach.jitterFraction *
+                                           mach.jitterFraction);
+    double t = dayBase * mode.multiplier +
+               sigma * rng::NormalSampler::standard(gen);
+
+    // Interference spike: a log-normal stretch of the run.
+    if (gen.nextDouble() < mach.spikeProbability) {
+        double stretch =
+            std::exp(0.25 + 0.35 * rng::NormalSampler::standard(gen));
+        t *= 1.0 + 0.2 * stretch;
+    }
+
+    // Execution time cannot drop below the physical floor.
+    return std::max(t, 0.5 * dayBase);
+}
+
+std::vector<double>
+SimulatedWorkload::sampleMany(size_t n)
+{
+    std::vector<double> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(sample());
+    return out;
+}
+
+} // namespace sim
+} // namespace sharp

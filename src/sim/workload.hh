@@ -1,0 +1,100 @@
+/**
+ * @file
+ * SimulatedWorkload: a (benchmark, machine, day) triple turned into a
+ * run-time generator.
+ *
+ * The generative model, per run:
+ *   1. pick a density mode by the day's mixture weights;
+ *   2. draw a Gaussian around base * mode.multiplier;
+ *   3. with the machine's spike probability, stretch by a log-normal
+ *      interference factor (long right tail);
+ *   4. floor at a physical minimum.
+ *
+ * Per *day*, the environment shifts deterministically from the
+ * (benchmark, machine, day) seed: the base time drifts by the
+ * machine's drift fraction, the mode weights are jittered, and — with
+ * the benchmark's modeDropProbability — one mode disappears entirely
+ * (a co-running service gone, a different clock policy...). The mode
+ * multipliers are then rescaled so the *mean* stays put. This is
+ * precisely the phenomenon behind Fig. 5: day-to-day distributions
+ * whose means match (NAMD ~ 0) but whose shapes differ (high KS).
+ */
+
+#ifndef SHARP_SIM_WORKLOAD_HH
+#define SHARP_SIM_WORKLOAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/xoshiro.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+
+namespace sharp
+{
+namespace sim
+{
+
+/**
+ * Deterministic run-time generator for one benchmark on one machine on
+ * one day.
+ */
+class SimulatedWorkload
+{
+  public:
+    /**
+     * @param bench   benchmark model
+     * @param machine machine model; must have a GPU for CUDA benchmarks
+     * @param day     day index (0-based); shapes the environment
+     * @param seed    experiment seed; same seed -> same sample stream
+     * @throws std::invalid_argument for CUDA benchmarks on GPU-less
+     *         machines
+     */
+    SimulatedWorkload(const BenchmarkSpec &bench,
+                      const MachineSpec &machine, int day = 0,
+                      uint64_t seed = 1);
+
+    /** Draw one simulated execution time (seconds). */
+    double sample();
+
+    /** Draw @p n execution times. */
+    std::vector<double> sampleMany(size_t n);
+
+    /** Machine- and day-adjusted base time (fastest mode center). */
+    double scaledBase() const { return dayBase; }
+
+    /** The day's effective (possibly dropped/jittered) modes. */
+    const std::vector<ModeSpec> &effectiveModes() const { return modes; }
+
+    /** The benchmark being modeled. */
+    const BenchmarkSpec &benchmark() const { return bench; }
+
+    /** The machine being modeled. */
+    const MachineSpec &machine() const { return mach; }
+
+  private:
+    BenchmarkSpec bench;
+    MachineSpec mach;
+    double dayBase;
+    std::vector<ModeSpec> modes;
+    std::vector<double> cumulativeWeights;
+    rng::Xoshiro256 gen;
+
+    /** Stable 64-bit seed for (bench, machine, day, seed). */
+    static uint64_t mixSeed(const std::string &bench_name,
+                            const std::string &machine_id, int day,
+                            uint64_t seed);
+};
+
+/**
+ * The machine-relative speed multiplier for a benchmark: how much
+ * faster than the machine1 baseline this machine runs it. Exposed for
+ * tests and the GPU-comparison bench.
+ */
+double machineSpeedup(const BenchmarkSpec &bench,
+                      const MachineSpec &machine);
+
+} // namespace sim
+} // namespace sharp
+
+#endif // SHARP_SIM_WORKLOAD_HH

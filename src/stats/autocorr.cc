@@ -1,0 +1,96 @@
+#include "stats/autocorr.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hh"
+#include "stats/special.hh"
+
+namespace sharp
+{
+namespace stats
+{
+
+double
+autocorrelation(const std::vector<double> &x, size_t lag)
+{
+    if (x.empty())
+        throw std::invalid_argument(
+            "autocorrelation requires a non-empty series");
+    size_t n = x.size();
+    if (lag >= n)
+        return 0.0;
+    if (lag == 0)
+        return 1.0;
+
+    double m = mean(x);
+    double denom = 0.0;
+    for (double v : x) {
+        double d = v - m;
+        denom += d * d;
+    }
+    if (denom <= 0.0)
+        return 0.0;
+    double num = 0.0;
+    for (size_t i = 0; i + lag < n; ++i)
+        num += (x[i] - m) * (x[i + lag] - m);
+    return num / denom;
+}
+
+std::vector<double>
+acf(const std::vector<double> &x, size_t maxLag)
+{
+    std::vector<double> out;
+    out.reserve(maxLag + 1);
+    for (size_t lag = 0; lag <= maxLag; ++lag)
+        out.push_back(autocorrelation(x, lag));
+    return out;
+}
+
+double
+effectiveSampleSize(const std::vector<double> &x)
+{
+    if (x.empty())
+        throw std::invalid_argument(
+            "effectiveSampleSize requires a non-empty series");
+    size_t n = x.size();
+    if (n < 4)
+        return static_cast<double>(n);
+
+    // Sum initial positive autocorrelations up to lag n/4, stopping at
+    // the first non-positive value (noise floor).
+    size_t max_lag = n / 4;
+    double rho_sum = 0.0;
+    for (size_t lag = 1; lag <= max_lag; ++lag) {
+        double rho = autocorrelation(x, lag);
+        if (rho <= 0.0)
+            break;
+        rho_sum += rho;
+    }
+    double ess = static_cast<double>(n) / (1.0 + 2.0 * rho_sum);
+    return std::clamp(ess, 1.0, static_cast<double>(n));
+}
+
+LjungBox
+ljungBox(const std::vector<double> &x, size_t maxLag)
+{
+    if (maxLag == 0)
+        throw std::invalid_argument("ljungBox requires maxLag >= 1");
+    size_t n = x.size();
+    if (n <= maxLag + 1)
+        throw std::invalid_argument("ljungBox requires n > maxLag + 1");
+
+    double nd = static_cast<double>(n);
+    double q = 0.0;
+    for (size_t lag = 1; lag <= maxLag; ++lag) {
+        double rho = autocorrelation(x, lag);
+        q += rho * rho / (nd - static_cast<double>(lag));
+    }
+    q *= nd * (nd + 2.0);
+    double p = 1.0 - chiSquareCdf(q, static_cast<double>(maxLag));
+    return {q, std::clamp(p, 0.0, 1.0)};
+}
+
+} // namespace stats
+} // namespace sharp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Autocorrelation analysis. Run-time series on real machines can be
+ * strongly autocorrelated (thermal cycles, background daemons); naive
+ * CIs then badly understate uncertainty. The autocorrelation stopping
+ * rule uses the effective sample size computed here.
+ */
+
+#ifndef SHARP_STATS_AUTOCORR_HH
+#define SHARP_STATS_AUTOCORR_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace sharp
+{
+namespace stats
+{
+
+/**
+ * Sample autocorrelation at @p lag (biased estimator, the standard
+ * time-series convention). Returns 0 when variance is 0 or lag >= n.
+ */
+double autocorrelation(const std::vector<double> &x, size_t lag);
+
+/**
+ * Autocorrelation function for lags 0..maxLag (inclusive).
+ * acf[0] is always 1 for non-degenerate series.
+ */
+std::vector<double> acf(const std::vector<double> &x, size_t maxLag);
+
+/**
+ * Effective sample size n_eff = n / (1 + 2 * sum of initial positive
+ * autocorrelations), truncated at the first non-positive pair
+ * (Geyer-style initial positive sequence on single lags). Between 1
+ * and n.
+ */
+double effectiveSampleSize(const std::vector<double> &x);
+
+/**
+ * Ljung–Box portmanteau statistic for lags 1..maxLag; large values
+ * indicate autocorrelation. Returned together with its chi-square
+ * p-value (dof = maxLag).
+ */
+struct LjungBox
+{
+    double statistic;
+    double pValue;
+};
+LjungBox ljungBox(const std::vector<double> &x, size_t maxLag);
+
+} // namespace stats
+} // namespace sharp
+
+#endif // SHARP_STATS_AUTOCORR_HH

@@ -1,0 +1,65 @@
+#include "stats/bootstrap.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hh"
+
+namespace sharp
+{
+namespace stats
+{
+
+namespace
+{
+
+std::vector<double>
+bootstrapStatistics(const std::vector<double> &sample,
+                    const Statistic &statistic, size_t resamples,
+                    rng::Xoshiro256 &gen)
+{
+    if (sample.empty())
+        throw std::invalid_argument("bootstrap requires a non-empty sample");
+    if (resamples == 0)
+        throw std::invalid_argument("bootstrap requires resamples >= 1");
+
+    std::vector<double> stats;
+    stats.reserve(resamples);
+    std::vector<double> resample(sample.size());
+    for (size_t r = 0; r < resamples; ++r) {
+        for (size_t i = 0; i < sample.size(); ++i)
+            resample[i] = sample[gen.nextBelow(sample.size())];
+        stats.push_back(statistic(resample));
+    }
+    return stats;
+}
+
+} // anonymous namespace
+
+ConfidenceInterval
+bootstrapCi(const std::vector<double> &sample, const Statistic &statistic,
+            double level, size_t resamples, rng::Xoshiro256 &gen)
+{
+    if (!(level > 0.0 && level < 1.0))
+        throw std::invalid_argument("confidence level must be in (0, 1)");
+    std::vector<double> stats =
+        bootstrapStatistics(sample, statistic, resamples, gen);
+    std::sort(stats.begin(), stats.end());
+    double alpha = 1.0 - level;
+    return {quantileSorted(stats, alpha / 2.0),
+            quantileSorted(stats, 1.0 - alpha / 2.0), level};
+}
+
+double
+bootstrapStandardError(const std::vector<double> &sample,
+                       const Statistic &statistic, size_t resamples,
+                       rng::Xoshiro256 &gen)
+{
+    std::vector<double> stats =
+        bootstrapStatistics(sample, statistic, resamples, gen);
+    return stddev(stats);
+}
+
+} // namespace stats
+} // namespace sharp

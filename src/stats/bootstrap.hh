@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Bootstrap resampling: percentile confidence intervals for arbitrary
+ * statistics. The Reporter uses these for statistics without clean
+ * closed-form intervals (e.g. the CV or a mode location).
+ */
+
+#ifndef SHARP_STATS_BOOTSTRAP_HH
+#define SHARP_STATS_BOOTSTRAP_HH
+
+#include <functional>
+#include <vector>
+
+#include "rng/xoshiro.hh"
+#include "stats/ci.hh"
+
+namespace sharp
+{
+namespace stats
+{
+
+/** A statistic mapping a sample to a scalar. */
+using Statistic = std::function<double(const std::vector<double> &)>;
+
+/**
+ * Percentile bootstrap CI.
+ *
+ * @param sample      the observed sample (non-empty)
+ * @param statistic   the statistic of interest
+ * @param level       confidence level in (0, 1)
+ * @param resamples   number of bootstrap resamples (>= 100 recommended)
+ * @param gen         entropy source (deterministic given its state)
+ */
+ConfidenceInterval bootstrapCi(const std::vector<double> &sample,
+                               const Statistic &statistic, double level,
+                               size_t resamples, rng::Xoshiro256 &gen);
+
+/**
+ * Bootstrap estimate of the standard error of @p statistic.
+ */
+double bootstrapStandardError(const std::vector<double> &sample,
+                              const Statistic &statistic,
+                              size_t resamples, rng::Xoshiro256 &gen);
+
+} // namespace stats
+} // namespace sharp
+
+#endif // SHARP_STATS_BOOTSTRAP_HH

@@ -1,0 +1,175 @@
+#include "stats/ci.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hh"
+#include "stats/special.hh"
+
+namespace sharp
+{
+namespace stats
+{
+
+double
+ConfidenceInterval::relativeWidth(double center) const
+{
+    if (center == 0.0)
+        return 0.0;
+    return width() / std::fabs(center);
+}
+
+namespace
+{
+
+void
+checkLevel(double level)
+{
+    if (!(level > 0.0 && level < 1.0))
+        throw std::invalid_argument("confidence level must be in (0, 1)");
+}
+
+/** log of the binomial CDF term helper: C(n,k) p^k q^(n-k) at p=q=0.5. */
+double
+binomialHalfPmf(size_t n, size_t k)
+{
+    double log_choose = logGamma(static_cast<double>(n) + 1.0) -
+                        logGamma(static_cast<double>(k) + 1.0) -
+                        logGamma(static_cast<double>(n - k) + 1.0);
+    return std::exp(log_choose -
+                    static_cast<double>(n) * std::log(2.0));
+}
+
+/** Binomial(n, p) PMF. */
+double
+binomialPmf(size_t n, size_t k, double p)
+{
+    double log_choose = logGamma(static_cast<double>(n) + 1.0) -
+                        logGamma(static_cast<double>(k) + 1.0) -
+                        logGamma(static_cast<double>(n - k) + 1.0);
+    double log_pmf = log_choose +
+                     static_cast<double>(k) * std::log(p) +
+                     static_cast<double>(n - k) * std::log1p(-p);
+    return std::exp(log_pmf);
+}
+
+} // anonymous namespace
+
+ConfidenceInterval
+meanCi(const std::vector<double> &x, double level)
+{
+    checkLevel(level);
+    if (x.size() < 2)
+        throw std::invalid_argument("meanCi requires n >= 2");
+    double m = mean(x);
+    double se = standardError(x);
+    double dof = static_cast<double>(x.size() - 1);
+    double t = studentTQuantile(0.5 + level / 2.0, dof);
+    return {m - t * se, m + t * se, level};
+}
+
+ConfidenceInterval
+meanCiRightTailed(const std::vector<double> &x, double level)
+{
+    checkLevel(level);
+    if (x.size() < 2)
+        throw std::invalid_argument("meanCiRightTailed requires n >= 2");
+    double m = mean(x);
+    double se = standardError(x);
+    double dof = static_cast<double>(x.size() - 1);
+    double t = studentTQuantile(level, dof);
+    return {m, m + t * se, level};
+}
+
+ConfidenceInterval
+medianCi(std::vector<double> x, double level)
+{
+    checkLevel(level);
+    if (x.empty())
+        throw std::invalid_argument("medianCi requires a non-empty sample");
+    std::sort(x.begin(), x.end());
+    size_t n = x.size();
+    if (n < 6) {
+        // Too small for a meaningful order-statistic interval; report
+        // the sample range (conservative).
+        return {x.front(), x.back(), level};
+    }
+
+    // Find the symmetric order-statistic pair (k, n+1-k) with coverage
+    // P(k <= B < n+1-k) >= level where B ~ Binomial(n, 1/2).
+    // Start from the innermost pair and widen until coverage suffices.
+    size_t k = n / 2; // 1-based lower index candidate
+    double coverage = 0.0;
+    while (k >= 1) {
+        coverage = 0.0;
+        for (size_t j = k; j <= n - k; ++j)
+            coverage += binomialHalfPmf(n, j);
+        if (coverage >= level)
+            break;
+        --k;
+    }
+    if (k < 1)
+        k = 1;
+    size_t lower_idx = k - 1;          // 0-based
+    size_t upper_idx = n - k;          // 0-based (n+1-k in 1-based)
+    return {x[lower_idx], x[upper_idx], level};
+}
+
+ConfidenceInterval
+geometricMeanCi(const std::vector<double> &x, double level)
+{
+    checkLevel(level);
+    if (x.size() < 2)
+        throw std::invalid_argument("geometricMeanCi requires n >= 2");
+    std::vector<double> logs;
+    logs.reserve(x.size());
+    for (double v : x) {
+        if (v <= 0.0) {
+            throw std::invalid_argument(
+                "geometricMeanCi requires positive values");
+        }
+        logs.push_back(std::log(v));
+    }
+    ConfidenceInterval log_ci = meanCi(logs, level);
+    return {std::exp(log_ci.lower), std::exp(log_ci.upper), level};
+}
+
+ConfidenceInterval
+quantileCi(std::vector<double> x, double p, double level)
+{
+    checkLevel(level);
+    if (!(p > 0.0 && p < 1.0))
+        throw std::invalid_argument("quantileCi requires p in (0, 1)");
+    if (x.empty())
+        throw std::invalid_argument("quantileCi requires a sample");
+    std::sort(x.begin(), x.end());
+    size_t n = x.size();
+
+    // Cumulative binomial probabilities F(k) = P(B <= k), B~Bin(n, p).
+    std::vector<double> cum(n + 1);
+    double acc = 0.0;
+    for (size_t k = 0; k <= n; ++k) {
+        acc += binomialPmf(n, k, p);
+        cum[k] = std::min(acc, 1.0);
+    }
+
+    // Choose the smallest interval of order statistics [l+1, u] (1-based)
+    // with P(l <= B < u) >= level, scanning symmetric-ish around n*p.
+    double target_low = (1.0 - level) / 2.0;
+    size_t lower_idx = 0;
+    while (lower_idx < n && cum[lower_idx] < target_low)
+        ++lower_idx;
+    if (lower_idx > 0)
+        --lower_idx;
+
+    double target_high = 1.0 - (1.0 - level) / 2.0;
+    size_t upper_idx = lower_idx;
+    while (upper_idx < n - 1 && cum[upper_idx] < target_high)
+        ++upper_idx;
+
+    return {x[lower_idx], x[upper_idx], level};
+}
+
+} // namespace stats
+} // namespace sharp

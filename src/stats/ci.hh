@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Confidence intervals.
+ *
+ * The paper's CI stopping rule "stops when the 95% right-tailed
+ * confidence interval of all run-time measurements is smaller than a
+ * threshold proportion of mean". We provide two-sided and one-sided
+ * (right-tailed) Student-t intervals on the mean, a distribution-free
+ * order-statistic interval on the median, and a log-scale interval for
+ * log-normal data (back-transformed to a CI on the geometric mean).
+ */
+
+#ifndef SHARP_STATS_CI_HH
+#define SHARP_STATS_CI_HH
+
+#include <vector>
+
+namespace sharp
+{
+namespace stats
+{
+
+/** A confidence interval [lower, upper] at the given confidence level. */
+struct ConfidenceInterval
+{
+    double lower;
+    double upper;
+    double level;
+
+    /** Interval width. */
+    double width() const { return upper - lower; }
+
+    /**
+     * Width relative to |center|, the quantity the CI stopping rule
+     * thresholds (0 when the center is 0).
+     */
+    double relativeWidth(double center) const;
+};
+
+/**
+ * Two-sided Student-t CI on the mean. Requires n >= 2.
+ * @param level confidence level in (0, 1), e.g. 0.95.
+ */
+ConfidenceInterval meanCi(const std::vector<double> &x, double level);
+
+/**
+ * Right-tailed CI on the mean: [mean, mean + t_{level} * SE]. The rule
+ * compares its width (t * SE) against threshold * mean. Requires n >= 2.
+ */
+ConfidenceInterval meanCiRightTailed(const std::vector<double> &x,
+                                     double level);
+
+/**
+ * Distribution-free CI on the median from binomial order statistics
+ * (conservative: the smallest order-statistic interval with coverage
+ * >= level). Requires n >= 6 for a non-degenerate interval.
+ */
+ConfidenceInterval medianCi(std::vector<double> x, double level);
+
+/**
+ * CI on the geometric mean via a t-interval on log-values,
+ * back-transformed; appropriate for log-normal run times.
+ * Requires all values > 0 and n >= 2.
+ */
+ConfidenceInterval geometricMeanCi(const std::vector<double> &x,
+                                   double level);
+
+/**
+ * CI on an arbitrary quantile @p p via binomial order statistics.
+ * Used by the tail-stability stopping rule (e.g. p = 0.99).
+ */
+ConfidenceInterval quantileCi(std::vector<double> x, double p,
+                              double level);
+
+} // namespace stats
+} // namespace sharp
+
+#endif // SHARP_STATS_CI_HH

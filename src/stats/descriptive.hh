@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Descriptive statistics: quantiles and the Summary structure that the
+ * Reporter attaches to every metric. The paper's thesis is that point
+ * summaries are *insufficient*, not useless — SHARP still reports them
+ * alongside the distribution-level artifacts.
+ */
+
+#ifndef SHARP_STATS_DESCRIPTIVE_HH
+#define SHARP_STATS_DESCRIPTIVE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace stats
+{
+
+/** Arithmetic mean. @p values must be non-empty. */
+double mean(const std::vector<double> &values);
+
+/** Sample variance (n-1 denominator); 0 for n < 2. */
+double variance(const std::vector<double> &values);
+
+/** Sample standard deviation. */
+double stddev(const std::vector<double> &values);
+
+/** Geometric mean; requires all values > 0. */
+double geometricMean(const std::vector<double> &values);
+
+/** Harmonic mean; requires all values > 0. */
+double harmonicMean(const std::vector<double> &values);
+
+/**
+ * Quantile with linear interpolation between order statistics
+ * (Hyndman–Fan type 7, the R default). @p p in [0, 1].
+ */
+double quantile(std::vector<double> values, double p);
+
+/** Quantile of already-sorted data (type 7). */
+double quantileSorted(const std::vector<double> &sorted, double p);
+
+/** Median (type-7 quantile at p = 0.5). */
+double median(std::vector<double> values);
+
+/** Interquartile range Q3 - Q1. */
+double iqr(std::vector<double> values);
+
+/** Median absolute deviation (unscaled). */
+double medianAbsoluteDeviation(std::vector<double> values);
+
+/** Trimmed mean discarding fraction @p trim from each tail. */
+double trimmedMean(std::vector<double> values, double trim);
+
+/** Sample skewness (adjusted Fisher–Pearson, g1 * correction). */
+double skewness(const std::vector<double> &values);
+
+/** Excess kurtosis (sample, bias-adjusted). */
+double excessKurtosis(const std::vector<double> &values);
+
+/** Coefficient of variation sd/|mean|; 0 when mean is 0. */
+double coefficientOfVariation(const std::vector<double> &values);
+
+/** Standard error of the mean, sd/sqrt(n). */
+double standardError(const std::vector<double> &values);
+
+/**
+ * Full descriptive summary of one sample, as emitted by the Reporter.
+ */
+struct Summary
+{
+    size_t n = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+    double q1 = 0.0;
+    double q3 = 0.0;
+    double p05 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double skewness = 0.0;
+    double excessKurtosis = 0.0;
+    double coefficientOfVariation = 0.0;
+    double standardError = 0.0;
+
+    /** Compute a summary; @p values must be non-empty. */
+    static Summary compute(const std::vector<double> &values);
+
+    /** One-line rendering, e.g. for log output. */
+    std::string toString() const;
+};
+
+} // namespace stats
+} // namespace sharp
+
+#endif // SHARP_STATS_DESCRIPTIVE_HH

@@ -1,0 +1,113 @@
+#include "stats/ecdf.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sharp
+{
+namespace stats
+{
+
+Ecdf::Ecdf(std::vector<double> sample) : sorted(std::move(sample))
+{
+    if (sorted.empty())
+        throw std::invalid_argument("Ecdf requires a non-empty sample");
+    std::sort(sorted.begin(), sorted.end());
+}
+
+double
+Ecdf::operator()(double x) const
+{
+    auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+    return static_cast<double>(it - sorted.begin()) /
+           static_cast<double>(sorted.size());
+}
+
+double
+Ecdf::inverse(double p) const
+{
+    if (p < 0.0 || p > 1.0)
+        throw std::invalid_argument("Ecdf::inverse requires p in [0, 1]");
+    if (p == 0.0)
+        return sorted.front();
+    double idx = std::ceil(p * static_cast<double>(sorted.size())) - 1.0;
+    size_t i = static_cast<size_t>(std::max(0.0, idx));
+    return sorted[std::min(i, sorted.size() - 1)];
+}
+
+namespace
+{
+
+double
+ksSorted(const std::vector<double> &a, const std::vector<double> &b)
+{
+    size_t na = a.size(), nb = b.size();
+    size_t ia = 0, ib = 0;
+    double fa = 0.0, fb = 0.0;
+    double sup = 0.0;
+    while (ia < na && ib < nb) {
+        double va = a[ia], vb = b[ib];
+        double v = std::min(va, vb);
+        // Step both ECDFs past all observations equal to v so ties are
+        // handled exactly.
+        while (ia < na && a[ia] == v)
+            ++ia;
+        while (ib < nb && b[ib] == v)
+            ++ib;
+        fa = static_cast<double>(ia) / static_cast<double>(na);
+        fb = static_cast<double>(ib) / static_cast<double>(nb);
+        sup = std::max(sup, std::fabs(fa - fb));
+    }
+    // After one sample is exhausted its ECDF is 1; the gap can only
+    // shrink toward the final point where both reach 1, except at the
+    // first unprocessed point of the other sample.
+    if (ia < na)
+        sup = std::max(sup, std::fabs(1.0 - fb));
+    if (ib < nb)
+        sup = std::max(sup, std::fabs(fa - 1.0));
+    return sup;
+}
+
+} // anonymous namespace
+
+double
+ksStatistic(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.empty() || b.empty())
+        throw std::invalid_argument("ksStatistic requires non-empty samples");
+    std::vector<double> sa = a, sb = b;
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    return ksSorted(sa, sb);
+}
+
+double
+ksStatistic(const Ecdf &a, const Ecdf &b)
+{
+    return ksSorted(a.sortedSample(), b.sortedSample());
+}
+
+double
+ksStatisticAgainst(const std::vector<double> &sample,
+                   const std::function<double(double)> &cdf)
+{
+    if (sample.empty())
+        throw std::invalid_argument(
+            "ksStatisticAgainst requires a non-empty sample");
+    std::vector<double> sorted = sample;
+    std::sort(sorted.begin(), sorted.end());
+    size_t n = sorted.size();
+    double nd = static_cast<double>(n);
+    double sup = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        double f = cdf(sorted[i]);
+        double upper = static_cast<double>(i + 1) / nd - f;
+        double lower = f - static_cast<double>(i) / nd;
+        sup = std::max({sup, upper, lower});
+    }
+    return sup;
+}
+
+} // namespace stats
+} // namespace sharp

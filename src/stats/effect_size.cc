@@ -1,0 +1,117 @@
+#include "stats/effect_size.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/descriptive.hh"
+
+namespace sharp
+{
+namespace stats
+{
+
+double
+cohensD(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() < 2 || y.size() < 2)
+        throw std::invalid_argument("cohensD requires n >= 2 per sample");
+    double nx = static_cast<double>(x.size());
+    double ny = static_cast<double>(y.size());
+    double pooled_var = ((nx - 1.0) * variance(x) +
+                         (ny - 1.0) * variance(y)) /
+                        (nx + ny - 2.0);
+    double diff = mean(x) - mean(y);
+    if (pooled_var <= 0.0)
+        return diff == 0.0 ? 0.0
+                           : std::copysign(
+                                 std::numeric_limits<double>::infinity(),
+                                 diff);
+    return diff / std::sqrt(pooled_var);
+}
+
+double
+hedgesG(const std::vector<double> &x, const std::vector<double> &y)
+{
+    double d = cohensD(x, y);
+    double dof =
+        static_cast<double>(x.size() + y.size()) - 2.0;
+    // Hedges' correction factor J ~ 1 - 3/(4 dof - 1).
+    double correction = 1.0 - 3.0 / (4.0 * dof - 1.0);
+    return d * correction;
+}
+
+namespace
+{
+
+/**
+ * Count, for each y, how many x are smaller / equal, via sorted x and
+ * binary search; yields sum over pairs of sign(x - y) in
+ * O((n+m) log n).
+ */
+void
+pairCounts(const std::vector<double> &x, const std::vector<double> &y,
+           double &greater, double &less, double &equal)
+{
+    std::vector<double> sorted = x;
+    std::sort(sorted.begin(), sorted.end());
+    greater = less = equal = 0.0;
+    for (double v : y) {
+        auto lo = std::lower_bound(sorted.begin(), sorted.end(), v);
+        auto hi = std::upper_bound(sorted.begin(), sorted.end(), v);
+        double below = static_cast<double>(lo - sorted.begin());
+        double ties = static_cast<double>(hi - lo);
+        double above = static_cast<double>(sorted.end() - hi);
+        greater += above; // x > y pairs
+        less += below;    // x < y pairs
+        equal += ties;
+    }
+}
+
+} // anonymous namespace
+
+double
+cliffsDelta(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.empty() || y.empty())
+        throw std::invalid_argument(
+            "cliffsDelta requires non-empty samples");
+    double greater, less, equal;
+    pairCounts(x, y, greater, less, equal);
+    double pairs = static_cast<double>(x.size()) *
+                   static_cast<double>(y.size());
+    (void)equal;
+    return (greater - less) / pairs;
+}
+
+double
+commonLanguageEffect(const std::vector<double> &x,
+                     const std::vector<double> &y)
+{
+    if (x.empty() || y.empty())
+        throw std::invalid_argument(
+            "commonLanguageEffect requires non-empty samples");
+    double greater, less, equal;
+    pairCounts(x, y, greater, less, equal);
+    double pairs = static_cast<double>(x.size()) *
+                   static_cast<double>(y.size());
+    (void)less;
+    return (greater + 0.5 * equal) / pairs;
+}
+
+const char *
+cliffsDeltaMagnitude(double delta)
+{
+    double mag = std::fabs(delta);
+    if (mag < 0.147)
+        return "negligible";
+    if (mag < 0.33)
+        return "small";
+    if (mag < 0.474)
+        return "medium";
+    return "large";
+}
+
+} // namespace stats
+} // namespace sharp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Effect sizes for two-sample comparisons.
+ *
+ * Hypothesis tests answer "is there a difference?"; with enough runs
+ * the answer is almost always yes. Effect sizes answer "how big is
+ * it?" — the question a hardware-purchase decision actually needs.
+ * The Reporter attaches these alongside the similarity metrics:
+ *
+ *  - Cohen's d / Hedges' g: standardized mean difference (parametric);
+ *  - Cliff's delta: P(X > Y) - P(X < Y), rank-based, robust to
+ *    non-normality and directly interpretable for run times;
+ *  - common-language effect size: P(a random X exceeds a random Y).
+ */
+
+#ifndef SHARP_STATS_EFFECT_SIZE_HH
+#define SHARP_STATS_EFFECT_SIZE_HH
+
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace stats
+{
+
+/**
+ * Cohen's d with the pooled standard deviation. Positive when x's
+ * mean exceeds y's. Requires n >= 2 per sample; 0 when both samples
+ * have zero variance and equal means.
+ */
+double cohensD(const std::vector<double> &x,
+               const std::vector<double> &y);
+
+/** Hedges' g: Cohen's d with the small-sample bias correction. */
+double hedgesG(const std::vector<double> &x,
+               const std::vector<double> &y);
+
+/**
+ * Cliff's delta in [-1, 1]: +1 when every x exceeds every y, 0 when
+ * the samples are stochastically equal. Computed exactly in
+ * O((n+m) log(n+m)).
+ */
+double cliffsDelta(const std::vector<double> &x,
+                   const std::vector<double> &y);
+
+/** Common-language effect size P(X > Y) + 0.5 P(X = Y), in [0, 1]. */
+double commonLanguageEffect(const std::vector<double> &x,
+                            const std::vector<double> &y);
+
+/**
+ * Conventional magnitude label for |Cliff's delta|:
+ * negligible (< .147), small (< .33), medium (< .474), large.
+ */
+const char *cliffsDeltaMagnitude(double delta);
+
+} // namespace stats
+} // namespace sharp
+
+#endif // SHARP_STATS_EFFECT_SIZE_HH

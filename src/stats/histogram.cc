@@ -1,0 +1,168 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hh"
+
+namespace sharp
+{
+namespace stats
+{
+
+const char *
+binRuleName(BinRule rule)
+{
+    switch (rule) {
+      case BinRule::Sturges: return "sturges";
+      case BinRule::FreedmanDiaconis: return "freedman-diaconis";
+      case BinRule::Scott: return "scott";
+      case BinRule::SturgesFdMin: return "min(sturges, freedman-diaconis)";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+double
+sturgesWidth(const std::vector<double> &values)
+{
+    auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    double range = *mx - *mn;
+    if (range <= 0.0)
+        return 0.0;
+    double bins =
+        std::ceil(std::log2(static_cast<double>(values.size()))) + 1.0;
+    return range / bins;
+}
+
+double
+fdWidth(const std::vector<double> &values)
+{
+    double spread = iqr(values);
+    if (spread <= 0.0)
+        return 0.0;
+    return 2.0 * spread /
+           std::cbrt(static_cast<double>(values.size()));
+}
+
+double
+scottWidth(const std::vector<double> &values)
+{
+    double sd = stddev(values);
+    if (sd <= 0.0)
+        return 0.0;
+    return 3.49 * sd / std::cbrt(static_cast<double>(values.size()));
+}
+
+} // anonymous namespace
+
+double
+binWidth(const std::vector<double> &values, BinRule rule)
+{
+    if (values.empty())
+        throw std::invalid_argument("binWidth requires a non-empty sample");
+
+    double sturges = sturgesWidth(values);
+    switch (rule) {
+      case BinRule::Sturges:
+        return sturges;
+      case BinRule::FreedmanDiaconis: {
+        double fd = fdWidth(values);
+        return fd > 0.0 ? fd : sturges;
+      }
+      case BinRule::Scott: {
+        double scott = scottWidth(values);
+        return scott > 0.0 ? scott : sturges;
+      }
+      case BinRule::SturgesFdMin: {
+        double fd = fdWidth(values);
+        if (fd <= 0.0)
+            return sturges;
+        if (sturges <= 0.0)
+            return fd;
+        return std::min(sturges, fd);
+      }
+    }
+    return sturges;
+}
+
+Histogram
+Histogram::build(const std::vector<double> &values, BinRule rule)
+{
+    if (values.empty())
+        throw std::invalid_argument("Histogram requires a non-empty sample");
+    double w = binWidth(values, rule);
+    auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    double range = *mx - *mn;
+    size_t bins = 1;
+    if (w > 0.0 && range > 0.0)
+        bins = static_cast<size_t>(std::ceil(range / w));
+    // Guard against pathological widths producing absurd bin counts.
+    bins = std::clamp<size_t>(bins, 1, 100000);
+    return buildWithBins(values, bins);
+}
+
+Histogram
+Histogram::buildWithBins(const std::vector<double> &values, size_t bins)
+{
+    if (values.empty())
+        throw std::invalid_argument("Histogram requires a non-empty sample");
+    if (bins == 0)
+        throw std::invalid_argument("Histogram requires at least one bin");
+
+    auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    Histogram h;
+    h.lo = *mn;
+    h.hi = *mx;
+    h.total = values.size();
+    if (h.hi <= h.lo) {
+        h.counts.assign(1, values.size());
+        h.binW = 0.0;
+        return h;
+    }
+    h.counts.assign(bins, 0);
+    h.binW = (h.hi - h.lo) / static_cast<double>(bins);
+    for (double v : values) {
+        size_t idx = static_cast<size_t>((v - h.lo) / h.binW);
+        if (idx >= bins)
+            idx = bins - 1; // v == hi lands in the last bin.
+        ++h.counts[idx];
+    }
+    return h;
+}
+
+double
+Histogram::center(size_t index) const
+{
+    if (binW <= 0.0)
+        return lo;
+    return lo + (static_cast<double>(index) + 0.5) * binW;
+}
+
+double
+Histogram::density(size_t index) const
+{
+    if (total == 0 || binW <= 0.0)
+        return 0.0;
+    return static_cast<double>(counts.at(index)) /
+           (static_cast<double>(total) * binW);
+}
+
+std::vector<double>
+Histogram::probabilities() const
+{
+    std::vector<double> probs(counts.size(), 0.0);
+    if (total == 0)
+        return probs;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        probs[i] = static_cast<double>(counts[i]) /
+                   static_cast<double>(total);
+    }
+    return probs;
+}
+
+} // namespace stats
+} // namespace sharp

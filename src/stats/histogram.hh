@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Histograms with the binning rules the paper uses for Fig. 4:
+ * "We choose the histogram bin size as the minimum bin width between
+ * the Sturges method and the Freedman-Diaconis rule."
+ */
+
+#ifndef SHARP_STATS_HISTOGRAM_HH
+#define SHARP_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace stats
+{
+
+/** Bin-width selection rules. */
+enum class BinRule
+{
+    Sturges,         ///< ceil(log2 n) + 1 bins over the range.
+    FreedmanDiaconis, ///< width = 2 * IQR / n^(1/3).
+    Scott,           ///< width = 3.49 * sd / n^(1/3).
+    SturgesFdMin,    ///< the paper's rule: min width of Sturges and FD.
+};
+
+/** Name of a bin rule, e.g. "freedman-diaconis". */
+const char *binRuleName(BinRule rule);
+
+/**
+ * Compute the bin width prescribed by @p rule for @p values.
+ * Falls back to Sturges when FD's IQR (or Scott's sd) is zero.
+ * Values must be non-empty; returns 0 when all values are equal.
+ */
+double binWidth(const std::vector<double> &values, BinRule rule);
+
+/**
+ * A fixed-width histogram over [lo, hi] with counts per bin.
+ */
+class Histogram
+{
+  public:
+    /**
+     * Build a histogram of @p values using @p rule to pick bin width.
+     * Degenerate samples (all equal) produce a single bin.
+     */
+    static Histogram build(const std::vector<double> &values, BinRule rule);
+
+    /** Build with an explicit number of equal-width bins (>= 1). */
+    static Histogram buildWithBins(const std::vector<double> &values,
+                                   size_t bins);
+
+    size_t numBins() const { return counts.size(); }
+    double lowerBound() const { return lo; }
+    double upperBound() const { return hi; }
+    double width() const { return binW; }
+    size_t totalCount() const { return total; }
+
+    /** Count in bin @p index. */
+    size_t count(size_t index) const { return counts.at(index); }
+
+    /** All counts. */
+    const std::vector<size_t> &allCounts() const { return counts; }
+
+    /** Bin center of bin @p index. */
+    double center(size_t index) const;
+
+    /** Probability density estimate of bin @p index. */
+    double density(size_t index) const;
+
+    /**
+     * Normalized bin probabilities (count / total) — the discrete
+     * distribution used by histogram-space divergences.
+     */
+    std::vector<double> probabilities() const;
+
+  private:
+    Histogram() = default;
+
+    double lo = 0.0;
+    double hi = 0.0;
+    double binW = 0.0;
+    size_t total = 0;
+    std::vector<size_t> counts;
+};
+
+} // namespace stats
+} // namespace sharp
+
+#endif // SHARP_STATS_HISTOGRAM_HH

@@ -1,0 +1,140 @@
+#include "stats/regression.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hh"
+
+namespace sharp
+{
+namespace stats
+{
+
+namespace
+{
+
+void
+checkXy(const std::vector<double> &x, const std::vector<double> &y,
+        size_t min_n, const char *who)
+{
+    if (x.size() != y.size())
+        throw std::invalid_argument(std::string(who) +
+                                    ": x and y sizes differ");
+    if (x.size() < min_n)
+        throw std::invalid_argument(std::string(who) +
+                                    ": too few points");
+    double lo = *std::min_element(x.begin(), x.end());
+    double hi = *std::max_element(x.begin(), x.end());
+    if (hi <= lo)
+        throw std::invalid_argument(std::string(who) +
+                                    ": x must not be constant");
+}
+
+/** Weighted least squares for y = a + b x with weights w. */
+void
+weightedLeastSquares(const std::vector<double> &x,
+                     const std::vector<double> &y,
+                     const std::vector<double> &w, double &a, double &b)
+{
+    double sw = 0, swx = 0, swy = 0, swxx = 0, swxy = 0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        sw += w[i];
+        swx += w[i] * x[i];
+        swy += w[i] * y[i];
+        swxx += w[i] * x[i] * x[i];
+        swxy += w[i] * x[i] * y[i];
+    }
+    double denom = sw * swxx - swx * swx;
+    if (std::fabs(denom) < 1e-300) {
+        b = 0.0;
+        a = sw > 0 ? swy / sw : 0.0;
+        return;
+    }
+    b = (sw * swxy - swx * swy) / denom;
+    a = (swy - b * swx) / sw;
+}
+
+} // anonymous namespace
+
+LinearFit
+olsFit(const std::vector<double> &x, const std::vector<double> &y)
+{
+    checkXy(x, y, 2, "olsFit");
+    std::vector<double> w(x.size(), 1.0);
+    double a, b;
+    weightedLeastSquares(x, y, w, a, b);
+
+    double my = mean(y);
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        double r = y[i] - (a + b * x[i]);
+        ss_res += r * r;
+        double d = y[i] - my;
+        ss_tot += d * d;
+    }
+    double r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return {a, b, r2};
+}
+
+double
+pinballLoss(const std::vector<double> &y, const std::vector<double> &pred,
+            double tau)
+{
+    if (y.size() != pred.size() || y.empty())
+        throw std::invalid_argument("pinballLoss: size mismatch or empty");
+    double loss = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) {
+        double r = y[i] - pred[i];
+        loss += r >= 0.0 ? tau * r : (tau - 1.0) * r;
+    }
+    return loss / static_cast<double>(y.size());
+}
+
+LinearFit
+quantileFit(const std::vector<double> &x, const std::vector<double> &y,
+            double tau)
+{
+    if (!(tau > 0.0 && tau < 1.0))
+        throw std::invalid_argument("quantileFit requires tau in (0, 1)");
+    checkXy(x, y, 8, "quantileFit");
+
+    // IRLS on the smoothed check loss: weight_i =
+    // |tau - 1{r_i < 0}| / max(|r_i|, eps). Initialize from OLS.
+    LinearFit fit = olsFit(x, y);
+    double a = fit.intercept, b = fit.slope;
+
+    double y_scale = stddev(y);
+    double eps = std::max(1e-9, 1e-6 * (y_scale > 0 ? y_scale : 1.0));
+
+    std::vector<double> w(x.size());
+    for (int iter = 0; iter < 100; ++iter) {
+        for (size_t i = 0; i < x.size(); ++i) {
+            double r = y[i] - (a + b * x[i]);
+            double grad_mag = r >= 0.0 ? tau : 1.0 - tau;
+            w[i] = grad_mag / std::max(std::fabs(r), eps);
+        }
+        double a_new, b_new;
+        weightedLeastSquares(x, y, w, a_new, b_new);
+        double delta = std::fabs(a_new - a) + std::fabs(b_new - b);
+        a = a_new;
+        b = b_new;
+        if (delta < 1e-10 * (1.0 + std::fabs(a) + std::fabs(b)))
+            break;
+    }
+
+    // Goodness: 1 - pinball / pinball of the best constant model (the
+    // tau-quantile of y).
+    std::vector<double> pred(x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        pred[i] = a + b * x[i];
+    double loss = pinballLoss(y, pred, tau);
+    double q = quantile(y, tau);
+    std::vector<double> const_pred(x.size(), q);
+    double base = pinballLoss(y, const_pred, tau);
+    double goodness = base > 0.0 ? 1.0 - loss / base : 1.0;
+    return {a, b, goodness};
+}
+
+} // namespace stats
+} // namespace sharp

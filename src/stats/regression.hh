@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Simple and quantile linear regression.
+ *
+ * De Oliveira et al. (cited in the paper's related work) argue quantile
+ * regression is more reliable than ANOVA for comparing performance
+ * distributions; SHARP "fully records [distributions] in CSV files so
+ * that any additional tests and analyses like quantile regression ...
+ * can be carried out with ease". We provide both OLS and quantile fits
+ * so the Reporter can do that analysis natively.
+ */
+
+#ifndef SHARP_STATS_REGRESSION_HH
+#define SHARP_STATS_REGRESSION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace sharp
+{
+namespace stats
+{
+
+/** A fitted line y = intercept + slope * x. */
+struct LinearFit
+{
+    double intercept;
+    double slope;
+    /** Coefficient of determination (OLS) or pinball-loss ratio (QR). */
+    double goodness;
+
+    /** Predict y at @p x. */
+    double
+    predict(double x) const
+    {
+        return intercept + slope * x;
+    }
+};
+
+/**
+ * Ordinary least squares fit. Requires >= 2 points and non-constant x.
+ * goodness is R^2.
+ */
+LinearFit olsFit(const std::vector<double> &x,
+                 const std::vector<double> &y);
+
+/**
+ * Linear quantile regression at quantile @p tau in (0, 1), minimizing
+ * the pinball (check) loss by iteratively reweighted least squares with
+ * a small smoothing epsilon. goodness is 1 - loss/loss_of_constant_fit.
+ *
+ * Requires >= 8 points and non-constant x.
+ */
+LinearFit quantileFit(const std::vector<double> &x,
+                      const std::vector<double> &y, double tau);
+
+/** Mean pinball loss of predictions @p pred against @p y at @p tau. */
+double pinballLoss(const std::vector<double> &y,
+                   const std::vector<double> &pred, double tau);
+
+} // namespace stats
+} // namespace sharp
+
+#endif // SHARP_STATS_REGRESSION_HH

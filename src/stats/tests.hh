@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Hypothesis tests used by the Reporter and the distribution
+ * classifier: two-sample KS with asymptotic p-value, Mann–Whitney U
+ * (used by Eismann et al. for variability regression testing, cited in
+ * the paper), Welch's t, Jarque–Bera and Anderson–Darling normality.
+ */
+
+#ifndef SHARP_STATS_TESTS_HH
+#define SHARP_STATS_TESTS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace sharp
+{
+namespace stats
+{
+
+/** Outcome of a hypothesis test. */
+struct TestResult
+{
+    /** The test statistic. */
+    double statistic;
+    /** Two-sided p-value (or the test's natural p-value). */
+    double pValue;
+
+    /** Reject the null at significance @p alpha? */
+    bool rejectAt(double alpha) const { return pValue < alpha; }
+};
+
+/**
+ * Two-sample Kolmogorov–Smirnov test.
+ * Statistic D = sup|F1 - F2|; p-value from the Kolmogorov asymptotic
+ * distribution with the effective-size correction
+ * lambda = (sqrt(ne) + 0.12 + 0.11/sqrt(ne)) * D.
+ */
+TestResult ksTest(const std::vector<double> &x,
+                  const std::vector<double> &y);
+
+/**
+ * Mann–Whitney U test (two-sided, normal approximation with tie
+ * correction and continuity correction). Statistic is U for sample x.
+ */
+TestResult mannWhitneyU(const std::vector<double> &x,
+                        const std::vector<double> &y);
+
+/**
+ * Welch's unequal-variance t-test (two-sided), with
+ * Welch–Satterthwaite degrees of freedom.
+ */
+TestResult welchTTest(const std::vector<double> &x,
+                      const std::vector<double> &y);
+
+/**
+ * Jarque–Bera normality test: JB = n/6 * (S^2 + K^2/4), asymptotically
+ * chi-square with 2 dof under normality.
+ */
+TestResult jarqueBera(const std::vector<double> &x);
+
+/**
+ * Anderson–Darling test of composite normality (case 4: mean and
+ * variance estimated). Statistic is the small-sample adjusted A*^2;
+ * p-value from the Stephens / D'Agostino approximation.
+ */
+TestResult andersonDarlingNormal(const std::vector<double> &x);
+
+/**
+ * Two-sample Cramér–von Mises test. Where KS reacts to the single
+ * largest CDF gap, CvM integrates the squared gap over the whole
+ * distribution, making it more sensitive to diffuse differences.
+ * Statistic is the classic T = U/(nm(n+m)) - (4nm-1)/(6(n+m)) form;
+ * the p-value uses the asymptotic approximation of Anderson (1962).
+ */
+TestResult cramerVonMises(const std::vector<double> &x,
+                          const std::vector<double> &y);
+
+/**
+ * Estimate the number of runs needed for the two-sided t CI on the
+ * mean to reach a relative width below @p relWidth at confidence
+ * @p level, extrapolating from a pilot sample's coefficient of
+ * variation. The estimate (>= 2) may be smaller than the pilot when
+ * the pilot was already more than sufficient.
+ * @throws std::invalid_argument on a pilot with < 2 samples, zero
+ *         mean, or non-positive targets.
+ */
+size_t requiredSampleSize(const std::vector<double> &pilot,
+                          double relWidth, double level = 0.95);
+
+} // namespace stats
+} // namespace sharp
+
+#endif // SHARP_STATS_TESTS_HH

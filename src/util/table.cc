@@ -1,0 +1,106 @@
+#include "util/table.hh"
+
+#include <algorithm>
+
+#include "util/message.hh"
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace util
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers(std::move(headers))
+{
+    if (this->headers.empty())
+        panic("TextTable requires at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers.size()) {
+        panic("TextTable row has %zu cells, expected %zu", row.size(),
+              headers.size());
+    }
+    rows.push_back(std::move(row));
+}
+
+std::vector<size_t>
+TextTable::columnWidths() const
+{
+    std::vector<size_t> widths(headers.size());
+    for (size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    return widths;
+}
+
+bool
+TextTable::looksNumeric(const std::string &cell)
+{
+    return parseDouble(cell).has_value();
+}
+
+namespace
+{
+
+std::string
+pad(const std::string &cell, size_t width, bool right_align)
+{
+    std::string spaces(width - std::min(width, cell.size()), ' ');
+    return right_align ? spaces + cell : cell + spaces;
+}
+
+} // anonymous namespace
+
+std::string
+TextTable::render() const
+{
+    auto widths = columnWidths();
+    std::string sep = "+";
+    for (size_t w : widths)
+        sep += std::string(w + 2, '-') + "+";
+    sep += "\n";
+
+    std::string out = sep;
+    out += "|";
+    for (size_t c = 0; c < headers.size(); ++c)
+        out += " " + pad(headers[c], widths[c], false) + " |";
+    out += "\n" + sep;
+    for (const auto &row : rows) {
+        out += "|";
+        for (size_t c = 0; c < row.size(); ++c)
+            out += " " + pad(row[c], widths[c], looksNumeric(row[c])) + " |";
+        out += "\n";
+    }
+    out += sep;
+    return out;
+}
+
+std::string
+TextTable::renderMarkdown() const
+{
+    auto widths = columnWidths();
+    std::string out = "|";
+    for (size_t c = 0; c < headers.size(); ++c)
+        out += " " + pad(headers[c], widths[c], false) + " |";
+    out += "\n|";
+    for (size_t w : widths)
+        out += std::string(w + 2, '-') + "|";
+    out += "\n";
+    for (const auto &row : rows) {
+        out += "|";
+        for (size_t c = 0; c < row.size(); ++c)
+            out += " " + pad(row[c], widths[c], looksNumeric(row[c])) + " |";
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace util
+} // namespace sharp

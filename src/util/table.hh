@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table formatter used by the reporter and the benchmark
+ * harnesses to print paper-style tables.
+ */
+
+#ifndef SHARP_UTIL_TABLE_HH
+#define SHARP_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace util
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Columns are sized to the widest cell. Numeric-looking cells are
+ * right-aligned, text cells left-aligned. render() produces an ASCII
+ * table; renderMarkdown() produces a GitHub-flavored markdown table.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows. */
+    size_t numRows() const { return rows.size(); }
+
+    /** Render as an ASCII box table. */
+    std::string render() const;
+
+    /** Render as a markdown table. */
+    std::string renderMarkdown() const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+
+    std::vector<size_t> columnWidths() const;
+    static bool looksNumeric(const std::string &cell);
+};
+
+} // namespace util
+} // namespace sharp
+
+#endif // SHARP_UTIL_TABLE_HH

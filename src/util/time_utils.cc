@@ -1,0 +1,54 @@
+#include "util/time_utils.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace util
+{
+
+uint64_t
+monotonicNanos()
+{
+    auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+std::string
+isoTimestamp()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    return buf;
+}
+
+std::string
+formatDuration(double seconds)
+{
+    if (seconds < 0)
+        return "-" + formatDuration(-seconds);
+    if (seconds < 1e-3) {
+        return formatDouble(seconds * 1e6, 3) + " us";
+    } else if (seconds < 1.0) {
+        return formatDouble(seconds * 1e3, 3) + " ms";
+    } else if (seconds < 120.0) {
+        return formatDouble(seconds, 3) + " s";
+    }
+    long minutes = static_cast<long>(seconds) / 60;
+    double rem = seconds - static_cast<double>(minutes) * 60.0;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%ld m %s s", minutes,
+                  formatDouble(rem, 1).c_str());
+    return buf;
+}
+
+} // namespace util
+} // namespace sharp

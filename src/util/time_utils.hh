@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Wall-clock helpers: monotonic timing for measurements and ISO-8601
+ * timestamps for metadata records.
+ */
+
+#ifndef SHARP_UTIL_TIME_UTILS_HH
+#define SHARP_UTIL_TIME_UTILS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sharp
+{
+namespace util
+{
+
+/** Monotonic clock reading in nanoseconds; only differences are meaningful. */
+uint64_t monotonicNanos();
+
+/** Current wall-clock time formatted as "YYYY-MM-DDTHH:MM:SSZ" (UTC). */
+std::string isoTimestamp();
+
+/**
+ * Format a duration in seconds as a human-readable string, e.g.
+ * "532 ms", "3.46 s", "2 m 13 s".
+ */
+std::string formatDuration(double seconds);
+
+/**
+ * Simple stopwatch over the monotonic clock.
+ */
+class Stopwatch
+{
+  public:
+    Stopwatch() : startNs(monotonicNanos()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { startNs = monotonicNanos(); }
+
+    /** Elapsed time since construction or last reset, in seconds. */
+    double
+    elapsedSeconds() const
+    {
+        return static_cast<double>(monotonicNanos() - startNs) * 1e-9;
+    }
+
+  private:
+    uint64_t startNs;
+};
+
+} // namespace util
+} // namespace sharp
+
+#endif // SHARP_UTIL_TIME_UTILS_HH

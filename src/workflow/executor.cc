@@ -1,0 +1,154 @@
+#include "workflow/executor.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "launcher/local_backend.hh"
+
+namespace sharp
+{
+namespace workflow
+{
+
+const char *
+taskStatusName(TaskStatus status)
+{
+    switch (status) {
+      case TaskStatus::Pending: return "pending";
+      case TaskStatus::Succeeded: return "succeeded";
+      case TaskStatus::Failed: return "failed";
+      case TaskStatus::Skipped: return "skipped";
+    }
+    return "unknown";
+}
+
+size_t
+ExecutionReport::count(TaskStatus wanted) const
+{
+    size_t n = 0;
+    for (const auto &[name, st] : status) {
+        (void)name;
+        if (st == wanted)
+            ++n;
+    }
+    return n;
+}
+
+Executor::Executor(TaskRunner runner_in) : runner(std::move(runner_in))
+{
+    if (!runner)
+        throw std::invalid_argument("Executor requires a task runner");
+}
+
+ExecutionReport
+Executor::execute(const TaskGraph &graph)
+{
+    graph.validate();
+
+    ExecutionReport report;
+    for (const auto &task : graph.tasks())
+        report.status[task.name] = TaskStatus::Pending;
+
+    for (const auto &name : graph.topologicalOrder()) {
+        const Task &task = graph.task(name);
+
+        bool deps_ok = true;
+        for (const auto &dep : task.dependencies) {
+            if (report.status[dep] != TaskStatus::Succeeded) {
+                deps_ok = false;
+                break;
+            }
+        }
+        if (!deps_ok) {
+            report.status[name] = TaskStatus::Skipped;
+            report.success = false;
+            continue;
+        }
+
+        report.executionOrder.push_back(name);
+        bool ok = runner(task);
+        report.status[name] =
+            ok ? TaskStatus::Succeeded : TaskStatus::Failed;
+        if (!ok)
+            report.success = false;
+    }
+    return report;
+}
+
+ExecutionReport
+Executor::executeParallel(const TaskGraph &graph, size_t maxThreads)
+{
+    graph.validate();
+    if (maxThreads == 0)
+        maxThreads = 1;
+
+    ExecutionReport report;
+    for (const auto &task : graph.tasks())
+        report.status[task.name] = TaskStatus::Pending;
+
+    for (const auto &wave : graph.waves()) {
+        // Partition the wave into runnable and skipped tasks.
+        std::vector<std::string> runnable;
+        for (const auto &name : wave) {
+            const Task &task = graph.task(name);
+            bool deps_ok = true;
+            for (const auto &dep : task.dependencies) {
+                if (report.status[dep] != TaskStatus::Succeeded) {
+                    deps_ok = false;
+                    break;
+                }
+            }
+            if (deps_ok) {
+                runnable.push_back(name);
+                report.executionOrder.push_back(name);
+            } else {
+                report.status[name] = TaskStatus::Skipped;
+                report.success = false;
+            }
+        }
+
+        // Run the wave in chunks of up to maxThreads tasks.
+        std::vector<char> ok(runnable.size(), 0);
+        for (size_t base = 0; base < runnable.size();
+             base += maxThreads) {
+            size_t count =
+                std::min(maxThreads, runnable.size() - base);
+            std::vector<std::thread> threads;
+            threads.reserve(count);
+            for (size_t t = 0; t < count; ++t) {
+                size_t index = base + t;
+                threads.emplace_back([this, &graph, &runnable, &ok,
+                                      index] {
+                    ok[index] =
+                        runner(graph.task(runnable[index])) ? 1 : 0;
+                });
+            }
+            for (auto &thread : threads)
+                thread.join();
+        }
+        for (size_t i = 0; i < runnable.size(); ++i) {
+            report.status[runnable[i]] =
+                ok[i] ? TaskStatus::Succeeded : TaskStatus::Failed;
+            if (!ok[i])
+                report.success = false;
+        }
+    }
+    return report;
+}
+
+Executor::TaskRunner
+shellRunner(double timeout_seconds)
+{
+    return [timeout_seconds](const Task &task) {
+        if (task.command.empty())
+            return true; // empty recipe: a pure synchronization point
+        launcher::ProcessOutcome outcome = launcher::runProcess(
+            {"/bin/sh", "-c", task.command}, timeout_seconds);
+        return outcome.started && !outcome.timedOut &&
+               outcome.exitStatus == 0;
+    };
+}
+
+} // namespace workflow
+} // namespace sharp

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Native workflow execution: runs a TaskGraph in dependency order
+ * without requiring an external `make`. Callers supply a task runner
+ * (typically wrapping a Launcher or a LocalProcessBackend); the
+ * executor handles ordering, failure propagation, and per-task status.
+ */
+
+#ifndef SHARP_WORKFLOW_EXECUTOR_HH
+#define SHARP_WORKFLOW_EXECUTOR_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workflow/task_graph.hh"
+
+namespace sharp
+{
+namespace workflow
+{
+
+/** Per-task execution status. */
+enum class TaskStatus
+{
+    Pending,
+    Succeeded,
+    Failed,
+    Skipped, ///< a dependency failed
+};
+
+/** Name of a task status. */
+const char *taskStatusName(TaskStatus status);
+
+/** The outcome of a workflow execution. */
+struct ExecutionReport
+{
+    /** Status per task. */
+    std::map<std::string, TaskStatus> status;
+    /** Tasks in the order they were attempted. */
+    std::vector<std::string> executionOrder;
+    /** True when every task succeeded. */
+    bool success = true;
+
+    /** Count of tasks with the given status. */
+    size_t count(TaskStatus wanted) const;
+};
+
+/**
+ * Executes tasks in topological order.
+ */
+class Executor
+{
+  public:
+    /** Runs one task; returns true on success. */
+    using TaskRunner = std::function<bool(const Task &)>;
+
+    /**
+     * @param runner the task runner
+     * @throws std::invalid_argument when runner is empty
+     */
+    explicit Executor(TaskRunner runner);
+
+    /**
+     * Run the whole graph. Tasks whose dependencies failed (or were
+     * skipped) are skipped, not run.
+     * @throws std::invalid_argument when the graph is invalid
+     */
+    ExecutionReport execute(const TaskGraph &graph);
+
+    /**
+     * Run the graph wave by wave, executing the tasks of each wave on
+     * up to @p maxThreads concurrent threads (the `make -j` of the
+     * native executor). The runner must be thread-safe. Task status
+     * semantics match execute(); executionOrder lists tasks grouped by
+     * wave, in insertion order within a wave.
+     */
+    ExecutionReport executeParallel(const TaskGraph &graph,
+                                    size_t maxThreads = 4);
+
+  private:
+    TaskRunner runner;
+};
+
+/** A TaskRunner that executes each task's command via /bin/sh. */
+Executor::TaskRunner shellRunner(double timeout_seconds = 60.0);
+
+} // namespace workflow
+} // namespace sharp
+
+#endif // SHARP_WORKFLOW_EXECUTOR_HH

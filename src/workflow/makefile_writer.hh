@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Makefile emission: the paper's workflow execution mechanism. Each
+ * task becomes a phony target whose recipe is its command and whose
+ * prerequisites are its dependencies; `make <workflow>` runs the DAG
+ * with make's own scheduling (including -j parallelism).
+ */
+
+#ifndef SHARP_WORKFLOW_MAKEFILE_WRITER_HH
+#define SHARP_WORKFLOW_MAKEFILE_WRITER_HH
+
+#include <string>
+
+#include "workflow/task_graph.hh"
+
+namespace sharp
+{
+namespace workflow
+{
+
+/**
+ * Render @p graph as a Makefile.
+ *
+ * @param graph       a validated task graph
+ * @param defaultGoal name of the all-encompassing phony default target
+ * @return Makefile text
+ * @throws std::invalid_argument when the graph fails validation
+ */
+std::string renderMakefile(const TaskGraph &graph,
+                           const std::string &defaultGoal = "workflow");
+
+/** Write the Makefile to @p path. */
+void writeMakefile(const TaskGraph &graph, const std::string &path,
+                   const std::string &defaultGoal = "workflow");
+
+/** Sanitize a task name into a valid make target token. */
+std::string makeTargetName(const std::string &taskName);
+
+} // namespace workflow
+} // namespace sharp
+
+#endif // SHARP_WORKFLOW_MAKEFILE_WRITER_HH

@@ -1,0 +1,138 @@
+#include "workflow/task_graph.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sharp
+{
+namespace workflow
+{
+
+void
+TaskGraph::addTask(Task task)
+{
+    if (index.count(task.name)) {
+        throw std::invalid_argument("duplicate workflow task: " +
+                                    task.name);
+    }
+    index[task.name] = taskList.size();
+    taskList.push_back(std::move(task));
+}
+
+void
+TaskGraph::addDependency(const std::string &task_name,
+                         const std::string &depends_on)
+{
+    auto it = index.find(task_name);
+    if (it == index.end())
+        throw std::out_of_range("unknown workflow task: " + task_name);
+    if (!index.count(depends_on))
+        throw std::out_of_range("unknown workflow task: " + depends_on);
+    taskList[it->second].dependencies.push_back(depends_on);
+}
+
+const Task &
+TaskGraph::task(const std::string &name) const
+{
+    auto it = index.find(name);
+    if (it == index.end())
+        throw std::out_of_range("unknown workflow task: " + name);
+    return taskList[it->second];
+}
+
+bool
+TaskGraph::contains(const std::string &name) const
+{
+    return index.count(name) > 0;
+}
+
+void
+TaskGraph::validate() const
+{
+    for (const auto &task : taskList) {
+        for (const auto &dep : task.dependencies) {
+            if (!index.count(dep)) {
+                throw std::invalid_argument(
+                    "task '" + task.name +
+                    "' depends on unknown task '" + dep + "'");
+            }
+            if (dep == task.name) {
+                throw std::invalid_argument("task '" + task.name +
+                                            "' depends on itself");
+            }
+        }
+    }
+    topologicalOrder(); // throws on cycles
+}
+
+std::vector<std::string>
+TaskGraph::topologicalOrder() const
+{
+    // Kahn's algorithm with insertion-order tie-breaking.
+    std::map<std::string, size_t> in_degree;
+    for (const auto &task : taskList)
+        in_degree[task.name] = 0;
+    for (const auto &task : taskList) {
+        for (const auto &dep : task.dependencies) {
+            if (!index.count(dep)) {
+                throw std::invalid_argument(
+                    "task '" + task.name +
+                    "' depends on unknown task '" + dep + "'");
+            }
+        }
+        in_degree[task.name] = task.dependencies.size();
+    }
+
+    std::vector<std::string> order;
+    std::vector<bool> emitted(taskList.size(), false);
+    while (order.size() < taskList.size()) {
+        bool progress = false;
+        for (size_t i = 0; i < taskList.size(); ++i) {
+            if (emitted[i] || in_degree[taskList[i].name] != 0)
+                continue;
+            emitted[i] = true;
+            order.push_back(taskList[i].name);
+            // Decrement in-degree of dependents.
+            for (size_t j = 0; j < taskList.size(); ++j) {
+                if (emitted[j])
+                    continue;
+                const auto &deps = taskList[j].dependencies;
+                size_t hits = static_cast<size_t>(
+                    std::count(deps.begin(), deps.end(),
+                               taskList[i].name));
+                in_degree[taskList[j].name] -= hits;
+            }
+            progress = true;
+        }
+        if (!progress)
+            throw std::invalid_argument("workflow graph has a cycle");
+    }
+    return order;
+}
+
+std::vector<std::vector<std::string>>
+TaskGraph::waves() const
+{
+    if (taskList.empty())
+        return {};
+    std::vector<std::string> order = topologicalOrder();
+    std::map<std::string, size_t> depth;
+    for (const auto &name : order) {
+        const Task &t = task(name);
+        size_t d = 0;
+        for (const auto &dep : t.dependencies)
+            d = std::max(d, depth[dep] + 1);
+        depth[name] = d;
+    }
+    size_t max_depth = 0;
+    for (const auto &[name, d] : depth)
+        max_depth = std::max(max_depth, d);
+
+    std::vector<std::vector<std::string>> out(max_depth + 1);
+    for (const auto &task : taskList)
+        out[depth[task.name]].push_back(task.name);
+    return out;
+}
+
+} // namespace workflow
+} // namespace sharp

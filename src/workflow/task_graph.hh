@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Task dependency graphs.
+ *
+ * "Modern workflows often combine different applications or
+ * application stages, sometimes with complex dependency relationships.
+ * To execute these workflows with their dependency graphs, SHARP uses
+ * the time-tested 'make' tool." (§IV-b) The graph model here backs
+ * both the Makefile emitter and the native executor.
+ */
+
+#ifndef SHARP_WORKFLOW_TASK_GRAPH_HH
+#define SHARP_WORKFLOW_TASK_GRAPH_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace workflow
+{
+
+/** One node of the workflow. */
+struct Task
+{
+    /** Unique task name. */
+    std::string name;
+    /** Shell command (Makefile recipe) or function reference. */
+    std::string command;
+    /** Names of tasks that must complete first. */
+    std::vector<std::string> dependencies;
+};
+
+/**
+ * A directed acyclic dependency graph of named tasks.
+ */
+class TaskGraph
+{
+  public:
+    TaskGraph() = default;
+
+    /**
+     * Add a task. @throws std::invalid_argument on duplicate names.
+     */
+    void addTask(Task task);
+
+    /**
+     * Add a dependency edge after the fact.
+     * @throws std::out_of_range when either task is unknown.
+     */
+    void addDependency(const std::string &task,
+                       const std::string &dependsOn);
+
+    /** Number of tasks. */
+    size_t size() const { return taskList.size(); }
+
+    /** All tasks in insertion order. */
+    const std::vector<Task> &tasks() const { return taskList; }
+
+    /** Find a task. @throws std::out_of_range when unknown. */
+    const Task &task(const std::string &name) const;
+
+    /** True when a task exists. */
+    bool contains(const std::string &name) const;
+
+    /**
+     * Validate the graph: every dependency must name an existing task
+     * and the graph must be acyclic.
+     * @throws std::invalid_argument describing the first problem found.
+     */
+    void validate() const;
+
+    /**
+     * Tasks in a valid execution order (dependencies first). Ties are
+     * broken by insertion order, making the result deterministic.
+     * @throws std::invalid_argument when the graph has a cycle or a
+     *         dangling dependency.
+     */
+    std::vector<std::string> topologicalOrder() const;
+
+    /**
+     * Group tasks into parallel waves: wave k contains tasks whose
+     * longest dependency chain has length k. Tasks in one wave can run
+     * concurrently.
+     */
+    std::vector<std::vector<std::string>> waves() const;
+
+  private:
+    std::vector<Task> taskList;
+    std::map<std::string, size_t> index;
+};
+
+} // namespace workflow
+} // namespace sharp
+
+#endif // SHARP_WORKFLOW_TASK_GRAPH_HH

@@ -1,0 +1,228 @@
+#include "workflow/workflow_parser.hh"
+
+#include <map>
+#include <stdexcept>
+
+#include "json/parser.hh"
+
+namespace sharp
+{
+namespace workflow
+{
+
+namespace
+{
+
+/** Function name -> operation (command). */
+using FunctionMap = std::map<std::string, std::string>;
+
+FunctionMap
+parseFunctions(const json::Value &doc)
+{
+    FunctionMap functions;
+    const json::Value *list = doc.find("functions");
+    if (!list)
+        return functions;
+    if (!list->isArray())
+        throw std::invalid_argument("'functions' must be an array");
+    for (const auto &fn : list->asArray()) {
+        if (!fn.isObject())
+            throw std::invalid_argument("function must be an object");
+        std::string name = fn.getString("name", "");
+        if (name.empty())
+            throw std::invalid_argument("function requires a name");
+        functions[name] = fn.getString("operation", "");
+    }
+    return functions;
+}
+
+/** Resolve an action's functionRef to a function name. */
+std::string
+actionFunctionName(const json::Value &action)
+{
+    const json::Value *ref = action.find("functionRef");
+    if (!ref)
+        throw std::invalid_argument("action requires functionRef");
+    if (ref->isString())
+        return ref->asString();
+    if (ref->isObject()) {
+        std::string name = ref->getString("refName", "");
+        if (name.empty())
+            throw std::invalid_argument("functionRef requires refName");
+        return name;
+    }
+    throw std::invalid_argument("functionRef must be string or object");
+}
+
+/** Resolve a state's transition target; empty = end. */
+std::string
+stateTransition(const json::Value &state)
+{
+    const json::Value *transition = state.find("transition");
+    if (transition) {
+        if (transition->isString())
+            return transition->asString();
+        if (transition->isObject())
+            return transition->getString("nextState", "");
+        throw std::invalid_argument(
+            "transition must be string or object");
+    }
+    return "";
+}
+
+} // anonymous namespace
+
+Workflow
+parseServerlessWorkflow(const json::Value &doc)
+{
+    if (!doc.isObject())
+        throw std::invalid_argument("workflow must be a JSON object");
+
+    Workflow wf;
+    wf.id = doc.getString("id", "workflow");
+    wf.name = doc.getString("name", wf.id);
+
+    FunctionMap functions = parseFunctions(doc);
+
+    const json::Value *states = doc.find("states");
+    if (!states || !states->isArray() || states->size() == 0)
+        throw std::invalid_argument(
+            "workflow requires a non-empty 'states' array");
+
+    // First pass: collect state metadata and, per state, the names of
+    // its first (entry) tasks and last (exit) tasks within the graph.
+    struct StateTasks
+    {
+        std::string name;
+        std::string transition;
+        std::vector<std::string> entryTasks;
+        std::vector<std::string> exitTasks;
+    };
+    std::vector<StateTasks> state_tasks;
+
+    auto commandFor = [&functions](const std::string &fn_name) {
+        auto it = functions.find(fn_name);
+        if (it == functions.end())
+            throw std::invalid_argument("action references unknown "
+                                        "function '" +
+                                        fn_name + "'");
+        return it->second;
+    };
+
+    for (const auto &state : states->asArray()) {
+        if (!state.isObject())
+            throw std::invalid_argument("state must be an object");
+        StateTasks st;
+        st.name = state.getString("name", "");
+        if (st.name.empty())
+            throw std::invalid_argument("state requires a name");
+        st.transition = stateTransition(state);
+        std::string type = state.getString("type", "operation");
+
+        if (type == "operation") {
+            const json::Value *actions = state.find("actions");
+            if (!actions || !actions->isArray() || actions->size() == 0)
+                throw std::invalid_argument("operation state '" +
+                                            st.name +
+                                            "' requires actions");
+            // Actions within one operation state run sequentially.
+            std::string prev;
+            size_t i = 0;
+            for (const auto &action : actions->asArray()) {
+                std::string fn = actionFunctionName(action);
+                std::string task_name =
+                    st.name + "." + std::to_string(i) + "." + fn;
+                Task task;
+                task.name = task_name;
+                task.command = commandFor(fn);
+                if (!prev.empty())
+                    task.dependencies.push_back(prev);
+                wf.graph.addTask(std::move(task));
+                if (i == 0)
+                    st.entryTasks.push_back(task_name);
+                prev = task_name;
+                ++i;
+            }
+            st.exitTasks.push_back(prev);
+        } else if (type == "parallel") {
+            const json::Value *branches = state.find("branches");
+            if (!branches || !branches->isArray() ||
+                branches->size() == 0) {
+                throw std::invalid_argument("parallel state '" +
+                                            st.name +
+                                            "' requires branches");
+            }
+            for (const auto &branch : branches->asArray()) {
+                if (!branch.isObject())
+                    throw std::invalid_argument(
+                        "branch must be an object");
+                std::string branch_name =
+                    branch.getString("name", "branch");
+                const json::Value *actions = branch.find("actions");
+                if (!actions || !actions->isArray() ||
+                    actions->size() == 0) {
+                    throw std::invalid_argument(
+                        "branch '" + branch_name + "' requires actions");
+                }
+                std::string prev;
+                size_t i = 0;
+                for (const auto &action : actions->asArray()) {
+                    std::string fn = actionFunctionName(action);
+                    std::string task_name = st.name + "." + branch_name +
+                                            "." + std::to_string(i) +
+                                            "." + fn;
+                    Task task;
+                    task.name = task_name;
+                    task.command = commandFor(fn);
+                    if (!prev.empty())
+                        task.dependencies.push_back(prev);
+                    wf.graph.addTask(std::move(task));
+                    if (i == 0)
+                        st.entryTasks.push_back(task_name);
+                    prev = task_name;
+                    ++i;
+                }
+                st.exitTasks.push_back(prev);
+            }
+        } else {
+            throw std::invalid_argument("unsupported state type '" +
+                                        type + "' in state '" + st.name +
+                                        "'");
+        }
+        state_tasks.push_back(std::move(st));
+    }
+
+    // Second pass: wire state transitions — every entry task of the
+    // target state depends on every exit task of the source state.
+    auto findState =
+        [&state_tasks](const std::string &name) -> const StateTasks & {
+        for (const auto &st : state_tasks) {
+            if (st.name == name)
+                return st;
+        }
+        throw std::invalid_argument("transition to unknown state '" +
+                                    name + "'");
+    };
+
+    for (const auto &st : state_tasks) {
+        if (st.transition.empty())
+            continue;
+        const StateTasks &target = findState(st.transition);
+        for (const auto &entry : target.entryTasks) {
+            for (const auto &exit : st.exitTasks)
+                wf.graph.addDependency(entry, exit);
+        }
+    }
+
+    wf.graph.validate();
+    return wf;
+}
+
+Workflow
+parseServerlessWorkflowText(const std::string &text)
+{
+    return parseServerlessWorkflow(json::parse(text));
+}
+
+} // namespace workflow
+} // namespace sharp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Parser for a subset of the CNCF Serverless Workflow Specification.
+ *
+ * "SHARP includes a standalone program to translate workflows from a
+ * subset of the popular CNCF's standard Serverless Workflow
+ * Specification (in JSON or YAML format) to a valid Makefile (invoking
+ * Launcher), which can then be run using 'make'." (§IV-b)
+ *
+ * Supported subset:
+ *   - top-level: id, name, start, functions[], states[]
+ *   - functions: {name, operation}  (operation = command line)
+ *   - states:
+ *       type "operation": actions[] of functionRef (by name or
+ *         {refName}), then transition (string or {nextState}) or end
+ *       type "parallel": branches[] = {name, actions[]}; all branches
+ *         depend on the state's predecessor and join before the
+ *         state's transition target
+ *
+ * The translation yields a TaskGraph: one task per action, sequenced
+ * by state transitions, fanned out/in around parallel states.
+ */
+
+#ifndef SHARP_WORKFLOW_WORKFLOW_PARSER_HH
+#define SHARP_WORKFLOW_WORKFLOW_PARSER_HH
+
+#include <string>
+
+#include "json/value.hh"
+#include "workflow/task_graph.hh"
+
+namespace sharp
+{
+namespace workflow
+{
+
+/** A parsed workflow: identity plus its task graph. */
+struct Workflow
+{
+    std::string id;
+    std::string name;
+    TaskGraph graph;
+};
+
+/**
+ * Parse a Serverless Workflow document (JSON).
+ * @throws std::invalid_argument on unsupported or malformed documents.
+ */
+Workflow parseServerlessWorkflow(const json::Value &doc);
+
+/**
+ * Parse from JSON text. Named distinctly from the Value overload so a
+ * string literal does not face an ambiguous conversion.
+ */
+Workflow parseServerlessWorkflowText(const std::string &text);
+
+} // namespace workflow
+} // namespace sharp
+
+#endif // SHARP_WORKFLOW_WORKFLOW_PARSER_HH

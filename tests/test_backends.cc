@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the execution backends: simulated, phased, FaaS, and the
+ * fully real local-process backend (fork/exec against /bin/sh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "launcher/faas_backend.hh"
+#include "launcher/local_backend.hh"
+#include "launcher/metrics.hh"
+#include "launcher/sim_backend.hh"
+#include "json/parser.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+
+namespace
+{
+
+using namespace sharp::launcher;
+using namespace sharp::sim;
+namespace json = sharp::json;
+
+TEST(SimBackend, ProducesExecutionTimeMetric)
+{
+    SimBackend backend(rodiniaByName("bfs"), machineById("machine1"), 0,
+                       1);
+    RunResult res = backend.run();
+    EXPECT_TRUE(res.success);
+    EXPECT_GT(res.metric("execution_time"), 0.0);
+    EXPECT_EQ(res.machineId, "machine1");
+    EXPECT_EQ(backend.workloadName(), "bfs");
+    EXPECT_EQ(backend.name(), "sim");
+}
+
+TEST(SimBackend, MissingMetricIsNan)
+{
+    SimBackend backend(rodiniaByName("bfs"), machineById("machine1"));
+    RunResult res = backend.run();
+    EXPECT_TRUE(std::isnan(res.metric("power")));
+}
+
+TEST(SimBackend, SetDaySwitchesEnvironment)
+{
+    SimBackend backend(rodiniaByName("hotspot"),
+                       machineById("machine2"), 0, 3);
+    backend.setDay(4);
+    EXPECT_EQ(backend.day(), 4);
+    // Still produces valid samples after the switch.
+    EXPECT_GT(backend.run().metric("execution_time"), 0.0);
+}
+
+TEST(SimBackend, DefaultBatchIsSequential)
+{
+    SimBackend backend(rodiniaByName("bfs"), machineById("machine1"));
+    auto results = backend.runBatch(4);
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto &res : results)
+        EXPECT_TRUE(res.success);
+}
+
+TEST(PhasedSimBackend, ReportsAllThreeMetrics)
+{
+    PhasedSimBackend backend(machineById("machine1"), 2);
+    RunResult res = backend.run();
+    double total = res.metric("execution_time");
+    double detection = res.metric("detection_time");
+    double tracking = res.metric("tracking_time");
+    EXPECT_GT(detection, 0.0);
+    EXPECT_GT(tracking, 0.0);
+    EXPECT_GT(total, detection + tracking);
+    EXPECT_EQ(backend.workloadName(), "leukocyte");
+}
+
+TEST(FaasBackend, BatchedRunsSpreadAcrossWorkers)
+{
+    auto cluster = std::make_unique<FaasCluster>(
+        rodiniaByName("bfs-CUDA"),
+        std::vector<MachineSpec>{machineById("machine1"),
+                                 machineById("machine3")},
+        1);
+    FaasBackend backend(std::move(cluster), "bfs-CUDA");
+    auto results = backend.runBatch(2);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].machineId, "machine1");
+    EXPECT_EQ(results[1].machineId, "machine3");
+    EXPECT_GT(results[0].metric("execution_time"), 0.0);
+    EXPECT_DOUBLE_EQ(results[0].metric("cold_start"), 1.0);
+}
+
+TEST(FaasBackend, ResponseModeIncludesColdStart)
+{
+    auto make_backend = [](bool measure_response) {
+        auto cluster = std::make_unique<FaasCluster>(
+            rodiniaByName("bfs-CUDA"),
+            std::vector<MachineSpec>{machineById("machine1")}, 7);
+        return FaasBackend(std::move(cluster), "bfs-CUDA",
+                           measure_response);
+    };
+    FaasBackend exec_mode = make_backend(false);
+    FaasBackend resp_mode = make_backend(true);
+    double t_exec = exec_mode.run().metric("execution_time");
+    double t_resp = resp_mode.run().metric("execution_time");
+    EXPECT_GT(t_resp, t_exec); // the cold start is in there
+}
+
+TEST(LocalBackend, RunsRealCommandAndMeasuresWallTime)
+{
+    LocalProcessBackend backend({"/bin/sh", "-c", "sleep 0.05"});
+    RunResult res = backend.run();
+    ASSERT_TRUE(res.success) << res.error;
+    double t = res.metric("execution_time");
+    EXPECT_GE(t, 0.04);
+    EXPECT_LT(t, 2.0);
+    EXPECT_EQ(res.machineId, "localhost");
+}
+
+TEST(LocalBackend, CapturesOutput)
+{
+    LocalProcessBackend backend({"/bin/sh", "-c", "echo hello-sharp"});
+    RunResult res = backend.run();
+    ASSERT_TRUE(res.success);
+    EXPECT_NE(res.output.find("hello-sharp"), std::string::npos);
+}
+
+TEST(LocalBackend, ExtractsMetricsViaRegex)
+{
+    LocalProcessBackend::Options opts;
+    opts.metrics = defaultMetricSpecs();
+    MetricSpec latency;
+    latency.name = "latency_ms";
+    latency.source = MetricSource::OutputRegex;
+    latency.pattern = "latency: ([0-9.]+) ms";
+    opts.metrics.push_back(latency);
+    LocalProcessBackend backend(
+        {"/bin/sh", "-c", "echo 'latency: 12.5 ms'"}, opts);
+    RunResult res = backend.run();
+    ASSERT_TRUE(res.success) << res.error;
+    EXPECT_DOUBLE_EQ(res.metric("latency_ms"), 12.5);
+}
+
+TEST(LocalBackend, FailsWhenMetricMissingFromOutput)
+{
+    LocalProcessBackend::Options opts;
+    MetricSpec metric;
+    metric.name = "missing";
+    metric.source = MetricSource::OutputRegex;
+    metric.pattern = "value=([0-9]+)";
+    opts.metrics = {metric};
+    LocalProcessBackend backend({"/bin/sh", "-c", "echo nothing"}, opts);
+    RunResult res = backend.run();
+    EXPECT_FALSE(res.success);
+    EXPECT_NE(res.error.find("missing"), std::string::npos);
+}
+
+TEST(LocalBackend, NonZeroExitIsFailure)
+{
+    LocalProcessBackend backend({"/bin/sh", "-c", "exit 3"});
+    RunResult res = backend.run();
+    EXPECT_FALSE(res.success);
+    EXPECT_NE(res.error.find("3"), std::string::npos);
+}
+
+TEST(LocalBackend, MissingBinaryIsFailure)
+{
+    LocalProcessBackend backend({"/no/such/binary-xyz"});
+    RunResult res = backend.run();
+    EXPECT_FALSE(res.success);
+}
+
+TEST(LocalBackend, TimeoutKillsRunaway)
+{
+    LocalProcessBackend::Options opts;
+    opts.timeoutSeconds = 0.2;
+    LocalProcessBackend backend({"/bin/sh", "-c", "sleep 5"}, opts);
+    RunResult res = backend.run();
+    EXPECT_FALSE(res.success);
+    EXPECT_NE(res.error.find("timed out"), std::string::npos);
+}
+
+TEST(LocalBackend, RejectsEmptyCommand)
+{
+    EXPECT_THROW(LocalProcessBackend({}), std::invalid_argument);
+}
+
+TEST(MetricSpec, FromJsonWallTime)
+{
+    auto spec = MetricSpec::fromJson(
+        json::parse(R"({"name": "execution_time"})"));
+    EXPECT_EQ(spec.source, MetricSource::WallTime);
+    EXPECT_DOUBLE_EQ(spec.extract("whatever", 1.25).value(), 1.25);
+}
+
+TEST(MetricSpec, FromJsonPattern)
+{
+    auto spec = MetricSpec::fromJson(json::parse(
+        R"x({"name": "rss", "pattern": "Maximum resident .*: ([0-9]+)"})x"));
+    EXPECT_EQ(spec.source, MetricSource::OutputRegex);
+    auto v = spec.extract("Maximum resident set size: 5120", 0.0);
+    EXPECT_DOUBLE_EQ(v.value(), 5120.0);
+    EXPECT_FALSE(spec.extract("no match here", 0.0).has_value());
+}
+
+TEST(MetricSpec, JsonRoundTrip)
+{
+    auto spec = MetricSpec::fromJson(json::parse(
+        R"x({"name": "lat", "pattern": "lat=([0-9.]+)"})x"));
+    auto again = MetricSpec::fromJson(spec.toJson());
+    EXPECT_EQ(again.name, spec.name);
+    EXPECT_EQ(again.pattern, spec.pattern);
+}
+
+TEST(MetricSpec, RejectsBadSpecs)
+{
+    EXPECT_THROW(MetricSpec::fromJson(json::parse(R"({})")),
+                 std::invalid_argument);
+    EXPECT_THROW(MetricSpec::fromJson(json::parse(
+                     R"({"name": "x", "pattern": "(unclosed"})")),
+                 std::invalid_argument);
+    EXPECT_THROW(MetricSpec::fromJson(json::parse(
+                     R"({"name": "x", "source": "martian"})")),
+                 std::invalid_argument);
+}
+
+TEST(MetricSpecs, ArrayParsing)
+{
+    auto specs = metricSpecsFromJson(json::parse(
+        R"x([{"name": "execution_time"},
+            {"name": "lat", "pattern": "lat=([0-9.]+)"}])x"));
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[1].name, "lat");
+    EXPECT_THROW(metricSpecsFromJson(json::parse("{}")),
+                 std::invalid_argument);
+}
+
+} // anonymous namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for bootstrap resampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rng/sampler.hh"
+#include "stats/bootstrap.hh"
+#include "stats/descriptive.hh"
+
+namespace
+{
+
+using namespace sharp::stats;
+using sharp::rng::NormalSampler;
+using sharp::rng::Xoshiro256;
+
+TEST(BootstrapCi, BracketsTheStatistic)
+{
+    Xoshiro256 data_gen(1);
+    NormalSampler sampler(10.0, 2.0);
+    auto xs = sampler.sampleMany(data_gen, 100);
+
+    Xoshiro256 boot_gen(2);
+    auto mean_stat = [](const std::vector<double> &v) { return mean(v); };
+    ConfidenceInterval ci = bootstrapCi(xs, mean_stat, 0.95, 800,
+                                        boot_gen);
+    double m = mean(xs);
+    EXPECT_LT(ci.lower, m);
+    EXPECT_GT(ci.upper, m);
+}
+
+TEST(BootstrapCi, AgreesWithTIntervalForMeans)
+{
+    Xoshiro256 data_gen(3);
+    NormalSampler sampler(5.0, 1.0);
+    auto xs = sampler.sampleMany(data_gen, 200);
+
+    Xoshiro256 boot_gen(4);
+    auto mean_stat = [](const std::vector<double> &v) { return mean(v); };
+    ConfidenceInterval boot = bootstrapCi(xs, mean_stat, 0.95, 2000,
+                                          boot_gen);
+    ConfidenceInterval t = meanCi(xs, 0.95);
+    EXPECT_NEAR(boot.lower, t.lower, 0.05);
+    EXPECT_NEAR(boot.upper, t.upper, 0.05);
+}
+
+TEST(BootstrapCi, DeterministicGivenGeneratorState)
+{
+    std::vector<double> xs = {1.0, 3.0, 2.0, 5.0, 4.0, 6.0};
+    auto med = [](const std::vector<double> &v) {
+        return median(std::vector<double>(v));
+    };
+    Xoshiro256 g1(42), g2(42);
+    ConfidenceInterval a = bootstrapCi(xs, med, 0.9, 500, g1);
+    ConfidenceInterval b = bootstrapCi(xs, med, 0.9, 500, g2);
+    EXPECT_DOUBLE_EQ(a.lower, b.lower);
+    EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(BootstrapCi, WorksForNonSmoothStatistics)
+{
+    // Median of a skewed sample — no closed-form CI needed.
+    Xoshiro256 data_gen(5);
+    sharp::rng::LogNormalSampler sampler(1.0, 0.8);
+    auto xs = sampler.sampleMany(data_gen, 150);
+    Xoshiro256 boot_gen(6);
+    auto med = [](const std::vector<double> &v) {
+        return median(std::vector<double>(v));
+    };
+    ConfidenceInterval ci = bootstrapCi(xs, med, 0.95, 1000, boot_gen);
+    EXPECT_LT(ci.lower, ci.upper);
+    EXPECT_GT(ci.lower, 0.0);
+}
+
+TEST(BootstrapStandardError, MatchesAnalyticForMean)
+{
+    Xoshiro256 data_gen(7);
+    NormalSampler sampler(0.0, 1.0);
+    auto xs = sampler.sampleMany(data_gen, 400);
+    Xoshiro256 boot_gen(8);
+    auto mean_stat = [](const std::vector<double> &v) { return mean(v); };
+    double boot_se =
+        bootstrapStandardError(xs, mean_stat, 1500, boot_gen);
+    EXPECT_NEAR(boot_se, standardError(xs), 0.01);
+}
+
+TEST(Bootstrap, RejectsBadArguments)
+{
+    auto mean_stat = [](const std::vector<double> &v) { return mean(v); };
+    Xoshiro256 gen(9);
+    EXPECT_THROW(bootstrapCi({}, mean_stat, 0.95, 100, gen),
+                 std::invalid_argument);
+    EXPECT_THROW(bootstrapCi({1.0}, mean_stat, 0.95, 0, gen),
+                 std::invalid_argument);
+    EXPECT_THROW(bootstrapCi({1.0}, mean_stat, 1.5, 100, gen),
+                 std::invalid_argument);
+}
+
+} // anonymous namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for confidence intervals, including the right-tailed mean CI
+ * the paper's CI stopping rule thresholds (§V-C, Table IV).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/sampler.hh"
+#include "stats/ci.hh"
+#include "stats/descriptive.hh"
+
+namespace
+{
+
+using namespace sharp::stats;
+using namespace sharp::rng;
+
+TEST(MeanCi, ContainsSampleMean)
+{
+    std::vector<double> xs = {9.5, 10.2, 10.1, 9.8, 10.4, 9.9};
+    ConfidenceInterval ci = meanCi(xs, 0.95);
+    double m = mean(xs);
+    EXPECT_LT(ci.lower, m);
+    EXPECT_GT(ci.upper, m);
+    EXPECT_DOUBLE_EQ(ci.level, 0.95);
+}
+
+TEST(MeanCi, MatchesTFormula)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+    ConfidenceInterval ci = meanCi(xs, 0.95);
+    // t_{0.975,4} = 2.776, se = sd/sqrt(5) = sqrt(2.5)/sqrt(5).
+    double se = std::sqrt(2.5 / 5.0);
+    EXPECT_NEAR(ci.upper - ci.lower, 2.0 * 2.776 * se, 5e-3);
+}
+
+TEST(MeanCi, CoverageNearNominal)
+{
+    Xoshiro256 gen(1);
+    NormalSampler sampler(10.0, 2.0);
+    int covered = 0;
+    const int trials = 300;
+    for (int t = 0; t < trials; ++t) {
+        auto xs = sampler.sampleMany(gen, 20);
+        ConfidenceInterval ci = meanCi(xs, 0.95);
+        covered += ci.lower <= 10.0 && 10.0 <= ci.upper;
+    }
+    EXPECT_NEAR(static_cast<double>(covered) / trials, 0.95, 0.04);
+}
+
+TEST(MeanCi, WidthShrinksAsSqrtN)
+{
+    Xoshiro256 gen(2);
+    NormalSampler sampler(0.0, 1.0);
+    auto small = sampler.sampleMany(gen, 50);
+    auto large = sampler.sampleMany(gen, 5000);
+    EXPECT_GT(meanCi(small, 0.95).width(),
+              3.0 * meanCi(large, 0.95).width());
+}
+
+TEST(MeanCiRightTailed, LowerBoundIsMean)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    ConfidenceInterval ci = meanCiRightTailed(xs, 0.95);
+    EXPECT_DOUBLE_EQ(ci.lower, mean(xs));
+    EXPECT_GT(ci.upper, ci.lower);
+    // One-sided width < two-sided half... specifically uses t_{0.95}.
+    ConfidenceInterval two = meanCi(xs, 0.95);
+    EXPECT_LT(ci.width(), two.width());
+}
+
+TEST(RelativeWidth, NormalizesByCenter)
+{
+    ConfidenceInterval ci{9.0, 11.0, 0.95};
+    EXPECT_DOUBLE_EQ(ci.relativeWidth(10.0), 0.2);
+    EXPECT_DOUBLE_EQ(ci.relativeWidth(0.0), 0.0);
+}
+
+TEST(MedianCi, BracketsTheMedian)
+{
+    Xoshiro256 gen(3);
+    LogNormalSampler sampler(2.0, 0.6);
+    auto xs = sampler.sampleMany(gen, 200);
+    ConfidenceInterval ci = medianCi(xs, 0.95);
+    double med = median(xs);
+    EXPECT_LE(ci.lower, med);
+    EXPECT_GE(ci.upper, med);
+}
+
+TEST(MedianCi, CoverageNearNominal)
+{
+    Xoshiro256 gen(4);
+    // True median of LogNormal(1, 0.5) is e.
+    LogNormalSampler sampler(1.0, 0.5);
+    int covered = 0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+        auto xs = sampler.sampleMany(gen, 60);
+        ConfidenceInterval ci = medianCi(xs, 0.95);
+        covered += ci.lower <= M_E && M_E <= ci.upper;
+    }
+    // Order-statistic interval is conservative: coverage >= nominal.
+    EXPECT_GE(static_cast<double>(covered) / trials, 0.92);
+}
+
+TEST(MedianCi, TinySampleFallsBackToRange)
+{
+    std::vector<double> xs = {2.0, 1.0, 3.0};
+    ConfidenceInterval ci = medianCi(xs, 0.95);
+    EXPECT_DOUBLE_EQ(ci.lower, 1.0);
+    EXPECT_DOUBLE_EQ(ci.upper, 3.0);
+}
+
+TEST(GeometricMeanCi, BackTransformsLogInterval)
+{
+    Xoshiro256 gen(5);
+    LogNormalSampler sampler(2.0, 0.5);
+    auto xs = sampler.sampleMany(gen, 500);
+    ConfidenceInterval ci = geometricMeanCi(xs, 0.95);
+    double gm = geometricMean(xs);
+    EXPECT_LT(ci.lower, gm);
+    EXPECT_GT(ci.upper, gm);
+    // The true geometric mean is e^2.
+    EXPECT_LT(ci.lower, std::exp(2.0) * 1.1);
+    EXPECT_GT(ci.upper, std::exp(2.0) * 0.9);
+}
+
+TEST(GeometricMeanCi, RejectsNonPositive)
+{
+    EXPECT_THROW(geometricMeanCi({1.0, -1.0, 2.0}, 0.95),
+                 std::invalid_argument);
+}
+
+TEST(QuantileCi, BracketsTheQuantile)
+{
+    Xoshiro256 gen(6);
+    NormalSampler sampler(0.0, 1.0);
+    auto xs = sampler.sampleMany(gen, 500);
+    ConfidenceInterval ci = quantileCi(xs, 0.95, 0.95);
+    double q = quantile(xs, 0.95);
+    EXPECT_LE(ci.lower, q + 1e-12);
+    EXPECT_GE(ci.upper, q - 1e-12);
+    // The interval is in the right tail region.
+    EXPECT_GT(ci.lower, quantile(xs, 0.80));
+}
+
+TEST(QuantileCi, NarrowsWithSampleSize)
+{
+    Xoshiro256 gen(7);
+    NormalSampler sampler(0.0, 1.0);
+    auto small = sampler.sampleMany(gen, 100);
+    auto large = sampler.sampleMany(gen, 10000);
+    EXPECT_GT(quantileCi(small, 0.9, 0.95).width(),
+              quantileCi(large, 0.9, 0.95).width());
+}
+
+TEST(CiValidation, RejectsBadLevels)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0};
+    EXPECT_THROW(meanCi(xs, 0.0), std::invalid_argument);
+    EXPECT_THROW(meanCi(xs, 1.0), std::invalid_argument);
+    EXPECT_THROW(meanCi({1.0}, 0.95), std::invalid_argument);
+    EXPECT_THROW(quantileCi(xs, 0.0, 0.95), std::invalid_argument);
+}
+
+} // anonymous namespace

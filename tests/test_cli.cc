@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the `sharp` CLI: argument parsing and every command,
+ * driven through string streams and temp files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.hh"
+
+namespace
+{
+
+using namespace sharp::cli;
+namespace fs = std::filesystem;
+
+/** Run the CLI and capture output/status. */
+struct CliResult
+{
+    int status;
+    std::string out;
+    std::string err;
+};
+
+CliResult
+run(const std::vector<std::string> &argv)
+{
+    std::ostringstream out, err;
+    int status = runCli(argv, out, err);
+    return {status, out.str(), err.str()};
+}
+
+TEST(ParseArgs, CommandPositionalsAndFlags)
+{
+    ParsedArgs args = parseArgs({"compare", "a.csv", "b.csv",
+                                 "--metric", "execution_time",
+                                 "--html", "out.html"});
+    EXPECT_EQ(args.command, "compare");
+    ASSERT_EQ(args.positional.size(), 2u);
+    EXPECT_EQ(args.positional[1], "b.csv");
+    EXPECT_EQ(args.get("metric"), "execution_time");
+    EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+}
+
+TEST(ParseArgs, BareFlagsHaveEmptyValues)
+{
+    ParsedArgs args = parseArgs({"workflow", "spec.json", "--execute"});
+    EXPECT_TRUE(args.has("execute"));
+    EXPECT_EQ(args.get("execute"), "");
+    EXPECT_FALSE(args.has("makefile"));
+}
+
+TEST(ParseArgs, FlagFollowedByFlagTakesNoValue)
+{
+    ParsedArgs args = parseArgs({"run", "--execute", "--max", "10"});
+    EXPECT_TRUE(args.has("execute"));
+    EXPECT_EQ(args.get("max"), "10");
+}
+
+TEST(ParseArgs, RejectsEmptyFlagName)
+{
+    EXPECT_THROW(parseArgs({"run", "--"}), std::invalid_argument);
+}
+
+TEST(Cli, HelpAndUnknownCommand)
+{
+    CliResult help = run({"help"});
+    EXPECT_EQ(help.status, 0);
+    EXPECT_NE(help.out.find("usage: sharp"), std::string::npos);
+
+    CliResult unknown = run({"frobnicate"});
+    EXPECT_EQ(unknown.status, 2);
+    EXPECT_NE(unknown.err.find("unknown command"), std::string::npos);
+
+    CliResult empty = run({});
+    EXPECT_EQ(empty.status, 2);
+}
+
+TEST(Cli, ListShowsRegistries)
+{
+    CliResult result = run({"list"});
+    EXPECT_EQ(result.status, 0);
+    EXPECT_NE(result.out.find("hotspot"), std::string::npos);
+    EXPECT_NE(result.out.find("machine3"), std::string::npos);
+    EXPECT_NE(result.out.find("ks"), std::string::npos);
+    EXPECT_NE(result.out.find("meta"), std::string::npos);
+}
+
+TEST(Cli, RunRequiresWorkload)
+{
+    CliResult result = run({"run"});
+    EXPECT_EQ(result.status, 2);
+    EXPECT_NE(result.err.find("--workload"), std::string::npos);
+}
+
+TEST(Cli, RunProducesReportAndArtifacts)
+{
+    fs::path base = fs::temp_directory_path() / "sharp_cli_run";
+    fs::path html = fs::temp_directory_path() / "sharp_cli_run.html";
+    CliResult result =
+        run({"run", "--workload", "bfs", "--machine", "machine1",
+             "--rule", "ks", "--threshold", "0.1", "--max", "500",
+             "--seed", "9", "--out", base.string(), "--html",
+             html.string()});
+    EXPECT_EQ(result.status, 0) << result.err;
+    EXPECT_NE(result.out.find("collected"), std::string::npos);
+    EXPECT_NE(result.out.find("Distribution report"),
+              std::string::npos);
+    EXPECT_TRUE(fs::exists(base.string() + ".csv"));
+    EXPECT_TRUE(fs::exists(base.string() + ".md"));
+    EXPECT_TRUE(fs::exists(html));
+
+    // --- The saved metadata feeds `sharp reproduce`. ---
+    CliResult repro = run({"reproduce", base.string() + ".md"});
+    EXPECT_EQ(repro.status, 0) << repro.err;
+    EXPECT_NE(repro.out.find("reproduced"), std::string::npos);
+
+    // --- The saved CSV feeds `sharp report` and `sharp compare`. ---
+    CliResult report = run({"report", base.string() + ".csv"});
+    EXPECT_EQ(report.status, 0) << report.err;
+    EXPECT_NE(report.out.find("Distribution report"),
+              std::string::npos);
+
+    CliResult compare = run({"compare", base.string() + ".csv",
+                             base.string() + ".csv"});
+    EXPECT_EQ(compare.status, 0) << compare.err;
+    EXPECT_NE(compare.out.find("NAMD"), std::string::npos);
+    // Self-comparison: speedup 1x.
+    EXPECT_NE(compare.out.find("1x"), std::string::npos);
+
+    fs::remove(base.string() + ".csv");
+    fs::remove(base.string() + ".md");
+    fs::remove(html);
+}
+
+TEST(Cli, RunRejectsBadNumbers)
+{
+    CliResult result = run({"run", "--workload", "bfs", "--threshold",
+                            "abc"});
+    EXPECT_EQ(result.status, 2);
+    EXPECT_NE(result.err.find("must be a number"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsUnknownWorkload)
+{
+    CliResult result = run({"run", "--workload", "linpack"});
+    EXPECT_EQ(result.status, 1);
+    EXPECT_NE(result.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, ReportRejectsMissingFile)
+{
+    CliResult result = run({"report", "/no/such/file.csv"});
+    EXPECT_EQ(result.status, 1);
+    CliResult noargs = run({"report"});
+    EXPECT_EQ(noargs.status, 2);
+}
+
+TEST(Cli, WorkflowTranslatesAndExecutes)
+{
+    fs::path spec = fs::temp_directory_path() / "sharp_cli_wf.json";
+    {
+        std::ofstream out(spec);
+        out << R"({
+            "id": "cliwf",
+            "functions": [{"name": "f", "operation": "true"}],
+            "states": [{"name": "s", "type": "operation",
+                        "actions": [{"functionRef": "f"}]}]
+        })";
+    }
+    fs::path makefile = fs::temp_directory_path() / "sharp_cli_wf.mk";
+
+    CliResult translate = run({"workflow", spec.string(), "--makefile",
+                               makefile.string()});
+    EXPECT_EQ(translate.status, 0) << translate.err;
+    EXPECT_TRUE(fs::exists(makefile));
+
+    CliResult execute =
+        run({"workflow", spec.string(), "--execute"});
+    EXPECT_EQ(execute.status, 0) << execute.err;
+    EXPECT_NE(execute.out.find("succeeded"), std::string::npos);
+
+    fs::remove(spec);
+    fs::remove(makefile);
+}
+
+TEST(Cli, GateEndToEnd)
+{
+    // Record a baseline and a regressed candidate, then gate them.
+    fs::path base = fs::temp_directory_path() / "sharp_cli_gate_base";
+    fs::path cand = fs::temp_directory_path() / "sharp_cli_gate_cand";
+    ASSERT_EQ(run({"run", "--workload", "lud", "--rule", "fixed",
+                   "--count", "80", "--seed", "1", "--out",
+                   base.string()})
+                  .status,
+              0);
+    // The "candidate": the same workload on a slower environment —
+    // machine2's lower cpuSpeedFactor regresses every run ~2%... use
+    // a different machine for a visible change.
+    ASSERT_EQ(run({"run", "--workload", "lud", "--machine", "machine2",
+                   "--rule", "fixed", "--count", "80", "--seed", "2",
+                   "--out", cand.string()})
+                  .status,
+              0);
+
+    // Self-gate passes.
+    CliResult self = run({"gate", base.string() + ".csv",
+                          base.string() + ".csv"});
+    EXPECT_EQ(self.status, 0) << self.err;
+    EXPECT_NE(self.out.find("PASS"), std::string::npos);
+
+    // machine2 is ~2% slower than machine1; with a 1% tolerance the
+    // gate must fail.
+    CliResult fail = run({"gate", base.string() + ".csv",
+                          cand.string() + ".csv", "--slowdown",
+                          "0.01"});
+    EXPECT_EQ(fail.status, 1) << fail.out;
+    EXPECT_NE(fail.out.find("FAIL"), std::string::npos);
+
+    for (const auto &path : {base, cand}) {
+        fs::remove(path.string() + ".csv");
+        fs::remove(path.string() + ".md");
+    }
+}
+
+TEST(Cli, SuiteRunsTheRegistry)
+{
+    CliResult result = run({"suite", "--machine", "machine2", "--max",
+                            "300", "--seed", "4"});
+    EXPECT_EQ(result.status, 0) << result.err;
+    // machine2 runs the 11 CPU benchmarks.
+    EXPECT_NE(result.out.find("hotspot"), std::string::npos);
+    EXPECT_EQ(result.out.find("bfs-CUDA"), std::string::npos);
+    EXPECT_NE(result.out.find("total runs:"), std::string::npos);
+    EXPECT_NE(result.out.find("% saved vs fixed-300"),
+              std::string::npos);
+}
+
+TEST(Cli, RunFromJsonConfig)
+{
+    fs::path config = fs::temp_directory_path() / "sharp_cli_cfg.json";
+    {
+        std::ofstream out(config);
+        out << R"({
+            "backend": "sim", "workload": "kmeans",
+            "machines": ["machine3"], "seed": 5,
+            "experiment": {"rule": "fixed",
+                           "params": {"count": 40}, "max": 100}
+        })";
+    }
+    CliResult result = run({"run", "--config", config.string()});
+    EXPECT_EQ(result.status, 0) << result.err;
+    EXPECT_NE(result.out.find("collected 40 samples"),
+              std::string::npos);
+    EXPECT_NE(result.out.find("kmeans"), std::string::npos);
+    fs::remove(config);
+}
+
+TEST(Cli, WorkflowReportsBadSpec)
+{
+    fs::path spec = fs::temp_directory_path() / "sharp_cli_bad.json";
+    {
+        std::ofstream out(spec);
+        out << "{not json";
+    }
+    CliResult result = run({"workflow", spec.string()});
+    EXPECT_EQ(result.status, 1);
+    EXPECT_NE(result.err.find("error:"), std::string::npos);
+    fs::remove(spec);
+}
+
+} // anonymous namespace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the tidy CSV reader/writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "record/csv.hh"
+
+namespace
+{
+
+using namespace sharp::record;
+
+TEST(CsvQuote, OnlyWhenNeeded)
+{
+    EXPECT_EQ(csvQuote("plain"), "plain");
+    EXPECT_EQ(csvQuote("with,comma"), "\"with,comma\"");
+    EXPECT_EQ(csvQuote("with\"quote"), "\"with\"\"quote\"");
+    EXPECT_EQ(csvQuote("line\nbreak"), "\"line\nbreak\"");
+    EXPECT_EQ(csvQuote(""), "");
+}
+
+TEST(CsvTable, BuildAndAccess)
+{
+    CsvTable table({"run", "time"});
+    table.addRow({"0", "1.5"});
+    table.addRow({"1", "2.5"});
+    EXPECT_EQ(table.numRows(), 2u);
+    EXPECT_EQ(table.cell(1, 1), "2.5");
+    EXPECT_EQ(table.columnIndex("time").value(), 1u);
+    EXPECT_FALSE(table.columnIndex("nope").has_value());
+}
+
+TEST(CsvTable, RejectsRaggedRows)
+{
+    CsvTable table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvTable, NumericColumnSkipsNonNumbers)
+{
+    CsvTable table({"v"});
+    table.addRow({"1.5"});
+    table.addRow({"oops"});
+    table.addRow({"2.5"});
+    table.addRow({""});
+    auto values = table.numericColumn("v");
+    ASSERT_EQ(values.size(), 2u);
+    EXPECT_DOUBLE_EQ(values[0], 1.5);
+    EXPECT_DOUBLE_EQ(values[1], 2.5);
+    EXPECT_THROW(table.numericColumn("w"), std::out_of_range);
+}
+
+TEST(CsvTable, FilteredNumericColumn)
+{
+    CsvTable table({"bench", "time"});
+    table.addRow({"bfs", "1.0"});
+    table.addRow({"lud", "9.0"});
+    table.addRow({"bfs", "2.0"});
+    auto bfs = table.numericColumnWhere("time", "bench", "bfs");
+    ASSERT_EQ(bfs.size(), 2u);
+    EXPECT_DOUBLE_EQ(bfs[1], 2.0);
+}
+
+TEST(CsvTable, DistinctPreservesFirstAppearance)
+{
+    CsvTable table({"m"});
+    table.addRow({"machine3"});
+    table.addRow({"machine1"});
+    table.addRow({"machine3"});
+    auto distinct = table.distinct("m");
+    ASSERT_EQ(distinct.size(), 2u);
+    EXPECT_EQ(distinct[0], "machine3");
+    EXPECT_EQ(distinct[1], "machine1");
+}
+
+TEST(CsvParse, SimpleDocument)
+{
+    CsvTable table = CsvTable::parse("a,b\n1,2\n3,4\n");
+    EXPECT_EQ(table.columns().size(), 2u);
+    EXPECT_EQ(table.numRows(), 2u);
+    EXPECT_EQ(table.cell(0, 0), "1");
+    EXPECT_EQ(table.cell(1, 1), "4");
+}
+
+TEST(CsvParse, QuotedFieldsWithSeparatorsAndQuotes)
+{
+    CsvTable table = CsvTable::parse(
+        "name,note\n\"bfs, cuda\",\"said \"\"fast\"\"\"\n");
+    EXPECT_EQ(table.cell(0, 0), "bfs, cuda");
+    EXPECT_EQ(table.cell(0, 1), "said \"fast\"");
+}
+
+TEST(CsvParse, EmbeddedNewlinesInQuotes)
+{
+    CsvTable table = CsvTable::parse("a,b\n\"line1\nline2\",x\n");
+    EXPECT_EQ(table.cell(0, 0), "line1\nline2");
+}
+
+TEST(CsvParse, CrLfLineEndings)
+{
+    CsvTable table = CsvTable::parse("a,b\r\n1,2\r\n");
+    EXPECT_EQ(table.numRows(), 1u);
+    EXPECT_EQ(table.cell(0, 1), "2");
+}
+
+TEST(CsvParse, MissingTrailingNewline)
+{
+    CsvTable table = CsvTable::parse("a\n1");
+    EXPECT_EQ(table.numRows(), 1u);
+}
+
+TEST(CsvParse, EmptyFieldsPreserved)
+{
+    CsvTable table = CsvTable::parse("a,b,c\n,,\n");
+    EXPECT_EQ(table.numRows(), 1u);
+    EXPECT_EQ(table.cell(0, 0), "");
+    EXPECT_EQ(table.cell(0, 2), "");
+}
+
+TEST(CsvParse, RejectsMalformedInput)
+{
+    EXPECT_THROW(CsvTable::parse(""), std::runtime_error);
+    EXPECT_THROW(CsvTable::parse("a,b\n\"open\n"), std::runtime_error);
+    EXPECT_THROW(CsvTable::parse("a,b\n1\n"), std::runtime_error);
+}
+
+TEST(CsvRoundTrip, ComplexContentSurvives)
+{
+    CsvTable table({"k", "v"});
+    table.addRow({"comma", "a,b"});
+    table.addRow({"quote", "say \"hi\""});
+    table.addRow({"newline", "x\ny"});
+    table.addRow({"plain", "simple"});
+    CsvTable again = CsvTable::parse(table.toCsv());
+    ASSERT_EQ(again.numRows(), table.numRows());
+    for (size_t r = 0; r < table.numRows(); ++r) {
+        for (size_t c = 0; c < 2; ++c)
+            EXPECT_EQ(again.cell(r, c), table.cell(r, c));
+    }
+}
+
+TEST(CsvFiles, SaveAndLoad)
+{
+    namespace fs = std::filesystem;
+    fs::path path = fs::temp_directory_path() / "sharp_test_csv.csv";
+    CsvTable table({"x"});
+    table.addRow({"1"});
+    table.save(path.string());
+    CsvTable loaded = CsvTable::load(path.string());
+    EXPECT_EQ(loaded.cell(0, 0), "1");
+    fs::remove(path);
+    EXPECT_THROW(CsvTable::load("/no/such/dir/file.csv"),
+                 std::runtime_error);
+}
+
+} // anonymous namespace

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for descriptive statistics against hand-computed and
+ * R-verified values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hh"
+
+namespace
+{
+
+using namespace sharp::stats;
+
+const std::vector<double> simple = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0,
+                                    9.0};
+
+TEST(Mean, MatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(mean(simple), 5.0);
+    EXPECT_DOUBLE_EQ(mean({3.0}), 3.0);
+}
+
+TEST(Mean, ThrowsOnEmpty)
+{
+    EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Variance, SampleDenominator)
+{
+    // Population variance of `simple` is 4; sample variance 32/7.
+    EXPECT_NEAR(variance(simple), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(variance({5.0}), 0.0);
+    EXPECT_NEAR(stddev(simple), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(GeometricMean, KnownValue)
+{
+    EXPECT_NEAR(geometricMean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+    EXPECT_THROW(geometricMean({1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(HarmonicMean, KnownValue)
+{
+    EXPECT_NEAR(harmonicMean({1.0, 2.0, 4.0}), 3.0 / 1.75, 1e-12);
+    EXPECT_THROW(harmonicMean({1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Quantile, Type7Interpolation)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    // R: quantile(1:4, .25, type=7) = 1.75
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+}
+
+TEST(Quantile, UnsortedInputHandled)
+{
+    EXPECT_DOUBLE_EQ(quantile({9.0, 1.0, 5.0}, 0.5), 5.0);
+}
+
+TEST(Quantile, RejectsBadP)
+{
+    EXPECT_THROW(quantile({1.0}, -0.1), std::invalid_argument);
+    EXPECT_THROW(quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Quantile, MonotoneInP)
+{
+    std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+    double prev = quantile(xs, 0.0);
+    for (double p = 0.05; p <= 1.0; p += 0.05) {
+        double q = quantile(xs, p);
+        EXPECT_GE(q, prev);
+        prev = q;
+    }
+}
+
+TEST(Median, EvenAndOdd)
+{
+    EXPECT_DOUBLE_EQ(median({1.0, 3.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 10.0}), 2.5);
+}
+
+TEST(Iqr, KnownValue)
+{
+    EXPECT_DOUBLE_EQ(iqr({1.0, 2.0, 3.0, 4.0}), 1.5);
+}
+
+TEST(MedianAbsoluteDeviation, RobustToOutlier)
+{
+    EXPECT_DOUBLE_EQ(medianAbsoluteDeviation({1.0, 2.0, 3.0}), 1.0);
+    // A wild outlier barely moves the MAD.
+    EXPECT_DOUBLE_EQ(
+        medianAbsoluteDeviation({1.0, 2.0, 3.0, 4.0, 1000.0}), 1.0);
+}
+
+TEST(TrimmedMean, DiscardsTails)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 100.0};
+    EXPECT_DOUBLE_EQ(trimmedMean(xs, 0.2), 3.0);
+    EXPECT_DOUBLE_EQ(trimmedMean(xs, 0.0), 22.0);
+    EXPECT_THROW(trimmedMean(xs, 0.5), std::invalid_argument);
+}
+
+TEST(Skewness, SignMatchesShape)
+{
+    // Right-skewed sample.
+    EXPECT_GT(skewness({1.0, 1.0, 1.0, 2.0, 10.0}), 0.5);
+    // Symmetric sample.
+    EXPECT_NEAR(skewness({1.0, 2.0, 3.0, 4.0, 5.0}), 0.0, 1e-12);
+    // Fewer than 3 points: defined as 0.
+    EXPECT_DOUBLE_EQ(skewness({1.0, 2.0}), 0.0);
+}
+
+TEST(ExcessKurtosis, FlatVsPeaked)
+{
+    // Uniform-ish grid has negative excess kurtosis.
+    std::vector<double> flat;
+    for (int i = 0; i < 100; ++i)
+        flat.push_back(static_cast<double>(i));
+    EXPECT_LT(excessKurtosis(flat), -1.0);
+    // Heavy concentration + outliers yields positive excess kurtosis.
+    std::vector<double> peaked(100, 0.0);
+    peaked[0] = 30.0;
+    peaked[99] = -30.0;
+    EXPECT_GT(excessKurtosis(peaked), 10.0);
+}
+
+TEST(CoefficientOfVariation, ScaleFree)
+{
+    std::vector<double> xs = {9.0, 10.0, 11.0};
+    std::vector<double> ys = {90.0, 100.0, 110.0};
+    EXPECT_NEAR(coefficientOfVariation(xs), coefficientOfVariation(ys),
+                1e-12);
+    EXPECT_DOUBLE_EQ(coefficientOfVariation({0.0, 0.0}), 0.0);
+}
+
+TEST(StandardError, ShrinksWithN)
+{
+    std::vector<double> small = {1.0, 2.0, 3.0, 4.0};
+    std::vector<double> large;
+    for (int rep = 0; rep < 25; ++rep)
+        for (double v : small)
+            large.push_back(v);
+    EXPECT_GT(standardError(small), standardError(large));
+}
+
+TEST(SummaryCompute, AllFieldsConsistent)
+{
+    Summary s = Summary::compute(simple);
+    EXPECT_EQ(s.n, simple.size());
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+    EXPECT_DOUBLE_EQ(s.median, 4.5);
+    EXPECT_LE(s.q1, s.median);
+    EXPECT_LE(s.median, s.q3);
+    EXPECT_LE(s.p95, s.p99);
+    EXPECT_LE(s.p99, s.max);
+    EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(SummaryCompute, ToStringMentionsKeyNumbers)
+{
+    Summary s = Summary::compute(simple);
+    std::string text = s.toString();
+    EXPECT_NE(text.find("n=8"), std::string::npos);
+    EXPECT_NE(text.find("mean=5"), std::string::npos);
+}
+
+TEST(SummaryCompute, ThrowsOnEmpty)
+{
+    EXPECT_THROW(Summary::compute({}), std::invalid_argument);
+}
+
+} // anonymous namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the drift report — the library form of the Fig. 5 study.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/drift.hh"
+#include "rng/sampler.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "sim/workload.hh"
+
+namespace
+{
+
+using namespace sharp;
+using report::DriftReport;
+
+std::vector<std::vector<double>>
+hotspotDays(int days, size_t runs = 800)
+{
+    std::vector<std::vector<double>> out;
+    for (int day = 0; day < days; ++day) {
+        sim::SimulatedWorkload w(sim::rodiniaByName("hotspot"),
+                                 sim::machineById("machine2"), day, 8);
+        out.push_back(w.sampleMany(runs));
+    }
+    return out;
+}
+
+std::vector<std::string>
+dayLabels(int days)
+{
+    std::vector<std::string> labels;
+    for (int d = 1; d <= days; ++d)
+        labels.push_back("day" + std::to_string(d));
+    return labels;
+}
+
+TEST(DriftReport, MatricesAreSymmetricWithZeroDiagonal)
+{
+    auto report = DriftReport::analyze(dayLabels(4), hotspotDays(4));
+    const auto &ks = report.ksMatrix();
+    const auto &namd = report.namdMatrix();
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(ks[i][i], 0.0);
+        EXPECT_DOUBLE_EQ(namd[i][i], 0.0);
+        for (size_t j = 0; j < 4; ++j) {
+            EXPECT_DOUBLE_EQ(ks[i][j], ks[j][i]);
+            EXPECT_DOUBLE_EQ(namd[i][j], namd[j][i]);
+        }
+    }
+}
+
+TEST(DriftReport, PairCountsAreConsistent)
+{
+    auto report = DriftReport::analyze(dayLabels(5), hotspotDays(5));
+    EXPECT_EQ(report.totalPairs(), 10u);
+    EXPECT_LE(report.dissimilarPairs(), report.totalPairs());
+    EXPECT_LE(report.blindPairs(), report.dissimilarPairs());
+    // A permissive threshold marks everything dissimilar; a 1.0
+    // threshold nothing.
+    EXPECT_EQ(report.dissimilarPairs(0.0), report.totalPairs());
+    EXPECT_EQ(report.dissimilarPairs(1.0), 0u);
+}
+
+TEST(DriftReport, HotspotDaysShowTheFig5Effect)
+{
+    auto report = DriftReport::analyze(dayLabels(5), hotspotDays(5));
+    // Day drift makes many pairs dissimilar by shape while means stay
+    // comparable: blind pairs exist.
+    EXPECT_GE(report.dissimilarPairs(), report.totalPairs() / 2);
+    EXPECT_GE(report.blindPairs(), 1u);
+
+    auto [i, j] = report.mostShapeDivergentPair();
+    EXPECT_LT(i, j);
+    EXPECT_GT(report.ksMatrix()[i][j], report.namdMatrix()[i][j]);
+}
+
+TEST(DriftReport, IdenticalSessionsReadSimilar)
+{
+    rng::Xoshiro256 gen(1);
+    rng::NormalSampler sampler(10.0, 0.5);
+    std::vector<std::vector<double>> sessions;
+    for (int s = 0; s < 3; ++s)
+        sessions.push_back(sampler.sampleMany(gen, 600));
+    auto report =
+        DriftReport::analyze({"a", "b", "c"}, sessions);
+    EXPECT_EQ(report.dissimilarPairs(), 0u);
+    EXPECT_EQ(report.blindPairs(), 0u);
+}
+
+TEST(DriftReport, PreferesDifferingModeCountsForHighlight)
+{
+    rng::Xoshiro256 gen(2);
+    rng::NormalSampler unimodal(10.0, 0.3);
+    std::vector<rng::MixtureSampler::Component> comps;
+    comps.push_back({0.5, std::make_shared<rng::NormalSampler>(9.0,
+                                                               0.3)});
+    comps.push_back({0.5, std::make_shared<rng::NormalSampler>(11.0,
+                                                               0.3)});
+    rng::MixtureSampler bimodal(std::move(comps));
+
+    std::vector<std::vector<double>> sessions = {
+        unimodal.sampleMany(gen, 800),  // 1 mode
+        unimodal.sampleMany(gen, 800),  // 1 mode
+        bimodal.sampleMany(gen, 800),   // 2 modes
+    };
+    auto report = DriftReport::analyze({"s1", "s2", "s3"}, sessions);
+    auto [i, j] = report.mostShapeDivergentPair();
+    // The highlighted pair must involve the bimodal session.
+    EXPECT_EQ(j, 2u);
+    EXPECT_NE(report.modeCounts()[i], report.modeCounts()[j]);
+}
+
+TEST(DriftReport, RenderMentionsKeyFindings)
+{
+    auto report = DriftReport::analyze(dayLabels(3), hotspotDays(3));
+    std::string md = report.renderMarkdown();
+    EXPECT_NE(md.find("Drift analysis"), std::string::npos);
+    EXPECT_NE(md.find("dissimilar pairs"), std::string::npos);
+    EXPECT_NE(md.find("most shape-divergent pair"), std::string::npos);
+    EXPECT_NE(md.find("day1"), std::string::npos);
+}
+
+TEST(DriftReport, RejectsBadInput)
+{
+    EXPECT_THROW(DriftReport::analyze({"a"}, {{1.0, 2.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(DriftReport::analyze({"a", "b"}, {{1.0, 2.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        DriftReport::analyze({"a", "b"}, {{1.0, 2.0}, {1.0}}),
+        std::invalid_argument);
+}
+
+} // anonymous namespace

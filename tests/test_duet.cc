@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the duet benchmarking harness: shared interference must
+ * cancel in paired ratios, giving duet a decisive variance advantage
+ * over sequential measurement under co-tenant noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/duet.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "stats/descriptive.hh"
+
+namespace
+{
+
+using namespace sharp;
+using sim::DuetHarness;
+using sim::DuetPair;
+
+DuetHarness
+makeHarness(double sigma, uint64_t seed = 1)
+{
+    DuetHarness::NoiseModel noise;
+    noise.sigma = sigma;
+    return DuetHarness(sim::rodiniaByName("backprop"),
+                       sim::rodiniaByName("kmeans"),
+                       sim::machineById("machine1"), seed, noise);
+}
+
+std::vector<DuetPair>
+collect(DuetHarness &harness, size_t n, bool duet)
+{
+    std::vector<DuetPair> pairs;
+    pairs.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        pairs.push_back(duet ? harness.samplePair()
+                             : harness.sampleSequential());
+    return pairs;
+}
+
+TEST(Duet, SharedInterferenceAppliesToBothSides)
+{
+    auto harness = makeHarness(0.5);
+    // With heavy interference, both sides of a pair move together:
+    // the ratio varies far less than the raw times.
+    auto pairs = collect(harness, 500, true);
+    std::vector<double> raw_a, ratios;
+    for (const auto &pair : pairs) {
+        raw_a.push_back(pair.timeA);
+        ratios.push_back(pair.timeA / pair.timeB);
+        EXPECT_GT(pair.interference, 0.0);
+    }
+    EXPECT_GT(stats::coefficientOfVariation(raw_a),
+              2.0 * stats::coefficientOfVariation(ratios));
+}
+
+TEST(Duet, PairedRatiosBeatSequentialUnderInterference)
+{
+    // The Duet claim: at matched budgets, paired log-ratios have much
+    // lower variance than sequential ones when interference is shared.
+    auto duet_harness = makeHarness(0.4, 2);
+    auto seq_harness = makeHarness(0.4, 3);
+    auto duet_ratios = DuetHarness::pairedLogRatios(
+        collect(duet_harness, 800, true));
+    auto seq_ratios = DuetHarness::pairedLogRatios(
+        collect(seq_harness, 800, false));
+    EXPECT_LT(stats::variance(duet_ratios),
+              stats::variance(seq_ratios) / 4.0);
+}
+
+TEST(Duet, NoAdvantageOnAQuietNode)
+{
+    // With sigma = 0 the two modes are statistically equivalent.
+    auto duet_harness = makeHarness(0.0, 4);
+    auto seq_harness = makeHarness(0.0, 5);
+    auto duet_ratios = DuetHarness::pairedLogRatios(
+        collect(duet_harness, 800, true));
+    auto seq_ratios = DuetHarness::pairedLogRatios(
+        collect(seq_harness, 800, false));
+    double ratio = stats::variance(duet_ratios) /
+                   stats::variance(seq_ratios);
+    EXPECT_GT(ratio, 0.6);
+    EXPECT_LT(ratio, 1.6);
+}
+
+TEST(Duet, SpeedupEstimateMatchesTrueRatio)
+{
+    // backprop (2.6 s) vs kmeans (8.9 s): geometric-mean ratio tracks
+    // the model means' ratio even under interference.
+    auto harness = makeHarness(0.3, 6);
+    double speedup =
+        DuetHarness::speedupEstimate(collect(harness, 2000, true));
+    double expected = 2.6 / 8.9;
+    EXPECT_NEAR(speedup, expected, expected * 0.15);
+}
+
+TEST(Duet, SequentialSpeedupIsUnbiasedJustNoisier)
+{
+    auto harness = makeHarness(0.3, 7);
+    double speedup = DuetHarness::speedupEstimate(
+        collect(harness, 4000, false));
+    double expected = 2.6 / 8.9;
+    EXPECT_NEAR(speedup, expected, expected * 0.2);
+}
+
+TEST(Duet, DeterministicGivenSeed)
+{
+    auto h1 = makeHarness(0.2, 8);
+    auto h2 = makeHarness(0.2, 8);
+    for (int i = 0; i < 50; ++i) {
+        DuetPair p1 = h1.samplePair();
+        DuetPair p2 = h2.samplePair();
+        EXPECT_DOUBLE_EQ(p1.timeA, p2.timeA);
+        EXPECT_DOUBLE_EQ(p1.timeB, p2.timeB);
+    }
+}
+
+TEST(Duet, RejectsBadConfiguration)
+{
+    DuetHarness::NoiseModel bad_sigma;
+    bad_sigma.sigma = -1.0;
+    EXPECT_THROW(DuetHarness(sim::rodiniaByName("backprop"),
+                             sim::rodiniaByName("kmeans"),
+                             sim::machineById("machine1"), 1,
+                             bad_sigma),
+                 std::invalid_argument);
+    DuetHarness::NoiseModel bad_phi;
+    bad_phi.phi = 1.0;
+    EXPECT_THROW(DuetHarness(sim::rodiniaByName("backprop"),
+                             sim::rodiniaByName("kmeans"),
+                             sim::machineById("machine1"), 1, bad_phi),
+                 std::invalid_argument);
+    EXPECT_THROW(DuetHarness::speedupEstimate({}),
+                 std::invalid_argument);
+}
+
+} // anonymous namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for effect sizes: Cohen's d / Hedges' g, Cliff's delta, and
+ * the common-language effect size.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/sampler.hh"
+#include "stats/effect_size.hh"
+
+namespace
+{
+
+using namespace sharp::stats;
+using namespace sharp::rng;
+
+TEST(CohensD, ZeroForIdenticalSamples)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(cohensD(xs, xs), 0.0);
+}
+
+TEST(CohensD, KnownHandComputedValue)
+{
+    // x = {1,2,3}, y = {3,4,5}: means 2 and 4, pooled sd = 1 -> d = -2.
+    EXPECT_NEAR(cohensD({1.0, 2.0, 3.0}, {3.0, 4.0, 5.0}), -2.0, 1e-12);
+}
+
+TEST(CohensD, RecoversTrueStandardizedShift)
+{
+    Xoshiro256 gen(1);
+    NormalSampler s1(10.0, 2.0), s2(11.0, 2.0); // true d = -0.5
+    auto a = s1.sampleMany(gen, 3000);
+    auto b = s2.sampleMany(gen, 3000);
+    EXPECT_NEAR(cohensD(a, b), -0.5, 0.06);
+}
+
+TEST(CohensD, SignConvention)
+{
+    EXPECT_GT(cohensD({5.0, 6.0, 7.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(CohensD, InfiniteForZeroVarianceDifferentMeans)
+{
+    double d = cohensD({2.0, 2.0, 2.0}, {3.0, 3.0});
+    EXPECT_TRUE(std::isinf(d));
+    EXPECT_LT(d, 0.0);
+    EXPECT_DOUBLE_EQ(cohensD({2.0, 2.0}, {2.0, 2.0}), 0.0);
+}
+
+TEST(HedgesG, ShrinksTowardZeroVsCohensD)
+{
+    std::vector<double> a = {1.0, 2.0, 3.0};
+    std::vector<double> b = {2.5, 3.5, 4.5};
+    double d = cohensD(a, b);
+    double g = hedgesG(a, b);
+    EXPECT_LT(std::fabs(g), std::fabs(d));
+    EXPECT_GT(std::fabs(g), 0.7 * std::fabs(d)); // mild correction
+    EXPECT_EQ(std::signbit(g), std::signbit(d));
+}
+
+TEST(CliffsDelta, ExtremesAndZero)
+{
+    // Complete separation.
+    EXPECT_DOUBLE_EQ(cliffsDelta({4.0, 5.0}, {1.0, 2.0}), 1.0);
+    EXPECT_DOUBLE_EQ(cliffsDelta({1.0, 2.0}, {4.0, 5.0}), -1.0);
+    // Identical samples.
+    std::vector<double> xs = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(cliffsDelta(xs, xs), 0.0);
+}
+
+TEST(CliffsDelta, HandComputedWithTies)
+{
+    // x = {1, 2}, y = {2, 3}: pairs (1,2)<, (1,3)<, (2,2)=, (2,3)<
+    // -> (0 - 3)/4 = -0.75.
+    EXPECT_DOUBLE_EQ(cliffsDelta({1.0, 2.0}, {2.0, 3.0}), -0.75);
+}
+
+TEST(CliffsDelta, MatchesBruteForceOnRandomData)
+{
+    Xoshiro256 gen(2);
+    LogNormalSampler s1(1.0, 0.5), s2(1.2, 0.4);
+    auto a = s1.sampleMany(gen, 80);
+    auto b = s2.sampleMany(gen, 70);
+
+    double brute = 0.0;
+    for (double va : a) {
+        for (double vb : b) {
+            if (va > vb)
+                brute += 1.0;
+            else if (va < vb)
+                brute -= 1.0;
+        }
+    }
+    brute /= static_cast<double>(a.size() * b.size());
+    EXPECT_NEAR(cliffsDelta(a, b), brute, 1e-12);
+}
+
+TEST(CliffsDelta, AgreesWithCommonLanguage)
+{
+    Xoshiro256 gen(3);
+    NormalSampler s1(10.0, 1.0), s2(10.5, 1.0);
+    auto a = s1.sampleMany(gen, 500);
+    auto b = s2.sampleMany(gen, 500);
+    // delta = 2*CL - 1 when there are no ties.
+    EXPECT_NEAR(cliffsDelta(a, b),
+                2.0 * commonLanguageEffect(a, b) - 1.0, 1e-12);
+}
+
+TEST(CommonLanguage, HalfForIdenticalDistributions)
+{
+    Xoshiro256 gen(4);
+    NormalSampler sampler(5.0, 1.0);
+    auto a = sampler.sampleMany(gen, 2000);
+    auto b = sampler.sampleMany(gen, 2000);
+    EXPECT_NEAR(commonLanguageEffect(a, b), 0.5, 0.03);
+}
+
+TEST(CommonLanguage, TiesCountHalf)
+{
+    EXPECT_DOUBLE_EQ(commonLanguageEffect({1.0}, {1.0}), 0.5);
+}
+
+TEST(CliffsDeltaMagnitude, ConventionalThresholds)
+{
+    EXPECT_STREQ(cliffsDeltaMagnitude(0.05), "negligible");
+    EXPECT_STREQ(cliffsDeltaMagnitude(-0.2), "small");
+    EXPECT_STREQ(cliffsDeltaMagnitude(0.4), "medium");
+    EXPECT_STREQ(cliffsDeltaMagnitude(-0.9), "large");
+}
+
+TEST(EffectSizes, RejectBadInput)
+{
+    EXPECT_THROW(cohensD({1.0}, {1.0, 2.0}), std::invalid_argument);
+    EXPECT_THROW(cliffsDelta({}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(commonLanguageEffect({1.0}, {}),
+                 std::invalid_argument);
+}
+
+} // anonymous namespace

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the simulated Knative cluster: dispatch of parallel
+ * requests across workers (§V-C), cold starts, and the Table V
+ * concurrency scaling shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/faas.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "stats/descriptive.hh"
+
+namespace
+{
+
+using namespace sharp::sim;
+namespace stats = sharp::stats;
+
+std::vector<MachineSpec>
+gpuWorkers()
+{
+    return {machineById("machine1"), machineById("machine3")};
+}
+
+TEST(ConcurrencyModel, DefaultMatchesTable5Shape)
+{
+    // Table V: avg time 3.46 -> 4.80 -> 6.87 -> 11.90 -> 23.14 s for
+    // c = 1, 2, 4, 8, 16; multipliers 1.0, 1.39, 1.99, 3.44, 6.69.
+    ConcurrencyModel model;
+    EXPECT_NEAR(model.multiplier(1), 1.0, 1e-12);
+    EXPECT_NEAR(model.multiplier(2), 1.39, 0.05);
+    EXPECT_NEAR(model.multiplier(4), 1.99, 0.15);
+    EXPECT_NEAR(model.multiplier(8), 3.44, 0.3);
+    EXPECT_NEAR(model.multiplier(16), 6.69, 0.6);
+}
+
+TEST(ConcurrencyModel, PerUnitTimeDecreases)
+{
+    // §I Q3: execution time per concurrency unit falls 30-57%.
+    ConcurrencyModel model;
+    double per_unit_1 = model.multiplier(1) / 1.0;
+    double prev = per_unit_1;
+    for (int c : {2, 4, 8, 16}) {
+        double per_unit = model.multiplier(c) / static_cast<double>(c);
+        EXPECT_LT(per_unit, prev) << c;
+        prev = per_unit;
+    }
+    double drop = 1.0 - prev / per_unit_1;
+    EXPECT_GT(drop, 0.5);
+    EXPECT_LT(drop, 0.65);
+}
+
+TEST(FaasCluster, SplitsParallelRequestsRoundRobin)
+{
+    FaasCluster cluster(rodiniaByName("bfs-CUDA"), gpuWorkers(), 1);
+    auto invocations = cluster.invoke(2);
+    ASSERT_EQ(invocations.size(), 2u);
+    EXPECT_EQ(invocations[0].workerId, "machine1");
+    EXPECT_EQ(invocations[1].workerId, "machine3");
+}
+
+TEST(FaasCluster, OddBatchFavorsFirstWorker)
+{
+    FaasCluster cluster(rodiniaByName("bfs-CUDA"), gpuWorkers(), 1);
+    auto invocations = cluster.invoke(5);
+    int on_m1 = 0;
+    for (const auto &inv : invocations)
+        on_m1 += inv.workerId == "machine1";
+    EXPECT_EQ(on_m1, 3);
+}
+
+TEST(FaasCluster, FirstInvocationIsCold)
+{
+    FaasCluster cluster(rodiniaByName("bfs-CUDA"), gpuWorkers(), 2);
+    auto first = cluster.invoke(2);
+    EXPECT_TRUE(first[0].coldStart);
+    EXPECT_TRUE(first[1].coldStart);
+    // Cold starts add latency to the response but not the execution.
+    EXPECT_GT(first[0].responseTime, first[0].executionTime + 0.1);
+
+    auto second = cluster.invoke(2);
+    EXPECT_FALSE(second[0].coldStart);
+    EXPECT_DOUBLE_EQ(second[0].responseTime, second[0].executionTime);
+}
+
+TEST(FaasCluster, IdleWorkerGoesColdAgain)
+{
+    ColdStartModel cold;
+    cold.keepAliveInvocations = 3;
+    FaasCluster cluster(rodiniaByName("bfs-CUDA"), gpuWorkers(), 3,
+                        ConcurrencyModel(), cold);
+    cluster.invoke(2); // warm both
+    // Only worker 1 used for a while (single requests go round-robin
+    // index 0 only when batch = 1).
+    for (int i = 0; i < 4; ++i)
+        cluster.invoke(1);
+    // machine3 idled past keep-alive: next use is cold again.
+    auto batch = cluster.invoke(2);
+    EXPECT_FALSE(batch[0].coldStart);
+    EXPECT_TRUE(batch[1].coldStart);
+}
+
+TEST(FaasCluster, CudaFunctionNeedsGpusEverywhere)
+{
+    std::vector<MachineSpec> mixed = {machineById("machine1"),
+                                      machineById("machine2")};
+    EXPECT_THROW(
+        FaasCluster(rodiniaByName("bfs-CUDA"), std::move(mixed), 1),
+        std::invalid_argument);
+}
+
+TEST(FaasCluster, CpuFunctionRunsOnGpulessWorkers)
+{
+    std::vector<MachineSpec> cpu_workers = {machineById("machine2")};
+    EXPECT_NO_THROW(
+        FaasCluster(rodiniaByName("sc"), std::move(cpu_workers), 1));
+}
+
+TEST(FaasCluster, Table5ConcurrencySweepOnMachine3)
+{
+    // Use case 3: sc on Machine 3 with rising concurrency. Average
+    // execution time grows while per-unit time falls.
+    std::vector<MachineSpec> worker = {machineById("machine3")};
+    double prev_avg = 0.0;
+    double prev_per_unit = 1e9;
+    double avg_c1 = 0.0;
+    for (int c : {1, 2, 4, 8, 16}) {
+        FaasCluster cluster(rodiniaByName("sc"), worker, 9);
+        cluster.invoke(c); // discard the cold batch
+        auto times = cluster.collectExecutionTimes(60, c);
+        double avg = stats::mean(times);
+        double per_unit = avg / 1.0; // execution time already reflects
+                                     // contention at level c
+        EXPECT_GT(avg, prev_avg) << "c=" << c;
+        EXPECT_LT(avg / c, prev_per_unit) << "c=" << c;
+        prev_avg = avg;
+        prev_per_unit = avg / c;
+        if (c == 1)
+            avg_c1 = avg;
+        (void)per_unit;
+    }
+    // Table V anchor: ~3.46 s at c = 1 on Machine 3.
+    EXPECT_NEAR(avg_c1, 3.46, 0.35);
+    // c=16 total is ~6.7x the c=1 total.
+    EXPECT_NEAR(prev_avg / avg_c1, 6.69, 1.0);
+}
+
+TEST(FaasCluster, ExecutionTimesReflectWorkerSpeed)
+{
+    // On the 2-worker cluster, machine3 (H100) serves bfs-CUDA about
+    // twice as fast as machine1 (A100).
+    FaasCluster cluster(rodiniaByName("bfs-CUDA"), gpuWorkers(), 5);
+    std::vector<double> m1_times, m3_times;
+    for (int round = 0; round < 300; ++round) {
+        for (const auto &inv : cluster.invoke(2)) {
+            if (inv.workerId == "machine1")
+                m1_times.push_back(inv.executionTime);
+            else
+                m3_times.push_back(inv.executionTime);
+        }
+    }
+    double speedup = stats::mean(m1_times) / stats::mean(m3_times);
+    EXPECT_NEAR(speedup, 2.0, 0.2);
+}
+
+TEST(FaasCluster, RejectsBadInvocations)
+{
+    FaasCluster cluster(rodiniaByName("sc"),
+                        {machineById("machine1")}, 1);
+    EXPECT_THROW(cluster.invoke(0), std::invalid_argument);
+    EXPECT_THROW(FaasCluster(rodiniaByName("sc"), {}, 1),
+                 std::invalid_argument);
+}
+
+} // anonymous namespace

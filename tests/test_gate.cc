@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the performance-regression gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/gate.hh"
+#include "rng/sampler.hh"
+
+namespace
+{
+
+using namespace sharp::report;
+using namespace sharp::rng;
+
+std::vector<double>
+normalRuns(double mean, double sd, size_t n, uint64_t seed)
+{
+    Xoshiro256 gen(seed);
+    NormalSampler sampler(mean, sd);
+    return sampler.sampleMany(gen, n);
+}
+
+TEST(Gate, PassesIdenticalDistributions)
+{
+    auto base = normalRuns(10.0, 0.3, 200, 1);
+    auto cand = normalRuns(10.0, 0.3, 200, 2);
+    GateResult result = evaluateGate(base, cand);
+    EXPECT_TRUE(result.pass) << result.verdict;
+    EXPECT_NE(result.verdict.find("PASS"), std::string::npos);
+    EXPECT_NEAR(result.medianChange, 0.0, 0.02);
+}
+
+TEST(Gate, FailsOnMedianRegression)
+{
+    auto base = normalRuns(10.0, 0.3, 200, 3);
+    auto cand = normalRuns(11.5, 0.3, 200, 4); // +15% slower
+    GateResult result = evaluateGate(base, cand);
+    EXPECT_FALSE(result.pass);
+    EXPECT_NE(result.verdict.find("median regressed"),
+              std::string::npos);
+    EXPECT_GT(result.medianChange, 0.1);
+    EXPECT_LT(result.mannWhitneyP, 0.01);
+}
+
+TEST(Gate, PassesSmallImprovements)
+{
+    auto base = normalRuns(10.0, 0.3, 200, 5);
+    auto cand = normalRuns(9.0, 0.3, 200, 6); // 10% faster
+    GateResult result = evaluateGate(base, cand);
+    EXPECT_TRUE(result.pass) << result.verdict;
+    EXPECT_LT(result.medianChange, 0.0);
+}
+
+TEST(Gate, FailsOnShapeChangeDespiteEqualMedians)
+{
+    // The SHARP-specific rule: a new bimodal structure with the same
+    // median is still a regression (of predictability).
+    auto base = normalRuns(10.0, 0.25, 1000, 7);
+    Xoshiro256 gen(8);
+    std::vector<MixtureSampler::Component> comps;
+    comps.push_back({0.5, std::make_shared<NormalSampler>(9.0, 0.25)});
+    comps.push_back({0.5, std::make_shared<NormalSampler>(11.0, 0.25)});
+    MixtureSampler bimodal(std::move(comps));
+    auto cand = bimodal.sampleMany(gen, 1000);
+
+    GateResult result = evaluateGate(base, cand);
+    EXPECT_FALSE(result.pass);
+    EXPECT_NE(result.verdict.find("shape changed"), std::string::npos);
+    // Medians agree within the slowdown tolerance...
+    EXPECT_LT(result.medianChange, 0.05);
+    // ...but the shape moved a lot.
+    EXPECT_GT(result.ksDistance, 0.3);
+}
+
+TEST(Gate, TolerancesAreConfigurable)
+{
+    auto base = normalRuns(10.0, 0.3, 200, 9);
+    auto cand = normalRuns(10.4, 0.3, 200, 10); // +4%
+    GateConfig strict;
+    strict.maxSlowdown = 0.01;
+    EXPECT_FALSE(evaluateGate(base, cand, strict).pass);
+    GateConfig loose;
+    loose.maxSlowdown = 0.10;
+    loose.maxKsDistance = 0.8;
+    EXPECT_TRUE(evaluateGate(base, cand, loose).pass);
+}
+
+TEST(Gate, LargerIsBetterMetricsInvertDirection)
+{
+    // Throughput: candidate at 11 vs baseline 10 is an improvement.
+    auto base = normalRuns(10.0, 0.3, 200, 11);
+    auto cand = normalRuns(11.0, 0.3, 200, 12);
+    GateConfig config;
+    config.largerIsWorse = false;
+    config.maxKsDistance = 1.0; // only judge the direction here
+    GateResult result = evaluateGate(base, cand, config);
+    EXPECT_TRUE(result.pass) << result.verdict;
+    EXPECT_LT(result.medianChange, 0.0);
+
+    // And a throughput *drop* fails.
+    auto slow = normalRuns(8.5, 0.3, 200, 13);
+    EXPECT_FALSE(evaluateGate(base, slow, config).pass);
+}
+
+TEST(Gate, NoiseAloneDoesNotFail)
+{
+    // Repeated gates on same-distribution runs should essentially
+    // always pass: evidence + effect are both required.
+    int failures = 0;
+    for (uint64_t seed = 20; seed < 40; ++seed) {
+        auto base = normalRuns(10.0, 0.5, 60, seed);
+        auto cand = normalRuns(10.0, 0.5, 60, seed + 100);
+        failures += !evaluateGate(base, cand).pass;
+    }
+    EXPECT_LE(failures, 1);
+}
+
+TEST(Gate, RejectsTinySamples)
+{
+    EXPECT_THROW(evaluateGate({1, 2, 3}, {1, 2, 3, 4, 5}),
+                 std::invalid_argument);
+}
+
+} // anonymous namespace

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for histograms and the paper's bin-width rule (min of Sturges
+ * and Freedman–Diaconis, §V-A.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/sampler.hh"
+#include "stats/descriptive.hh"
+#include "stats/histogram.hh"
+
+namespace
+{
+
+using namespace sharp::stats;
+using sharp::rng::NormalSampler;
+using sharp::rng::Xoshiro256;
+
+std::vector<double>
+normalSample(size_t n, uint64_t seed = 1)
+{
+    Xoshiro256 gen(seed);
+    NormalSampler sampler(0.0, 1.0);
+    return sampler.sampleMany(gen, n);
+}
+
+TEST(BinWidth, SturgesMatchesFormula)
+{
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i)
+        xs.push_back(static_cast<double>(i)); // range 99, n=100
+    double bins = std::ceil(std::log2(100.0)) + 1.0; // 8
+    EXPECT_NEAR(binWidth(xs, BinRule::Sturges), 99.0 / bins, 1e-12);
+}
+
+TEST(BinWidth, FreedmanDiaconisMatchesFormula)
+{
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i)
+        xs.push_back(static_cast<double>(i));
+    double expected = 2.0 * iqr(xs) / std::cbrt(1000.0);
+    EXPECT_NEAR(binWidth(xs, BinRule::FreedmanDiaconis), expected, 1e-9);
+}
+
+TEST(BinWidth, PaperRuleIsMinOfBoth)
+{
+    auto xs = normalSample(500);
+    double sturges = binWidth(xs, BinRule::Sturges);
+    double fd = binWidth(xs, BinRule::FreedmanDiaconis);
+    EXPECT_DOUBLE_EQ(binWidth(xs, BinRule::SturgesFdMin),
+                     std::min(sturges, fd));
+}
+
+TEST(BinWidth, FdFallsBackWhenIqrZero)
+{
+    // Heavily tied data with zero IQR must not produce a zero width.
+    std::vector<double> xs(50, 5.0);
+    xs.push_back(1.0);
+    xs.push_back(9.0);
+    EXPECT_GT(binWidth(xs, BinRule::FreedmanDiaconis), 0.0);
+    EXPECT_GT(binWidth(xs, BinRule::SturgesFdMin), 0.0);
+}
+
+TEST(BinWidth, ZeroForConstantData)
+{
+    std::vector<double> xs(10, 3.0);
+    EXPECT_DOUBLE_EQ(binWidth(xs, BinRule::Sturges), 0.0);
+}
+
+TEST(Histogram, CountsSumToSampleSize)
+{
+    auto xs = normalSample(1234);
+    Histogram h = Histogram::build(xs, BinRule::SturgesFdMin);
+    size_t total = 0;
+    for (size_t i = 0; i < h.numBins(); ++i)
+        total += h.count(i);
+    EXPECT_EQ(total, xs.size());
+    EXPECT_EQ(h.totalCount(), xs.size());
+}
+
+TEST(Histogram, MaxValueLandsInLastBin)
+{
+    std::vector<double> xs = {0.0, 1.0, 2.0, 3.0, 4.0};
+    Histogram h = Histogram::buildWithBins(xs, 4);
+    EXPECT_EQ(h.count(3), 2u); // 3.x bin holds 3 and 4
+}
+
+TEST(Histogram, DegenerateSampleSingleBin)
+{
+    std::vector<double> xs(20, 7.0);
+    Histogram h = Histogram::build(xs, BinRule::SturgesFdMin);
+    ASSERT_EQ(h.numBins(), 1u);
+    EXPECT_EQ(h.count(0), 20u);
+    EXPECT_DOUBLE_EQ(h.center(0), 7.0);
+}
+
+TEST(Histogram, DensityIntegratesToOne)
+{
+    auto xs = normalSample(5000);
+    Histogram h = Histogram::build(xs, BinRule::Scott);
+    double integral = 0.0;
+    for (size_t i = 0; i < h.numBins(); ++i)
+        integral += h.density(i) * h.width();
+    EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Histogram, ProbabilitiesSumToOne)
+{
+    auto xs = normalSample(777);
+    Histogram h = Histogram::build(xs, BinRule::Sturges);
+    double total = 0.0;
+    for (double p : h.probabilities())
+        total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, CentersAreWithinRange)
+{
+    auto xs = normalSample(300);
+    Histogram h = Histogram::build(xs, BinRule::SturgesFdMin);
+    for (size_t i = 0; i < h.numBins(); ++i) {
+        EXPECT_GE(h.center(i), h.lowerBound());
+        EXPECT_LE(h.center(i), h.upperBound());
+    }
+}
+
+TEST(Histogram, RejectsBadInput)
+{
+    EXPECT_THROW(Histogram::build({}, BinRule::Sturges),
+                 std::invalid_argument);
+    EXPECT_THROW(Histogram::buildWithBins({1.0}, 0),
+                 std::invalid_argument);
+}
+
+TEST(Histogram, FdNarrowerThanSturgesOnLongTails)
+{
+    // With heavy tails, FD (IQR-based) resists the range blowup that
+    // stretches Sturges bins — the reason the paper takes the minimum.
+    auto xs = normalSample(2000, 9);
+    xs.push_back(50.0); // inject an extreme outlier
+    double sturges = binWidth(xs, BinRule::Sturges);
+    double fd = binWidth(xs, BinRule::FreedmanDiaconis);
+    EXPECT_LT(fd, sturges);
+}
+
+TEST(BinRuleName, HumanReadable)
+{
+    EXPECT_STREQ(binRuleName(BinRule::Sturges), "sturges");
+    EXPECT_STREQ(binRuleName(BinRule::SturgesFdMin),
+                 "min(sturges, freedman-diaconis)");
+}
+
+} // anonymous namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the HTML/SVG report export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "report/html.hh"
+#include "rng/sampler.hh"
+
+namespace
+{
+
+using namespace sharp::report;
+using namespace sharp::rng;
+
+std::vector<double>
+sample(double mean, double sd, size_t n, uint64_t seed)
+{
+    Xoshiro256 gen(seed);
+    NormalSampler sampler(mean, sd);
+    return sampler.sampleMany(gen, n);
+}
+
+TEST(HtmlEscape, EscapesSpecials)
+{
+    EXPECT_EQ(htmlEscape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    EXPECT_EQ(htmlEscape("plain"), "plain");
+}
+
+TEST(SvgHistogram, WellFormedWithBars)
+{
+    auto xs = sample(10.0, 1.0, 500, 1);
+    std::string svg = svgHistogram(xs);
+    EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+    // Several bars plus tooltips with counts.
+    EXPECT_GT(std::count(svg.begin(), svg.end(), '\n'), 8);
+    EXPECT_NE(svg.find("<rect"), std::string::npos);
+    EXPECT_NE(svg.find("<title>"), std::string::npos);
+}
+
+TEST(SvgHistogram, ColorAndSizeRespected)
+{
+    auto xs = sample(0.0, 1.0, 100, 2);
+    std::string svg = svgHistogram(xs, 400, 200, "#ff0000");
+    EXPECT_NE(svg.find("width=\"400\""), std::string::npos);
+    EXPECT_NE(svg.find("#ff0000"), std::string::npos);
+}
+
+TEST(SvgHistogram, DegenerateSampleStillRenders)
+{
+    std::vector<double> xs(20, 5.0);
+    std::string svg = svgHistogram(xs);
+    EXPECT_NE(svg.find("<rect"), std::string::npos);
+}
+
+TEST(SvgHistogram, RejectsBadArguments)
+{
+    EXPECT_THROW(svgHistogram({}), std::invalid_argument);
+    EXPECT_THROW(svgHistogram({1.0}, 10, 10), std::invalid_argument);
+}
+
+TEST(SvgEcdfOverlay, TwoCurvesWithLabels)
+{
+    auto a = sample(10.0, 1.0, 200, 3);
+    auto b = sample(11.0, 1.0, 200, 4);
+    std::string svg = svgEcdfOverlay(a, "A100", b, "H100");
+    EXPECT_EQ(std::count(svg.begin(), svg.end(), '\n') > 5, true);
+    // Two polylines, two labels.
+    size_t first = svg.find("<polyline");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_NE(svg.find("<polyline", first + 1), std::string::npos);
+    EXPECT_NE(svg.find("A100"), std::string::npos);
+    EXPECT_NE(svg.find("H100"), std::string::npos);
+}
+
+TEST(RenderHtml, DistributionReportIsStandalone)
+{
+    auto xs = sample(10.0, 0.5, 400, 5);
+    auto report = DistributionReport::analyze("bfs @ machine1", xs);
+    std::string html = renderHtml(report);
+    EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+    EXPECT_NE(html.find("</html>"), std::string::npos);
+    EXPECT_NE(html.find("bfs @ machine1"), std::string::npos);
+    EXPECT_NE(html.find("<svg"), std::string::npos);
+    EXPECT_NE(html.find("Distribution class"), std::string::npos);
+    EXPECT_NE(html.find("95% CI"), std::string::npos);
+}
+
+TEST(RenderHtml, ComparisonReportHasAllSections)
+{
+    auto a = sample(10.0, 1.0, 300, 6);
+    auto b = sample(5.0, 0.5, 300, 7);
+    auto report = ComparisonReport::analyze("A100", a, "H100", b);
+    std::string html = renderHtml(report);
+    EXPECT_NE(html.find("Speedup"), std::string::npos);
+    EXPECT_NE(html.find("NAMD"), std::string::npos);
+    EXPECT_NE(html.find("Cliff's delta"), std::string::npos);
+    EXPECT_NE(html.find("Empirical CDFs"), std::string::npos);
+    // Three figures: ECDF overlay + two histograms.
+    size_t count = 0, pos = 0;
+    while ((pos = html.find("<svg", pos)) != std::string::npos) {
+        ++count;
+        pos += 4;
+    }
+    EXPECT_EQ(count, 3u);
+}
+
+TEST(RenderHtml, EscapesReportNames)
+{
+    auto xs = sample(1.0, 0.1, 100, 8);
+    auto report =
+        DistributionReport::analyze("<script>alert(1)</script>", xs);
+    std::string html = renderHtml(report);
+    EXPECT_EQ(html.find("<script>"), std::string::npos);
+    EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+}
+
+TEST(SaveHtml, WritesFile)
+{
+    namespace fs = std::filesystem;
+    fs::path path = fs::temp_directory_path() / "sharp_test_report.html";
+    saveHtml("<!DOCTYPE html><html></html>", path.string());
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    fs::remove(path);
+    EXPECT_THROW(saveHtml("x", "/no/such/dir/report.html"),
+                 std::runtime_error);
+}
+
+} // anonymous namespace

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the Launcher: orchestration of warmups, concurrency,
+ * stopping, logging, and failure handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/stopping/fixed_rule.hh"
+#include "core/stopping/ks_rule.hh"
+#include "launcher/launcher.hh"
+#include "launcher/sim_backend.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "util/message.hh"
+
+namespace
+{
+
+using namespace sharp::launcher;
+using namespace sharp::core;
+using namespace sharp::sim;
+
+std::shared_ptr<SimBackend>
+bfsBackend(uint64_t seed = 1)
+{
+    return std::make_shared<SimBackend>(rodiniaByName("bfs"),
+                                        machineById("machine1"), 0,
+                                        seed);
+}
+
+TEST(Launcher, FixedRuleRunsExactCount)
+{
+    LaunchOptions opts;
+    opts.maxSamples = 500;
+    Launcher launcher(bfsBackend(), std::make_unique<FixedCountRule>(50),
+                      opts);
+    LaunchReport report = launcher.launch();
+    EXPECT_TRUE(report.ruleFired);
+    EXPECT_EQ(report.series.size(), 50u);
+    EXPECT_EQ(report.rounds, 50u);
+    EXPECT_EQ(report.log.size(), 50u);
+}
+
+TEST(Launcher, WarmupRoundsLoggedAndFlagged)
+{
+    LaunchOptions opts;
+    opts.warmupRounds = 3;
+    Launcher launcher(bfsBackend(), std::make_unique<FixedCountRule>(10),
+                      opts);
+    LaunchReport report = launcher.launch();
+    EXPECT_EQ(report.series.size(), 10u);
+    // 3 warmup + 10 measured records.
+    EXPECT_EQ(report.log.size(), 13u);
+    int warmups = 0;
+    for (const auto &rec : report.log.records())
+        warmups += rec.warmup;
+    EXPECT_EQ(warmups, 3);
+    // Warmup values are excluded from the analyzed series.
+    EXPECT_EQ(report.log.primaryValues().size(), 10u);
+}
+
+TEST(Launcher, ConcurrencyLogsOneRowPerInstance)
+{
+    LaunchOptions opts;
+    opts.concurrency = 4;
+    Launcher launcher(bfsBackend(), std::make_unique<FixedCountRule>(20),
+                      opts);
+    LaunchReport report = launcher.launch();
+    // 20 samples at 4 per round = 5 rounds.
+    EXPECT_EQ(report.rounds, 5u);
+    EXPECT_EQ(report.series.size(), 20u);
+    EXPECT_EQ(report.log.size(), 20u);
+    // Instance indices 0..3 appear.
+    bool saw_instance3 = false;
+    for (const auto &rec : report.log.records())
+        saw_instance3 |= rec.instance == 3;
+    EXPECT_TRUE(saw_instance3);
+}
+
+TEST(Launcher, KsRuleStopsEarly)
+{
+    LaunchOptions opts;
+    opts.maxSamples = 2000;
+    Launcher launcher(bfsBackend(),
+                      std::make_unique<KsHalvesRule>(0.1, 20), opts);
+    LaunchReport report = launcher.launch();
+    EXPECT_TRUE(report.ruleFired);
+    EXPECT_LT(report.series.size(), 2000u);
+    EXPECT_TRUE(report.finalDecision.stop);
+}
+
+TEST(Launcher, MaxSamplesCapRespected)
+{
+    LaunchOptions opts;
+    opts.maxSamples = 30;
+    Launcher launcher(bfsBackend(),
+                      std::make_unique<FixedCountRule>(100000), opts);
+    LaunchReport report = launcher.launch();
+    EXPECT_FALSE(report.ruleFired);
+    EXPECT_EQ(report.series.size(), 30u);
+    EXPECT_NE(report.finalDecision.reason.find("maxSamples"),
+              std::string::npos);
+}
+
+TEST(Launcher, LogCarriesConfiguration)
+{
+    Launcher launcher(bfsBackend(), std::make_unique<FixedCountRule>(5));
+    LaunchReport report = launcher.launch();
+    auto metadata = report.log.toMetadata();
+    EXPECT_EQ(metadata.get("Configuration", "backend").value_or(""),
+              "sim");
+    EXPECT_EQ(metadata.get("Configuration", "stopped_by").value_or(""),
+              "fixed");
+    EXPECT_FALSE(
+        metadata.get("Configuration", "stopping_rule")->empty());
+}
+
+TEST(Launcher, SeriesMatchesLoggedPrimaryValues)
+{
+    Launcher launcher(bfsBackend(7),
+                      std::make_unique<FixedCountRule>(25));
+    LaunchReport report = launcher.launch();
+    auto logged = report.log.primaryValues();
+    ASSERT_EQ(logged.size(), report.series.size());
+    for (size_t i = 0; i < logged.size(); ++i)
+        EXPECT_DOUBLE_EQ(logged[i], report.series[i]);
+}
+
+/** A backend that always fails, for failure-handling tests. */
+class FailingBackend : public Backend
+{
+  public:
+    std::string name() const override { return "failing"; }
+    std::string workloadName() const override { return "doomed"; }
+
+    RunResult
+    run() override
+    {
+        RunResult res;
+        res.success = false;
+        res.error = "synthetic failure";
+        return res;
+    }
+};
+
+TEST(Launcher, AbortsAfterTooManyFailures)
+{
+    std::string captured;
+    sharp::util::setMessageCapture(&captured);
+    LaunchOptions opts;
+    opts.maxFailures = 5;
+    opts.maxSamples = 100;
+    Launcher launcher(std::make_shared<FailingBackend>(),
+                      std::make_unique<FixedCountRule>(50), opts);
+    LaunchReport report = launcher.launch();
+    sharp::util::setMessageCapture(nullptr);
+
+    EXPECT_TRUE(report.aborted);
+    EXPECT_EQ(report.series.size(), 0u);
+    EXPECT_GT(report.failures, 5u);
+    EXPECT_NE(report.finalDecision.reason.find("aborted"),
+              std::string::npos);
+    EXPECT_NE(captured.find("synthetic failure"), std::string::npos);
+}
+
+TEST(Launcher, RejectsInvalidConstruction)
+{
+    EXPECT_THROW(
+        Launcher(nullptr, std::make_unique<FixedCountRule>(5)),
+        std::invalid_argument);
+    EXPECT_THROW(Launcher(bfsBackend(), nullptr), std::invalid_argument);
+    LaunchOptions bad;
+    bad.concurrency = 0;
+    EXPECT_THROW(
+        Launcher(bfsBackend(), std::make_unique<FixedCountRule>(5), bad),
+        std::invalid_argument);
+}
+
+TEST(Launcher, DayPropagatedToBackendAndLog)
+{
+    LaunchOptions opts;
+    opts.day = 3;
+    auto backend = bfsBackend();
+    Launcher launcher(backend, std::make_unique<FixedCountRule>(5),
+                      opts);
+    LaunchReport report = launcher.launch();
+    EXPECT_EQ(backend->day(), 3);
+    for (const auto &rec : report.log.records())
+        EXPECT_EQ(rec.day, 3);
+}
+
+} // anonymous namespace

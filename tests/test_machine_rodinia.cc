@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the simulated testbed registries: the three machines of
+ * Table III and the twenty Rodinia benchmarks of Table II, including
+ * the Fig. 4 modality census.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+
+namespace
+{
+
+using namespace sharp::sim;
+
+TEST(MachineRegistry, HasThreeMachinesOfTable3)
+{
+    const auto &machines = machineRegistry();
+    ASSERT_EQ(machines.size(), 3u);
+
+    const MachineSpec &m1 = machines[0];
+    EXPECT_EQ(m1.id, "machine1");
+    EXPECT_EQ(m1.cpu, "AMD EPYC 7443");
+    EXPECT_EQ(m1.cores, 48);
+    EXPECT_EQ(m1.ramGib, 256);
+    ASSERT_TRUE(m1.hasGpu());
+    EXPECT_EQ(m1.gpu->name, "Nvidia A100X 80GB");
+
+    const MachineSpec &m2 = machines[1];
+    EXPECT_EQ(m2.ramGib, 230);
+    EXPECT_FALSE(m2.hasGpu());
+
+    const MachineSpec &m3 = machines[2];
+    EXPECT_EQ(m3.cores, 96);
+    EXPECT_EQ(m3.ramGib, 1024);
+    ASSERT_TRUE(m3.hasGpu());
+    EXPECT_EQ(m3.gpu->name, "Nvidia H100 80GB");
+    // The H100 is the newer GPU generation.
+    EXPECT_GT(m3.gpu->generationFactor, m1.gpu->generationFactor);
+}
+
+TEST(MachineRegistry, LookupById)
+{
+    EXPECT_EQ(machineById("machine3").cores, 96);
+    EXPECT_THROW(machineById("machine9"), std::out_of_range);
+}
+
+TEST(RodiniaRegistry, TwentyBenchmarksElevenCpuNineCuda)
+{
+    EXPECT_EQ(rodiniaRegistry().size(), 20u);
+    EXPECT_EQ(rodiniaCpuBenchmarks().size(), 11u);
+    EXPECT_EQ(rodiniaCudaBenchmarks().size(), 9u);
+}
+
+TEST(RodiniaRegistry, Table2ParametersPreserved)
+{
+    EXPECT_EQ(rodiniaByName("backprop").parameters, "6553600");
+    EXPECT_EQ(rodiniaByName("bfs").parameters, "graph1MW_6.txt");
+    EXPECT_EQ(rodiniaByName("hotspot").parameters,
+              "1024, 1024, 2, 4, temp_1024, power_1024");
+    EXPECT_EQ(rodiniaByName("kmeans").parameters, "4, kdd_cup");
+    EXPECT_EQ(rodiniaByName("sc-CUDA").parameters,
+              "10, 20, 256, 65536, 65536, 1000, none, 1");
+}
+
+TEST(RodiniaRegistry, ModalityCensusMatchesFig4)
+{
+    // Fig. 4 / §I Q1: 30% unimodal, 40% bimodal, 20% trimodal,
+    // 10% with more than three modes.
+    std::map<size_t, int> census;
+    for (const auto &bench : rodiniaRegistry())
+        ++census[std::min<size_t>(bench.numModes(), 4)];
+    EXPECT_EQ(census[1], 6);  // 30% of 20
+    EXPECT_EQ(census[2], 8);  // 40%
+    EXPECT_EQ(census[3], 4);  // 20%
+    EXPECT_EQ(census[4], 2);  // 10%
+}
+
+TEST(RodiniaRegistry, ModeWeightsArePositive)
+{
+    for (const auto &bench : rodiniaRegistry()) {
+        ASSERT_FALSE(bench.modes.empty()) << bench.name;
+        for (const auto &mode : bench.modes) {
+            EXPECT_GT(mode.weight, 0.0) << bench.name;
+            EXPECT_GT(mode.multiplier, 0.0) << bench.name;
+            EXPECT_GT(mode.sigmaFraction, 0.0) << bench.name;
+        }
+        // The primary mode is the fastest one at multiplier 1.
+        EXPECT_DOUBLE_EQ(bench.modes.front().multiplier, 1.0)
+            << bench.name;
+    }
+}
+
+TEST(RodiniaRegistry, GpuSensitivitySpansPaperRange)
+{
+    // Speedups on the H100 (gen 2.0) are 1 + sensitivity, and must
+    // span the paper's 1.2x..2x with bfs at the top and srad at the
+    // bottom (Figs. 8 and 9).
+    double lo = 2.0, hi = 0.0;
+    for (const auto &bench : rodiniaCudaBenchmarks()) {
+        EXPECT_GE(bench.gpuSensitivity, 0.2) << bench.name;
+        EXPECT_LE(bench.gpuSensitivity, 1.0) << bench.name;
+        lo = std::min(lo, bench.gpuSensitivity);
+        hi = std::max(hi, bench.gpuSensitivity);
+    }
+    EXPECT_DOUBLE_EQ(rodiniaByName("bfs-CUDA").gpuSensitivity, 1.0);
+    EXPECT_DOUBLE_EQ(rodiniaByName("srad-CUDA").gpuSensitivity, 0.2);
+    EXPECT_DOUBLE_EQ(lo, 0.2);
+    EXPECT_DOUBLE_EQ(hi, 1.0);
+}
+
+TEST(RodiniaRegistry, CpuBenchmarksIgnoreGpu)
+{
+    for (const auto &bench : rodiniaCpuBenchmarks())
+        EXPECT_DOUBLE_EQ(bench.gpuSensitivity, 0.0) << bench.name;
+}
+
+TEST(RodiniaRegistry, HotspotDropsModesOften)
+{
+    // hotspot drives the Fig. 5c day-3-vs-day-5 effect, so its mode
+    // structure must be volatile day to day.
+    const auto &hotspot = rodiniaByName("hotspot");
+    EXPECT_EQ(hotspot.numModes(), 3u);
+    EXPECT_GE(hotspot.modeDropProbability, 0.3);
+}
+
+TEST(RodiniaRegistry, UnknownBenchmarkThrows)
+{
+    EXPECT_THROW(rodiniaByName("linpack"), std::out_of_range);
+}
+
+TEST(RodiniaRegistry, ScBaseMatchesTable5Scale)
+{
+    // Table V: sc at concurrency 1 on Machine 3 averages 3.46 s. The
+    // model's base and mode structure must put the machine-3 mean in
+    // that neighborhood (checked precisely in test_faas.cc).
+    const auto &sc = rodiniaByName("sc");
+    EXPECT_NEAR(sc.baseSeconds, 3.7, 0.5);
+}
+
+} // anonymous namespace

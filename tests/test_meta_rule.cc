@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the stopping meta-heuristic: it must classify the stream
+ * online and delegate to the rule tailored to that class (§IV-c).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/stopping/meta_rule.hh"
+#include "rng/synthetic.hh"
+#include "rng/xoshiro.hh"
+
+namespace
+{
+
+using namespace sharp::core;
+using sharp::rng::Xoshiro256;
+using sharp::rng::syntheticByName;
+
+/** Run the meta rule on a synthetic stream; return (runs, delegate). */
+std::pair<size_t, std::string>
+runMeta(const std::string &synthetic, uint64_t seed, size_t cap = 5000)
+{
+    Xoshiro256 gen(seed);
+    auto sampler = syntheticByName(synthetic).make();
+    MetaRule rule;
+    SampleSeries series;
+    while (series.size() < cap) {
+        series.append(sampler->sample(gen));
+        if (series.size() < rule.minSamples())
+            continue;
+        if (rule.evaluate(series).stop)
+            break;
+    }
+    return {series.size(), rule.delegate().name()};
+}
+
+TEST(MetaRule, DelegatesConstantToConstantRule)
+{
+    auto [runs, delegate] = runMeta("constant", 1);
+    EXPECT_EQ(delegate, "constant");
+    EXPECT_EQ(runs, 30u); // fires right at the warmup floor
+}
+
+TEST(MetaRule, DelegatesNormalToNormalCi)
+{
+    auto [runs, delegate] = runMeta("normal", 2);
+    EXPECT_EQ(delegate, "normal-ci");
+    EXPECT_LT(runs, 1500u);
+}
+
+TEST(MetaRule, DelegatesLogNormalToGeoMeanCi)
+{
+    auto [runs, delegate] = runMeta("lognormal", 3);
+    EXPECT_EQ(delegate, "geomean-ci");
+    (void)runs;
+}
+
+TEST(MetaRule, DelegatesUniformToRangeRule)
+{
+    auto [runs, delegate] = runMeta("uniform", 4);
+    EXPECT_EQ(delegate, "uniform-range");
+    EXPECT_LT(runs, 1000u);
+}
+
+TEST(MetaRule, DelegatesCauchyToMedianCi)
+{
+    auto [runs, delegate] = runMeta("cauchy", 5);
+    EXPECT_EQ(delegate, "median-ci");
+    (void)runs;
+}
+
+TEST(MetaRule, DelegatesSinusoidalToEssRule)
+{
+    auto [runs, delegate] = runMeta("sinusoidal", 6);
+    EXPECT_EQ(delegate, "autocorr-ess");
+    // Correlated data must not stop immediately.
+    EXPECT_GT(runs, 50u);
+}
+
+TEST(MetaRule, DelegatesMultimodalToModalityRule)
+{
+    auto [runs, delegate] = runMeta("bimodal", 7);
+    EXPECT_EQ(delegate, "modality");
+    (void)runs;
+
+    auto [runs4, delegate4] = runMeta("multimodal", 8);
+    EXPECT_EQ(delegate4, "modality");
+    (void)runs4;
+}
+
+TEST(MetaRule, AlwaysTerminatesOnEverySynthetic)
+{
+    for (const auto &spec : sharp::rng::syntheticRegistry()) {
+        auto [runs, delegate] = runMeta(spec.name, 99, 20000);
+        EXPECT_LT(runs, 20000u)
+            << spec.name << " never stopped (delegate " << delegate
+            << ")";
+    }
+}
+
+TEST(MetaRule, ReasonNamesClassAndDelegate)
+{
+    Xoshiro256 gen(10);
+    auto sampler = syntheticByName("normal").make();
+    MetaRule rule;
+    SampleSeries series;
+    StopDecision last;
+    while (series.size() < 500) {
+        series.append(sampler->sample(gen));
+        if (series.size() < rule.minSamples())
+            continue;
+        last = rule.evaluate(series);
+        if (last.stop)
+            break;
+    }
+    EXPECT_NE(last.reason.find("["), std::string::npos);
+    EXPECT_NE(last.reason.find("->"), std::string::npos);
+}
+
+TEST(MetaRule, ResetRestoresInitialDelegate)
+{
+    Xoshiro256 gen(11);
+    auto sampler = syntheticByName("constant").make();
+    MetaRule rule;
+    SampleSeries series;
+    for (int i = 0; i < 40; ++i)
+        series.append(sampler->sample(gen));
+    rule.evaluate(series);
+    EXPECT_EQ(rule.delegate().name(), "constant");
+    rule.reset();
+    EXPECT_EQ(rule.delegate().name(), "ks");
+    EXPECT_EQ(rule.classification().cls, DistributionClass::Unknown);
+}
+
+TEST(MetaRule, HonorsConfiguredWarmup)
+{
+    MetaRule::Config config;
+    config.minRuns = 100;
+    MetaRule rule(config);
+    SampleSeries series;
+    for (int i = 0; i < 99; ++i)
+        series.append(5.0);
+    EXPECT_FALSE(rule.evaluate(series).stop);
+    EXPECT_EQ(rule.minSamples(), 100u);
+}
+
+TEST(MetaRule, SavesRunsVsFixed1000OnEasyDistributions)
+{
+    // The headline economics: adaptive stopping beats a fixed large N
+    // on well-behaved streams (Fig. 1b / §V-C).
+    size_t total = 0;
+    size_t budget = 0;
+    for (const auto &name :
+         {"normal", "constant", "uniform", "lognormal"}) {
+        auto [runs, delegate] = runMeta(name, 21, 1000);
+        (void)delegate;
+        total += runs;
+        budget += 1000;
+    }
+    EXPECT_LT(total, budget / 2);
+}
+
+} // anonymous namespace

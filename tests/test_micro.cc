@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the microbenchmark probes: real host measurements that
+ * must be finite, positive, and orchestratable through the launcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/stopping/fixed_rule.hh"
+#include "launcher/launcher.hh"
+#include "micro/micro.hh"
+#include "micro/micro_backend.hh"
+#include "util/time_utils.hh"
+
+namespace
+{
+
+using namespace sharp;
+using micro::microByName;
+using micro::microRegistry;
+
+TEST(MicroRegistry, HasElevenProbesLikeThePaper)
+{
+    EXPECT_EQ(microRegistry().size(), 11u);
+    for (const auto &probe : microRegistry()) {
+        EXPECT_FALSE(probe.name.empty());
+        EXPECT_FALSE(probe.description.empty());
+        EXPECT_FALSE(probe.unit.empty());
+        ASSERT_TRUE(static_cast<bool>(probe.run)) << probe.name;
+    }
+}
+
+TEST(MicroRegistry, LookupByName)
+{
+    EXPECT_EQ(microByName("syscall").unit, "ns/op");
+    EXPECT_FALSE(microByName("mem-seq-read").smallerIsBetter);
+    EXPECT_THROW(microByName("warp-drive"), std::out_of_range);
+}
+
+TEST(MicroProbes, EveryProbeProducesFinitePositiveValues)
+{
+    for (const auto &probe : microRegistry()) {
+        double value = probe.run();
+        EXPECT_TRUE(std::isfinite(value)) << probe.name;
+        EXPECT_GT(value, 0.0) << probe.name;
+    }
+}
+
+TEST(MicroProbes, ComputeProbesAreFast)
+{
+    // A probe call must stay cheap enough for adaptive experiments.
+    for (const char *name : {"alu-ops", "fp-ops", "mem-seq-read",
+                             "malloc-churn", "syscall"}) {
+        const auto &probe = microByName(name);
+        util::Stopwatch watch;
+        probe.run();
+        EXPECT_LT(watch.elapsedSeconds(), 0.25) << name;
+    }
+}
+
+TEST(MicroProbes, SleepPrecisionIsAtLeastOne)
+{
+    // You can never undersleep.
+    EXPECT_GE(microByName("sleep-precision").run(), 1.0);
+}
+
+TEST(MicroProbes, RandomLatencyExceedsPerElementSequentialCost)
+{
+    // A dependent random chase must cost (much) more per access than
+    // streaming reads; compare against the sequential bandwidth probe
+    // converted to ns per 8-byte element.
+    double rand_ns = microByName("mem-rand-latency").run();
+    double seq_mbps = microByName("mem-seq-read").run();
+    double seq_ns_per_elem = 8.0 / (seq_mbps * 1024.0 * 1024.0) * 1e9;
+    EXPECT_GT(rand_ns, seq_ns_per_elem);
+}
+
+TEST(MicroBackend, ReportsValueAndExecutionTime)
+{
+    micro::MicroBackend backend(microByName("alu-ops"));
+    auto result = backend.run();
+    ASSERT_TRUE(result.success) << result.error;
+    EXPECT_DOUBLE_EQ(result.metric("value"),
+                     result.metric("execution_time"));
+    EXPECT_EQ(backend.workloadName(), "alu-ops");
+    EXPECT_EQ(backend.name(), "micro");
+}
+
+TEST(MicroBackend, LauncherOrchestratesRealMeasurements)
+{
+    auto backend = std::make_shared<micro::MicroBackend>(
+        microByName("syscall"));
+    launcher::LaunchOptions options;
+    options.warmupRounds = 1;
+    options.maxSamples = 100;
+    launcher::Launcher l(backend,
+                         std::make_unique<core::FixedCountRule>(15),
+                         options);
+    auto report = l.launch();
+    EXPECT_TRUE(report.ruleFired);
+    ASSERT_EQ(report.series.size(), 15u);
+    for (double v : report.series.values())
+        EXPECT_GT(v, 0.0);
+    // Logged rows carry the probe name.
+    EXPECT_EQ(report.log.records().front().workload, "syscall");
+}
+
+} // anonymous namespace

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the phase-resolved leukocyte model behind use case 1
+ * (Fig. 7): total = detection + tracking (+ overhead), detection is
+ * unimodal, tracking is bimodal, and the bimodality propagates into
+ * the total.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "sim/phases.hh"
+#include "stats/descriptive.hh"
+#include "stats/kde.hh"
+
+namespace
+{
+
+using namespace sharp::sim;
+namespace stats = sharp::stats;
+
+std::vector<PhasedSample>
+draw(size_t n, uint64_t seed = 1)
+{
+    PhasedWorkload workload(machineById("machine1"), seed);
+    return workload.sampleMany(n);
+}
+
+TEST(Phases, TotalDominatedByPhases)
+{
+    for (const auto &s : draw(500)) {
+        EXPECT_GT(s.total, s.detection + s.tracking);
+        // Overhead is small: < 10% of the total.
+        EXPECT_LT(s.total, (s.detection + s.tracking) * 1.1);
+    }
+}
+
+TEST(Phases, AllTimesPositive)
+{
+    for (const auto &s : draw(500)) {
+        EXPECT_GT(s.detection, 0.0);
+        EXPECT_GT(s.tracking, 0.0);
+        EXPECT_GT(s.total, 0.0);
+    }
+}
+
+TEST(Phases, DetectionIsUnimodal)
+{
+    auto samples = draw(4000, 2);
+    std::vector<double> detection;
+    for (const auto &s : samples)
+        detection.push_back(s.detection);
+    EXPECT_EQ(stats::findModes(detection, 0.15).size(), 1u);
+}
+
+TEST(Phases, TrackingIsBimodal)
+{
+    auto samples = draw(4000, 3);
+    std::vector<double> tracking;
+    for (const auto &s : samples)
+        tracking.push_back(s.tracking);
+    EXPECT_EQ(stats::findModes(tracking, 0.15).size(), 2u);
+}
+
+TEST(Phases, BimodalityPropagatesToTotal)
+{
+    // Fig. 7's insight: "the dual modes in the overall execution time
+    // were introduced in the tracking phase".
+    auto samples = draw(4000, 4);
+    std::vector<double> total;
+    for (const auto &s : samples)
+        total.push_back(s.total);
+    EXPECT_EQ(stats::findModes(total, 0.15).size(), 2u);
+}
+
+TEST(Phases, SlowTrackingModeNearTwelvePercent)
+{
+    auto samples = draw(6000, 5);
+    std::vector<double> tracking;
+    for (const auto &s : samples)
+        tracking.push_back(s.tracking);
+    auto modes = stats::findModes(tracking, 0.15);
+    ASSERT_EQ(modes.size(), 2u);
+    EXPECT_NEAR(modes[1].location / modes[0].location, 1.12, 0.02);
+    // Slow mode carries ~35% of the mass.
+    EXPECT_NEAR(modes[1].mass, 0.35, 0.06);
+}
+
+TEST(Phases, DeterministicGivenSeed)
+{
+    PhasedWorkload a(machineById("machine1"), 42);
+    PhasedWorkload b(machineById("machine1"), 42);
+    for (int i = 0; i < 50; ++i) {
+        PhasedSample sa = a.sample();
+        PhasedSample sb = b.sample();
+        EXPECT_DOUBLE_EQ(sa.total, sb.total);
+        EXPECT_DOUBLE_EQ(sa.tracking, sb.tracking);
+    }
+}
+
+TEST(Phases, FasterMachineShrinksAllPhases)
+{
+    PhasedWorkload m1_load(machineById("machine1"), 6);
+    PhasedWorkload m3_load(machineById("machine3"), 6);
+    auto xs1 = m1_load.sampleMany(1000);
+    auto xs3 = m3_load.sampleMany(1000);
+    std::vector<double> t1, t3;
+    for (size_t i = 0; i < 1000; ++i) {
+        t1.push_back(xs1[i].total);
+        t3.push_back(xs3[i].total);
+    }
+    EXPECT_GT(stats::mean(t1), stats::mean(t3));
+}
+
+TEST(Phases, MetricNamesMatchLoggerColumns)
+{
+    auto names = PhasedWorkload::metricNames();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "execution_time");
+    EXPECT_EQ(names[1], "detection_time");
+    EXPECT_EQ(names[2], "tracking_time");
+}
+
+} // anonymous namespace

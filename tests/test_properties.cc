@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Parameterized property tests: invariants that must hold across the
+ * whole cross-product of distributions, rules, benchmarks, and
+ * machines — the sweeps TEST_P exists for.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stopping/stopping_rule.hh"
+#include "rng/synthetic.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "sim/workload.hh"
+#include "stats/ci.hh"
+#include "stats/descriptive.hh"
+#include "stats/ecdf.hh"
+#include "stats/histogram.hh"
+#include "stats/similarity.hh"
+
+namespace
+{
+
+using namespace sharp;
+
+// ---------------------------------------------------------------
+// Similarity-metric properties over every synthetic distribution.
+// ---------------------------------------------------------------
+
+class SimilarityProperties
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    std::vector<double>
+    draw(uint64_t seed, size_t n = 400)
+    {
+        rng::Xoshiro256 gen(seed);
+        return rng::syntheticByName(GetParam())
+            .make()
+            ->sampleMany(gen, n);
+    }
+};
+
+TEST_P(SimilarityProperties, KsIsAPseudometric)
+{
+    auto a = draw(1);
+    auto b = draw(2);
+    auto c = draw(3);
+    double ab = stats::ksDistance(a, b);
+    double bc = stats::ksDistance(b, c);
+    double ac = stats::ksDistance(a, c);
+    // Identity, symmetry, bounds, triangle inequality.
+    EXPECT_DOUBLE_EQ(stats::ksDistance(a, a), 0.0);
+    EXPECT_DOUBLE_EQ(ab, stats::ksDistance(b, a));
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_LE(ac, ab + bc + 1e-12);
+}
+
+TEST_P(SimilarityProperties, KsShrinksWithSampleSize)
+{
+    // Same-distribution KS decays toward 0 as n grows.
+    rng::Xoshiro256 gen(7);
+    auto sampler_a = rng::syntheticByName(GetParam()).make();
+    auto sampler_b = rng::syntheticByName(GetParam()).make();
+    double small_ks = stats::ksDistance(sampler_a->sampleMany(gen, 50),
+                                        sampler_b->sampleMany(gen, 50));
+    auto sampler_c = rng::syntheticByName(GetParam()).make();
+    auto sampler_d = rng::syntheticByName(GetParam()).make();
+    double large_ks =
+        stats::ksDistance(sampler_c->sampleMany(gen, 5000),
+                          sampler_d->sampleMany(gen, 5000));
+    EXPECT_LE(large_ks, small_ks + 0.05) << GetParam();
+}
+
+TEST_P(SimilarityProperties, WassersteinScalesWithShift)
+{
+    auto a = draw(11);
+    std::vector<double> shifted = a;
+    for (double &v : shifted)
+        v += 2.5;
+    EXPECT_NEAR(stats::wasserstein1(a, shifted), 2.5, 1e-9)
+        << GetParam();
+}
+
+TEST_P(SimilarityProperties, SummaryOrderingInvariants)
+{
+    auto xs = draw(13, 800);
+    auto s = stats::Summary::compute(xs);
+    EXPECT_LE(s.min, s.q1);
+    EXPECT_LE(s.q1, s.median);
+    EXPECT_LE(s.median, s.q3);
+    EXPECT_LE(s.q3, s.p95);
+    EXPECT_LE(s.p95, s.p99);
+    EXPECT_LE(s.p99, s.max);
+    EXPECT_GE(s.stddev, 0.0);
+    EXPECT_GE(s.mean, s.min);
+    EXPECT_LE(s.mean, s.max);
+}
+
+TEST_P(SimilarityProperties, HistogramConservesMassUnderAllRules)
+{
+    auto xs = draw(17, 600);
+    for (auto rule :
+         {stats::BinRule::Sturges, stats::BinRule::FreedmanDiaconis,
+          stats::BinRule::Scott, stats::BinRule::SturgesFdMin}) {
+        auto hist = stats::Histogram::build(xs, rule);
+        size_t total = 0;
+        for (size_t i = 0; i < hist.numBins(); ++i)
+            total += hist.count(i);
+        EXPECT_EQ(total, xs.size()) << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSynthetics, SimilarityProperties,
+    ::testing::Values("normal", "lognormal", "uniform", "loguniform",
+                      "logistic", "bimodal", "multimodal", "sinusoidal",
+                      "cauchy"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+// ---------------------------------------------------------------
+// Stopping-rule contract over the (rule x synthetic) product.
+// ---------------------------------------------------------------
+
+struct RuleCase
+{
+    const char *rule;
+    const char *synthetic;
+};
+
+class StoppingRuleContract : public ::testing::TestWithParam<RuleCase>
+{
+};
+
+TEST_P(StoppingRuleContract, NeverStopsBeforeMinSamplesAndNeverLies)
+{
+    auto [rule_name, synthetic] = GetParam();
+    auto rule = core::StoppingRuleFactory::instance().make(rule_name);
+    rng::Xoshiro256 gen(5);
+    auto sampler = rng::syntheticByName(synthetic).make();
+
+    core::SampleSeries series;
+    for (size_t i = 0; i < 400; ++i) {
+        series.append(sampler->sample(gen));
+        core::StopDecision decision = rule->evaluate(series);
+        if (series.size() < rule->minSamples()) {
+            EXPECT_FALSE(decision.stop)
+                << rule_name << " fired below its own minimum on "
+                << synthetic;
+        }
+        EXPECT_FALSE(decision.reason.empty()) << rule_name;
+        if (decision.stop) {
+            // A stop decision must report criterion within threshold
+            // semantics (criterion compared against threshold).
+            EXPECT_TRUE(std::isfinite(decision.criterion)) << rule_name;
+            break;
+        }
+    }
+}
+
+TEST_P(StoppingRuleContract, ResetMakesEvaluationRepeatable)
+{
+    auto [rule_name, synthetic] = GetParam();
+    auto rule = core::StoppingRuleFactory::instance().make(rule_name);
+    rng::Xoshiro256 gen(9);
+    auto sampler = rng::syntheticByName(synthetic).make();
+    core::SampleSeries series;
+    for (size_t i = 0; i < 120; ++i)
+        series.append(sampler->sample(gen));
+
+    rule->reset();
+    core::StopDecision first = rule->evaluate(series);
+    rule->reset();
+    core::StopDecision second = rule->evaluate(series);
+    EXPECT_EQ(first.stop, second.stop) << rule_name;
+    EXPECT_DOUBLE_EQ(first.criterion, second.criterion) << rule_name;
+}
+
+std::vector<RuleCase>
+ruleCases()
+{
+    std::vector<RuleCase> cases;
+    const char *rules[] = {"fixed", "ci", "ks", "constant", "normal-ci",
+                           "geomean-ci", "median-ci", "uniform-range",
+                           "autocorr-ess", "modality", "tail-quantile",
+                           "meta"};
+    const char *synthetics[] = {"normal", "lognormal", "bimodal",
+                                "cauchy", "constant"};
+    for (const char *rule : rules)
+        for (const char *synthetic : synthetics)
+            cases.push_back({rule, synthetic});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RuleBySynthetic, StoppingRuleContract,
+    ::testing::ValuesIn(ruleCases()),
+    [](const ::testing::TestParamInfo<RuleCase> &info) {
+        std::string name = std::string(info.param.rule) + "_on_" +
+                           info.param.synthetic;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+// ---------------------------------------------------------------
+// CI coverage-direction properties across confidence levels.
+// ---------------------------------------------------------------
+
+class CiLevelProperties : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CiLevelProperties, HigherLevelsGiveWiderIntervals)
+{
+    double level = GetParam();
+    rng::Xoshiro256 gen(21);
+    rng::NormalSampler sampler(10.0, 1.0);
+    auto xs = sampler.sampleMany(gen, 200);
+
+    auto ci = stats::meanCi(xs, level);
+    auto wider = stats::meanCi(xs, std::min(0.999, level + 0.04));
+    EXPECT_GE(wider.width(), ci.width());
+
+    auto med = stats::medianCi(xs, level);
+    EXPECT_LE(med.lower, stats::median(xs));
+    EXPECT_GE(med.upper, stats::median(xs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, CiLevelProperties,
+                         ::testing::Values(0.5, 0.8, 0.9, 0.95, 0.99));
+
+// ---------------------------------------------------------------
+// Simulated-testbed properties over the benchmark x machine grid.
+// ---------------------------------------------------------------
+
+struct GridCase
+{
+    const char *benchmark;
+    const char *machine;
+};
+
+class WorkloadGrid : public ::testing::TestWithParam<GridCase>
+{
+};
+
+TEST_P(WorkloadGrid, DeterministicPositiveAndDayStable)
+{
+    auto [bench_name, machine_id] = GetParam();
+    const auto &bench = sim::rodiniaByName(bench_name);
+    const auto &machine = sim::machineById(machine_id);
+    if (bench.kind == sim::BenchmarkKind::Cuda && !machine.hasGpu())
+        GTEST_SKIP() << "CUDA benchmark on GPU-less machine";
+
+    sim::SimulatedWorkload a(bench, machine, 2, 77);
+    sim::SimulatedWorkload b(bench, machine, 2, 77);
+    auto xs = a.sampleMany(300);
+    auto ys = b.sampleMany(300);
+    for (size_t i = 0; i < xs.size(); ++i) {
+        ASSERT_DOUBLE_EQ(xs[i], ys[i]);
+        ASSERT_GT(xs[i], 0.0);
+    }
+
+    // Day-to-day means stay within 10% (the Fig. 5 precondition).
+    sim::SimulatedWorkload other_day(bench, machine, 3, 77);
+    double m0 = stats::mean(xs);
+    double m1 = stats::mean(other_day.sampleMany(1000));
+    EXPECT_LT(std::fabs(m0 - m1) / m0, 0.1)
+        << bench_name << " on " << machine_id;
+}
+
+std::vector<GridCase>
+gridCases()
+{
+    std::vector<GridCase> cases;
+    for (const char *bench :
+         {"backprop", "hotspot", "sc", "bfs-CUDA", "sc-CUDA"})
+        for (const char *machine : {"machine1", "machine2", "machine3"})
+            cases.push_back({bench, machine});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BenchmarkMachineGrid, WorkloadGrid, ::testing::ValuesIn(gridCases()),
+    [](const ::testing::TestParamInfo<GridCase> &info) {
+        std::string name = std::string(info.param.benchmark) + "_" +
+                           info.param.machine;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+} // anonymous namespace

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for OLS and quantile regression (the De Oliveira et al.
+ * analysis the paper recommends enabling).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/sampler.hh"
+#include "stats/regression.hh"
+
+namespace
+{
+
+using namespace sharp::stats;
+using namespace sharp::rng;
+
+TEST(OlsFit, ExactOnNoiselessLine)
+{
+    std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+    std::vector<double> y = {5.0, 7.0, 9.0, 11.0}; // y = 3 + 2x
+    LinearFit fit = olsFit(x, y);
+    EXPECT_NEAR(fit.intercept, 3.0, 1e-10);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-10);
+    EXPECT_NEAR(fit.goodness, 1.0, 1e-12);
+    EXPECT_NEAR(fit.predict(10.0), 23.0, 1e-9);
+}
+
+TEST(OlsFit, RecoversSlopeUnderNoise)
+{
+    Xoshiro256 gen(1);
+    NormalSampler noise(0.0, 0.5);
+    std::vector<double> x, y;
+    for (int i = 0; i < 500; ++i) {
+        double xi = static_cast<double>(i) / 50.0;
+        x.push_back(xi);
+        y.push_back(1.0 + 0.8 * xi + noise.sample(gen));
+    }
+    LinearFit fit = olsFit(x, y);
+    EXPECT_NEAR(fit.slope, 0.8, 0.05);
+    EXPECT_NEAR(fit.intercept, 1.0, 0.1);
+    EXPECT_GT(fit.goodness, 0.8);
+}
+
+TEST(OlsFit, RejectsDegenerateInput)
+{
+    EXPECT_THROW(olsFit({1.0}, {2.0}), std::invalid_argument);
+    EXPECT_THROW(olsFit({1.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+    EXPECT_THROW(olsFit({1.0, 2.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(PinballLoss, KnownValues)
+{
+    // Residuals +1 and -1 at tau=0.9: loss = (0.9*1 + 0.1*1)/2 = 0.5.
+    EXPECT_NEAR(pinballLoss({2.0, 0.0}, {1.0, 1.0}, 0.9), 0.5, 1e-12);
+    // Perfect prediction: zero loss.
+    EXPECT_DOUBLE_EQ(pinballLoss({1.0, 2.0}, {1.0, 2.0}, 0.5), 0.0);
+}
+
+TEST(QuantileFit, MedianFitTracksCenterOnSymmetricNoise)
+{
+    Xoshiro256 gen(2);
+    NormalSampler noise(0.0, 1.0);
+    std::vector<double> x, y;
+    for (int i = 0; i < 800; ++i) {
+        double xi = static_cast<double>(i) / 100.0;
+        x.push_back(xi);
+        y.push_back(2.0 + 1.5 * xi + noise.sample(gen));
+    }
+    LinearFit fit = quantileFit(x, y, 0.5);
+    EXPECT_NEAR(fit.slope, 1.5, 0.1);
+    EXPECT_NEAR(fit.intercept, 2.0, 0.25);
+}
+
+TEST(QuantileFit, UpperQuantileSitsAboveMedianFit)
+{
+    Xoshiro256 gen(3);
+    // Heteroskedastic noise: spread grows with x, so the q90 line has
+    // a visibly steeper slope than the median line — the effect
+    // quantile regression exists to expose.
+    NormalSampler noise(0.0, 1.0);
+    std::vector<double> x, y;
+    for (int i = 0; i < 1500; ++i) {
+        double xi = static_cast<double>(i % 100) / 10.0;
+        x.push_back(xi);
+        y.push_back(1.0 + 0.5 * xi +
+                    (0.2 + 0.3 * xi) * noise.sample(gen));
+    }
+    LinearFit med = quantileFit(x, y, 0.5);
+    LinearFit q90 = quantileFit(x, y, 0.9);
+    EXPECT_GT(q90.slope, med.slope + 0.1);
+    // At the high end the q90 prediction clearly exceeds the median's.
+    EXPECT_GT(q90.predict(10.0), med.predict(10.0) + 1.0);
+}
+
+TEST(QuantileFit, ResidualSignBalanceMatchesTau)
+{
+    Xoshiro256 gen(4);
+    NormalSampler noise(0.0, 2.0);
+    std::vector<double> x, y;
+    for (int i = 0; i < 1000; ++i) {
+        double xi = static_cast<double>(i) / 100.0;
+        x.push_back(xi);
+        y.push_back(xi + noise.sample(gen));
+    }
+    LinearFit fit = quantileFit(x, y, 0.8);
+    int below = 0;
+    for (size_t i = 0; i < x.size(); ++i)
+        below += y[i] <= fit.predict(x[i]);
+    EXPECT_NEAR(static_cast<double>(below) / 1000.0, 0.8, 0.05);
+}
+
+TEST(QuantileFit, RejectsBadArguments)
+{
+    std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<double> y = x;
+    EXPECT_THROW(quantileFit(x, y, 0.0), std::invalid_argument);
+    EXPECT_THROW(quantileFit(x, y, 1.0), std::invalid_argument);
+    EXPECT_THROW(quantileFit({1, 2, 3}, {1, 2, 3}, 0.5),
+                 std::invalid_argument);
+}
+
+} // anonymous namespace

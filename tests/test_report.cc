@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the Reporter: ASCII visualization primitives,
+ * single-distribution reports, and two-sample comparison reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/ascii_plot.hh"
+#include "report/compare.hh"
+#include "report/report.hh"
+#include "rng/sampler.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "sim/workload.hh"
+
+namespace
+{
+
+using namespace sharp::report;
+using namespace sharp::rng;
+
+std::vector<double>
+normalSample(double mean, double sd, size_t n, uint64_t seed)
+{
+    Xoshiro256 gen(seed);
+    NormalSampler sampler(mean, sd);
+    return sampler.sampleMany(gen, n);
+}
+
+TEST(AsciiHistogram, ContainsBarsAndCounts)
+{
+    auto xs = normalSample(10.0, 1.0, 500, 1);
+    std::string plot = asciiHistogram(xs);
+    EXPECT_NE(plot.find('#'), std::string::npos);
+    EXPECT_NE(plot.find('|'), std::string::npos);
+    // One line per bin; the paper's bin rule keeps this moderate.
+    size_t lines = std::count(plot.begin(), plot.end(), '\n');
+    EXPECT_GE(lines, 3u);
+    EXPECT_LE(lines, 24u);
+}
+
+TEST(AsciiHistogram, DegenerateSample)
+{
+    std::vector<double> xs(10, 5.0);
+    std::string plot = asciiHistogram(xs);
+    EXPECT_NE(plot.find("10"), std::string::npos); // the count
+}
+
+TEST(AsciiBoxplot, ShowsFiveNumberSummary)
+{
+    auto xs = normalSample(10.0, 1.0, 200, 2);
+    std::string plot = asciiBoxplot(xs);
+    EXPECT_NE(plot.find('['), std::string::npos);
+    EXPECT_NE(plot.find(']'), std::string::npos);
+    EXPECT_NE(plot.find('*'), std::string::npos);
+    EXPECT_NE(plot.find("median="), std::string::npos);
+}
+
+TEST(AsciiBoxplot, ConstantDataDoesNotCrash)
+{
+    std::vector<double> xs(10, 3.0);
+    EXPECT_NO_THROW(asciiBoxplot(xs));
+}
+
+TEST(AsciiHeatmap, RendersMatrixWithScale)
+{
+    std::vector<std::vector<double>> matrix = {{0.0, 0.1},
+                                               {0.2, 0.3}};
+    std::string plot = asciiHeatmap(matrix, {"day1", "day2"},
+                                    {"day1", "day2"});
+    EXPECT_NE(plot.find("day1"), std::string::npos);
+    EXPECT_NE(plot.find("scale:"), std::string::npos);
+    EXPECT_THROW(asciiHeatmap({{1.0}, {1.0, 2.0}}),
+                 std::invalid_argument);
+}
+
+TEST(AsciiScatter, PlacesPointsAndLabels)
+{
+    std::vector<double> x = {0.0, 1.0, 2.0};
+    std::vector<double> y = {0.0, 1.0, 4.0};
+    std::string plot = asciiScatter(x, y, 40, 10, "NAMD", "KS");
+    EXPECT_NE(plot.find('o'), std::string::npos);
+    EXPECT_NE(plot.find("NAMD"), std::string::npos);
+    EXPECT_NE(plot.find("KS"), std::string::npos);
+    EXPECT_THROW(asciiScatter({1.0}, {}), std::invalid_argument);
+}
+
+TEST(DistributionReport, FieldsAndRendering)
+{
+    auto xs = normalSample(10.0, 0.5, 400, 3);
+    DistributionReport rep = DistributionReport::analyze("bfs", xs);
+    EXPECT_EQ(rep.name, "bfs");
+    EXPECT_EQ(rep.summary.n, 400u);
+    EXPECT_EQ(rep.modes.size(), 1u);
+
+    std::string md = rep.renderMarkdown();
+    EXPECT_NE(md.find("## Distribution report: bfs"),
+              std::string::npos);
+    EXPECT_NE(md.find("95% CI (mean)"), std::string::npos);
+    EXPECT_NE(md.find("Histogram"), std::string::npos);
+    EXPECT_NE(md.find("Boxplot"), std::string::npos);
+    EXPECT_NE(md.find("Distribution class"), std::string::npos);
+
+    std::string brief = rep.renderBrief();
+    EXPECT_NE(brief.find("1 mode(s)"), std::string::npos);
+}
+
+TEST(DistributionReport, DetectsBimodalWorkload)
+{
+    // Real pipeline: simulated leukocyte-like bimodal data in, modality
+    // insight out.
+    std::vector<MixtureSampler::Component> comps;
+    comps.push_back({0.6, std::make_shared<NormalSampler>(10.0, 0.3)});
+    comps.push_back({0.4, std::make_shared<NormalSampler>(13.0, 0.3)});
+    MixtureSampler mixture(std::move(comps));
+    Xoshiro256 gen(4);
+    DistributionReport rep = DistributionReport::analyze(
+        "tracking", mixture.sampleMany(gen, 1500));
+    EXPECT_EQ(rep.modes.size(), 2u);
+    EXPECT_NE(rep.renderMarkdown().find("% of mass"),
+              std::string::npos);
+}
+
+TEST(DistributionReport, RejectsTinySamples)
+{
+    EXPECT_THROW(DistributionReport::analyze("x", {1.0}),
+                 std::invalid_argument);
+}
+
+TEST(ComparisonReport, GpuComparisonShape)
+{
+    // Fig. 8 in miniature: bfs-CUDA on A100 vs H100.
+    using namespace sharp::sim;
+    SimulatedWorkload a100(rodiniaByName("bfs-CUDA"),
+                           machineById("machine1"), 0, 5);
+    SimulatedWorkload h100(rodiniaByName("bfs-CUDA"),
+                           machineById("machine3"), 0, 5);
+    ComparisonReport rep = ComparisonReport::analyze(
+        "A100", a100.sampleMany(1500), "H100", h100.sampleMany(1500));
+
+    EXPECT_NEAR(rep.meanSpeedup, 2.0, 0.2);
+    EXPECT_FALSE(rep.similarAt(0.1)); // clearly different distributions
+    EXPECT_LT(rep.ks.pValue, 1e-6);
+
+    std::string md = rep.renderMarkdown();
+    EXPECT_NE(md.find("Speedup"), std::string::npos);
+    EXPECT_NE(md.find("NAMD (point-summary)"), std::string::npos);
+    EXPECT_NE(md.find("KS distance (distribution)"),
+              std::string::npos);
+    EXPECT_NE(md.find("Mann-Whitney U"), std::string::npos);
+}
+
+TEST(ComparisonReport, IdenticalDistributionsReadSimilar)
+{
+    auto a = normalSample(5.0, 0.5, 800, 6);
+    auto b = normalSample(5.0, 0.5, 800, 7);
+    ComparisonReport rep =
+        ComparisonReport::analyze("run1", a, "run2", b);
+    EXPECT_TRUE(rep.similarAt(0.1));
+    EXPECT_NEAR(rep.meanSpeedup, 1.0, 0.05);
+    EXPECT_NE(rep.renderBrief().find("(similar)"), std::string::npos);
+}
+
+TEST(ComparisonReport, RejectsTinySamples)
+{
+    EXPECT_THROW(
+        ComparisonReport::analyze("a", {1.0}, "b", {1.0, 2.0}),
+        std::invalid_argument);
+}
+
+} // anonymous namespace

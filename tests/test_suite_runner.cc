@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the suite runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "launcher/suite.hh"
+
+namespace
+{
+
+using namespace sharp;
+using launcher::SuiteEntry;
+
+core::ExperimentConfig
+ksConfig(size_t max_samples = 800)
+{
+    core::ExperimentConfig config;
+    config.ruleName = "ks";
+    config.ruleParams = {{"threshold", 0.1}, {"min", 20}};
+    config.options.maxSamples = max_samples;
+    config.seed = 9;
+    return config;
+}
+
+TEST(SuiteRunner, RunsEveryEntry)
+{
+    std::vector<SuiteEntry> entries = {{"bfs", "machine1"},
+                                       {"lud", "machine1"},
+                                       {"kmeans", "machine3"}};
+    auto report = launcher::runSuite(entries, ksConfig());
+    ASSERT_EQ(report.outcomes.size(), 3u);
+    EXPECT_EQ(report.failures, 0u);
+    size_t total = 0;
+    for (const auto &outcome : report.outcomes) {
+        EXPECT_FALSE(outcome.failed) << outcome.error;
+        EXPECT_TRUE(outcome.ruleFired) << outcome.entry.workload;
+        EXPECT_GE(outcome.series.size(), 20u);
+        total += outcome.series.size();
+    }
+    EXPECT_EQ(report.totalRuns, total);
+}
+
+TEST(SuiteRunner, BadEntriesRecordedNotFatal)
+{
+    std::vector<SuiteEntry> entries = {
+        {"bfs", "machine1"},
+        {"linpack", "machine1"},    // unknown workload
+        {"bfs-CUDA", "machine2"}};  // no GPU on machine2
+    auto report = launcher::runSuite(entries, ksConfig());
+    ASSERT_EQ(report.outcomes.size(), 3u);
+    EXPECT_EQ(report.failures, 2u);
+    EXPECT_FALSE(report.outcomes[0].failed);
+    EXPECT_TRUE(report.outcomes[1].failed);
+    EXPECT_FALSE(report.outcomes[1].error.empty());
+    EXPECT_TRUE(report.outcomes[2].failed);
+}
+
+TEST(SuiteRunner, SavedVersusFixedMatchesArithmetic)
+{
+    std::vector<SuiteEntry> entries = {{"backprop", "machine1"},
+                                       {"lud", "machine1"}};
+    auto report = launcher::runSuite(entries, ksConfig(1000));
+    double saved = report.savedVersusFixed(1000);
+    double expected =
+        1.0 - static_cast<double>(report.totalRuns) / 2000.0;
+    EXPECT_DOUBLE_EQ(saved, expected);
+    EXPECT_GT(saved, 0.5); // well-behaved benchmarks stop early
+}
+
+TEST(SuiteRunner, RodiniaSuiteRespectsGpuAvailability)
+{
+    EXPECT_EQ(launcher::rodiniaSuite("machine1").size(), 20u);
+    EXPECT_EQ(launcher::rodiniaSuite("machine2").size(), 11u);
+    EXPECT_EQ(launcher::rodiniaSuite("machine3").size(), 20u);
+    EXPECT_THROW(launcher::rodiniaSuite("machine9"), std::out_of_range);
+}
+
+TEST(SuiteRunner, DeterministicAcrossRuns)
+{
+    std::vector<SuiteEntry> entries = {{"hotspot", "machine1"}};
+    auto a = launcher::runSuite(entries, ksConfig());
+    auto b = launcher::runSuite(entries, ksConfig());
+    ASSERT_EQ(a.outcomes[0].series.size(), b.outcomes[0].series.size());
+    for (size_t i = 0; i < a.outcomes[0].series.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.outcomes[0].series[i],
+                         b.outcomes[0].series[i]);
+    }
+}
+
+} // anonymous namespace

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the workflow task graph: ordering, cycle detection, and
+ * parallel waves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workflow/task_graph.hh"
+
+namespace
+{
+
+using namespace sharp::workflow;
+
+TaskGraph
+diamond()
+{
+    // a -> b, a -> c, {b, c} -> d
+    TaskGraph graph;
+    graph.addTask({"a", "echo a", {}});
+    graph.addTask({"b", "echo b", {"a"}});
+    graph.addTask({"c", "echo c", {"a"}});
+    graph.addTask({"d", "echo d", {"b", "c"}});
+    return graph;
+}
+
+size_t
+indexOf(const std::vector<std::string> &order, const std::string &name)
+{
+    return static_cast<size_t>(
+        std::find(order.begin(), order.end(), name) - order.begin());
+}
+
+TEST(TaskGraph, AddAndLookup)
+{
+    TaskGraph graph = diamond();
+    EXPECT_EQ(graph.size(), 4u);
+    EXPECT_TRUE(graph.contains("c"));
+    EXPECT_FALSE(graph.contains("z"));
+    EXPECT_EQ(graph.task("b").command, "echo b");
+    EXPECT_THROW(graph.task("z"), std::out_of_range);
+}
+
+TEST(TaskGraph, RejectsDuplicateNames)
+{
+    TaskGraph graph;
+    graph.addTask({"a", "", {}});
+    EXPECT_THROW(graph.addTask({"a", "", {}}), std::invalid_argument);
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsDependencies)
+{
+    auto order = diamond().topologicalOrder();
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_LT(indexOf(order, "a"), indexOf(order, "b"));
+    EXPECT_LT(indexOf(order, "a"), indexOf(order, "c"));
+    EXPECT_LT(indexOf(order, "b"), indexOf(order, "d"));
+    EXPECT_LT(indexOf(order, "c"), indexOf(order, "d"));
+}
+
+TEST(TaskGraph, TopologicalOrderIsDeterministic)
+{
+    EXPECT_EQ(diamond().topologicalOrder(),
+              diamond().topologicalOrder());
+    // Ties break by insertion order: b before c.
+    auto order = diamond().topologicalOrder();
+    EXPECT_LT(indexOf(order, "b"), indexOf(order, "c"));
+}
+
+TEST(TaskGraph, DetectsCycles)
+{
+    TaskGraph graph;
+    graph.addTask({"a", "", {"b"}});
+    graph.addTask({"b", "", {"a"}});
+    EXPECT_THROW(graph.topologicalOrder(), std::invalid_argument);
+    EXPECT_THROW(graph.validate(), std::invalid_argument);
+}
+
+TEST(TaskGraph, DetectsSelfDependency)
+{
+    TaskGraph graph;
+    graph.addTask({"a", "", {"a"}});
+    EXPECT_THROW(graph.validate(), std::invalid_argument);
+}
+
+TEST(TaskGraph, DetectsDanglingDependencies)
+{
+    TaskGraph graph;
+    graph.addTask({"a", "", {"ghost"}});
+    EXPECT_THROW(graph.validate(), std::invalid_argument);
+}
+
+TEST(TaskGraph, AddDependencyAfterTheFact)
+{
+    TaskGraph graph;
+    graph.addTask({"x", "", {}});
+    graph.addTask({"y", "", {}});
+    graph.addDependency("y", "x");
+    auto order = graph.topologicalOrder();
+    EXPECT_LT(indexOf(order, "x"), indexOf(order, "y"));
+    EXPECT_THROW(graph.addDependency("y", "ghost"), std::out_of_range);
+    EXPECT_THROW(graph.addDependency("ghost", "x"), std::out_of_range);
+}
+
+TEST(TaskGraph, WavesGroupParallelizableTasks)
+{
+    auto waves = diamond().waves();
+    ASSERT_EQ(waves.size(), 3u);
+    EXPECT_EQ(waves[0], std::vector<std::string>{"a"});
+    EXPECT_EQ(waves[1], (std::vector<std::string>{"b", "c"}));
+    EXPECT_EQ(waves[2], std::vector<std::string>{"d"});
+}
+
+TEST(TaskGraph, IndependentTasksShareWaveZero)
+{
+    TaskGraph graph;
+    graph.addTask({"t1", "", {}});
+    graph.addTask({"t2", "", {}});
+    graph.addTask({"t3", "", {}});
+    auto waves = graph.waves();
+    ASSERT_EQ(waves.size(), 1u);
+    EXPECT_EQ(waves[0].size(), 3u);
+}
+
+TEST(TaskGraph, LongChainProducesOneWavePerTask)
+{
+    TaskGraph graph;
+    graph.addTask({"s0", "", {}});
+    for (int i = 1; i < 6; ++i) {
+        graph.addTask({"s" + std::to_string(i), "",
+                       {"s" + std::to_string(i - 1)}});
+    }
+    EXPECT_EQ(graph.waves().size(), 6u);
+}
+
+TEST(TaskGraph, EmptyGraphIsValid)
+{
+    TaskGraph graph;
+    EXPECT_NO_THROW(graph.validate());
+    EXPECT_TRUE(graph.topologicalOrder().empty());
+    EXPECT_TRUE(graph.waves().empty());
+}
+
+} // anonymous namespace

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the CNCF Serverless Workflow subset parser (§IV-b).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workflow/workflow_parser.hh"
+
+namespace
+{
+
+using namespace sharp::workflow;
+
+const char *sequentialDoc = R"({
+    "id": "rodinia-pipeline",
+    "name": "Rodinia pipeline",
+    "functions": [
+        {"name": "prepare", "operation": "echo prepare"},
+        {"name": "benchmark", "operation": "echo bench"},
+        {"name": "report", "operation": "echo report"}
+    ],
+    "states": [
+        {"name": "setup", "type": "operation",
+         "actions": [{"functionRef": "prepare"}],
+         "transition": "run"},
+        {"name": "run", "type": "operation",
+         "actions": [{"functionRef": {"refName": "benchmark"}}],
+         "transition": {"nextState": "summarize"}},
+        {"name": "summarize", "type": "operation",
+         "actions": [{"functionRef": "report"}], "end": true}
+    ]
+})";
+
+const char *parallelDoc = R"({
+    "id": "fanout",
+    "functions": [
+        {"name": "gen", "operation": "echo gen"},
+        {"name": "cpu", "operation": "echo cpu"},
+        {"name": "gpu", "operation": "echo gpu"},
+        {"name": "merge", "operation": "echo merge"}
+    ],
+    "states": [
+        {"name": "generate", "type": "operation",
+         "actions": [{"functionRef": "gen"}], "transition": "sweep"},
+        {"name": "sweep", "type": "parallel",
+         "branches": [
+            {"name": "cpuBranch",
+             "actions": [{"functionRef": "cpu"}]},
+            {"name": "gpuBranch",
+             "actions": [{"functionRef": "gpu"}]}
+         ],
+         "transition": "join"},
+        {"name": "join", "type": "operation",
+         "actions": [{"functionRef": "merge"}], "end": true}
+    ]
+})";
+
+size_t
+indexOf(const std::vector<std::string> &order, const std::string &name)
+{
+    return static_cast<size_t>(
+        std::find(order.begin(), order.end(), name) - order.begin());
+}
+
+TEST(WorkflowParser, SequentialStatesChain)
+{
+    Workflow wf = parseServerlessWorkflowText(sequentialDoc);
+    EXPECT_EQ(wf.id, "rodinia-pipeline");
+    EXPECT_EQ(wf.name, "Rodinia pipeline");
+    EXPECT_EQ(wf.graph.size(), 3u);
+
+    auto order = wf.graph.topologicalOrder();
+    EXPECT_LT(indexOf(order, "setup.0.prepare"),
+              indexOf(order, "run.0.benchmark"));
+    EXPECT_LT(indexOf(order, "run.0.benchmark"),
+              indexOf(order, "summarize.0.report"));
+}
+
+TEST(WorkflowParser, CommandsComeFromFunctionOperations)
+{
+    Workflow wf = parseServerlessWorkflowText(sequentialDoc);
+    EXPECT_EQ(wf.graph.task("run.0.benchmark").command, "echo bench");
+}
+
+TEST(WorkflowParser, MultipleActionsInOneStateAreSequential)
+{
+    Workflow wf = parseServerlessWorkflowText(R"({
+        "id": "multi",
+        "functions": [{"name": "f", "operation": "echo f"},
+                      {"name": "g", "operation": "echo g"}],
+        "states": [{"name": "s", "type": "operation",
+                    "actions": [{"functionRef": "f"},
+                                {"functionRef": "g"}]}]
+    })");
+    const Task &second = wf.graph.task("s.1.g");
+    ASSERT_EQ(second.dependencies.size(), 1u);
+    EXPECT_EQ(second.dependencies[0], "s.0.f");
+}
+
+TEST(WorkflowParser, ParallelBranchesFanOutAndJoin)
+{
+    Workflow wf = parseServerlessWorkflowText(parallelDoc);
+    EXPECT_EQ(wf.graph.size(), 4u);
+
+    // Both branch tasks depend on the generator...
+    const Task &cpu = wf.graph.task("sweep.cpuBranch.0.cpu");
+    const Task &gpu = wf.graph.task("sweep.gpuBranch.0.gpu");
+    ASSERT_EQ(cpu.dependencies.size(), 1u);
+    EXPECT_EQ(cpu.dependencies[0], "generate.0.gen");
+    EXPECT_EQ(gpu.dependencies[0], "generate.0.gen");
+
+    // ...and the join depends on both branches.
+    const Task &join = wf.graph.task("join.0.merge");
+    EXPECT_EQ(join.dependencies.size(), 2u);
+
+    // Waves confirm the branches run in parallel.
+    auto waves = wf.graph.waves();
+    ASSERT_EQ(waves.size(), 3u);
+    EXPECT_EQ(waves[1].size(), 2u);
+}
+
+TEST(WorkflowParser, RejectsUnknownFunctionReference)
+{
+    EXPECT_THROW(parseServerlessWorkflowText(R"({
+        "id": "bad", "functions": [],
+        "states": [{"name": "s", "type": "operation",
+                    "actions": [{"functionRef": "ghost"}]}]
+    })"),
+                 std::invalid_argument);
+}
+
+TEST(WorkflowParser, RejectsUnknownTransitionTarget)
+{
+    EXPECT_THROW(parseServerlessWorkflowText(R"({
+        "id": "bad",
+        "functions": [{"name": "f", "operation": "x"}],
+        "states": [{"name": "s", "type": "operation",
+                    "actions": [{"functionRef": "f"}],
+                    "transition": "ghost"}]
+    })"),
+                 std::invalid_argument);
+}
+
+TEST(WorkflowParser, RejectsUnsupportedStateType)
+{
+    EXPECT_THROW(parseServerlessWorkflowText(R"({
+        "id": "bad",
+        "functions": [{"name": "f", "operation": "x"}],
+        "states": [{"name": "s", "type": "switch",
+                    "actions": [{"functionRef": "f"}]}]
+    })"),
+                 std::invalid_argument);
+}
+
+TEST(WorkflowParser, RejectsStructuralProblems)
+{
+    EXPECT_THROW(parseServerlessWorkflowText("[1,2,3]"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseServerlessWorkflowText(R"({"id": "x"})"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseServerlessWorkflowText(R"({
+        "id": "x", "states": [{"name": "s", "type": "operation"}]
+    })"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseServerlessWorkflowText(R"({
+        "id": "x",
+        "states": [{"name": "s", "type": "parallel", "branches": []}]
+    })"),
+                 std::invalid_argument);
+}
+
+TEST(WorkflowParser, DefaultsIdAndName)
+{
+    Workflow wf = parseServerlessWorkflowText(R"({
+        "functions": [{"name": "f", "operation": "x"}],
+        "states": [{"name": "s", "type": "operation",
+                    "actions": [{"functionRef": "f"}]}]
+    })");
+    EXPECT_EQ(wf.id, "workflow");
+    EXPECT_EQ(wf.name, "workflow");
+}
+
+TEST(WorkflowParser, CyclicTransitionsDetected)
+{
+    EXPECT_THROW(parseServerlessWorkflowText(R"({
+        "id": "loop",
+        "functions": [{"name": "f", "operation": "x"}],
+        "states": [
+            {"name": "a", "type": "operation",
+             "actions": [{"functionRef": "f"}], "transition": "b"},
+            {"name": "b", "type": "operation",
+             "actions": [{"functionRef": "f"}], "transition": "a"}
+        ]
+    })"),
+                 std::invalid_argument);
+}
+
+} // anonymous namespace

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * The `sharp` executable: a thin wrapper over sharp::cli::runCli,
+ * which holds all the (unit-tested) command logic.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return sharp::cli::runCli(args, std::cout, std::cerr);
+}
