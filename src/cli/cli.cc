@@ -96,20 +96,50 @@ commands:
       --max N                  sample cap (default 2000)
       --day D --seed S         environment controls
       --concurrency C          parallel instances per round
+      --jobs N                 execution-layer worker threads (default 1;
+                               recorded in metadata for reproduction)
       --out BASE               write BASE.csv + BASE.md
       --html FILE              write an HTML report
   reproduce FILE.md            re-run an experiment from its metadata
+  suite                        run the Rodinia grid on one machine
+      --machine ID --rule NAME --threshold X --max N --seed S
+      --jobs N                 run suite entries in parallel (results
+                               are identical for any N)
+  micro [PROBE]                list or run microbenchmark probes
+      --rule NAME --threshold X --max N --jobs N
   report FILE.csv              analyze a recorded run
       --metric NAME            column to analyze (default execution_time)
       --workload NAME          filter rows by workload
       --html FILE              write an HTML report
   compare A.csv B.csv          compare two recorded runs
       --metric NAME --html FILE
+  gate BASE.csv CAND.csv       regression gate between two runs
+      --slowdown X --ks X --alpha X [--larger-is-better]
   workflow SPEC.json           translate a serverless workflow
       --makefile FILE          write the Makefile
       --execute                run the DAG natively
   help                         this text
 )";
+
+/**
+ * Parse --jobs (>= 1). Returns false (and reports) on bad input;
+ * leaves @p jobs untouched when the flag is absent.
+ */
+bool
+parseJobs(const ParsedArgs &args, std::ostream &err, const char *cmd,
+          size_t &jobs)
+{
+    std::string value = args.get("jobs");
+    if (value.empty())
+        return true;
+    auto parsed = util::parseLong(value);
+    if (!parsed || *parsed < 1) {
+        err << cmd << ": --jobs must be an integer >= 1\n";
+        return false;
+    }
+    jobs = static_cast<size_t>(*parsed);
+    return true;
+}
 
 int
 cmdList(std::ostream &out)
@@ -152,6 +182,8 @@ cmdRun(const ParsedArgs &args, std::ostream &out, std::ostream &err)
     if (!config_path.empty()) {
         launcher::ReproSpec spec =
             launcher::ReproSpec::fromJson(json::parseFile(config_path));
+        if (!parseJobs(args, err, "run", spec.jobs))
+            return 2;
         launcher::Launcher l = launcher::makeLauncher(spec);
         launcher::LaunchReport result = l.launch();
         launcher::annotate(result.log, spec);
@@ -207,6 +239,8 @@ cmdRun(const ParsedArgs &args, std::ostream &out, std::ostream &err)
     spec.seed = static_cast<uint64_t>(parse_count("seed", 1));
     spec.concurrency =
         static_cast<size_t>(parse_count("concurrency", 1));
+    if (!parseJobs(args, err, "run", spec.jobs))
+        return 2;
     spec.experiment.ruleName = rule_name;
     spec.experiment.ruleParams = params;
     spec.experiment.options.maxSamples =
@@ -358,6 +392,8 @@ cmdMicro(const ParsedArgs &args, std::ostream &out, std::ostream &err)
     options.warmupRounds = 3;
     options.primaryMetric = "value";
     options.maxSamples = 500;
+    if (!parseJobs(args, err, "micro", options.jobs))
+        return 2;
     std::string max_flag = args.get("max");
     if (!max_flag.empty()) {
         auto parsed = util::parseLong(max_flag);
@@ -413,10 +449,13 @@ cmdSuite(const ParsedArgs &args, std::ostream &out, std::ostream &err)
         if (parsed && *parsed >= 0)
             config.seed = static_cast<uint64_t>(*parsed);
     }
+    size_t jobs = 1;
+    if (!parseJobs(args, err, "suite", jobs))
+        return 2;
     config.makeRule(); // validate eagerly
 
     auto entries = launcher::rodiniaSuite(machine);
-    auto suite = launcher::runSuite(entries, config);
+    auto suite = launcher::runSuite(entries, config, 0, jobs);
 
     util::TextTable table({"workload", "runs", "mean", "median",
                            "stopped by"});

@@ -38,6 +38,7 @@ Launcher::launch()
                               stoppingRule->describe());
     report.log.setConfigEntry("concurrency",
                               std::to_string(options.concurrency));
+    report.log.setConfigEntry("jobs", std::to_string(options.jobs));
     report.log.setConfigEntry("warmup_rounds",
                               std::to_string(options.warmupRounds));
     report.log.setConfigEntry("max_samples",

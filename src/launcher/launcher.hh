@@ -40,6 +40,12 @@ struct LaunchOptions
     size_t maxSamples = 10000;
     /** Concurrent instances per round. */
     size_t concurrency = 1;
+    /**
+     * Execution-layer worker threads (recorded in the log so
+     * reproductions replay with the same setting; sample values are
+     * independent of it by design).
+     */
+    size_t jobs = 1;
     /** Environment day passed to the backend. */
     int day = 0;
     /** Metric the stopping rule watches. */

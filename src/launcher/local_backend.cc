@@ -17,36 +17,64 @@ namespace sharp
 namespace launcher
 {
 
-ProcessOutcome
-runProcess(const std::vector<std::string> &argv, double timeout_seconds)
+namespace
 {
+
+/** How long we keep reading a killed child's pipe before giving up. */
+constexpr double drainWindowSeconds = 1.0;
+
+/** Per-child bookkeeping for the batch event loop. */
+struct ChildState
+{
+    pid_t pid = -1;
+    /** Read end of the output pipe; -1 once closed. */
+    int fd = -1;
+    /** Batch-clock reading at fork. */
+    double startSeconds = 0.0;
+    bool killed = false;
+    /** Absolute batch-clock drain deadline, valid once killed. */
+    double drainDeadline = 0.0;
+    bool reaped = false;
     ProcessOutcome outcome;
-    if (argv.empty()) {
-        outcome.error = "empty argv";
-        return outcome;
+};
+
+/** Fork one child with its own pipe and process group. */
+void
+spawnChild(const std::vector<std::string> &argv, ChildState &child,
+           const util::Stopwatch &clock)
+{
+    int fds[2];
+    if (pipe(fds) != 0) {
+        child.outcome.error = std::string("pipe: ") + std::strerror(errno);
+        child.reaped = true;
+        return;
     }
 
-    int pipe_fds[2];
-    if (pipe(pipe_fds) != 0) {
-        outcome.error = std::string("pipe: ") + std::strerror(errno);
-        return outcome;
-    }
-
-    util::Stopwatch watch;
+    child.startSeconds = clock.elapsedSeconds();
     pid_t pid = fork();
     if (pid < 0) {
-        outcome.error = std::string("fork: ") + std::strerror(errno);
-        close(pipe_fds[0]);
-        close(pipe_fds[1]);
-        return outcome;
+        child.outcome.error = std::string("fork: ") + std::strerror(errno);
+        close(fds[0]);
+        close(fds[1]);
+        child.reaped = true;
+        return;
     }
 
     if (pid == 0) {
-        // Child: merge stdout/stderr into the pipe and exec.
-        close(pipe_fds[0]);
-        dup2(pipe_fds[1], STDOUT_FILENO);
-        dup2(pipe_fds[1], STDERR_FILENO);
-        close(pipe_fds[1]);
+        // Child: own process group so a timeout kill reaches any
+        // grandchildren holding the pipe's write end.
+        setpgid(0, 0);
+        close(fds[0]);
+        if (dup2(fds[1], STDOUT_FILENO) < 0 ||
+            dup2(fds[1], STDERR_FILENO) < 0) {
+            std::string msg = "dup2 failed: ";
+            msg += std::strerror(errno);
+            msg += "\n";
+            ssize_t ignored = write(fds[1], msg.c_str(), msg.size());
+            (void)ignored;
+            _exit(126);
+        }
+        close(fds[1]);
 
         std::vector<char *> cargv;
         cargv.reserve(argv.size() + 1);
@@ -63,61 +91,175 @@ runProcess(const std::vector<std::string> &argv, double timeout_seconds)
         _exit(127);
     }
 
-    // Parent: read output with a poll-based timeout.
-    close(pipe_fds[1]);
-    outcome.started = true;
+    // Parent: mirror the child's setpgid so the group exists before
+    // any kill(-pid), whichever side runs first.
+    setpgid(pid, pid);
+    close(fds[1]);
+    child.pid = pid;
+    child.fd = fds[0];
+    child.outcome.started = true;
+}
+
+void
+killGroup(pid_t pid)
+{
+    if (kill(-pid, SIGKILL) != 0)
+        kill(pid, SIGKILL); // group already gone; at least hit the child
+}
+
+} // anonymous namespace
+
+std::vector<ProcessOutcome>
+runProcessBatch(const std::vector<std::string> &argv, size_t n,
+                double timeout_seconds)
+{
+    std::vector<ProcessOutcome> outcomes(n);
+    if (n == 0)
+        return outcomes;
+    if (argv.empty()) {
+        for (auto &outcome : outcomes)
+            outcome.error = "empty argv";
+        return outcomes;
+    }
+
+    util::Stopwatch clock;
+    std::vector<ChildState> children(n);
+    for (auto &child : children)
+        spawnChild(argv, child, clock);
 
     const int chunk = 4096;
     char buf[chunk];
-    bool child_killed = false;
+    std::vector<struct pollfd> pfds;
+    std::vector<size_t> pfd_owner; // pfds[k] belongs to children[pfd_owner[k]]
+
     while (true) {
-        double remaining_ms = -1.0;
-        if (timeout_seconds > 0.0) {
-            remaining_ms =
-                (timeout_seconds - watch.elapsedSeconds()) * 1000.0;
-            if (remaining_ms <= 0.0 && !child_killed) {
-                kill(pid, SIGKILL);
-                child_killed = true;
-                outcome.timedOut = true;
-                remaining_ms = 1000.0; // drain whatever remains
+        double now = clock.elapsedSeconds();
+
+        // Enforce timeouts, expire drain windows, reap exited children.
+        bool pending_reap = false;
+        bool all_done = true;
+        for (auto &child : children) {
+            if (child.pid < 0)
+                continue; // never started
+            if (!child.reaped && !child.killed && timeout_seconds > 0.0 &&
+                now - child.startSeconds >= timeout_seconds) {
+                killGroup(child.pid);
+                child.killed = true;
+                child.outcome.timedOut = true;
+                child.drainDeadline = now + drainWindowSeconds;
             }
+            // Once the child is killed the drain window is an absolute
+            // deadline: stop reading even if some escaped descendant
+            // still holds the write end open.
+            if (child.killed && child.fd >= 0 &&
+                now >= child.drainDeadline) {
+                close(child.fd);
+                child.fd = -1;
+            }
+            if (child.fd < 0 && !child.reaped) {
+                int status = 0;
+                pid_t got = waitpid(child.pid, &status, WNOHANG);
+                if (got == child.pid) {
+                    child.outcome.wallSeconds =
+                        clock.elapsedSeconds() - child.startSeconds;
+                    if (WIFEXITED(status))
+                        child.outcome.exitStatus = WEXITSTATUS(status);
+                    else if (WIFSIGNALED(status))
+                        child.outcome.exitStatus = 128 + WTERMSIG(status);
+                    child.reaped = true;
+                } else if (got < 0 && errno != EINTR) {
+                    child.outcome.error =
+                        std::string("waitpid: ") + std::strerror(errno);
+                    child.reaped = true;
+                } else {
+                    pending_reap = true;
+                }
+            }
+            if (child.fd >= 0 || !child.reaped)
+                all_done = false;
+        }
+        if (all_done)
+            break;
+
+        // Wait until the next per-child deadline or pipe activity.
+        double wait_seconds = -1.0; // infinite
+        auto tighten = [&](double candidate) {
+            if (candidate < 0.0)
+                candidate = 0.0;
+            if (wait_seconds < 0.0 || candidate < wait_seconds)
+                wait_seconds = candidate;
+        };
+        for (const auto &child : children) {
+            if (child.fd < 0)
+                continue;
+            if (child.killed)
+                tighten(child.drainDeadline - now);
+            else if (timeout_seconds > 0.0)
+                tighten(child.startSeconds + timeout_seconds - now);
+        }
+        if (pending_reap)
+            tighten(0.02); // poll for exits we cannot select on
+
+        pfds.clear();
+        pfd_owner.clear();
+        for (size_t i = 0; i < children.size(); ++i) {
+            if (children[i].fd < 0)
+                continue;
+            pfds.push_back({children[i].fd, POLLIN, 0});
+            pfd_owner.push_back(i);
         }
 
-        struct pollfd pfd = {pipe_fds[0], POLLIN, 0};
-        int rc = poll(&pfd, 1,
-                      remaining_ms < 0.0
+        int poll_ms = wait_seconds < 0.0
                           ? -1
-                          : static_cast<int>(remaining_ms) + 1);
+                          : static_cast<int>(wait_seconds * 1000.0) + 1;
+        int rc = poll(pfds.empty() ? nullptr : pfds.data(),
+                      static_cast<nfds_t>(pfds.size()), poll_ms);
         if (rc < 0) {
             if (errno == EINTR)
                 continue;
-            outcome.error = std::string("poll: ") + std::strerror(errno);
-            break;
+            // Unrecoverable; fail every child still being serviced.
+            std::string error =
+                std::string("poll: ") + std::strerror(errno);
+            for (auto &child : children) {
+                if (child.fd >= 0) {
+                    child.outcome.error = error;
+                    close(child.fd);
+                    child.fd = -1;
+                }
+            }
+            continue; // still reap whatever exits
         }
-        if (rc == 0)
-            continue; // timeout path handled above on next iteration
-        ssize_t got = read(pipe_fds[0], buf, chunk);
-        if (got < 0) {
-            if (errno == EINTR)
-                continue;
-            outcome.error = std::string("read: ") + std::strerror(errno);
-            break;
-        }
-        if (got == 0)
-            break; // EOF: child closed its end
-        outcome.output.append(buf, static_cast<size_t>(got));
-    }
-    close(pipe_fds[0]);
 
-    int status = 0;
-    while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+        for (size_t k = 0; k < pfds.size(); ++k) {
+            if (pfds[k].revents == 0)
+                continue;
+            ChildState &child = children[pfd_owner[k]];
+            ssize_t got = read(child.fd, buf, chunk);
+            if (got > 0) {
+                child.outcome.output.append(buf,
+                                            static_cast<size_t>(got));
+                continue;
+            }
+            if (got < 0 && errno == EINTR)
+                continue;
+            if (got < 0)
+                child.outcome.error =
+                    std::string("read: ") + std::strerror(errno);
+            // EOF or read error: stop servicing this pipe.
+            close(child.fd);
+            child.fd = -1;
+        }
     }
-    outcome.wallSeconds = watch.elapsedSeconds();
-    if (WIFEXITED(status))
-        outcome.exitStatus = WEXITSTATUS(status);
-    else if (WIFSIGNALED(status))
-        outcome.exitStatus = 128 + WTERMSIG(status);
-    return outcome;
+
+    for (size_t i = 0; i < n; ++i)
+        outcomes[i] = std::move(children[i].outcome);
+    return outcomes;
+}
+
+ProcessOutcome
+runProcess(const std::vector<std::string> &argv, double timeout_seconds)
+{
+    return std::move(runProcessBatch(argv, 1, timeout_seconds).front());
 }
 
 LocalProcessBackend::LocalProcessBackend(std::vector<std::string> argv_in)
@@ -138,10 +280,8 @@ LocalProcessBackend::LocalProcessBackend(std::vector<std::string> argv_in,
 }
 
 RunResult
-LocalProcessBackend::run()
+LocalProcessBackend::resultFromOutcome(const ProcessOutcome &outcome) const
 {
-    ProcessOutcome outcome = runProcess(argv, options.timeoutSeconds);
-
     RunResult result;
     result.output = outcome.output;
     result.machineId = "localhost";
@@ -175,6 +315,25 @@ LocalProcessBackend::run()
         result.metrics[spec.name] = *value;
     }
     return result;
+}
+
+RunResult
+LocalProcessBackend::run()
+{
+    ProcessOutcome outcome = runProcess(argv, options.timeoutSeconds);
+    return resultFromOutcome(outcome);
+}
+
+std::vector<RunResult>
+LocalProcessBackend::runBatch(size_t n)
+{
+    std::vector<ProcessOutcome> outcomes =
+        runProcessBatch(argv, n, options.timeoutSeconds);
+    std::vector<RunResult> results;
+    results.reserve(outcomes.size());
+    for (const auto &outcome : outcomes)
+        results.push_back(resultFromOutcome(outcome));
+    return results;
 }
 
 } // namespace launcher

@@ -24,6 +24,7 @@ ReproSpec::launchOptions() const
     options.minSamples = experiment.options.minSamples;
     options.maxSamples = experiment.options.maxSamples;
     options.concurrency = concurrency;
+    options.jobs = jobs;
     options.day = day;
     return options;
 }
@@ -49,11 +50,15 @@ ReproSpec::fromJson(const json::Value &doc)
     long day = doc.getLong("day", 0);
     long seed = doc.getLong("seed", 1);
     long concurrency = doc.getLong("concurrency", 1);
+    long jobs = doc.getLong("jobs", 1);
     if (seed < 0 || concurrency < 1)
         throw std::invalid_argument("invalid seed or concurrency");
+    if (jobs < 1)
+        throw std::invalid_argument("invalid jobs (must be >= 1)");
     spec.day = static_cast<int>(day);
     spec.seed = static_cast<uint64_t>(seed);
     spec.concurrency = static_cast<size_t>(concurrency);
+    spec.jobs = static_cast<size_t>(jobs);
 
     if (const json::Value *experiment = doc.find("experiment"))
         spec.experiment = core::ExperimentConfig::fromJson(*experiment);
@@ -74,6 +79,7 @@ ReproSpec::toJson() const
     doc.set("day", day);
     doc.set("seed", static_cast<double>(seed));
     doc.set("concurrency", concurrency);
+    doc.set("jobs", jobs);
     doc.set("experiment", experiment.toJson());
     return doc;
 }
@@ -89,6 +95,7 @@ annotate(record::RunLog &log, const ReproSpec &spec)
     log.setConfigEntry("repro_seed", std::to_string(spec.seed));
     log.setConfigEntry("repro_concurrency",
                        std::to_string(spec.concurrency));
+    log.setConfigEntry("repro_jobs", std::to_string(spec.jobs));
     log.setConfigEntry("repro_experiment",
                        json::write(spec.experiment.toJson()));
 }
@@ -124,6 +131,13 @@ reproSpecFromMetadata(const record::MetadataDocument &doc)
     spec.day = static_cast<int>(*day);
     spec.seed = static_cast<uint64_t>(*seed);
     spec.concurrency = static_cast<size_t>(*concurrency);
+    // Optional for metadata recorded before the parallel layer.
+    if (auto jobs_entry = doc.get(sec, "repro_jobs")) {
+        auto jobs = util::parseLong(*jobs_entry);
+        if (!jobs || *jobs < 1)
+            throw std::invalid_argument("malformed repro_jobs entry");
+        spec.jobs = static_cast<size_t>(*jobs);
+    }
     spec.experiment = core::ExperimentConfig::fromJson(
         json::parse(require("repro_experiment")));
     return spec;

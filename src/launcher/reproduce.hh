@@ -48,6 +48,12 @@ struct ReproSpec
     uint64_t seed = 1;
     /** Parallel requests per round. */
     size_t concurrency = 1;
+    /**
+     * Worker threads the execution layer may use (suite entries,
+     * batch servicing). Never changes measured values — recorded so a
+     * reproduction replays with the same parallelism.
+     */
+    size_t jobs = 1;
     /** Stopping rule + sampling bounds. */
     core::ExperimentConfig experiment;
 

@@ -5,6 +5,7 @@
 #include "launcher/launcher.hh"
 #include "sim/machine.hh"
 #include "sim/rodinia.hh"
+#include "util/thread_pool.hh"
 
 namespace sharp
 {
@@ -23,19 +24,26 @@ SuiteReport::savedVersusFixed(size_t fixedRuns) const
 
 SuiteReport
 runSuite(const std::vector<SuiteEntry> &entries,
-         const core::ExperimentConfig &config, int day)
+         const core::ExperimentConfig &config, int day, size_t jobs)
 {
     SuiteReport report;
-    for (const auto &entry : entries) {
+    report.outcomes.resize(entries.size());
+
+    // Each entry owns its backend and stopping rule, built from the
+    // same spec the serial path used, so entries are independent and
+    // the per-entry samples do not depend on jobs. Writing to slot i
+    // keeps the report ordering deterministic under any scheduling.
+    util::parallelFor(jobs, entries.size(), [&](size_t i) {
         SuiteOutcome outcome;
-        outcome.entry = entry;
+        outcome.entry = entries[i];
         try {
             ReproSpec spec;
             spec.backendKind = "sim";
-            spec.workload = entry.workload;
-            spec.machines = {entry.machine};
+            spec.workload = entries[i].workload;
+            spec.machines = {entries[i].machine};
             spec.day = day;
             spec.seed = config.seed;
+            spec.jobs = jobs;
             spec.experiment = config;
 
             Launcher launcher = makeLauncher(spec);
@@ -43,13 +51,18 @@ runSuite(const std::vector<SuiteEntry> &entries,
             outcome.series = std::move(launch.series);
             outcome.ruleFired = launch.ruleFired;
             outcome.stopReason = launch.finalDecision.reason;
-            report.totalRuns += outcome.series.size();
         } catch (const std::exception &ex) {
             outcome.failed = true;
             outcome.error = ex.what();
-            ++report.failures;
         }
-        report.outcomes.push_back(std::move(outcome));
+        report.outcomes[i] = std::move(outcome);
+    });
+
+    for (const auto &outcome : report.outcomes) {
+        if (outcome.failed)
+            ++report.failures;
+        else
+            report.totalRuns += outcome.series.size();
     }
     return report;
 }

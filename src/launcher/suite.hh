@@ -66,12 +66,19 @@ struct SuiteReport
  * a GPU-less machine) are recorded as failed outcomes rather than
  * aborting the suite.
  *
+ * Independent entries run on a thread pool of @p jobs workers. Each
+ * entry builds its own backend from the same deterministic seed, and
+ * every outcome lands at its entry's index regardless of completion
+ * order, so the report is byte-identical for any jobs value.
+ *
  * @param entries   the suite
  * @param config    stopping rule + sampling bounds (+ seed)
  * @param day       environment day for every entry
+ * @param jobs      concurrent entries (1 = serial, the default)
  */
 SuiteReport runSuite(const std::vector<SuiteEntry> &entries,
-                     const core::ExperimentConfig &config, int day = 0);
+                     const core::ExperimentConfig &config, int day = 0,
+                     size_t jobs = 1);
 
 /** The full 20-benchmark Rodinia suite on one machine. */
 std::vector<SuiteEntry> rodiniaSuite(const std::string &machine);

@@ -56,6 +56,24 @@ MetadataDocument::set(const std::string &section, const std::string &key,
     set(section, key, util::formatDouble(value, 10));
 }
 
+bool
+MetadataDocument::remove(const std::string &section,
+                         const std::string &key)
+{
+    for (auto &sec : sectionList) {
+        if (sec.name != section)
+            continue;
+        for (auto it = sec.entries.begin(); it != sec.entries.end();
+             ++it) {
+            if (it->first == key) {
+                sec.entries.erase(it);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
 std::optional<std::string>
 MetadataDocument::get(const std::string &section,
                       const std::string &key) const

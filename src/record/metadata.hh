@@ -59,6 +59,13 @@ class MetadataDocument
     void set(const std::string &section, const std::string &key,
              double value);
 
+    /**
+     * Drop @p key from @p section; returns true when an entry was
+     * removed. Useful for emulating documents written by older
+     * versions that lacked the key.
+     */
+    bool remove(const std::string &section, const std::string &key);
+
     /** Lookup; nullopt when the section or key is missing. */
     std::optional<std::string> get(const std::string &section,
                                    const std::string &key) const;

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "util/string_utils.hh"
+#include "util/thread_pool.hh"
 
 namespace sharp
 {
@@ -21,6 +22,7 @@ SystemInfo::addToMetadata(MetadataDocument &doc) const
     doc.set(sec, "kernel", kernel);
     doc.set(sec, "cpu_model", cpuModel);
     doc.set(sec, "cpu_cores", std::to_string(cpuCores));
+    doc.set(sec, "cpu_threads", std::to_string(cpuThreads));
     doc.set(sec, "memory_mib", std::to_string(memoryMib));
     doc.set(sec, "gpu_model", gpuModel.empty() ? "none" : gpuModel);
     doc.set(sec, "simulated", simulated ? "true" : "false");
@@ -37,6 +39,8 @@ SystemInfo::fromMetadata(const MetadataDocument &doc)
     info.cpuModel = doc.get(sec, "cpu_model").value_or("");
     if (auto cores = doc.getNumber(sec, "cpu_cores"))
         info.cpuCores = static_cast<int>(*cores);
+    if (auto threads = doc.getNumber(sec, "cpu_threads"))
+        info.cpuThreads = static_cast<int>(*threads);
     if (auto mem = doc.getNumber(sec, "memory_mib"))
         info.memoryMib = static_cast<long>(*mem);
     std::string gpu = doc.get(sec, "gpu_model").value_or("none");
@@ -74,6 +78,8 @@ captureHostInfo()
         }
     }
     info.cpuCores = cores;
+    info.cpuThreads =
+        static_cast<int>(util::ThreadPool::hardwareThreads());
 
     std::ifstream meminfo("/proc/meminfo");
     while (std::getline(meminfo, line)) {
@@ -98,6 +104,7 @@ describeSimulatedMachine(const sim::MachineSpec &machine)
     info.kernel = "5.15.0-116-generic";
     info.cpuModel = machine.cpu;
     info.cpuCores = machine.cores;
+    info.cpuThreads = machine.cores;
     info.memoryMib = static_cast<long>(machine.ramGib) * 1024;
     if (machine.hasGpu())
         info.gpuModel = machine.gpu->name;

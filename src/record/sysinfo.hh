@@ -30,6 +30,8 @@ struct SystemInfo
     std::string kernel;
     std::string cpuModel;
     int cpuCores = 0;
+    /** Hardware threads available to the parallel execution layer. */
+    int cpuThreads = 0;
     long memoryMib = 0;
     std::string gpuModel; // empty when none
 

@@ -91,9 +91,13 @@ medianCi(std::vector<double> x, double level)
     std::sort(x.begin(), x.end());
     size_t n = x.size();
     if (n < 6) {
-        // Too small for a meaningful order-statistic interval; report
-        // the sample range (conservative).
-        return {x.front(), x.back(), level};
+        // Too small for a meaningful order-statistic interval at the
+        // requested level; report the sample range labelled with its
+        // *actual* binomial coverage, P(X_(1) <= median <= X_(n)) =
+        // 1 - 2 * (1/2)^n, rather than overstating it as `level`.
+        double coverage =
+            1.0 - std::pow(0.5, static_cast<double>(n) - 1.0);
+        return {x.front(), x.back(), coverage};
     }
 
     // Find the symmetric order-statistic pair (k, n+1-k) with coverage

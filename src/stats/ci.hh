@@ -53,7 +53,10 @@ ConfidenceInterval meanCiRightTailed(const std::vector<double> &x,
 /**
  * Distribution-free CI on the median from binomial order statistics
  * (conservative: the smallest order-statistic interval with coverage
- * >= level). Requires n >= 6 for a non-degenerate interval.
+ * >= level). For n < 6 no symmetric pair reaches typical levels, so
+ * the sample range is returned with `level` set to its actual
+ * binomial coverage 1 - 2^(1-n) (e.g. 0.75 at n = 3) instead of the
+ * requested level.
  */
 ConfidenceInterval medianCi(std::vector<double> x, double level);
 

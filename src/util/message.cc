@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace sharp
 {
@@ -11,6 +12,9 @@ namespace util
 namespace
 {
 
+// warn()/inform() may fire from pool workers (parallel suite runs);
+// the sink and the streams are shared, so emission is serialized.
+std::mutex emitMutex;
 std::string *captureSink = nullptr;
 
 std::string
@@ -30,6 +34,7 @@ vformat(const char *fmt, va_list ap)
 void
 emit(const char *prefix, const std::string &msg, FILE *stream)
 {
+    std::lock_guard<std::mutex> lock(emitMutex);
     if (captureSink) {
         captureSink->append(prefix);
         captureSink->append(msg);
@@ -86,6 +91,7 @@ inform(const char *fmt, ...)
 void
 setMessageCapture(std::string *sink)
 {
+    std::lock_guard<std::mutex> lock(emitMutex);
     captureSink = sink;
 }
 

@@ -15,6 +15,7 @@
 #include "json/parser.hh"
 #include "sim/machine.hh"
 #include "sim/rodinia.hh"
+#include "util/time_utils.hh"
 
 namespace
 {
@@ -183,6 +184,89 @@ TEST(LocalBackend, TimeoutKillsRunaway)
 TEST(LocalBackend, RejectsEmptyCommand)
 {
     EXPECT_THROW(LocalProcessBackend({}), std::invalid_argument);
+}
+
+// Regression test for the timeout-drain hang: a backgrounded
+// grandchild inherits the pipe's write end and keeps writing, so EOF
+// never arrives on its own. The timeout kill must reach the whole
+// process group and the drain window must be a bounded deadline, not
+// an unbounded poll.
+TEST(LocalBackend, GrandchildHoldingPipeDoesNotHangTimeout)
+{
+    sharp::util::Stopwatch watch;
+    ProcessOutcome outcome = runProcess(
+        {"/bin/sh", "-c",
+         "(while true; do echo tick; sleep 0.05; done) & sleep 30"},
+        0.5);
+    double elapsed = watch.elapsedSeconds();
+    EXPECT_TRUE(outcome.timedOut);
+    // Bounded: ~timeout + drain window at worst, far below the 30 s
+    // the command would otherwise take (and below forever, which the
+    // unbounded poll produced).
+    EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(LocalBackend, BatchForksChildrenConcurrently)
+{
+    LocalProcessBackend backend({"/bin/sh", "-c", "sleep 0.2"});
+    sharp::util::Stopwatch watch;
+    auto results = backend.runBatch(8);
+    double elapsed = watch.elapsedSeconds();
+    ASSERT_EQ(results.size(), 8u);
+    for (const auto &res : results) {
+        ASSERT_TRUE(res.success) << res.error;
+        EXPECT_GE(res.metric("execution_time"), 0.15);
+    }
+    // Serial execution would take ~1.6 s; genuine overlap keeps the
+    // batch well under half of that even on a loaded CI machine.
+    EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(LocalBackend, BatchEnforcesPerChildTimeout)
+{
+    LocalProcessBackend::Options opts;
+    opts.timeoutSeconds = 0.3;
+    LocalProcessBackend backend({"/bin/sh", "-c", "sleep 5"}, opts);
+    sharp::util::Stopwatch watch;
+    auto results = backend.runBatch(4);
+    EXPECT_LT(watch.elapsedSeconds(), 2.0);
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto &res : results) {
+        EXPECT_FALSE(res.success);
+        EXPECT_NE(res.error.find("timed out"), std::string::npos);
+    }
+}
+
+TEST(LocalBackend, BatchCapturesPerChildOutput)
+{
+    LocalProcessBackend backend({"/bin/sh", "-c", "echo out-$$"});
+    auto results = backend.runBatch(3);
+    ASSERT_EQ(results.size(), 3u);
+    for (const auto &res : results) {
+        ASSERT_TRUE(res.success) << res.error;
+        EXPECT_NE(res.output.find("out-"), std::string::npos);
+    }
+    // Each child wrote to its own pipe: outputs are not interleaved,
+    // and distinct PIDs prove they were distinct processes.
+    EXPECT_NE(results[0].output, results[1].output);
+}
+
+TEST(RunProcessBatch, ZeroAndFailureCases)
+{
+    EXPECT_TRUE(runProcessBatch({"/bin/true"}, 0, 1.0).empty());
+
+    auto empty = runProcessBatch({}, 2, 1.0);
+    ASSERT_EQ(empty.size(), 2u);
+    EXPECT_FALSE(empty[0].started);
+
+    auto missing = runProcessBatch({"/no/such/binary-xyz"}, 2, 5.0);
+    ASSERT_EQ(missing.size(), 2u);
+    for (const auto &outcome : missing) {
+        EXPECT_TRUE(outcome.started);
+        EXPECT_EQ(outcome.exitStatus, 127);
+        EXPECT_NE(outcome.output.find("execvp failed"),
+                  std::string::npos);
+    }
 }
 
 TEST(MetricSpec, FromJsonWallTime)

@@ -112,6 +112,22 @@ TEST(MedianCi, TinySampleFallsBackToRange)
     ConfidenceInterval ci = medianCi(xs, 0.95);
     EXPECT_DOUBLE_EQ(ci.lower, 1.0);
     EXPECT_DOUBLE_EQ(ci.upper, 3.0);
+    // The (min, max) pair of n=3 only covers the median with
+    // probability 1 - 2^(1-3) = 0.75; the interval must report that
+    // actual coverage, not the requested 0.95.
+    EXPECT_DOUBLE_EQ(ci.level, 0.75);
+}
+
+TEST(MedianCi, TinySampleCoverageGrowsWithN)
+{
+    EXPECT_DOUBLE_EQ(medianCi({1.0, 2.0}, 0.95).level, 0.5);
+    EXPECT_DOUBLE_EQ(medianCi({1.0, 2.0, 3.0, 4.0}, 0.95).level, 0.875);
+    EXPECT_DOUBLE_EQ(medianCi({1.0, 2.0, 3.0, 4.0, 5.0}, 0.95).level,
+                     0.9375);
+    // From n = 6 on the order-statistic search applies and the label
+    // is the requested level again.
+    EXPECT_DOUBLE_EQ(
+        medianCi({1.0, 2.0, 3.0, 4.0, 5.0, 6.0}, 0.95).level, 0.95);
 }
 
 TEST(GeometricMeanCi, BackTransformsLogInterval)

@@ -240,6 +240,31 @@ TEST(Cli, SuiteRunsTheRegistry)
               std::string::npos);
 }
 
+TEST(Cli, SuiteJobsOutputIsIdenticalToSerial)
+{
+    std::vector<std::string> base = {"suite", "--machine", "machine2",
+                                     "--max", "300", "--seed", "4"};
+    CliResult serial = run(base);
+    std::vector<std::string> parallel_args = base;
+    parallel_args.push_back("--jobs");
+    parallel_args.push_back("4");
+    CliResult parallel = run(parallel_args);
+    EXPECT_EQ(parallel.status, 0) << parallel.err;
+    // The rendered table (order, values, totals) must not depend on
+    // the worker count.
+    EXPECT_EQ(parallel.out, serial.out);
+}
+
+TEST(Cli, JobsFlagRejectsBadValues)
+{
+    CliResult result = run({"suite", "--jobs", "0"});
+    EXPECT_EQ(result.status, 2);
+    EXPECT_NE(result.err.find("--jobs"), std::string::npos);
+    CliResult word = run(
+        {"run", "--workload", "bfs", "--jobs", "many"});
+    EXPECT_EQ(word.status, 2);
+}
+
 TEST(Cli, RunFromJsonConfig)
 {
     fs::path config = fs::temp_directory_path() / "sharp_cli_cfg.json";

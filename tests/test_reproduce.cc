@@ -33,6 +33,7 @@ hotspotSpec()
     spec.day = 2;
     spec.seed = 1234;
     spec.concurrency = 1;
+    spec.jobs = 4;
     spec.experiment.ruleName = "ks";
     spec.experiment.ruleParams = {{"threshold", 0.1}, {"min", 20}};
     spec.experiment.options.maxSamples = 1500;
@@ -52,10 +53,23 @@ TEST(Reproduce, SpecRoundTripsThroughMetadata)
     EXPECT_EQ(again.day, spec.day);
     EXPECT_EQ(again.seed, spec.seed);
     EXPECT_EQ(again.concurrency, spec.concurrency);
+    EXPECT_EQ(again.jobs, spec.jobs);
     EXPECT_EQ(again.experiment.ruleName, spec.experiment.ruleName);
     EXPECT_EQ(again.experiment.ruleParams, spec.experiment.ruleParams);
     EXPECT_EQ(again.experiment.options.maxSamples,
               spec.experiment.options.maxSamples);
+}
+
+TEST(Reproduce, MetadataWithoutJobsDefaultsToSerial)
+{
+    // Metadata recorded before the parallel layer lacks repro_jobs;
+    // such documents must still reproduce (with jobs = 1).
+    record::RunLog log("hotspot");
+    launcher::annotate(log, hotspotSpec());
+    record::MetadataDocument doc = log.toMetadata();
+    doc.remove("Configuration", "repro_jobs");
+    ReproSpec spec = launcher::reproSpecFromMetadata(doc);
+    EXPECT_EQ(spec.jobs, 1u);
 }
 
 TEST(Reproduce, SimulatedReproductionIsBitExact)

@@ -77,6 +77,51 @@ TEST(SuiteRunner, RodiniaSuiteRespectsGpuAvailability)
     EXPECT_THROW(launcher::rodiniaSuite("machine9"), std::out_of_range);
 }
 
+// The paper-level guarantee of the parallel layer: jobs only changes
+// wall-clock, never results. Run the full Rodinia sim grid serially
+// and with a 4-wide pool and require byte-identical outcomes at
+// identical indices.
+TEST(SuiteRunner, ParallelSuiteMatchesSerialExactly)
+{
+    auto entries = launcher::rodiniaSuite("machine1");
+    auto config = ksConfig(400);
+    auto serial = launcher::runSuite(entries, config, 0, 1);
+    auto parallel = launcher::runSuite(entries, config, 0, 4);
+
+    ASSERT_EQ(parallel.outcomes.size(), serial.outcomes.size());
+    EXPECT_EQ(parallel.totalRuns, serial.totalRuns);
+    EXPECT_EQ(parallel.failures, serial.failures);
+    for (size_t i = 0; i < serial.outcomes.size(); ++i) {
+        const auto &a = serial.outcomes[i];
+        const auto &b = parallel.outcomes[i];
+        EXPECT_EQ(b.entry.workload, a.entry.workload);
+        EXPECT_EQ(b.failed, a.failed);
+        EXPECT_EQ(b.ruleFired, a.ruleFired);
+        EXPECT_EQ(b.stopReason, a.stopReason);
+        ASSERT_EQ(b.series.size(), a.series.size())
+            << a.entry.workload;
+        for (size_t j = 0; j < a.series.size(); ++j)
+            EXPECT_DOUBLE_EQ(b.series[j], a.series[j])
+                << a.entry.workload << " sample " << j;
+    }
+}
+
+TEST(SuiteRunner, ParallelSuiteRecordsFailedEntriesInPlace)
+{
+    std::vector<SuiteEntry> entries = {
+        {"bfs", "machine1"},
+        {"linpack", "machine1"},   // unknown workload
+        {"bfs-CUDA", "machine2"},  // no GPU on machine2
+        {"lud", "machine1"}};
+    auto report = launcher::runSuite(entries, ksConfig(), 0, 4);
+    ASSERT_EQ(report.outcomes.size(), 4u);
+    EXPECT_EQ(report.failures, 2u);
+    EXPECT_FALSE(report.outcomes[0].failed);
+    EXPECT_TRUE(report.outcomes[1].failed);
+    EXPECT_TRUE(report.outcomes[2].failed);
+    EXPECT_FALSE(report.outcomes[3].failed);
+}
+
 TEST(SuiteRunner, DeterministicAcrossRuns)
 {
     std::vector<SuiteEntry> entries = {{"hotspot", "machine1"}};

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the util thread pool and parallelFor, the foundation of
+ * the parallel execution layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using sharp::util::ThreadPool;
+using sharp::util::parallelFor;
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit([&] { ++count; }));
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    pool.submit([] {}).get();
+}
+
+TEST(ThreadPool, TaskExceptionDeliveredThroughFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        [] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+    // The worker survives a throwing task.
+    pool.submit([] {}).get();
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i) {
+            pool.submit([&] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                ++count;
+            });
+        }
+    } // join without collecting futures
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ParallelFor, ResultsLandAtTheirIndex)
+{
+    std::vector<size_t> out(100, 0);
+    parallelFor(8, out.size(), [&](size_t i) { out[i] = i * i; });
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelFor, SerialAndParallelAgree)
+{
+    auto fill = [](size_t jobs) {
+        std::vector<int> out(257, 0);
+        parallelFor(jobs, out.size(),
+                    [&](size_t i) { out[i] = static_cast<int>(3 * i); });
+        return out;
+    };
+    EXPECT_EQ(fill(1), fill(6));
+}
+
+TEST(ParallelFor, ActuallyRunsConcurrently)
+{
+    // 8 sleeps of 50 ms on 8 workers should take ~50 ms, not 400 ms.
+    auto start = std::chrono::steady_clock::now();
+    parallelFor(8, 8, [](size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    });
+    auto elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    EXPECT_LT(elapsed, 0.3);
+}
+
+TEST(ParallelFor, FirstExceptionByIndexPropagates)
+{
+    std::atomic<int> ran{0};
+    try {
+        parallelFor(4, 16, [&](size_t i) {
+            ++ran;
+            if (i % 2 == 1)
+                throw std::runtime_error("odd " + std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &ex) {
+        EXPECT_STREQ(ex.what(), "odd 1");
+    }
+    // Remaining indices still executed before the rethrow.
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingleRanges)
+{
+    int calls = 0;
+    parallelFor(4, 0, [&](size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(4, 1, [&](size_t i) { calls += static_cast<int>(i) + 1; });
+    EXPECT_EQ(calls, 1);
+}
+
+} // anonymous namespace
