@@ -1,0 +1,129 @@
+#include "calibrate/baseline.hh"
+
+#include <stdexcept>
+
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace calibrate
+{
+
+namespace
+{
+
+/** Fetch a required object member or fail with a clear message. */
+const json::Value &
+require(const json::Value &doc, const std::string &key,
+        const char *context)
+{
+    const json::Value *found = doc.isObject() ? doc.find(key) : nullptr;
+    if (!found) {
+        throw std::runtime_error(std::string(context) +
+                                 " is missing required member '" + key +
+                                 "'");
+    }
+    return *found;
+}
+
+void
+checkUpperBound(GateReport &report, const std::string &where,
+                const std::string &what, double baseline, double current,
+                double limit)
+{
+    if (current <= limit)
+        return;
+    report.pass = false;
+    report.violations.push_back({where, what, baseline, current, limit});
+}
+
+} // anonymous namespace
+
+std::string
+GateViolation::render() const
+{
+    return where + ": " + what + " " + util::formatDouble(current, 4) +
+           " vs limit " + util::formatDouble(limit, 4) + " (baseline " +
+           util::formatDouble(baseline, 4) + ")";
+}
+
+std::string
+GateReport::render() const
+{
+    std::string out = pass ? "CALIBRATION GATE: PASS" :
+                             "CALIBRATION GATE: FAIL";
+    out += " (" + std::to_string(comparisons) + " entries compared, " +
+           std::to_string(violations.size()) + " violations)\n";
+    for (const auto &violation : violations)
+        out += "  " + violation.render() + "\n";
+    return out;
+}
+
+GateReport
+compareToBaseline(const json::Value &baseline, const json::Value &current,
+                  const GateTolerances &tolerances)
+{
+    const json::Value &base_rules = require(baseline, "rules", "baseline");
+    const json::Value &cur_rules = require(current, "rules", "current");
+
+    GateReport report;
+    for (const auto &[rule, base_dists] : base_rules.members()) {
+        const json::Value *cur_dists = cur_rules.find(rule);
+        for (const auto &[dist, base_entry] : base_dists.members()) {
+            std::string where = rule + "/" + dist;
+            double base_samples =
+                base_entry.getNumber("median_samples", 0.0);
+            double base_ks = base_entry.getNumber("median_ks", 0.0);
+            const json::Value *cur_entry =
+                cur_dists ? cur_dists->find(dist) : nullptr;
+            if (!cur_entry) {
+                report.pass = false;
+                report.violations.push_back(
+                    {where, "missing entry", base_samples, 0.0, 0.0});
+                continue;
+            }
+            ++report.comparisons;
+            checkUpperBound(
+                report, where, "median_samples", base_samples,
+                cur_entry->getNumber("median_samples", 0.0),
+                base_samples * tolerances.samplesRatio +
+                    tolerances.samplesSlack);
+            checkUpperBound(report, where, "median_ks", base_ks,
+                            cur_entry->getNumber("median_ks", 0.0),
+                            base_ks + tolerances.ksSlack);
+        }
+    }
+
+    const json::Value *base_classifier = baseline.find("classifier");
+    const json::Value *cur_classifier = current.find("classifier");
+    if (base_classifier && cur_classifier) {
+        double base_acc = base_classifier->getNumber("accuracy", 0.0);
+        double cur_acc = cur_classifier->getNumber("accuracy", 0.0);
+        // Accuracy is a lower-bounded quantity; recast as upper bound
+        // on the drop so the violation record reads naturally.
+        if (cur_acc < base_acc - tolerances.accuracyDrop) {
+            report.pass = false;
+            report.violations.push_back(
+                {"classifier", "accuracy drop", base_acc, cur_acc,
+                 base_acc - tolerances.accuracyDrop});
+        }
+    }
+
+    const json::Value *base_versus = baseline.find("meta_vs_fixed");
+    const json::Value *cur_versus = current.find("meta_vs_fixed");
+    if (base_versus) {
+        double wins =
+            cur_versus ? cur_versus->getNumber("wins", 0.0) : 0.0;
+        double base_wins = base_versus->getNumber("wins", 0.0);
+        if (wins < static_cast<double>(tolerances.minMetaWins)) {
+            report.pass = false;
+            report.violations.push_back(
+                {"meta_vs_fixed", "wins", base_wins, wins,
+                 static_cast<double>(tolerances.minMetaWins)});
+        }
+    }
+    return report;
+}
+
+} // namespace calibrate
+} // namespace sharp

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Statistical regression gate for the calibration harness.
+ *
+ * Continuous-benchmarking practice treats statistical results the way
+ * functional tests treat behavior: a checked-in baseline plus a
+ * tolerance-based comparator, so a refactor that quietly makes a
+ * stopping rule consume more samples — or stop farther from the true
+ * distribution — fails CI instead of shipping. The baseline is the
+ * calibration summary JSON (CalibrationResult::summaryJson), produced
+ * by `sharp calibrate --write-baseline` and stored at
+ * tests/baselines/calibration.json.
+ *
+ * Tolerances are asymmetric on purpose: improvements (fewer samples,
+ * smaller KS) always pass; only degradations beyond the configured
+ * slack are violations.
+ */
+
+#ifndef SHARP_CALIBRATE_BASELINE_HH
+#define SHARP_CALIBRATE_BASELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "json/value.hh"
+
+namespace sharp
+{
+namespace calibrate
+{
+
+/** Permitted degradation before the gate fails. */
+struct GateTolerances
+{
+    /**
+     * Median samples-to-stop may grow to ratio * baseline + slack.
+     * The additive slack keeps tiny baselines (a constant-distribution
+     * cell stopping in ~30 samples) from failing on +-a-few-samples
+     * jitter that a pure ratio would flag.
+     */
+    double samplesRatio = 1.25;
+    double samplesSlack = 10.0;
+    /** Median post-stop KS may degrade by this absolute amount. */
+    double ksSlack = 0.03;
+    /** Classifier accuracy may drop by this absolute amount. */
+    double accuracyDrop = 0.05;
+    /**
+     * Minimum meta-versus-fixed wins (only checked when the baseline
+     * recorded a meta_vs_fixed section). 7-of-10 is the acceptance
+     * criterion the harness was introduced with.
+     */
+    size_t minMetaWins = 7;
+};
+
+/** One tolerance breach, with enough context to act on it. */
+struct GateViolation
+{
+    /** e.g. "meta/lognormal" or "classifier". */
+    std::string where;
+    /** Which quantity degraded, e.g. "median_samples". */
+    std::string what;
+    double baseline = 0.0;
+    double current = 0.0;
+    /** The value the current measurement was allowed to reach. */
+    double limit = 0.0;
+
+    /** One-line human-readable form. */
+    std::string render() const;
+};
+
+/** The comparator's verdict. */
+struct GateReport
+{
+    bool pass = true;
+    /** Number of (rule, distribution) entries compared. */
+    size_t comparisons = 0;
+    std::vector<GateViolation> violations;
+
+    /** Multi-line human-readable form (verdict plus every violation). */
+    std::string render() const;
+};
+
+/**
+ * Compare a fresh calibration summary against a baseline summary.
+ *
+ * Every rule x distribution entry present in the baseline must exist in
+ * @p current (a vanished entry is a violation) and stay within the
+ * tolerances; entries only in @p current are ignored, so adding rules
+ * or distributions never breaks an old baseline. Classifier accuracy
+ * and the meta-versus-fixed win count are checked when the baseline
+ * carries them.
+ *
+ * @throws std::runtime_error if either document is not a calibration
+ *         summary (missing "rules" object).
+ */
+GateReport compareToBaseline(const json::Value &baseline,
+                             const json::Value &current,
+                             const GateTolerances &tolerances = {});
+
+} // namespace calibrate
+} // namespace sharp
+
+#endif // SHARP_CALIBRATE_BASELINE_HH

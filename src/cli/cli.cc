@@ -3,7 +3,10 @@
 #include <memory>
 #include <stdexcept>
 
+#include "calibrate/baseline.hh"
+#include "calibrate/calibration.hh"
 #include "core/stopping/stopping_rule.hh"
+#include "json/writer.hh"
 #include "launcher/launcher.hh"
 #include "launcher/reproduce.hh"
 #include "launcher/suite.hh"
@@ -115,6 +118,19 @@ commands:
       --metric NAME --html FILE
   gate BASE.csv CAND.csv       regression gate between two runs
       --slowdown X --ks X --alpha X [--larger-is-better]
+  calibrate                    sweep stopping rules over the synthetic
+                               tuning distributions (paper §IV-c)
+      --seed S                 base seed (default 1)
+      --seeds K                repetitions per cell (default 9)
+      --max N                  sample cap per cell (default 800)
+      --truth N                ground-truth sample size (default 8192)
+      --jobs N                 worker threads (output identical for any N)
+      --rules a,b,c            subset of rules (default: all registered)
+      --distributions x,y      subset of synthetics (default: all ten)
+      --out BASE               write BASE.csv and BASE.json
+      --write-baseline FILE    write the summary JSON as a new baseline
+      --baseline FILE          compare against a baseline; exit 1 on fail
+      --timings                add a wall_ms CSV column (not byte-stable)
   workflow SPEC.json           translate a serverless workflow
       --makefile FILE          write the Makefile
       --execute                run the DAG natively
@@ -526,6 +542,110 @@ cmdGate(const ParsedArgs &args, std::ostream &out, std::ostream &err)
 }
 
 int
+cmdCalibrate(const ParsedArgs &args, std::ostream &out,
+             std::ostream &err)
+{
+    calibrate::CalibrationConfig config;
+    auto parse_count = [&](const char *key, size_t &target,
+                           long minimum) {
+        std::string value = args.get(key);
+        if (value.empty())
+            return true;
+        auto parsed = util::parseLong(value);
+        if (!parsed || *parsed < minimum) {
+            err << "calibrate: --" << key << " must be an integer >= "
+                << minimum << "\n";
+            return false;
+        }
+        target = static_cast<size_t>(*parsed);
+        return true;
+    };
+    std::string seed_flag = args.get("seed");
+    if (!seed_flag.empty()) {
+        auto parsed = util::parseLong(seed_flag);
+        if (!parsed || *parsed < 0) {
+            err << "calibrate: --seed must be an integer >= 0\n";
+            return 2;
+        }
+        config.baseSeed = static_cast<uint64_t>(*parsed);
+    }
+    if (!parse_count("seeds", config.seedsPerCell, 1) ||
+        !parse_count("max", config.maxSamples, 2) ||
+        !parse_count("truth", config.truthSamples, 2) ||
+        !parseJobs(args, err, "calibrate", config.jobs)) {
+        return 2;
+    }
+    auto parse_list = [&](const char *key,
+                          std::vector<std::string> &target) {
+        std::string value = args.get(key);
+        if (value.empty())
+            return;
+        for (const auto &name : util::split(value, ',')) {
+            std::string trimmed = util::trim(name);
+            if (!trimmed.empty())
+                target.push_back(trimmed);
+        }
+    };
+    parse_list("rules", config.rules);
+    parse_list("distributions", config.distributions);
+    config.recordTimings = args.has("timings");
+
+    calibrate::CalibrationResult result =
+        runCalibration(std::move(config));
+    json::Value summary = result.summaryJson();
+
+    // Console view: per-rule medians across the swept distributions.
+    util::TextTable table({"rule", "distribution", "median runs",
+                           "median KS", "fired"});
+    for (const auto &[rule, dists] : summary.at("rules").members()) {
+        for (const auto &[dist, entry] : dists.members()) {
+            table.addRow(
+                {rule, dist,
+                 util::formatDouble(
+                     entry.getNumber("median_samples", 0.0), 1),
+                 util::formatDouble(entry.getNumber("median_ks", 0.0),
+                                    4),
+                 util::formatDouble(
+                     entry.getNumber("fired_fraction", 0.0) * 100.0,
+                     0) +
+                     "%"});
+        }
+    }
+    out << table.render();
+    out << "classifier accuracy: "
+        << util::formatDouble(
+               summary.at("classifier").getNumber("accuracy", 0.0) *
+                   100.0,
+               1)
+        << "% over " << result.cells.size() << " cells\n";
+    if (const json::Value *versus = summary.find("meta_vs_fixed")) {
+        out << "meta vs fixed: " << versus->getNumber("wins", 0.0)
+            << "/" << versus->getNumber("distributions", 0.0)
+            << " distributions won\n";
+    }
+
+    std::string base = args.get("out");
+    if (!base.empty()) {
+        result.toCsv().save(base + ".csv");
+        json::writeFile(summary, base + ".json");
+        out << "wrote " << base << ".csv and " << base << ".json\n";
+    }
+    std::string write_baseline = args.get("write-baseline");
+    if (!write_baseline.empty()) {
+        json::writeFile(summary, write_baseline);
+        out << "wrote baseline " << write_baseline << "\n";
+    }
+    std::string baseline_path = args.get("baseline");
+    if (!baseline_path.empty()) {
+        calibrate::GateReport gate = calibrate::compareToBaseline(
+            json::parseFile(baseline_path), summary);
+        out << gate.render();
+        return gate.pass ? 0 : 1;
+    }
+    return 0;
+}
+
+int
 cmdWorkflow(const ParsedArgs &args, std::ostream &out,
             std::ostream &err)
 {
@@ -593,6 +713,8 @@ runCli(const std::vector<std::string> &argv, std::ostream &out,
             return cmdCompare(args, out, err);
         if (args.command == "gate")
             return cmdGate(args, out, err);
+        if (args.command == "calibrate")
+            return cmdCalibrate(args, out, err);
         if (args.command == "suite")
             return cmdSuite(args, out, err);
         if (args.command == "micro")

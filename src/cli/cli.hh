@@ -16,6 +16,10 @@
  *        [--workload W --html FILE]
  *   sharp compare CSV_A CSV_B           compare two recorded runs
  *        [--metric M --html FILE]
+ *   sharp calibrate                     sweep stopping rules over the
+ *        [--seed S --seeds K --jobs N    synthetic tuning distributions
+ *         --out BASE --baseline FILE     and gate against a baseline
+ *         --write-baseline FILE]
  *   sharp workflow SPEC.json            translate/execute a workflow
  *        [--makefile FILE --execute]
  *

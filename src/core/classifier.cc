@@ -159,6 +159,29 @@ bestParametricFit(const std::vector<double> &values)
         best.cls = kurt > 0.6 ? DistributionClass::Logistic
                               : DistributionClass::Normal;
     }
+
+    // The uniform is symmetric too, and its CDF differs from a matched
+    // normal's by less than empirical KS noise at ~100 samples — but
+    // its excess kurtosis (-1.2) separates cleanly from the normal's
+    // (0), and fourth moments converge faster than CDF shape. Only
+    // applied when the KS scores are genuinely close, so a clear
+    // min-KS winner is never overridden.
+    if ((best.cls == DistributionClass::Normal ||
+         best.cls == DistributionClass::Uniform) &&
+        std::fabs(skew) < 0.3) {
+        double ks_normal = 1.0, ks_uniform = 1.0;
+        for (const auto &fit : fits) {
+            if (fit.cls == DistributionClass::Normal)
+                ks_normal = fit.ks;
+            if (fit.cls == DistributionClass::Uniform)
+                ks_uniform = fit.ks;
+        }
+        if (std::fabs(ks_normal - ks_uniform) < 0.03) {
+            double kurt = stats::excessKurtosis(values);
+            best.cls = kurt < -0.6 ? DistributionClass::Uniform
+                                   : DistributionClass::Normal;
+        }
+    }
     return best;
 }
 

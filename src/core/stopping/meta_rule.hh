@@ -28,6 +28,14 @@ namespace core
  * re-classified; if the class changed, the delegate rule is swapped.
  * Until the classifier has enough data (its own minSamples), the
  * generic KS self-similarity rule is used.
+ *
+ * A delegate's stop decision is only honored once its class has been
+ * *confirmed* — observed by two consecutive classifications. A single
+ * early reading is often transient (a normal stream can look lognormal
+ * at 30 samples), and the tailored delegates are tuned loosely enough
+ * that acting on one would stop almost immediately on the wrong rule.
+ * The constant class is exempt: zero observed spread is a structural
+ * fact, not a statistical fit.
  */
 class MetaRule : public StoppingRule
 {
@@ -63,6 +71,8 @@ class MetaRule : public StoppingRule
     Config config;
     Classification lastClass;
     size_t lastClassifiedAt = 0;
+    /** Same class seen on two consecutive classifications. */
+    bool classConfirmed = false;
     std::unique_ptr<StoppingRule> active;
 
     /** Build the tailored rule for @p cls. */

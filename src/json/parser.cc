@@ -237,6 +237,8 @@ parseObject(Cursor &cur, int depth)
         if (cur.peek() != '"')
             cur.fail("expected string key in object");
         std::string key = parseStringBody(cur);
+        if (out.contains(key))
+            cur.fail("duplicate object key \"" + key + "\"");
         cur.skipWhitespaceAndComments();
         cur.expect(':');
         out.set(key, parseValue(cur, depth + 1));

@@ -39,7 +39,9 @@ class ParseError : public std::runtime_error
  * Parse a complete JSON document.
  *
  * @param text the document text; trailing whitespace is allowed, any
- *             other trailing content is an error.
+ *             other trailing content is an error. Duplicate object
+ *             keys are rejected: silently keeping one of the two
+ *             values would make config typos unobservable.
  * @return the parsed value.
  * @throws ParseError on malformed input.
  */

@@ -125,6 +125,13 @@ syntheticRegistry()
     return registry;
 }
 
+std::vector<double>
+syntheticReference(const SyntheticSpec &spec, uint64_t seed, size_t n)
+{
+    Xoshiro256 gen(seed);
+    return spec.make()->sampleMany(gen, n);
+}
+
 const SyntheticSpec &
 syntheticByName(const std::string &name)
 {

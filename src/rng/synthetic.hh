@@ -75,6 +75,15 @@ const std::vector<SyntheticSpec> &syntheticRegistry();
 /** Find a spec by name. @throws std::out_of_range if unknown. */
 const SyntheticSpec &syntheticByName(const std::string &name);
 
+/**
+ * Draw a large ground-truth reference sample from @p spec: a fresh
+ * sampler fed by a generator seeded with @p seed. Used wherever a
+ * stopping decision's fidelity is scored against "the" distribution
+ * (calibration harness, ablation benches).
+ */
+std::vector<double> syntheticReference(const SyntheticSpec &spec,
+                                       uint64_t seed, size_t n);
+
 } // namespace rng
 } // namespace sharp
 

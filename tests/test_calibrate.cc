@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the stopping-rule calibration harness (§IV-c) and its
+ * baseline regression gate: jobs-independent determinism, cell
+ * invariants, and the tolerance semantics of the comparator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "calibrate/baseline.hh"
+#include "calibrate/calibration.hh"
+#include "json/parser.hh"
+#include "json/writer.hh"
+
+namespace
+{
+
+using namespace sharp;
+using namespace sharp::calibrate;
+
+/** Small sweep that exercises fixed, generic, and meta rules. */
+CalibrationConfig
+smallConfig(size_t jobs)
+{
+    CalibrationConfig config;
+    config.rules = {"fixed", "ks", "meta"};
+    config.distributions = {"normal", "bimodal", "constant"};
+    config.seedsPerCell = 2;
+    config.maxSamples = 300;
+    config.truthSamples = 2048;
+    config.jobs = jobs;
+    return config;
+}
+
+TEST(Calibration, ArtifactsAreByteIdenticalAcrossJobCounts)
+{
+    // The whole point of per-cell seed derivation: the emitted CSV and
+    // JSON must not depend on the thread count that produced them.
+    CalibrationResult serial = runCalibration(smallConfig(1));
+    std::string csv = serial.toCsv().toCsv();
+    std::string summary = json::writePretty(serial.summaryJson());
+    for (size_t jobs : {2u, 4u, 7u}) {
+        CalibrationResult parallel = runCalibration(smallConfig(jobs));
+        EXPECT_EQ(parallel.toCsv().toCsv(), csv) << "jobs=" << jobs;
+        EXPECT_EQ(json::writePretty(parallel.summaryJson()), summary)
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(Calibration, CellSeedIsPureAndCollisionFreeOnSmallGrids)
+{
+    EXPECT_EQ(cellSeed(1, "ks", "normal", 4),
+              cellSeed(1, "ks", "normal", 4));
+    std::vector<uint64_t> seeds;
+    for (const char *rule : {"fixed", "ks", "meta", "ci", "modality"})
+        for (const char *dist : {"normal", "bimodal", "constant"})
+            for (size_t k = 0; k < 8; ++k)
+                seeds.push_back(cellSeed(1, rule, dist, k));
+    std::sort(seeds.begin(), seeds.end());
+    EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()),
+              seeds.end());
+    EXPECT_NE(cellSeed(1, "ks", "normal", 0),
+              cellSeed(2, "ks", "normal", 0));
+    // Name-keyed: the stream a cell draws does not depend on which
+    // other rules or distributions are in the sweep.
+    EXPECT_NE(cellSeed(1, "ks", "normal", 0),
+              cellSeed(1, "meta", "normal", 0));
+}
+
+TEST(Calibration, CellInvariantsHold)
+{
+    CalibrationResult result = runCalibration(smallConfig(2));
+    ASSERT_EQ(result.cells.size(), 3u * 3u * 2u);
+    for (const auto &cell : result.cells) {
+        EXPECT_GT(cell.samplesToStop, 0u) << cell.rule;
+        EXPECT_LE(cell.samplesToStop, 300u) << cell.rule;
+        EXPECT_GE(cell.postStopKs, 0.0);
+        EXPECT_LE(cell.postStopKs, 1.0);
+        if (cell.rule == "fixed") {
+            EXPECT_TRUE(cell.ruleFired);
+            EXPECT_EQ(cell.samplesToStop, 100u);
+        }
+        if (cell.distribution == "constant") {
+            EXPECT_DOUBLE_EQ(cell.postStopKs, 0.0);
+            EXPECT_FALSE(cell.ciApplicable);
+        }
+        if (cell.distribution == "normal") {
+            EXPECT_TRUE(cell.ciApplicable);
+        }
+    }
+}
+
+TEST(Calibration, RejectsUnknownNames)
+{
+    CalibrationConfig config = smallConfig(1);
+    config.rules = {"no-such-rule"};
+    EXPECT_THROW(runCalibration(config), std::out_of_range);
+    config = smallConfig(1);
+    config.distributions = {"no-such-distribution"};
+    EXPECT_THROW(runCalibration(config), std::out_of_range);
+}
+
+TEST(Calibration, SummaryCarriesGateSections)
+{
+    CalibrationConfig config = smallConfig(1);
+    config.rules = {"fixed", "meta"};
+    json::Value summary = runCalibration(config).summaryJson();
+    EXPECT_EQ(summary.getString("schema", ""),
+              "sharp-calibration-summary-v1");
+    EXPECT_TRUE(summary.contains("rules"));
+    EXPECT_TRUE(summary.contains("classifier"));
+    // meta_vs_fixed appears exactly when both participants ran.
+    EXPECT_TRUE(summary.contains("meta_vs_fixed"));
+    config.rules = {"fixed"};
+    EXPECT_FALSE(
+        runCalibration(config).summaryJson().contains("meta_vs_fixed"));
+}
+
+// ---------------------------------------------------------------
+// Gate comparator semantics on hand-built summaries.
+// ---------------------------------------------------------------
+
+json::Value
+summaryDoc(double samples, double ks, double accuracy)
+{
+    return json::parse(
+        "{\"schema\": \"sharp-calibration-summary-v1\","
+        " \"rules\": {\"meta\": {\"normal\": "
+        "{\"median_samples\": " + std::to_string(samples) +
+        ", \"median_ks\": " + std::to_string(ks) +
+        ", \"fired_fraction\": 1}}},"
+        " \"classifier\": {\"accuracy\": " + std::to_string(accuracy) +
+        ", \"cells\": 10}}");
+}
+
+TEST(CalibrationGate, PassesOnIdenticalAndImprovedResults)
+{
+    json::Value base = summaryDoc(100, 0.08, 0.9);
+    GateReport same = compareToBaseline(base, base);
+    EXPECT_TRUE(same.pass);
+    EXPECT_EQ(same.comparisons, 1u);
+    // Improvements (fewer samples, smaller KS, better accuracy) are
+    // never violations, no matter how large.
+    GateReport better =
+        compareToBaseline(base, summaryDoc(30, 0.01, 1.0));
+    EXPECT_TRUE(better.pass) << better.render();
+}
+
+TEST(CalibrationGate, FlagsDegradationsBeyondTolerance)
+{
+    json::Value base = summaryDoc(100, 0.08, 0.9);
+    // 100 * 1.25 + 10 = 135 is the samples limit; 140 must fail.
+    GateReport slow = compareToBaseline(base, summaryDoc(140, 0.08, 0.9));
+    ASSERT_FALSE(slow.pass);
+    ASSERT_EQ(slow.violations.size(), 1u);
+    EXPECT_EQ(slow.violations[0].where, "meta/normal");
+    EXPECT_EQ(slow.violations[0].what, "median_samples");
+    EXPECT_DOUBLE_EQ(slow.violations[0].limit, 135.0);
+    EXPECT_NE(slow.violations[0].render().find("meta/normal"),
+              std::string::npos);
+
+    // Within tolerance on every axis: passes.
+    EXPECT_TRUE(
+        compareToBaseline(base, summaryDoc(130, 0.10, 0.87)).pass);
+
+    GateReport drifted =
+        compareToBaseline(base, summaryDoc(100, 0.12, 0.9));
+    ASSERT_FALSE(drifted.pass);
+    EXPECT_EQ(drifted.violations[0].what, "median_ks");
+
+    GateReport confused =
+        compareToBaseline(base, summaryDoc(100, 0.08, 0.8));
+    ASSERT_FALSE(confused.pass);
+    EXPECT_EQ(confused.violations[0].where, "classifier");
+}
+
+TEST(CalibrationGate, MissingEntriesAndBadDocumentsAreErrors)
+{
+    json::Value base = summaryDoc(100, 0.08, 0.9);
+    json::Value current = json::parse(
+        "{\"schema\": \"sharp-calibration-summary-v1\","
+        " \"rules\": {\"meta\": {}},"
+        " \"classifier\": {\"accuracy\": 0.9, \"cells\": 10}}");
+    GateReport vanished = compareToBaseline(base, current);
+    ASSERT_FALSE(vanished.pass);
+    EXPECT_EQ(vanished.violations[0].where, "meta/normal");
+
+    EXPECT_THROW(
+        compareToBaseline(json::parse("{\"a\": 1}"), base),
+        std::runtime_error);
+    EXPECT_THROW(
+        compareToBaseline(base, json::parse("{\"a\": 1}")),
+        std::runtime_error);
+}
+
+TEST(CalibrationGate, EnforcesMetaWinFloorWhenBaselineHasIt)
+{
+    json::Value base = summaryDoc(100, 0.08, 0.9);
+    base.set("meta_vs_fixed", json::parse("{\"wins\": 8}"));
+    json::Value current = summaryDoc(100, 0.08, 0.9);
+    current.set("meta_vs_fixed", json::parse("{\"wins\": 5}"));
+    GateReport report = compareToBaseline(base, current);
+    ASSERT_FALSE(report.pass);
+    EXPECT_EQ(report.violations[0].where, "meta_vs_fixed");
+
+    current.set("meta_vs_fixed", json::parse("{\"wins\": 7}"));
+    EXPECT_TRUE(compareToBaseline(base, current).pass);
+}
+
+} // anonymous namespace

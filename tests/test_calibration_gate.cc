@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The statistical regression gate: re-runs the calibration sweep that
+ * produced tests/baselines/calibration.json and fails if any stopping
+ * rule's sample economy or post-stop fidelity degraded beyond the
+ * comparator's tolerances. Regenerate the baseline (after an
+ * *intentional* behavior change) with
+ *
+ *   sharp calibrate --write-baseline tests/baselines/calibration.json
+ *
+ * Carries the `calibration` CTest label so sanitizer presets can skip
+ * it: the medians it pins are properties of the exact sampling code
+ * path, not of thread-safety.
+ */
+
+#include <gtest/gtest.h>
+
+#include "calibrate/baseline.hh"
+#include "calibrate/calibration.hh"
+#include "json/parser.hh"
+
+namespace
+{
+
+using namespace sharp;
+using namespace sharp::calibrate;
+
+const char *baselinePath =
+    SHARP_SOURCE_DIR "/tests/baselines/calibration.json";
+
+TEST(CalibrationGate, CurrentSweepStaysWithinBaselineTolerances)
+{
+    json::Value baseline = json::parseFile(baselinePath);
+
+    // Reproduce the baseline's own sweep configuration so medians are
+    // compared like for like.
+    CalibrationConfig config;
+    const json::Value *base_config = baseline.find("config");
+    ASSERT_NE(base_config, nullptr) << "baseline has no config echo";
+    config.baseSeed = static_cast<uint64_t>(
+        base_config->getNumber("base_seed", 1));
+    config.seedsPerCell = static_cast<size_t>(
+        base_config->getNumber("seeds_per_cell", 5));
+    config.maxSamples = static_cast<size_t>(
+        base_config->getNumber("max_samples", 800));
+    config.truthSamples = static_cast<size_t>(
+        base_config->getNumber("truth_samples", 8192));
+    config.jobs = 4; // artifacts are jobs-independent
+
+    CalibrationResult result = runCalibration(config);
+    GateReport report =
+        compareToBaseline(baseline, result.summaryJson());
+    EXPECT_TRUE(report.pass) << report.render();
+    EXPECT_GT(report.comparisons, 0u);
+}
+
+TEST(CalibrationGate, MetaRuleBeatsFixedOnMostDistributions)
+{
+    // The acceptance criterion the harness was introduced with: the
+    // meta-rule stops with no more samples than fixed-100 at
+    // equal-or-better post-stop KS on >= 7 of the 10 synthetics.
+    CalibrationConfig config;
+    config.rules = {"fixed", "meta"};
+    config.jobs = 4;
+    json::Value summary = runCalibration(config).summaryJson();
+    const json::Value *versus = summary.find("meta_vs_fixed");
+    ASSERT_NE(versus, nullptr);
+    EXPECT_GE(versus->getNumber("wins", 0), 7.0)
+        << "meta-vs-fixed regressed; per-distribution detail:\n";
+}
+
+} // anonymous namespace

@@ -130,6 +130,40 @@ TEST(Classifier, OverallAccuracyAcrossRegistry)
         << correct << "/" << total << " correct";
 }
 
+TEST(Classifier, ConfusionMatrixAtCalibrationBudget)
+{
+    // n=300 is the post-stop budget the calibration harness operates
+    // around; the confusion matrix shows *which* families blur (the
+    // known hard pairs are logistic/normal and uniform/bimodal).
+    std::map<std::string, std::map<std::string, int>> confusion;
+    int correct = 0, total = 0;
+    for (const auto &spec : syntheticRegistry()) {
+        const char *want = sharp::rng::syntheticClassName(spec.truth);
+        for (uint64_t seed = 10; seed < 20; ++seed) {
+            auto xs = drawSynthetic(spec.name, 300, seed);
+            Classification c = classifyDistribution(xs);
+            const char *got = distributionClassName(c.cls);
+            ++confusion[want][got];
+            correct += std::string(got) == want;
+            ++total;
+        }
+    }
+    double accuracy = static_cast<double>(correct) / total;
+    if (accuracy < 0.75) {
+        std::string table;
+        for (const auto &row : confusion) {
+            table += row.first + ":";
+            for (const auto &entry : row.second)
+                table += " " + entry.first + "=" +
+                         std::to_string(entry.second);
+            table += "\n";
+        }
+        FAIL() << "accuracy " << correct << "/" << total
+               << " below 75% floor; confusion matrix:\n"
+               << table;
+    }
+}
+
 TEST(Classifier, ModeCountReportedForMultimodal)
 {
     auto xs = drawSynthetic("multimodal", 2000, 3);

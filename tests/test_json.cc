@@ -132,6 +132,51 @@ TEST(JsonParse, RejectsExcessiveNesting)
     std::string deep(300, '[');
     deep += std::string(300, ']');
     EXPECT_THROW(parse(deep), ParseError);
+
+    std::string deep_obj;
+    for (int i = 0; i < 300; ++i)
+        deep_obj += "{\"k\":";
+    deep_obj += "0";
+    deep_obj += std::string(300, '}');
+    EXPECT_THROW(parse(deep_obj), ParseError);
+}
+
+TEST(JsonParse, RejectsTruncatedDocuments)
+{
+    // Every proper prefix of a valid document must error, not hang or
+    // crash — this is the fuzz-shaped surface a config loader sees.
+    const std::string doc =
+        "{\"rules\": [\"ks\", {\"t\": 0.1, \"ok\": true}], \"n\": 12}";
+    for (size_t len = 0; len < doc.size(); ++len)
+        EXPECT_THROW(parse(doc.substr(0, len)), ParseError) << len;
+    EXPECT_NO_THROW(parse(doc));
+}
+
+TEST(JsonParse, RejectsBadEscapes)
+{
+    EXPECT_THROW(parse("\"\\q\""), ParseError);
+    EXPECT_THROW(parse("\"\\u12\""), ParseError);
+    EXPECT_THROW(parse("\"\\u12zz\""), ParseError);
+    EXPECT_THROW(parse("\"\\\""), ParseError);
+    EXPECT_THROW(parse("{\"a\\'\": 1}"), ParseError);
+}
+
+TEST(JsonParse, RejectsDuplicateKeys)
+{
+    // Silently keeping either value would make config typos
+    // unobservable, so duplicates are a parse error.
+    EXPECT_THROW(parse("{\"a\": 1, \"a\": 2}"), ParseError);
+    EXPECT_THROW(parse("{\"a\": 1, \"b\": {\"c\": 0, \"c\": 1}}"),
+                 ParseError);
+    try {
+        parse("{\"seed\": 1, \"seed\": 2}");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &err) {
+        EXPECT_NE(std::string(err.what()).find("seed"),
+                  std::string::npos);
+    }
+    // Same key at different depths is fine.
+    EXPECT_NO_THROW(parse("{\"a\": {\"a\": 1}}"));
 }
 
 TEST(JsonWrite, CompactForm)

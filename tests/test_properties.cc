@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/stopping/stopping_rule.hh"
@@ -112,6 +113,63 @@ TEST_P(SimilarityProperties, HistogramConservesMassUnderAllRules)
             total += hist.count(i);
         EXPECT_EQ(total, xs.size()) << GetParam();
     }
+}
+
+TEST_P(SimilarityProperties, KsMonotoneUnderMassSeparation)
+{
+    // Shifting a sample against itself moves probability mass one way,
+    // so D(t) = sup |F(x) - F(x - t)| is non-decreasing in t, and the
+    // distance saturates at 1 once the supports are disjoint.
+    auto a = draw(19);
+    auto [lo, hi] = std::minmax_element(a.begin(), a.end());
+    double span = *hi - *lo + 1.0;
+    double previous = 0.0; // KS(a, a) == 0
+    for (double frac : {0.05, 0.15, 0.4, 1.0}) {
+        std::vector<double> shifted = a;
+        for (double &v : shifted)
+            v += frac * span;
+        double d = stats::ksDistance(a, shifted);
+        EXPECT_GE(d, previous - 1e-12) << GetParam() << " t=" << frac;
+        EXPECT_LE(d, 1.0) << GetParam();
+        previous = d;
+    }
+    EXPECT_DOUBLE_EQ(previous, 1.0) << GetParam(); // disjoint supports
+}
+
+// ---------------------------------------------------------------
+// NAMD closed-form anchors (the paper's point-summary metric).
+// ---------------------------------------------------------------
+
+TEST(NamdClosedForm, MatchesHandComputedPairs)
+{
+    // Sorted-pair matching, |diff| = 1 each, means 1 and 2:
+    // 0.5 * (1/1 + 1/2) * 1 = 0.75.
+    EXPECT_DOUBLE_EQ(stats::namd({1, 1, 1, 1}, {2, 2, 2, 2}), 0.75);
+    // Pairs (2,4), (4,8): mean |diff| 3, means 3 and 6:
+    // 0.5 * (3/3 + 3/6) = 0.75.
+    EXPECT_DOUBLE_EQ(stats::namd({2, 4}, {4, 8}), 0.75);
+    // One-sided unit shift at mean 10 vs 11.
+    EXPECT_DOUBLE_EQ(stats::namd({10}, {11}),
+                     0.5 * (1.0 / 10.0 + 1.0 / 11.0));
+}
+
+TEST(NamdClosedForm, ZeroOnIdenticalAndSymmetric)
+{
+    std::vector<double> x = {3.0, 1.0, 4.0, 1.5, 9.0};
+    std::vector<double> y = {2.5, 8.0, 1.0, 3.5, 4.0};
+    EXPECT_DOUBLE_EQ(stats::namd(x, x), 0.0);
+    // Permutation invariance: pairs are matched by sorted order.
+    std::vector<double> x_perm = {9.0, 1.0, 1.5, 4.0, 3.0};
+    EXPECT_DOUBLE_EQ(stats::namd(x_perm, y), stats::namd(x, y));
+    EXPECT_DOUBLE_EQ(stats::namd(x, y), stats::namd(y, x));
+}
+
+TEST(NamdClosedForm, RejectsDegenerateInput)
+{
+    EXPECT_THROW(stats::namd({}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(stats::namd({1.0}, {}), std::invalid_argument);
+    EXPECT_THROW(stats::namd({-1.0, 1.0}, {2.0, 3.0}),
+                 std::invalid_argument);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -172,6 +172,36 @@ TEST(WorkflowParser, RejectsStructuralProblems)
                  std::invalid_argument);
 }
 
+TEST(WorkflowParser, MalformedDocumentsErrorCleanly)
+{
+    // Every proper prefix of a valid spec must raise, not crash or
+    // hang: the parser is the first thing untrusted input touches.
+    const std::string doc = sequentialDoc;
+    for (size_t len = 0; len < doc.size(); len += 7)
+        EXPECT_THROW(parseServerlessWorkflowText(doc.substr(0, len)),
+                     std::exception)
+            << "prefix length " << len;
+
+    // Bad escape inside a state name.
+    EXPECT_THROW(parseServerlessWorkflowText(R"({
+        "id": "x", "states": [{"name": "\q"}]
+    })"),
+                 std::exception);
+    // Duplicate keys come back as a JSON parse error.
+    EXPECT_THROW(parseServerlessWorkflowText(R"({
+        "id": "x", "id": "y",
+        "functions": [{"name": "f", "operation": "x"}],
+        "states": [{"name": "s", "type": "operation",
+                    "actions": [{"functionRef": "f"}]}]
+    })"),
+                 std::exception);
+    // Pathological nesting must hit the parser's depth guard.
+    std::string deep = R"({"id": "x", "states": )";
+    for (int i = 0; i < 400; ++i)
+        deep += "[";
+    EXPECT_THROW(parseServerlessWorkflowText(deep), std::exception);
+}
+
 TEST(WorkflowParser, DefaultsIdAndName)
 {
     Workflow wf = parseServerlessWorkflowText(R"({
