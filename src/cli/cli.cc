@@ -1,15 +1,23 @@
 #include "cli/cli.hh"
 
+#include <atomic>
+#include <csignal>
 #include <memory>
 #include <stdexcept>
+
+#include <sys/stat.h>
 
 #include "calibrate/baseline.hh"
 #include "calibrate/calibration.hh"
 #include "core/stopping/stopping_rule.hh"
 #include "json/writer.hh"
+#include "launcher/fault_backend.hh"
 #include "launcher/launcher.hh"
 #include "launcher/reproduce.hh"
+#include "launcher/resume.hh"
+#include "launcher/retry.hh"
 #include "launcher/suite.hh"
+#include "record/journal.hh"
 #include "micro/micro_backend.hh"
 #include "launcher/sim_backend.hh"
 #include "json/parser.hh"
@@ -101,11 +109,25 @@ commands:
       --concurrency C          parallel instances per round
       --jobs N                 execution-layer worker threads (default 1;
                                recorded in metadata for reproduction)
+      --retries N              retry failed runs up to N times each
+      --retry-backoff S        base retry delay in seconds (doubles per
+                               retry, deterministic seeded jitter)
+      --max-failures N         abort after exactly N failed runs
+      --max-failure-rate X     abort when the failed fraction exceeds X
+      --fault FILE.json        wrap the backend in the seeded
+                               fault-injection schedule from FILE
+      --journal FILE           append every completed round to FILE
+                               (fsync'd; enables --resume after a crash)
+      --resume PATH            resume a killed campaign from its journal
+                               (file, or a directory holding
+                               journal.jsonl); finishes with the same
+                               samples the uninterrupted run collects
       --out BASE               write BASE.csv + BASE.md
       --html FILE              write an HTML report
   reproduce FILE.md            re-run an experiment from its metadata
   suite                        run the Rodinia grid on one machine
       --machine ID --rule NAME --threshold X --max N --seed S
+      --retries N              retry failed runs inside every entry
       --jobs N                 run suite entries in parallel (results
                                are identical for any N)
   micro [PROBE]                list or run microbenchmark probes
@@ -135,6 +157,9 @@ commands:
       --makefile FILE          write the Makefile
       --execute                run the DAG natively
   help                         this text
+
+exit codes: 0 ok, 1 error, 2 usage, 3 aborted by the failure policy,
+            130 interrupted (campaign resumable with run --resume)
 )";
 
 /**
@@ -189,9 +214,210 @@ cmdList(std::ostream &out)
     return 0;
 }
 
+/** Set by SIGINT/SIGTERM; polled by the launcher between rounds. */
+std::atomic<bool> g_interrupted{false};
+
+void
+onInterrupt(int)
+{
+    g_interrupted.store(true);
+}
+
+/**
+ * Route SIGINT/SIGTERM to g_interrupted for the guard's lifetime, so
+ * a campaign ends at a round boundary with its journal intact instead
+ * of dying mid-write.
+ */
+class InterruptGuard
+{
+  public:
+    InterruptGuard()
+    {
+        g_interrupted.store(false);
+        struct sigaction action = {};
+        action.sa_handler = onInterrupt;
+        sigemptyset(&action.sa_mask);
+        sigaction(SIGINT, &action, &previousInt);
+        sigaction(SIGTERM, &action, &previousTerm);
+    }
+    ~InterruptGuard()
+    {
+        sigaction(SIGINT, &previousInt, nullptr);
+        sigaction(SIGTERM, &previousTerm, nullptr);
+    }
+
+  private:
+    struct sigaction previousInt = {};
+    struct sigaction previousTerm = {};
+};
+
+/** --resume accepts the journal file or the directory holding it. */
+std::string
+resolveJournalPath(const std::string &path)
+{
+    struct stat st = {};
+    if (stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
+        return path + "/journal.jsonl";
+    return path;
+}
+
+/**
+ * Fold the fault-tolerance flags into @p spec (on top of whatever the
+ * config file set). Returns false (and reports) on bad input.
+ */
+bool
+applyFaultToleranceFlags(const ParsedArgs &args, std::ostream &err,
+                         launcher::ReproSpec &spec)
+{
+    std::string retries = args.get("retries");
+    if (!retries.empty()) {
+        auto parsed = util::parseLong(retries);
+        if (!parsed || *parsed < 0) {
+            err << "run: --retries must be an integer >= 0\n";
+            return false;
+        }
+        spec.retry.maxAttempts = static_cast<size_t>(*parsed) + 1;
+    }
+    std::string backoff = args.get("retry-backoff");
+    if (!backoff.empty()) {
+        auto parsed = util::parseDouble(backoff);
+        if (!parsed || *parsed < 0.0) {
+            err << "run: --retry-backoff must be a number >= 0\n";
+            return false;
+        }
+        spec.retry.backoffBaseSeconds = *parsed;
+    }
+    std::string max_failures = args.get("max-failures");
+    if (!max_failures.empty()) {
+        auto parsed = util::parseLong(max_failures);
+        if (!parsed || *parsed < 0) {
+            err << "run: --max-failures must be an integer >= 0\n";
+            return false;
+        }
+        spec.maxFailures = static_cast<size_t>(*parsed);
+    }
+    std::string rate = args.get("max-failure-rate");
+    if (!rate.empty()) {
+        auto parsed = util::parseDouble(rate);
+        if (!parsed || *parsed <= 0.0 || *parsed > 1.0) {
+            err << "run: --max-failure-rate must be in (0, 1]\n";
+            return false;
+        }
+        spec.maxFailureRate = *parsed;
+    }
+    std::string fault = args.get("fault");
+    if (!fault.empty()) {
+        spec.fault =
+            launcher::FaultSpec::fromJson(json::parseFile(fault));
+        spec.faultEnabled = true;
+    }
+    return true;
+}
+
+/**
+ * Shared tail of every `sharp run` variant: launch (with journal,
+ * resume state, and interrupt handling wired in), report, save, and
+ * map the outcome to an exit code (0 ok, 3 failure-policy abort,
+ * 130 interrupted).
+ */
+int
+executeRun(const launcher::ReproSpec &spec, const ParsedArgs &args,
+           std::ostream &out, std::ostream &err,
+           const std::string &label,
+           const std::string &resumeJournalPath,
+           const launcher::ResumeState *resume)
+{
+    launcher::LaunchOptions options = spec.launchOptions();
+
+    std::unique_ptr<record::RunJournal> journal;
+    std::string journal_path = resumeJournalPath;
+    if (journal_path.empty() && args.has("journal")) {
+        journal_path = args.get("journal");
+        if (journal_path.empty()) {
+            std::string base = args.get("out");
+            if (base.empty()) {
+                err << "run: --journal needs a path (or --out to "
+                       "derive one from)\n";
+                return 2;
+            }
+            journal_path = base + ".journal.jsonl";
+        }
+    }
+    if (!journal_path.empty()) {
+        journal = std::make_unique<record::RunJournal>(journal_path);
+        if (!resume)
+            journal->writeSpec(spec.toJson());
+        options.journal = journal.get();
+    }
+    options.resume = resume;
+    options.interruptFlag = &g_interrupted;
+    InterruptGuard guard;
+
+    launcher::Launcher l(launcher::makeBackend(spec),
+                         spec.experiment.makeRule(), options);
+    launcher::LaunchReport result = l.launch();
+    launcher::annotate(result.log, spec);
+    if (spec.backendKind == "sim" || spec.backendKind == "sim-phased" ||
+        spec.backendKind == "faas") {
+        result.log.setSystemInfo(record::describeSimulatedMachine(
+            sim::machineById(spec.machines.front())));
+    }
+
+    out << (resume ? "resumed to " : "collected ")
+        << result.series.size() << " samples ("
+        << result.finalDecision.reason << ")\n\n";
+    if (result.series.size() >= 2) {
+        auto analysis = report::DistributionReport::analyze(
+            label, result.series.values());
+        out << analysis.renderMarkdown();
+        std::string html = args.get("html");
+        if (!html.empty()) {
+            report::saveHtml(report::renderHtml(analysis), html);
+            out << "wrote " << html << "\n";
+        }
+    }
+    std::string base = args.get("out");
+    if (!base.empty()) {
+        result.log.save(base);
+        out << "\nwrote " << base << ".csv and " << base << ".md\n";
+    }
+
+    if (result.aborted) {
+        err << "run aborted by the failure policy: "
+            << result.finalDecision.reason << "\n";
+        return 3;
+    }
+    if (result.interrupted) {
+        out << "interrupted; resume with: sharp run --resume "
+            << (journal_path.empty() ? "<journal>" : journal_path)
+            << "\n";
+        return 130;
+    }
+    return 0;
+}
+
 int
 cmdRun(const ParsedArgs &args, std::ostream &out, std::ostream &err)
 {
+    // Resume path: everything comes from the journal's spec header.
+    std::string resume_flag = args.get("resume");
+    if (!resume_flag.empty()) {
+        std::string journal_path = resolveJournalPath(resume_flag);
+        launcher::ResumedCampaign campaign =
+            launcher::loadResumedCampaign(journal_path);
+        if (campaign.done) {
+            out << "campaign in '" << journal_path
+                << "' already completed; nothing to resume\n";
+            return 0;
+        }
+        launcher::ReproSpec spec =
+            launcher::ReproSpec::fromJson(campaign.spec);
+        return executeRun(spec, args, out, err,
+                          spec.workload.empty() ? spec.backendKind
+                                                : spec.workload,
+                          journal_path, &campaign.state);
+    }
+
     // A JSON config file describes the entire run; command-line flags
     // below are the quick path.
     std::string config_path = args.get("config");
@@ -200,21 +426,10 @@ cmdRun(const ParsedArgs &args, std::ostream &out, std::ostream &err)
             launcher::ReproSpec::fromJson(json::parseFile(config_path));
         if (!parseJobs(args, err, "run", spec.jobs))
             return 2;
-        launcher::Launcher l = launcher::makeLauncher(spec);
-        launcher::LaunchReport result = l.launch();
-        launcher::annotate(result.log, spec);
-        out << "collected " << result.series.size() << " samples ("
-            << result.finalDecision.reason << ")\n\n";
-        auto analysis = report::DistributionReport::analyze(
-            spec.workload, result.series.values());
-        out << analysis.renderMarkdown();
-        std::string base = args.get("out");
-        if (!base.empty()) {
-            result.log.save(base);
-            out << "\nwrote " << base << ".csv and " << base
-                << ".md\n";
-        }
-        return 0;
+        if (!applyFaultToleranceFlags(args, err, spec))
+            return 2;
+        return executeRun(spec, args, out, err, spec.workload, "",
+                          nullptr);
     }
 
     std::string workload = args.get("workload");
@@ -261,30 +476,11 @@ cmdRun(const ParsedArgs &args, std::ostream &out, std::ostream &err)
     spec.experiment.ruleParams = params;
     spec.experiment.options.maxSamples =
         static_cast<size_t>(parse_count("max", 2000));
+    if (!applyFaultToleranceFlags(args, err, spec))
+        return 2;
 
-    launcher::Launcher l = launcher::makeLauncher(spec);
-    launcher::LaunchReport result = l.launch();
-    launcher::annotate(result.log, spec);
-    result.log.setSystemInfo(
-        record::describeSimulatedMachine(sim::machineById(machine_id)));
-
-    out << "collected " << result.series.size() << " samples ("
-        << result.finalDecision.reason << ")\n\n";
-    auto analysis = report::DistributionReport::analyze(
-        workload + " @ " + machine_id, result.series.values());
-    out << analysis.renderMarkdown();
-
-    std::string base = args.get("out");
-    if (!base.empty()) {
-        result.log.save(base);
-        out << "\nwrote " << base << ".csv and " << base << ".md\n";
-    }
-    std::string html = args.get("html");
-    if (!html.empty()) {
-        report::saveHtml(report::renderHtml(analysis), html);
-        out << "wrote " << html << "\n";
-    }
-    return 0;
+    return executeRun(spec, args, out, err, workload + " @ " + machine_id,
+                      "", nullptr);
 }
 
 int
@@ -468,10 +664,20 @@ cmdSuite(const ParsedArgs &args, std::ostream &out, std::ostream &err)
     size_t jobs = 1;
     if (!parseJobs(args, err, "suite", jobs))
         return 2;
+    launcher::RetryPolicy retry;
+    std::string retries_flag = args.get("retries");
+    if (!retries_flag.empty()) {
+        auto parsed = util::parseLong(retries_flag);
+        if (!parsed || *parsed < 0) {
+            err << "suite: --retries must be an integer >= 0\n";
+            return 2;
+        }
+        retry.maxAttempts = static_cast<size_t>(*parsed) + 1;
+    }
     config.makeRule(); // validate eagerly
 
     auto entries = launcher::rodiniaSuite(machine);
-    auto suite = launcher::runSuite(entries, config, 0, jobs);
+    auto suite = launcher::runSuite(entries, config, 0, jobs, retry);
 
     util::TextTable table({"workload", "runs", "mean", "median",
                            "stopped by"});

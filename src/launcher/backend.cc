@@ -16,6 +16,22 @@ RunResult::metric(const std::string &name) const
     return it->second;
 }
 
+void
+RunResult::fail(FailureKind kind_in, std::string error_in)
+{
+    success = false;
+    kind = kind_in;
+    error = std::move(error_in);
+}
+
+RunResult
+RunResult::failure(FailureKind kind, std::string error)
+{
+    RunResult result;
+    result.fail(kind, std::move(error));
+    return result;
+}
+
 std::vector<RunResult>
 Backend::runBatch(size_t n)
 {

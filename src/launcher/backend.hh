@@ -18,16 +18,23 @@
 #include <string>
 #include <vector>
 
+#include "record/failure.hh"
+
 namespace sharp
 {
 namespace launcher
 {
+
+/** The failure taxonomy, shared with the record layer. */
+using record::FailureKind;
 
 /** Outcome of a single executed invocation. */
 struct RunResult
 {
     /** False when the run failed (timeout, crash, unparsable output). */
     bool success = true;
+    /** How the invocation ended; None iff success. */
+    FailureKind kind = FailureKind::None;
     /** Collected metrics; must contain the experiment's primary metric. */
     std::map<std::string, double> metrics;
     /** Captured program output (black-box backends). */
@@ -39,6 +46,12 @@ struct RunResult
 
     /** Convenience accessor; NaN when the metric is missing. */
     double metric(const std::string &name) const;
+
+    /** Mark this result failed with @p kind and @p error. */
+    void fail(FailureKind kind, std::string error);
+
+    /** Build a failed result in one call. */
+    static RunResult failure(FailureKind kind, std::string error);
 };
 
 /**
@@ -70,6 +83,15 @@ class Backend
      * default is a no-op.
      */
     virtual void setDay(int day) { (void)day; }
+
+    /**
+     * True when repeated invocations replay an identical, seeded
+     * stream of results (simulated backends). A resumed experiment
+     * fast-forwards deterministic backends past the journaled rounds
+     * so the continuation produces the same samples an uninterrupted
+     * run would have.
+     */
+    virtual bool deterministic() const { return false; }
 };
 
 } // namespace launcher

@@ -35,6 +35,12 @@ RunResult
 FaasBackend::run()
 {
     auto invocations = cluster->invoke(1, currentDay);
+    if (invocations.empty()) {
+        return RunResult::failure(
+            FailureKind::BackendUnavailable,
+            "cluster returned no invocation for '" + functionName +
+                "'");
+    }
     return toResult(invocations.front());
 }
 

@@ -41,6 +41,7 @@ class FaasBackend : public Backend
     RunResult run() override;
     std::vector<RunResult> runBatch(size_t n) override;
     void setDay(int day) override { currentDay = day; }
+    bool deterministic() const override { return true; }
 
   private:
     std::unique_ptr<sim::FaasCluster> cluster;

@@ -1,0 +1,171 @@
+#include "launcher/fault_backend.hh"
+
+#include <stdexcept>
+
+namespace sharp
+{
+namespace launcher
+{
+
+double
+FaultSpec::totalProbability() const
+{
+    return crashProbability + spawnErrorProbability + hangProbability +
+           corruptProbability + flakyExitProbability + slowProbability;
+}
+
+void
+FaultSpec::validate() const
+{
+    for (double p :
+         {crashProbability, spawnErrorProbability, hangProbability,
+          corruptProbability, flakyExitProbability, slowProbability}) {
+        if (p < 0.0 || p > 1.0)
+            throw std::invalid_argument(
+                "fault probabilities must be in [0, 1]");
+    }
+    if (totalProbability() > 1.0)
+        throw std::invalid_argument(
+            "fault probabilities must sum to <= 1");
+    if (slowFactor <= 0.0)
+        throw std::invalid_argument("slow_factor must be > 0");
+}
+
+FaultSpec
+FaultSpec::fromJson(const json::Value &doc)
+{
+    if (!doc.isObject())
+        throw std::invalid_argument("fault spec must be an object");
+    FaultSpec spec;
+    spec.crashProbability = doc.getNumber("crash", 0.0);
+    spec.spawnErrorProbability = doc.getNumber("spawn_error", 0.0);
+    spec.hangProbability = doc.getNumber("hang", 0.0);
+    spec.corruptProbability = doc.getNumber("corrupt", 0.0);
+    spec.flakyExitProbability = doc.getNumber("flaky_exit", 0.0);
+    spec.slowProbability = doc.getNumber("slow", 0.0);
+    spec.slowFactor = doc.getNumber("slow_factor", spec.slowFactor);
+    spec.slowMetric = doc.getString("slow_metric", spec.slowMetric);
+    long seed = doc.getLong("seed", 1);
+    if (seed < 0)
+        throw std::invalid_argument("fault seed must be >= 0");
+    spec.seed = static_cast<uint64_t>(seed);
+    spec.validate();
+    return spec;
+}
+
+json::Value
+FaultSpec::toJson() const
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("crash", crashProbability);
+    doc.set("spawn_error", spawnErrorProbability);
+    doc.set("hang", hangProbability);
+    doc.set("corrupt", corruptProbability);
+    doc.set("flaky_exit", flakyExitProbability);
+    doc.set("slow", slowProbability);
+    doc.set("slow_factor", slowFactor);
+    doc.set("slow_metric", slowMetric);
+    doc.set("seed", static_cast<double>(seed));
+    return doc;
+}
+
+FaultInjectingBackend::FaultInjectingBackend(
+    std::shared_ptr<Backend> inner_in, FaultSpec spec_in)
+    : inner(std::move(inner_in)), spec(std::move(spec_in)),
+      schedule(spec.seed)
+{
+    if (!inner)
+        throw std::invalid_argument(
+            "FaultInjectingBackend requires a backend to wrap");
+    spec.validate();
+}
+
+std::string
+FaultInjectingBackend::name() const
+{
+    return "fault+" + inner->name();
+}
+
+std::string
+FaultInjectingBackend::workloadName() const
+{
+    return inner->workloadName();
+}
+
+bool
+FaultInjectingBackend::deterministic() const
+{
+    return inner->deterministic();
+}
+
+void
+FaultInjectingBackend::setDay(int day)
+{
+    inner->setDay(day);
+}
+
+RunResult
+FaultInjectingBackend::run()
+{
+    size_t index = invocationCount++;
+    // Exactly one draw per invocation keeps the schedule a pure
+    // function of (seed, index) for resume/reproduce replays.
+    double draw = schedule.nextDouble();
+    std::string tag = " (injected, invocation " +
+                      std::to_string(index) + ")";
+
+    double band = spec.crashProbability;
+    if (draw < band) {
+        return RunResult::failure(FailureKind::SignalCrash,
+                                  "killed by signal 11" + tag);
+    }
+    band += spec.spawnErrorProbability;
+    if (draw < band) {
+        return RunResult::failure(FailureKind::SpawnError,
+                                  "fork: resource unavailable" + tag);
+    }
+    band += spec.hangProbability;
+    if (draw < band) {
+        return RunResult::failure(FailureKind::Timeout,
+                                  "hung past the time budget" + tag);
+    }
+    band += spec.corruptProbability;
+    if (draw < band) {
+        RunResult result = inner->run();
+        result.metrics.clear();
+        result.output = "\x01garbage\x02" + result.output;
+        result.fail(FailureKind::UnparsableOutput,
+                    "output corrupted" + tag);
+        return result;
+    }
+    band += spec.flakyExitProbability;
+    if (draw < band) {
+        RunResult result = inner->run();
+        result.metrics.clear();
+        result.fail(FailureKind::NonzeroExit,
+                    "exited with status 1" + tag);
+        return result;
+    }
+    band += spec.slowProbability;
+    if (draw < band) {
+        RunResult result = inner->run();
+        auto it = result.metrics.find(spec.slowMetric);
+        if (it != result.metrics.end())
+            it->second *= spec.slowFactor;
+        return result;
+    }
+    return inner->run();
+}
+
+std::vector<RunResult>
+FaultInjectingBackend::runBatch(size_t n)
+{
+    std::vector<RunResult> results;
+    results.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        results.push_back(run());
+    return results;
+}
+
+} // namespace launcher
+} // namespace sharp

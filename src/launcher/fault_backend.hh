@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * The robustness analogue of the calibration harness: a decorator
+ * wrapping any Backend, driven by a seeded schedule, so every failure
+ * path in the launcher — retry filters, failure-rate aborts, journal
+ * resume across failed rounds — is testable byte-for-byte
+ * reproducibly. One uniform draw per invocation selects a fault band
+ * (crash, spawn error, hang past the timeout, corrupt output, flaky
+ * nonzero exit, slowdown) or a clean pass-through, so the schedule is
+ * a pure function of the seed and the invocation index.
+ */
+
+#ifndef SHARP_LAUNCHER_FAULT_BACKEND_HH
+#define SHARP_LAUNCHER_FAULT_BACKEND_HH
+
+#include <memory>
+
+#include "json/value.hh"
+#include "launcher/backend.hh"
+#include "rng/xoshiro.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+/** Probabilities of each injected fault, drawn per invocation. */
+struct FaultSpec
+{
+    /** Program dies by signal; the wrapped backend is not invoked. */
+    double crashProbability = 0.0;
+    /** Process cannot be started; the wrapped backend is not invoked. */
+    double spawnErrorProbability = 0.0;
+    /** Run hangs past its time budget; the backend is not invoked. */
+    double hangProbability = 0.0;
+    /** Backend runs but its output loses the required metrics. */
+    double corruptProbability = 0.0;
+    /** Backend runs but the program exits nonzero. */
+    double flakyExitProbability = 0.0;
+    /** Backend runs, succeeds, but the slow metric is inflated. */
+    double slowProbability = 0.0;
+    /** Multiplier applied to slowMetric on a slow fault. */
+    double slowFactor = 10.0;
+    /** Metric inflated by slow faults. */
+    std::string slowMetric = "execution_time";
+    /** Seed of the fault schedule. */
+    uint64_t seed = 1;
+
+    /** Sum of all fault probabilities. */
+    double totalProbability() const;
+
+    /** Validate invariants. @throws std::invalid_argument. */
+    void validate() const;
+
+    /**
+     * Parse from JSON, e.g.
+     * {"crash": 0.05, "spawn_error": 0, "hang": 0.02, "corrupt": 0.1,
+     *  "flaky_exit": 0.1, "slow": 0.05, "slow_factor": 10, "seed": 7}
+     * @throws std::invalid_argument on malformed documents.
+     */
+    static FaultSpec fromJson(const json::Value &doc);
+
+    /** Serialize to JSON (round-trips through fromJson). */
+    json::Value toJson() const;
+};
+
+/**
+ * Wraps any backend and injects faults per the seeded schedule.
+ *
+ * Invocation counting (and therefore the schedule) advances once per
+ * run() regardless of which band fires, so resumed and reproduced
+ * campaigns replay the identical fault sequence. Batches are serviced
+ * sequentially through run(); a real backend's batched dispatch is
+ * deliberately bypassed so the per-invocation schedule stays aligned.
+ */
+class FaultInjectingBackend : public Backend
+{
+  public:
+    /**
+     * @param inner the backend to wrap (shared with the caller)
+     * @param spec  fault schedule
+     * @throws std::invalid_argument for a null inner or bad spec
+     */
+    FaultInjectingBackend(std::shared_ptr<Backend> inner,
+                          FaultSpec spec);
+
+    std::string name() const override;
+    std::string workloadName() const override;
+    RunResult run() override;
+    std::vector<RunResult> runBatch(size_t n) override;
+    void setDay(int day) override;
+    bool deterministic() const override;
+
+    /** Invocations served so far (schedule position). */
+    size_t invocations() const { return invocationCount; }
+
+    /** The wrapped backend. */
+    const Backend &innerBackend() const { return *inner; }
+
+  private:
+    std::shared_ptr<Backend> inner;
+    FaultSpec spec;
+    rng::Xoshiro256 schedule;
+    size_t invocationCount = 0;
+};
+
+} // namespace launcher
+} // namespace sharp
+
+#endif // SHARP_LAUNCHER_FAULT_BACKEND_HH

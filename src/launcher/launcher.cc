@@ -1,9 +1,13 @@
 #include "launcher/launcher.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
 
 #include "util/message.hh"
+#include "util/string_utils.hh"
 
 namespace sharp
 {
@@ -25,6 +29,10 @@ Launcher::Launcher(std::shared_ptr<Backend> backend_in,
     if (options.maxSamples < options.minSamples)
         throw std::invalid_argument(
             "Launcher requires maxSamples >= minSamples");
+    if (options.maxFailureRate <= 0.0 || options.maxFailureRate > 1.0)
+        throw std::invalid_argument(
+            "Launcher requires maxFailureRate in (0, 1]");
+    options.retry.validate();
 }
 
 LaunchReport
@@ -44,92 +52,270 @@ Launcher::launch()
     report.log.setConfigEntry("max_samples",
                               std::to_string(options.maxSamples));
     report.log.setConfigEntry("day", std::to_string(options.day));
+    report.log.setConfigEntry("max_failures",
+                              std::to_string(options.maxFailures));
+    if (options.maxFailureRate < 1.0)
+        report.log.setConfigEntry(
+            "max_failure_rate",
+            util::formatDouble(options.maxFailureRate, 4));
+    if (options.retry.enabled())
+        report.log.setConfigEntry("retry", options.retry.describe());
 
     stoppingRule->reset();
     backend->setDay(options.day);
 
-    size_t run_index = 0;
-    auto logBatch = [&](const std::vector<RunResult> &results,
-                        bool warmup) {
-        for (size_t i = 0; i < results.size(); ++i) {
-            const RunResult &res = results[i];
-            record::RunRecord rec;
-            rec.run = run_index;
-            rec.instance = i;
-            rec.workload = backend->workloadName();
-            rec.backend = backend->name();
-            rec.machine = res.machineId;
-            rec.day = options.day;
-            rec.warmup = warmup;
-            rec.metrics = res.metrics;
-            report.log.add(std::move(rec));
-        }
-        ++run_index;
-    };
-
-    // Warmup rounds.
-    for (size_t w = 0; w < options.warmupRounds; ++w) {
-        auto results = backend->runBatch(options.concurrency);
-        logBatch(results, true);
-    }
-
     size_t rule_floor =
         std::max(options.minSamples, stoppingRule->minSamples());
+    size_t run_index = 0;
+    size_t completed = 0; // measured invocations with a final attempt
+    uint64_t retrySequence = 0;
+    bool done = false;
 
-    while (report.series.size() < options.maxSamples) {
-        auto results = backend->runBatch(options.concurrency);
-        logBatch(results, false);
-        ++report.rounds;
+    auto interrupted = [&]() {
+        return options.interruptFlag && options.interruptFlag->load();
+    };
 
-        for (const auto &res : results) {
-            if (!res.success) {
-                ++report.failures;
-                util::warn("run failed: %s", res.error.c_str());
-                continue;
-            }
-            double value = res.metric(options.primaryMetric);
-            if (std::isnan(value)) {
-                ++report.failures;
-                util::warn("run lacks primary metric '%s'",
-                           options.primaryMetric.c_str());
-                continue;
-            }
-            report.series.append(value);
+    auto markInterrupted = [&]() {
+        report.interrupted = true;
+        report.finalDecision = core::StopDecision::stopNow(
+            static_cast<double>(report.series.size()),
+            static_cast<double>(options.maxSamples),
+            "interrupted before completion; resumable from the journal");
+        done = true;
+    };
+
+    // Backends predating the taxonomy may report failure without a
+    // kind; successful runs missing the primary metric are unusable.
+    auto classify = [&](RunResult &res, bool warmup) {
+        if (res.success) {
+            if (!warmup && std::isnan(res.metric(options.primaryMetric)))
+                res.fail(FailureKind::UnparsableOutput,
+                         "run lacks primary metric '" +
+                             options.primaryMetric + "'");
+        } else if (res.kind == FailureKind::None) {
+            res.kind = FailureKind::BackendUnavailable;
         }
+    };
 
-        if (report.failures > options.maxFailures) {
+    auto recordOf = [&](const RunResult &res, size_t instance,
+                        size_t attempt, bool warmup) {
+        record::RunRecord rec;
+        rec.run = run_index;
+        rec.instance = instance;
+        rec.attempt = attempt;
+        rec.workload = backend->workloadName();
+        rec.backend = backend->name();
+        rec.machine = res.machineId;
+        rec.day = options.day;
+        rec.warmup = warmup;
+        rec.failure = res.kind;
+        rec.metrics = res.metrics;
+        return rec;
+    };
+
+    // Accounting for the final attempt of a measured invocation.
+    auto absorbFinal = [&](const record::RunRecord &rec) {
+        ++completed;
+        if (!rec.succeeded()) {
+            ++report.failures;
+            ++report.failuresByKind[rec.failure];
+            return;
+        }
+        auto it = rec.metrics.find(options.primaryMetric);
+        if (it != rec.metrics.end())
+            report.series.append(it->second);
+    };
+
+    // Rows of a round are grouped per instance with attempts in order,
+    // so the final attempt is the last row of its instance group.
+    auto absorbMeasuredRound =
+        [&](const std::vector<record::RunRecord> &round) {
+            for (size_t j = 0; j < round.size(); ++j) {
+                bool finalAttempt =
+                    j + 1 == round.size() ||
+                    round[j + 1].instance != round[j].instance;
+                if (finalAttempt)
+                    absorbFinal(round[j]);
+            }
+        };
+
+    // Post-round policy checks, shared by the live loop and the resume
+    // replay. Returns true when the launch is over.
+    auto roundBoundary = [&]() -> bool {
+        size_t cap = std::max<size_t>(options.maxFailures, 1);
+        bool hitCap = report.failures >= cap;
+        bool hitRate = options.maxFailureRate < 1.0 &&
+                       completed >= options.failureRateMinRuns &&
+                       static_cast<double>(report.failures) >
+                           options.maxFailureRate *
+                               static_cast<double>(completed);
+        if (hitCap || hitRate) {
             report.aborted = true;
+            std::string reason =
+                "aborted: too many failed runs for '" +
+                backend->workloadName() + "' (" +
+                std::to_string(report.failures) + "/" +
+                std::to_string(completed) + " failed" +
+                (hitRate && !hitCap ? ", rate policy" : "") +
+                "): " + record::renderKindHistogram(report.failuresByKind);
             report.finalDecision = core::StopDecision::stopNow(
                 static_cast<double>(report.failures),
-                static_cast<double>(options.maxFailures),
-                "aborted: too many failed runs");
-            return report;
+                hitCap ? static_cast<double>(cap)
+                       : options.maxFailureRate *
+                             static_cast<double>(completed),
+                reason);
+            return true;
         }
+        if (report.series.size() >= rule_floor) {
+            core::StopDecision decision =
+                stoppingRule->evaluate(report.series);
+            report.finalDecision = decision;
+            if (decision.stop) {
+                report.ruleFired = true;
+                return true;
+            }
+        }
+        return report.series.size() >= options.maxSamples;
+    };
 
-        if (report.series.size() < rule_floor)
-            continue;
+    // Resume: reload journaled rounds, fast-forward deterministic
+    // backends through the exact call pattern the original made, and
+    // replay the stopping rule at the live cadence so stateful rules
+    // (e.g. meta-rule hysteresis) regain their state.
+    size_t resumedWarmups = 0;
+    if (options.resume) {
+        const ResumeState &rs = *options.resume;
+        resumedWarmups = rs.warmupRounds;
+        run_index = rs.rounds;
+        report.rounds = rs.rounds - std::min(rs.warmupRounds, rs.rounds);
+        report.log.setConfigEntry("resumed_rounds",
+                                  std::to_string(rs.rounds));
 
-        core::StopDecision decision =
-            stoppingRule->evaluate(report.series);
-        report.finalDecision = decision;
-        if (decision.stop) {
-            report.ruleFired = true;
-            break;
+        size_t idx = 0;
+        while (idx < rs.records.size()) {
+            size_t run = rs.records[idx].run;
+            bool warmup = rs.records[idx].warmup;
+            std::vector<record::RunRecord> round;
+            for (; idx < rs.records.size() && rs.records[idx].run == run;
+                 ++idx)
+                round.push_back(rs.records[idx]);
+
+            if (backend->deterministic()) {
+                size_t firstAttempts = 0;
+                size_t retryCalls = 0;
+                for (const auto &rec : round)
+                    ++(rec.attempt == 0 ? firstAttempts : retryCalls);
+                backend->runBatch(firstAttempts);
+                for (size_t k = 0; k < retryCalls; ++k)
+                    backend->run();
+            }
+            for (const auto &rec : round) {
+                if (rec.attempt > 0) {
+                    ++report.retries;
+                    ++retrySequence; // keep the jitter stream aligned
+                }
+                report.log.add(rec);
+            }
+            if (!warmup) {
+                absorbMeasuredRound(round);
+                if (!done)
+                    done = roundBoundary();
+            }
         }
     }
 
-    if (!report.ruleFired) {
+    auto executeRound = [&](bool warmup) {
+        std::vector<RunResult> firsts =
+            backend->runBatch(options.concurrency);
+        std::vector<record::RunRecord> round;
+        for (size_t i = 0; i < options.concurrency; ++i) {
+            RunResult res =
+                i < firsts.size()
+                    ? std::move(firsts[i])
+                    : RunResult::failure(FailureKind::BackendUnavailable,
+                                         "backend returned no result");
+            classify(res, warmup);
+            size_t attempt = 0;
+            if (!res.success)
+                util::warn("run failed (%s): %s",
+                           record::failureKindName(res.kind),
+                           res.error.c_str());
+            round.push_back(recordOf(res, i, attempt, warmup));
+            while (!warmup && !res.success && options.retry.enabled() &&
+                   attempt + 1 < options.retry.maxAttempts &&
+                   options.retry.shouldRetry(res.kind)) {
+                double delay = options.retry.backoffSeconds(
+                    attempt, retrySequence++);
+                if (delay > 0.0)
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(delay));
+                res = backend->run();
+                classify(res, warmup);
+                ++attempt;
+                ++report.retries;
+                if (!res.success)
+                    util::warn("retry %zu failed (%s): %s", attempt,
+                               record::failureKindName(res.kind),
+                               res.error.c_str());
+                round.push_back(recordOf(res, i, attempt, warmup));
+            }
+        }
+        for (const auto &rec : round)
+            report.log.add(rec);
+        if (options.journal)
+            options.journal->appendRound(round);
+        ++run_index;
+        return round;
+    };
+
+    // Warmup rounds (skipping any already journaled).
+    for (size_t w = resumedWarmups;
+         !done && w < options.warmupRounds; ++w) {
+        if (interrupted()) {
+            markInterrupted();
+            break;
+        }
+        executeRound(true);
+    }
+
+    while (!done && report.series.size() < options.maxSamples) {
+        if (interrupted()) {
+            markInterrupted();
+            break;
+        }
+        std::vector<record::RunRecord> round = executeRound(false);
+        ++report.rounds;
+        absorbMeasuredRound(round);
+        done = roundBoundary();
+    }
+
+    if (!report.ruleFired && !report.aborted && !report.interrupted) {
         report.finalDecision.reason +=
             report.finalDecision.reason.empty()
                 ? "stopped at maxSamples cap"
                 : " [stopped at maxSamples cap]";
     }
 
-    report.log.setConfigEntry("stopped_by",
-                              report.ruleFired ? stoppingRule->name()
-                                               : "max-samples");
+    std::string stoppedBy = report.ruleFired  ? stoppingRule->name()
+                            : report.aborted  ? "failure-policy"
+                            : report.interrupted ? "interrupt"
+                                                 : "max-samples";
+    report.log.setConfigEntry("stopped_by", stoppedBy);
     report.log.setConfigEntry("stop_reason",
                               report.finalDecision.reason);
+    report.log.setConfigEntry("failures",
+                              std::to_string(report.failures));
+    if (report.failures > 0)
+        report.log.setConfigEntry(
+            "failure_kinds",
+            record::renderKindHistogram(report.failuresByKind));
+    if (report.retries > 0)
+        report.log.setConfigEntry("retries",
+                                  std::to_string(report.retries));
+    if (report.interrupted)
+        report.log.setConfigEntry("resumable", "true");
+    else if (options.journal)
+        options.journal->markDone();
     return report;
 }
 

@@ -11,23 +11,49 @@
  * row, appends the primary metric to the sample series, and consults
  * the stopping rule. Warmup rounds are executed, logged, and flagged,
  * but excluded from analysis ("cold- and warm-start invocations").
+ *
+ * The launcher is fault-tolerant: failed invocations are classified by
+ * FailureKind, retried per a RetryPolicy (each attempt its own tidy
+ * row), and counted against both an absolute failure cap and a
+ * failure-rate policy. With a journal attached, every completed round
+ * is persisted and fsync'd, so a killed campaign can be resumed; with
+ * an interrupt flag attached, SIGINT/SIGTERM end the launch at the
+ * next round boundary with the journal intact.
  */
 
 #ifndef SHARP_LAUNCHER_LAUNCHER_HH
 #define SHARP_LAUNCHER_LAUNCHER_HH
 
+#include <atomic>
+#include <map>
 #include <memory>
 #include <string>
 
 #include "core/experiment.hh"
 #include "core/stopping/stopping_rule.hh"
 #include "launcher/backend.hh"
+#include "launcher/retry.hh"
+#include "record/journal.hh"
 #include "record/run_log.hh"
 
 namespace sharp
 {
 namespace launcher
 {
+
+/**
+ * Completed rounds reloaded from a journal, ready to seed a resumed
+ * launch. Build one with resumeStateFromJournal() (resume.hh).
+ */
+struct ResumeState
+{
+    /** Journaled records in execution order (warmup rows included). */
+    std::vector<record::RunRecord> records;
+    /** Completed rounds, warmup included. */
+    size_t rounds = 0;
+    /** Warmup rounds among them. */
+    size_t warmupRounds = 0;
+};
 
 /** Orchestration options for one launch. */
 struct LaunchOptions
@@ -50,8 +76,31 @@ struct LaunchOptions
     int day = 0;
     /** Metric the stopping rule watches. */
     std::string primaryMetric = "execution_time";
-    /** Abort the launch after this many failed invocations. */
+    /**
+     * Abort once this many invocations have failed (after retries).
+     * Exactly maxFailures failures trigger the abort; 0 behaves like
+     * 1 (no failure tolerated).
+     */
     size_t maxFailures = 10;
+    /**
+     * Abort when the failed fraction of completed invocations exceeds
+     * this rate (evaluated once failureRateMinRuns invocations have
+     * completed). 1.0 disables the rate policy.
+     */
+    double maxFailureRate = 1.0;
+    /** Minimum completed invocations before the rate policy applies. */
+    size_t failureRateMinRuns = 20;
+    /** Retry policy applied to failed measured invocations. */
+    RetryPolicy retry;
+    /** Journal every completed round here (optional, non-owning). */
+    record::RunJournal *journal = nullptr;
+    /** Resume from these journaled rounds (optional, non-owning). */
+    const ResumeState *resume = nullptr;
+    /**
+     * Checked between rounds; when it reads true the launch stops,
+     * flushes, and reports interrupted (optional, non-owning).
+     */
+    const std::atomic<bool> *interruptFlag = nullptr;
 };
 
 /** Everything a launch produces. */
@@ -63,12 +112,18 @@ struct LaunchReport
     bool ruleFired = false;
     /** The decision that ended the launch. */
     core::StopDecision finalDecision;
-    /** Rounds executed (excluding warmup). */
+    /** Rounds executed (excluding warmup), resumed rounds included. */
     size_t rounds = 0;
-    /** Failed invocations observed. */
+    /** Invocations whose final attempt failed. */
     size_t failures = 0;
-    /** True when the launch aborted due to excessive failures. */
+    /** Failure histogram by kind (final attempts only). */
+    std::map<FailureKind, size_t> failuresByKind;
+    /** Retry attempts issued beyond first attempts. */
+    size_t retries = 0;
+    /** True when the launch aborted due to the failure policy. */
     bool aborted = false;
+    /** True when the launch was interrupted (resumable). */
+    bool interrupted = false;
     /** The complete tidy log (warmup rows included, flagged). */
     record::RunLog log;
 

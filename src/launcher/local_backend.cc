@@ -162,10 +162,13 @@ runProcessBatch(const std::vector<std::string> &argv, size_t n,
                 if (got == child.pid) {
                     child.outcome.wallSeconds =
                         clock.elapsedSeconds() - child.startSeconds;
-                    if (WIFEXITED(status))
+                    if (WIFEXITED(status)) {
                         child.outcome.exitStatus = WEXITSTATUS(status);
-                    else if (WIFSIGNALED(status))
+                    } else if (WIFSIGNALED(status)) {
+                        child.outcome.signaled = true;
+                        child.outcome.termSignal = WTERMSIG(status);
                         child.outcome.exitStatus = 128 + WTERMSIG(status);
+                    }
                     child.reaped = true;
                 } else if (got < 0 && errno != EINTR) {
                     child.outcome.error =
@@ -287,29 +290,43 @@ LocalProcessBackend::resultFromOutcome(const ProcessOutcome &outcome) const
     result.machineId = "localhost";
 
     if (!outcome.started) {
-        result.success = false;
-        result.error = outcome.error;
+        result.fail(FailureKind::SpawnError, outcome.error);
         return result;
     }
     if (outcome.timedOut) {
-        result.success = false;
-        result.error = "timed out after " +
-                       std::to_string(options.timeoutSeconds) + " s";
+        result.fail(FailureKind::Timeout,
+                    "timed out after " +
+                        std::to_string(options.timeoutSeconds) + " s");
+        return result;
+    }
+    if (outcome.signaled) {
+        result.fail(FailureKind::SignalCrash,
+                    "killed by signal " +
+                        std::to_string(outcome.termSignal));
         return result;
     }
     if (outcome.exitStatus != 0) {
-        result.success = false;
-        result.error =
-            "exited with status " + std::to_string(outcome.exitStatus);
+        // execvp reports failure through exit status 127 plus a
+        // distinctive message on the pipe; classify it as a spawn
+        // error so retry filters treat a missing binary as permanent.
+        if (outcome.exitStatus == 127 &&
+            outcome.output.find("execvp failed") != std::string::npos) {
+            result.fail(FailureKind::SpawnError,
+                        "exec failed: " + outcome.output);
+            return result;
+        }
+        result.fail(FailureKind::NonzeroExit,
+                    "exited with status " +
+                        std::to_string(outcome.exitStatus));
         return result;
     }
 
     for (const auto &spec : options.metrics) {
         auto value = spec.extract(outcome.output, outcome.wallSeconds);
         if (!value) {
-            result.success = false;
-            result.error = "metric '" + spec.name +
-                           "' could not be extracted from output";
+            result.fail(FailureKind::UnparsableOutput,
+                        "metric '" + spec.name +
+                            "' could not be extracted from output");
             return result;
         }
         result.metrics[spec.name] = *value;

@@ -80,6 +80,10 @@ struct ProcessOutcome
 {
     bool started = false;
     bool timedOut = false;
+    /** True when the child was terminated by a signal. */
+    bool signaled = false;
+    /** Terminating signal number when signaled. */
+    int termSignal = 0;
     int exitStatus = -1;
     double wallSeconds = 0.0;
     std::string output;

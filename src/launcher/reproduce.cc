@@ -5,6 +5,7 @@
 #include "json/parser.hh"
 #include "json/writer.hh"
 #include "launcher/faas_backend.hh"
+#include "launcher/local_backend.hh"
 #include "launcher/sim_backend.hh"
 #include "sim/faas.hh"
 #include "sim/machine.hh"
@@ -26,6 +27,9 @@ ReproSpec::launchOptions() const
     options.concurrency = concurrency;
     options.jobs = jobs;
     options.day = day;
+    options.maxFailures = maxFailures;
+    options.maxFailureRate = maxFailureRate;
+    options.retry = retry;
     return options;
 }
 
@@ -38,6 +42,15 @@ ReproSpec::fromJson(const json::Value &doc)
     ReproSpec spec;
     spec.backendKind = doc.getString("backend", spec.backendKind);
     spec.workload = doc.getString("workload", "");
+    if (const json::Value *argv = doc.find("argv")) {
+        if (!argv->isArray())
+            throw std::invalid_argument("'argv' must be an array");
+        for (const auto &arg : argv->asArray())
+            spec.argv.push_back(arg.asString());
+    }
+    spec.timeoutSeconds = doc.getNumber("timeout", spec.timeoutSeconds);
+    if (spec.timeoutSeconds < 0.0)
+        throw std::invalid_argument("timeout must be >= 0");
     if (const json::Value *machines = doc.find("machines")) {
         if (!machines->isArray())
             throw std::invalid_argument("'machines' must be an array");
@@ -63,6 +76,23 @@ ReproSpec::fromJson(const json::Value &doc)
     if (const json::Value *experiment = doc.find("experiment"))
         spec.experiment = core::ExperimentConfig::fromJson(*experiment);
     spec.experiment.seed = spec.seed;
+
+    long maxFailures = doc.getLong("max_failures",
+                                   static_cast<long>(spec.maxFailures));
+    if (maxFailures < 0)
+        throw std::invalid_argument("max_failures must be >= 0");
+    spec.maxFailures = static_cast<size_t>(maxFailures);
+    spec.maxFailureRate =
+        doc.getNumber("max_failure_rate", spec.maxFailureRate);
+    if (spec.maxFailureRate <= 0.0 || spec.maxFailureRate > 1.0)
+        throw std::invalid_argument(
+            "max_failure_rate must be in (0, 1]");
+    if (const json::Value *retry = doc.find("retry"))
+        spec.retry = RetryPolicy::fromJson(*retry);
+    if (const json::Value *fault = doc.find("fault")) {
+        spec.fault = FaultSpec::fromJson(*fault);
+        spec.faultEnabled = true;
+    }
     return spec;
 }
 
@@ -72,6 +102,13 @@ ReproSpec::toJson() const
     json::Value doc = json::Value::makeObject();
     doc.set("backend", backendKind);
     doc.set("workload", workload);
+    if (!argv.empty()) {
+        json::Value argv_list = json::Value::makeArray();
+        for (const auto &arg : argv)
+            argv_list.append(arg);
+        doc.set("argv", std::move(argv_list));
+        doc.set("timeout", timeoutSeconds);
+    }
     json::Value machine_list = json::Value::makeArray();
     for (const auto &machine : machines)
         machine_list.append(machine);
@@ -81,6 +118,13 @@ ReproSpec::toJson() const
     doc.set("concurrency", concurrency);
     doc.set("jobs", jobs);
     doc.set("experiment", experiment.toJson());
+    doc.set("max_failures", maxFailures);
+    if (maxFailureRate < 1.0)
+        doc.set("max_failure_rate", maxFailureRate);
+    if (retry.enabled())
+        doc.set("retry", retry.toJson());
+    if (faultEnabled)
+        doc.set("fault", fault.toJson());
     return doc;
 }
 
@@ -98,6 +142,25 @@ annotate(record::RunLog &log, const ReproSpec &spec)
     log.setConfigEntry("repro_jobs", std::to_string(spec.jobs));
     log.setConfigEntry("repro_experiment",
                        json::write(spec.experiment.toJson()));
+    if (!spec.argv.empty()) {
+        json::Value argv_list = json::Value::makeArray();
+        for (const auto &arg : spec.argv)
+            argv_list.append(arg);
+        log.setConfigEntry("repro_argv", json::write(argv_list));
+        log.setConfigEntry("repro_timeout",
+                           util::formatDouble(spec.timeoutSeconds, 6));
+    }
+    log.setConfigEntry("repro_max_failures",
+                       std::to_string(spec.maxFailures));
+    if (spec.maxFailureRate < 1.0)
+        log.setConfigEntry("repro_max_failure_rate",
+                           util::formatDouble(spec.maxFailureRate, 6));
+    if (spec.retry.enabled())
+        log.setConfigEntry("repro_retry",
+                           json::write(spec.retry.toJson()));
+    if (spec.faultEnabled)
+        log.setConfigEntry("repro_fault",
+                           json::write(spec.fault.toJson()));
 }
 
 ReproSpec
@@ -140,12 +203,57 @@ reproSpecFromMetadata(const record::MetadataDocument &doc)
     }
     spec.experiment = core::ExperimentConfig::fromJson(
         json::parse(require("repro_experiment")));
+    if (auto argv_entry = doc.get(sec, "repro_argv")) {
+        for (const auto &arg : json::parse(*argv_entry).asArray())
+            spec.argv.push_back(arg.asString());
+        if (auto timeout = doc.get(sec, "repro_timeout")) {
+            auto parsed = util::parseDouble(*timeout);
+            if (!parsed || *parsed < 0.0)
+                throw std::invalid_argument(
+                    "malformed repro_timeout entry");
+            spec.timeoutSeconds = *parsed;
+        }
+    }
+    // Optional for metadata recorded before the fault-tolerance layer.
+    if (auto max_failures = doc.get(sec, "repro_max_failures")) {
+        auto parsed = util::parseLong(*max_failures);
+        if (!parsed || *parsed < 0)
+            throw std::invalid_argument(
+                "malformed repro_max_failures entry");
+        spec.maxFailures = static_cast<size_t>(*parsed);
+    }
+    if (auto rate = doc.get(sec, "repro_max_failure_rate")) {
+        auto parsed = util::parseDouble(*rate);
+        if (!parsed || *parsed <= 0.0 || *parsed > 1.0)
+            throw std::invalid_argument(
+                "malformed repro_max_failure_rate entry");
+        spec.maxFailureRate = *parsed;
+    }
+    if (auto retry = doc.get(sec, "repro_retry"))
+        spec.retry = RetryPolicy::fromJson(json::parse(*retry));
+    if (auto fault = doc.get(sec, "repro_fault")) {
+        spec.fault = FaultSpec::fromJson(json::parse(*fault));
+        spec.faultEnabled = true;
+    }
     return spec;
 }
 
-std::shared_ptr<Backend>
-makeBackend(const ReproSpec &spec)
+namespace
 {
+
+std::shared_ptr<Backend>
+makeInnerBackend(const ReproSpec &spec)
+{
+    if (spec.backendKind == "local") {
+        if (spec.argv.empty())
+            throw std::invalid_argument(
+                "local backend requires a non-empty 'argv'");
+        LocalProcessBackend::Options options;
+        options.timeoutSeconds = spec.timeoutSeconds;
+        options.workload = spec.workload;
+        return std::make_shared<LocalProcessBackend>(spec.argv,
+                                                     options);
+    }
     if (spec.machines.empty())
         throw std::invalid_argument("ReproSpec requires >= 1 machine");
 
@@ -171,6 +279,18 @@ makeBackend(const ReproSpec &spec)
     }
     throw std::invalid_argument("unknown reproduction backend kind '" +
                                 spec.backendKind + "'");
+}
+
+} // namespace
+
+std::shared_ptr<Backend>
+makeBackend(const ReproSpec &spec)
+{
+    std::shared_ptr<Backend> backend = makeInnerBackend(spec);
+    if (spec.faultEnabled)
+        backend = std::make_shared<FaultInjectingBackend>(
+            std::move(backend), spec.fault);
+    return backend;
 }
 
 Launcher

@@ -24,7 +24,9 @@
 #include "core/config.hh"
 #include "json/value.hh"
 #include "launcher/backend.hh"
+#include "launcher/fault_backend.hh"
 #include "launcher/launcher.hh"
+#include "launcher/retry.hh"
 #include "record/metadata.hh"
 #include "record/run_log.hh"
 
@@ -36,10 +38,14 @@ namespace launcher
 /** Everything needed to recreate an experiment. */
 struct ReproSpec
 {
-    /** Backend kind: "sim", "sim-phased", or "faas". */
+    /** Backend kind: "sim", "sim-phased", "faas", or "local". */
     std::string backendKind = "sim";
     /** Workload (Rodinia benchmark) name; unused for sim-phased. */
     std::string workload;
+    /** Command line for the "local" backend. */
+    std::vector<std::string> argv;
+    /** Per-run timeout for the "local" backend (0 = none). */
+    double timeoutSeconds = 60.0;
     /** Machine ids; one for sim backends, the workers for faas. */
     std::vector<std::string> machines;
     /** Environment day. */
@@ -56,6 +62,16 @@ struct ReproSpec
     size_t jobs = 1;
     /** Stopping rule + sampling bounds. */
     core::ExperimentConfig experiment;
+    /** Failure cap: abort after exactly this many final failures. */
+    size_t maxFailures = 10;
+    /** Failure-rate cap; 1.0 disables the rate policy. */
+    double maxFailureRate = 1.0;
+    /** Retry policy for failed invocations. */
+    RetryPolicy retry;
+    /** Fault-injection schedule wrapped around the backend. */
+    FaultSpec fault;
+    /** True when the fault-injection wrapper is active. */
+    bool faultEnabled = false;
 
     /** Launch options equivalent to this spec. */
     LaunchOptions launchOptions() const;

@@ -1,0 +1,136 @@
+#include "launcher/retry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/xoshiro.hh"
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+bool
+RetryPolicy::shouldRetry(record::FailureKind kind) const
+{
+    if (kind == record::FailureKind::None)
+        return false;
+    if (retryableKinds.empty())
+        return true;
+    return std::find(retryableKinds.begin(), retryableKinds.end(),
+                     kind) != retryableKinds.end();
+}
+
+double
+RetryPolicy::backoffSeconds(size_t retryIndex, uint64_t sequence) const
+{
+    if (backoffBaseSeconds <= 0.0)
+        return 0.0;
+    double delay = backoffBaseSeconds *
+                   std::pow(backoffMultiplier,
+                            static_cast<double>(retryIndex));
+    delay = std::min(delay, maxBackoffSeconds);
+    if (jitterFraction > 0.0) {
+        // One SplitMix64 output per (sequence, retryIndex) pair; a
+        // pure function of the seed so reproductions wait identically.
+        rng::SplitMix64 mix(jitterSeed ^
+                            (sequence * 0x9E3779B97F4A7C15ULL +
+                             retryIndex));
+        double unit = static_cast<double>(mix.next() >> 11) *
+                      0x1.0p-53; // [0, 1)
+        delay *= 1.0 + jitterFraction * (2.0 * unit - 1.0);
+    }
+    return std::max(delay, 0.0);
+}
+
+void
+RetryPolicy::validate() const
+{
+    if (maxAttempts < 1)
+        throw std::invalid_argument("retry attempts must be >= 1");
+    if (backoffBaseSeconds < 0.0 || maxBackoffSeconds < 0.0)
+        throw std::invalid_argument("retry backoff must be >= 0");
+    if (backoffMultiplier < 1.0)
+        throw std::invalid_argument("retry multiplier must be >= 1");
+    if (jitterFraction < 0.0 || jitterFraction > 1.0)
+        throw std::invalid_argument("retry jitter must be in [0, 1]");
+}
+
+RetryPolicy
+RetryPolicy::fromJson(const json::Value &doc)
+{
+    if (!doc.isObject())
+        throw std::invalid_argument("retry policy must be an object");
+    RetryPolicy policy;
+    long attempts = doc.getLong("attempts", 1);
+    if (attempts < 1)
+        throw std::invalid_argument("retry attempts must be >= 1");
+    policy.maxAttempts = static_cast<size_t>(attempts);
+    policy.backoffBaseSeconds =
+        doc.getNumber("backoff", policy.backoffBaseSeconds);
+    policy.backoffMultiplier =
+        doc.getNumber("multiplier", policy.backoffMultiplier);
+    policy.maxBackoffSeconds =
+        doc.getNumber("max_backoff", policy.maxBackoffSeconds);
+    policy.jitterFraction =
+        doc.getNumber("jitter", policy.jitterFraction);
+    long seed = doc.getLong("jitter_seed",
+                            static_cast<long>(policy.jitterSeed));
+    if (seed < 0)
+        throw std::invalid_argument("retry jitter_seed must be >= 0");
+    policy.jitterSeed = static_cast<uint64_t>(seed);
+    if (const json::Value *kinds = doc.find("kinds")) {
+        if (!kinds->isArray())
+            throw std::invalid_argument(
+                "retry 'kinds' must be an array");
+        for (const auto &kind : kinds->asArray())
+            policy.retryableKinds.push_back(
+                record::failureKindFromName(kind.asString()));
+    }
+    policy.validate();
+    return policy;
+}
+
+json::Value
+RetryPolicy::toJson() const
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("attempts", maxAttempts);
+    doc.set("backoff", backoffBaseSeconds);
+    doc.set("multiplier", backoffMultiplier);
+    doc.set("max_backoff", maxBackoffSeconds);
+    doc.set("jitter", jitterFraction);
+    doc.set("jitter_seed", static_cast<double>(jitterSeed));
+    if (!retryableKinds.empty()) {
+        json::Value kinds = json::Value::makeArray();
+        for (record::FailureKind kind : retryableKinds)
+            kinds.append(record::failureKindName(kind));
+        doc.set("kinds", std::move(kinds));
+    }
+    return doc;
+}
+
+std::string
+RetryPolicy::describe() const
+{
+    if (!enabled())
+        return "disabled";
+    std::string out = "attempts=" + std::to_string(maxAttempts) +
+                      " backoff=" +
+                      util::formatDouble(backoffBaseSeconds, 3) + "s x" +
+                      util::formatDouble(backoffMultiplier, 2);
+    if (jitterFraction > 0.0)
+        out += " jitter=" + util::formatDouble(jitterFraction, 2);
+    if (!retryableKinds.empty()) {
+        std::vector<std::string> names;
+        for (record::FailureKind kind : retryableKinds)
+            names.push_back(record::failureKindName(kind));
+        out += " kinds=" + util::join(names, ",");
+    }
+    return out;
+}
+
+} // namespace launcher
+} // namespace sharp

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-run retry policies.
+ *
+ * Continuous-benchmarking deployments survive real fleets by retrying
+ * transient failures (flaky exits, timeouts) while giving up fast on
+ * permanent ones (a missing binary). A RetryPolicy is applied by the
+ * Launcher to every failed invocation: up to maxAttempts total tries,
+ * exponential backoff between them, and a deterministic seeded jitter
+ * so two runs with the same seed — an original and its reproduction —
+ * wait the exact same delays. Every attempt is logged as its own tidy
+ * row with its attempt index and failure kind.
+ */
+
+#ifndef SHARP_LAUNCHER_RETRY_HH
+#define SHARP_LAUNCHER_RETRY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/value.hh"
+#include "record/failure.hh"
+
+namespace sharp
+{
+namespace launcher
+{
+
+/** When and how failed invocations are retried. */
+struct RetryPolicy
+{
+    /** Total tries per invocation (1 = no retry). */
+    size_t maxAttempts = 1;
+    /** Delay before the first retry; 0 disables waiting entirely. */
+    double backoffBaseSeconds = 0.0;
+    /** Backoff growth factor per subsequent retry (>= 1). */
+    double backoffMultiplier = 2.0;
+    /** Ceiling on any single delay. */
+    double maxBackoffSeconds = 30.0;
+    /** Jitter amplitude as a fraction of the delay, in [0, 1]. */
+    double jitterFraction = 0.0;
+    /** Seed of the deterministic jitter stream. */
+    uint64_t jitterSeed = 1;
+    /**
+     * Kinds worth retrying; empty = every failure kind. A kind not in
+     * the filter fails the invocation on its first attempt.
+     */
+    std::vector<record::FailureKind> retryableKinds;
+
+    /** True when the policy can ever retry. */
+    bool enabled() const { return maxAttempts > 1; }
+
+    /** True when @p kind passes the retryable-kind filter. */
+    bool shouldRetry(record::FailureKind kind) const;
+
+    /**
+     * Delay before retry number @p retryIndex (0-based) of the
+     * @p sequence-th retried invocation of the campaign. The jitter is
+     * a pure function of (jitterSeed, sequence, retryIndex), so a
+     * reproduction replays identical waits.
+     */
+    double backoffSeconds(size_t retryIndex, uint64_t sequence) const;
+
+    /** Validate invariants. @throws std::invalid_argument. */
+    void validate() const;
+
+    /**
+     * Parse from JSON, e.g.
+     * {"attempts": 3, "backoff": 0.25, "multiplier": 2,
+     *  "max_backoff": 10, "jitter": 0.1, "jitter_seed": 7,
+     *  "kinds": ["timeout", "nonzero-exit"]}
+     * @throws std::invalid_argument on malformed documents.
+     */
+    static RetryPolicy fromJson(const json::Value &doc);
+
+    /** Serialize to JSON (round-trips through fromJson). */
+    json::Value toJson() const;
+
+    /** One-line human-readable summary for metadata/logs. */
+    std::string describe() const;
+};
+
+} // namespace launcher
+} // namespace sharp
+
+#endif // SHARP_LAUNCHER_RETRY_HH

@@ -40,6 +40,7 @@ class SimBackend : public Backend
     std::string workloadName() const override;
     RunResult run() override;
     void setDay(int day) override;
+    bool deterministic() const override { return true; }
 
     /** Current environment day. */
     int day() const { return currentDay; }
@@ -67,6 +68,7 @@ class PhasedSimBackend : public Backend
     std::string name() const override { return "sim-phased"; }
     std::string workloadName() const override { return "leukocyte"; }
     RunResult run() override;
+    bool deterministic() const override { return true; }
 
   private:
     sim::MachineSpec machine;

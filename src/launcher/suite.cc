@@ -24,7 +24,8 @@ SuiteReport::savedVersusFixed(size_t fixedRuns) const
 
 SuiteReport
 runSuite(const std::vector<SuiteEntry> &entries,
-         const core::ExperimentConfig &config, int day, size_t jobs)
+         const core::ExperimentConfig &config, int day, size_t jobs,
+         const RetryPolicy &retry)
 {
     SuiteReport report;
     report.outcomes.resize(entries.size());
@@ -45,12 +46,16 @@ runSuite(const std::vector<SuiteEntry> &entries,
             spec.seed = config.seed;
             spec.jobs = jobs;
             spec.experiment = config;
+            spec.retry = retry;
 
             Launcher launcher = makeLauncher(spec);
             LaunchReport launch = launcher.launch();
             outcome.series = std::move(launch.series);
             outcome.ruleFired = launch.ruleFired;
             outcome.stopReason = launch.finalDecision.reason;
+            outcome.runFailures = launch.failures;
+            outcome.retries = launch.retries;
+            outcome.aborted = launch.aborted;
         } catch (const std::exception &ex) {
             outcome.failed = true;
             outcome.error = ex.what();
@@ -59,10 +64,13 @@ runSuite(const std::vector<SuiteEntry> &entries,
     });
 
     for (const auto &outcome : report.outcomes) {
-        if (outcome.failed)
+        if (outcome.failed) {
             ++report.failures;
-        else
+        } else {
             report.totalRuns += outcome.series.size();
+            report.runFailures += outcome.runFailures;
+            report.retries += outcome.retries;
+        }
     }
     return report;
 }

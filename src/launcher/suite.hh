@@ -39,6 +39,12 @@ struct SuiteOutcome
     bool ruleFired = false;
     /** Why the entry stopped. */
     std::string stopReason;
+    /** Invocations whose final attempt failed. */
+    size_t runFailures = 0;
+    /** Retry attempts issued for this entry. */
+    size_t retries = 0;
+    /** True when the entry aborted under the failure policy. */
+    bool aborted = false;
     /** True when the entry failed to run (error recorded instead). */
     bool failed = false;
     /** Error description when failed. */
@@ -53,6 +59,10 @@ struct SuiteReport
     size_t totalRuns = 0;
     /** Entries that failed to execute. */
     size_t failures = 0;
+    /** Failed invocations summed over entries that ran. */
+    size_t runFailures = 0;
+    /** Retry attempts summed over entries that ran. */
+    size_t retries = 0;
 
     /** Fraction of the fixed-N budget saved, for Fig. 1b-style math. */
     double savedVersusFixed(size_t fixedRuns) const;
@@ -75,10 +85,11 @@ struct SuiteReport
  * @param config    stopping rule + sampling bounds (+ seed)
  * @param day       environment day for every entry
  * @param jobs      concurrent entries (1 = serial, the default)
+ * @param retry     retry policy applied inside every entry's launcher
  */
 SuiteReport runSuite(const std::vector<SuiteEntry> &entries,
                      const core::ExperimentConfig &config, int day = 0,
-                     size_t jobs = 1);
+                     size_t jobs = 1, const RetryPolicy &retry = {});
 
 /** The full 20-benchmark Rodinia suite on one machine. */
 std::vector<SuiteEntry> rodiniaSuite(const std::string &machine);

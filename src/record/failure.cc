@@ -1,0 +1,73 @@
+#include "record/failure.hh"
+
+#include <stdexcept>
+
+namespace sharp
+{
+namespace record
+{
+
+const std::vector<FailureKind> &
+allFailureKinds()
+{
+    static const std::vector<FailureKind> kinds = {
+        FailureKind::SpawnError,   FailureKind::NonzeroExit,
+        FailureKind::SignalCrash,  FailureKind::Timeout,
+        FailureKind::UnparsableOutput,
+        FailureKind::BackendUnavailable,
+    };
+    return kinds;
+}
+
+const char *
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+    case FailureKind::None:
+        return "none";
+    case FailureKind::SpawnError:
+        return "spawn-error";
+    case FailureKind::NonzeroExit:
+        return "nonzero-exit";
+    case FailureKind::SignalCrash:
+        return "signal-crash";
+    case FailureKind::Timeout:
+        return "timeout";
+    case FailureKind::UnparsableOutput:
+        return "unparsable-output";
+    case FailureKind::BackendUnavailable:
+        return "backend-unavailable";
+    }
+    return "none";
+}
+
+FailureKind
+failureKindFromName(const std::string &name)
+{
+    if (name == "none" || name.empty())
+        return FailureKind::None;
+    for (FailureKind kind : allFailureKinds()) {
+        if (name == failureKindName(kind))
+            return kind;
+    }
+    throw std::invalid_argument("unknown failure kind '" + name + "'");
+}
+
+std::string
+renderKindHistogram(const std::map<FailureKind, size_t> &counts)
+{
+    std::string out;
+    for (const auto &[kind, count] : counts) {
+        if (count == 0)
+            continue;
+        if (!out.empty())
+            out += ' ';
+        out += failureKindName(kind);
+        out += '=';
+        out += std::to_string(count);
+    }
+    return out;
+}
+
+} // namespace record
+} // namespace sharp

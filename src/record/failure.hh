@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The failure taxonomy.
+ *
+ * A trustworthy performance distribution requires knowing not just
+ * *that* runs failed but *how*: a timeout means something different
+ * from a crash, and a retry policy must distinguish transient kinds
+ * (flaky exits, timeouts) from permanent ones (a missing binary). The
+ * taxonomy lives in the record layer because every failed invocation
+ * is logged as its own tidy row — the `failure` CSV column and the
+ * metadata field dictionary both speak these names.
+ */
+
+#ifndef SHARP_RECORD_FAILURE_HH
+#define SHARP_RECORD_FAILURE_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace record
+{
+
+/** How an invocation ended. */
+enum class FailureKind
+{
+    /** The run succeeded and produced all required metrics. */
+    None,
+    /** The process could not be started (fork/pipe/exec failure). */
+    SpawnError,
+    /** The program ran to completion but returned a nonzero status. */
+    NonzeroExit,
+    /** The program was terminated by a signal (crash, OOM kill). */
+    SignalCrash,
+    /** The run exceeded its time budget and was killed. */
+    Timeout,
+    /** Output was produced but a required metric could not be parsed. */
+    UnparsableOutput,
+    /** The execution backend itself was unreachable or unusable. */
+    BackendUnavailable,
+};
+
+/** All failure kinds (excluding None), for iteration in tests/docs. */
+const std::vector<FailureKind> &allFailureKinds();
+
+/** Stable lowercase name, e.g. "timeout", "signal-crash"; "none" for None. */
+const char *failureKindName(FailureKind kind);
+
+/**
+ * Parse a name produced by failureKindName().
+ * @throws std::invalid_argument for unknown names.
+ */
+FailureKind failureKindFromName(const std::string &name);
+
+/**
+ * Render a kind histogram as "timeout=3 signal-crash=1" (insertion
+ * order of the map, i.e. enum order). Empty string for an empty map.
+ */
+std::string renderKindHistogram(const std::map<FailureKind, size_t> &counts);
+
+} // namespace record
+} // namespace sharp
+
+#endif // SHARP_RECORD_FAILURE_HH

@@ -1,0 +1,186 @@
+#include "record/journal.hh"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "json/parser.hh"
+#include "json/writer.hh"
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace record
+{
+
+RunJournal::RunJournal(std::string path_in) : filePath(std::move(path_in))
+{
+    file = std::fopen(filePath.c_str(), "ab");
+    if (!file) {
+        throw std::runtime_error("cannot open journal '" + filePath +
+                                 "': " + std::strerror(errno));
+    }
+}
+
+RunJournal::~RunJournal()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+RunJournal::appendLine(const std::string &line)
+{
+    if (std::fwrite(line.data(), 1, line.size(), file) != line.size() ||
+        std::fputc('\n', file) == EOF || std::fflush(file) != 0) {
+        throw std::runtime_error("journal write failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    // The fsync is the crash-safety contract: once appendRound
+    // returns, the round survives SIGKILL and power loss.
+    if (fsync(fileno(file)) != 0) {
+        throw std::runtime_error("journal fsync failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+}
+
+void
+RunJournal::writeSpec(const json::Value &spec)
+{
+    json::Value line = json::Value::makeObject();
+    line.set("type", "spec");
+    line.set("spec", spec);
+    appendLine(json::write(line));
+}
+
+void
+RunJournal::appendRound(const std::vector<RunRecord> &records)
+{
+    json::Value line = json::Value::makeObject();
+    line.set("type", "round");
+    if (!records.empty()) {
+        line.set("run", records.front().run);
+        line.set("warmup", records.front().warmup);
+    }
+    json::Value list = json::Value::makeArray();
+    for (const auto &record : records)
+        list.append(recordToJson(record));
+    line.set("records", std::move(list));
+    appendLine(json::write(line));
+}
+
+void
+RunJournal::markDone()
+{
+    json::Value line = json::Value::makeObject();
+    line.set("type", "done");
+    appendLine(json::write(line));
+}
+
+json::Value
+recordToJson(const RunRecord &record)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("run", record.run);
+    doc.set("instance", record.instance);
+    doc.set("attempt", record.attempt);
+    doc.set("workload", record.workload);
+    doc.set("backend", record.backend);
+    doc.set("machine", record.machine);
+    doc.set("day", record.day);
+    doc.set("warmup", record.warmup);
+    doc.set("failure", failureKindName(record.failure));
+    json::Value metrics = json::Value::makeObject();
+    for (const auto &[name, value] : record.metrics)
+        metrics.set(name, value);
+    doc.set("metrics", std::move(metrics));
+    return doc;
+}
+
+RunRecord
+recordFromJson(const json::Value &doc)
+{
+    if (!doc.isObject())
+        throw std::runtime_error("journal record must be an object");
+    RunRecord record;
+    record.run = static_cast<size_t>(doc.getLong("run", 0));
+    record.instance = static_cast<size_t>(doc.getLong("instance", 0));
+    record.attempt = static_cast<size_t>(doc.getLong("attempt", 0));
+    record.workload = doc.getString("workload", "");
+    record.backend = doc.getString("backend", "");
+    record.machine = doc.getString("machine", "");
+    record.day = static_cast<int>(doc.getLong("day", 0));
+    record.warmup = doc.getBool("warmup", false);
+    record.failure =
+        failureKindFromName(doc.getString("failure", "none"));
+    if (const json::Value *metrics = doc.find("metrics")) {
+        for (const auto &[name, value] : metrics->members())
+            record.metrics[name] = value.asNumber();
+    }
+    return record;
+}
+
+JournalContents
+readJournal(const std::string &path)
+{
+    std::FILE *in = std::fopen(path.c_str(), "rb");
+    if (!in) {
+        throw std::runtime_error("cannot read journal '" + path +
+                                 "': " + std::strerror(errno));
+    }
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), in)) > 0)
+        text.append(buf, got);
+    std::fclose(in);
+
+    JournalContents contents;
+    auto lines = util::split(text, '\n');
+    // A healthy journal ends with a newline, so the final split field
+    // is empty; anything else is a torn trailing line.
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &line = lines[i];
+        if (line.empty())
+            continue;
+        bool last = true;
+        for (size_t j = i + 1; j < lines.size(); ++j)
+            last &= lines[j].empty();
+        json::Value doc;
+        try {
+            doc = json::parse(line);
+        } catch (const std::exception &) {
+            if (last) {
+                contents.truncated = true;
+                break;
+            }
+            throw std::runtime_error(
+                "malformed journal line " + std::to_string(i + 1) +
+                " in '" + path + "'");
+        }
+        std::string type = doc.getString("type", "");
+        if (type == "spec") {
+            if (const json::Value *spec = doc.find("spec"))
+                contents.spec = *spec;
+        } else if (type == "round") {
+            ++contents.rounds;
+            if (doc.getBool("warmup", false))
+                ++contents.warmupRounds;
+            if (const json::Value *records = doc.find("records")) {
+                for (const auto &entry : records->asArray())
+                    contents.records.push_back(recordFromJson(entry));
+            }
+        } else if (type == "done") {
+            contents.done = true;
+        } else {
+            throw std::runtime_error("unknown journal line type '" +
+                                     type + "' in '" + path + "'");
+        }
+    }
+    return contents;
+}
+
+} // namespace record
+} // namespace sharp

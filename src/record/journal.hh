@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The crash-safe run journal.
+ *
+ * Long unattended campaigns are exactly the regime SHARP targets, and
+ * an interrupted campaign must not throw away every completed sample.
+ * The journal is an append-only JSON-lines file: the first line holds
+ * the full reproduction spec, each following line holds one completed
+ * round (warmup rounds included, flagged), and a final marker line
+ * records a clean finish. Every round append is flushed and fsync'd
+ * before the launcher proceeds, so after SIGKILL the journal holds
+ * every round whose append returned — the unit of loss is at most the
+ * round in flight.
+ *
+ * The reader tolerates a torn trailing line (a crash mid-write) by
+ * discarding it, which is what makes `sharp run --resume` safe to
+ * point at the journal of a killed process.
+ */
+
+#ifndef SHARP_RECORD_JOURNAL_HH
+#define SHARP_RECORD_JOURNAL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "json/value.hh"
+#include "record/run_log.hh"
+
+namespace sharp
+{
+namespace record
+{
+
+/**
+ * Append-only writer. One journal = one experiment execution (a
+ * resumed run re-opens the same file in append mode and continues).
+ */
+class RunJournal
+{
+  public:
+    /**
+     * Open @p path for appending (created if missing).
+     * @throws std::runtime_error when the file cannot be opened.
+     */
+    explicit RunJournal(std::string path);
+    ~RunJournal();
+
+    RunJournal(const RunJournal &) = delete;
+    RunJournal &operator=(const RunJournal &) = delete;
+
+    /** Write the spec header line (only for fresh journals). */
+    void writeSpec(const json::Value &spec);
+
+    /**
+     * Append one completed round and fsync. All records must share
+     * the same run index.
+     */
+    void appendRound(const std::vector<RunRecord> &records);
+
+    /** Append the clean-completion marker and fsync. */
+    void markDone();
+
+    /** Path the journal writes to. */
+    const std::string &path() const { return filePath; }
+
+  private:
+    void appendLine(const std::string &line);
+
+    std::string filePath;
+    std::FILE *file = nullptr;
+};
+
+/** Everything a journal file holds, parsed back. */
+struct JournalContents
+{
+    /** The reproduction spec from the header line (null if absent). */
+    json::Value spec;
+    /** Every journaled record, in execution order. */
+    std::vector<RunRecord> records;
+    /** Number of complete rounds journaled (incl. warmup rounds). */
+    size_t rounds = 0;
+    /** Warmup rounds among them. */
+    size_t warmupRounds = 0;
+    /** True when the clean-completion marker is present. */
+    bool done = false;
+    /** True when a torn trailing line was discarded. */
+    bool truncated = false;
+};
+
+/**
+ * Read a journal written by RunJournal. A torn trailing line (crash
+ * mid-write) is discarded and flagged rather than treated as an error.
+ * @throws std::runtime_error when the file cannot be read or a
+ *         non-trailing line is malformed.
+ */
+JournalContents readJournal(const std::string &path);
+
+/** Serialize one record to its journal JSON object (round-trips). */
+json::Value recordToJson(const RunRecord &record);
+
+/** Parse a record serialized by recordToJson(). */
+RunRecord recordFromJson(const json::Value &doc);
+
+} // namespace record
+} // namespace sharp
+
+#endif // SHARP_RECORD_JOURNAL_HH

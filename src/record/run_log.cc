@@ -71,7 +71,7 @@ RunLog::primaryValues() const
 {
     std::vector<double> out;
     for (const auto &record : entries) {
-        if (record.warmup)
+        if (record.warmup || !record.succeeded())
             continue;
         auto it = record.metrics.find(primary);
         if (it != record.metrics.end())
@@ -84,9 +84,9 @@ CsvTable
 RunLog::toCsv() const
 {
     std::vector<std::string> metrics = metricNames();
-    std::vector<std::string> columns = {"run",     "instance", "workload",
-                                        "backend", "machine",  "day",
-                                        "warmup"};
+    std::vector<std::string> columns = {
+        "run",     "instance", "attempt", "workload", "backend",
+        "machine", "day",      "warmup",  "failure"};
     for (const auto &metric : metrics)
         columns.push_back(metric);
 
@@ -95,11 +95,13 @@ RunLog::toCsv() const
         std::vector<std::string> row = {
             std::to_string(record.run),
             std::to_string(record.instance),
+            std::to_string(record.attempt),
             record.workload,
             record.backend,
             record.machine,
             std::to_string(record.day),
             record.warmup ? "true" : "false",
+            failureKindName(record.failure),
         };
         for (const auto &metric : metrics) {
             auto it = record.metrics.find(metric);
@@ -133,12 +135,19 @@ RunLog::toMetadata() const
     doc.set(fields, "run", "0-based repetition index of the experiment");
     doc.set(fields, "instance",
             "0-based concurrent instance index within a run");
+    doc.set(fields, "attempt",
+            "0-based attempt index; retried invocations log one row "
+            "per attempt");
     doc.set(fields, "workload", "benchmark or function name");
     doc.set(fields, "backend", "execution backend that served the run");
     doc.set(fields, "machine", "machine or worker identifier");
     doc.set(fields, "day", "environment day index (simulated runs)");
     doc.set(fields, "warmup",
             "true for discarded warmup runs (excluded from analysis)");
+    doc.set(fields, "failure",
+            "failure taxonomy kind: none, spawn-error, nonzero-exit, "
+            "signal-crash, timeout, unparsable-output, "
+            "backend-unavailable");
     for (const auto &metric : metricNames()) {
         auto it = metricDocs.find(metric);
         doc.set(fields, metric,

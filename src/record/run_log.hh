@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "record/csv.hh"
+#include "record/failure.hh"
 #include "record/metadata.hh"
 #include "record/sysinfo.hh"
 
@@ -30,6 +31,8 @@ struct RunRecord
     size_t run = 0;
     /** 0-based concurrent-instance index within the run. */
     size_t instance = 0;
+    /** 0-based attempt index for this instance (retries append rows). */
+    size_t attempt = 0;
     /** Workload (benchmark/function) name. */
     std::string workload;
     /** Backend name, e.g. "sim", "local", "faas". */
@@ -40,8 +43,13 @@ struct RunRecord
     int day = 0;
     /** True for discarded warmup runs (still logged, flagged). */
     bool warmup = false;
+    /** How the invocation ended (None for successful runs). */
+    FailureKind failure = FailureKind::None;
     /** Metric name -> value; must include the primary metric. */
     std::map<std::string, double> metrics;
+
+    /** Convenience: true when the invocation did not fail. */
+    bool succeeded() const { return failure == FailureKind::None; }
 };
 
 /**

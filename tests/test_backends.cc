@@ -13,6 +13,7 @@
 #include "launcher/metrics.hh"
 #include "launcher/sim_backend.hh"
 #include "json/parser.hh"
+#include "record/failure.hh"
 #include "sim/machine.hh"
 #include "sim/rodinia.hh"
 #include "util/time_utils.hh"
@@ -22,6 +23,7 @@ namespace
 
 using namespace sharp::launcher;
 using namespace sharp::sim;
+using sharp::record::FailureKind;
 namespace json = sharp::json;
 
 TEST(SimBackend, ProducesExecutionTimeMetric)
@@ -153,6 +155,7 @@ TEST(LocalBackend, FailsWhenMetricMissingFromOutput)
     LocalProcessBackend backend({"/bin/sh", "-c", "echo nothing"}, opts);
     RunResult res = backend.run();
     EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.kind, FailureKind::UnparsableOutput);
     EXPECT_NE(res.error.find("missing"), std::string::npos);
 }
 
@@ -161,6 +164,7 @@ TEST(LocalBackend, NonZeroExitIsFailure)
     LocalProcessBackend backend({"/bin/sh", "-c", "exit 3"});
     RunResult res = backend.run();
     EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.kind, FailureKind::NonzeroExit);
     EXPECT_NE(res.error.find("3"), std::string::npos);
 }
 
@@ -169,6 +173,9 @@ TEST(LocalBackend, MissingBinaryIsFailure)
     LocalProcessBackend backend({"/no/such/binary-xyz"});
     RunResult res = backend.run();
     EXPECT_FALSE(res.success);
+    // execvp failure surfaces as exit 127 in the child; the backend
+    // classifies it back into a spawn error.
+    EXPECT_EQ(res.kind, FailureKind::SpawnError);
 }
 
 TEST(LocalBackend, TimeoutKillsRunaway)
@@ -178,7 +185,25 @@ TEST(LocalBackend, TimeoutKillsRunaway)
     LocalProcessBackend backend({"/bin/sh", "-c", "sleep 5"}, opts);
     RunResult res = backend.run();
     EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.kind, FailureKind::Timeout);
     EXPECT_NE(res.error.find("timed out"), std::string::npos);
+}
+
+TEST(LocalBackend, SignalDeathIsClassifiedAsCrash)
+{
+    LocalProcessBackend backend({"/bin/sh", "-c", "kill -SEGV $$"});
+    RunResult res = backend.run();
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.kind, FailureKind::SignalCrash);
+    EXPECT_NE(res.error.find("signal"), std::string::npos);
+}
+
+TEST(LocalBackend, SuccessHasNoFailureKind)
+{
+    LocalProcessBackend backend({"/bin/true"});
+    RunResult res = backend.run();
+    ASSERT_TRUE(res.success) << res.error;
+    EXPECT_EQ(res.kind, FailureKind::None);
 }
 
 TEST(LocalBackend, RejectsEmptyCommand)

@@ -152,6 +152,88 @@ TEST(Cli, RunRejectsUnknownWorkload)
     EXPECT_NE(result.err.find("error:"), std::string::npos);
 }
 
+TEST(Cli, RunRejectsBadRetryFlags)
+{
+    CliResult result = run({"run", "--workload", "bfs", "--retries",
+                            "many"});
+    EXPECT_EQ(result.status, 2);
+    EXPECT_NE(result.err.find("--retries"), std::string::npos);
+
+    CliResult negative = run({"run", "--workload", "bfs",
+                              "--retry-backoff", "-1"});
+    EXPECT_EQ(negative.status, 2);
+
+    CliResult rate = run({"run", "--workload", "bfs",
+                          "--max-failure-rate", "1.5"});
+    EXPECT_EQ(rate.status, 2);
+}
+
+// Satellite regression: the failure-policy abort is a distinct exit
+// code (3) so scripts can tell "the campaign was hopeless" apart from
+// generic errors (1) and usage mistakes (2).
+TEST(Cli, FailurePolicyAbortExitsWithCode3)
+{
+    fs::path fault_file =
+        fs::temp_directory_path() / "sharp_cli_fault.json";
+    {
+        std::ofstream spec(fault_file);
+        spec << R"({"crash": 1.0, "seed": 7})";
+    }
+    CliResult result =
+        run({"run", "--workload", "bfs", "--fault",
+             fault_file.string(), "--max-failures", "2", "--max",
+             "50"});
+    EXPECT_EQ(result.status, 3);
+    EXPECT_NE(result.err.find("failure policy"), std::string::npos);
+    EXPECT_NE(result.err.find("signal-crash"), std::string::npos);
+    fs::remove(fault_file);
+}
+
+TEST(Cli, RetriedFaultyRunStillSucceeds)
+{
+    fs::path fault_file =
+        fs::temp_directory_path() / "sharp_cli_flaky.json";
+    {
+        std::ofstream spec(fault_file);
+        spec << R"({"flaky_exit": 0.3, "seed": 11})";
+    }
+    CliResult result =
+        run({"run", "--workload", "bfs", "--fault",
+             fault_file.string(), "--retries", "3", "--max-failures",
+             "100", "--rule", "fixed", "--count", "30"});
+    EXPECT_EQ(result.status, 0) << result.err;
+    EXPECT_NE(result.out.find("collected 30 samples"),
+              std::string::npos);
+    fs::remove(fault_file);
+}
+
+TEST(Cli, ResumeRejectsMissingJournal)
+{
+    CliResult result = run({"run", "--resume", "/no/such/journal"});
+    EXPECT_EQ(result.status, 1);
+    EXPECT_NE(result.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, ResumeOfCompletedJournalIsANoOp)
+{
+    fs::path dir = fs::temp_directory_path() / "sharp_cli_resume_done";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    fs::path journal = dir / "journal.jsonl";
+    fs::path out = dir / "result";
+
+    CliResult first =
+        run({"run", "--workload", "bfs", "--rule", "fixed", "--count",
+             "10", "--journal", journal.string(), "--out",
+             out.string()});
+    ASSERT_EQ(first.status, 0) << first.err;
+
+    CliResult again = run({"run", "--resume", dir.string()});
+    EXPECT_EQ(again.status, 0) << again.err;
+    EXPECT_NE(again.out.find("already completed"), std::string::npos);
+    fs::remove_all(dir);
+}
+
 TEST(Cli, ReportRejectsMissingFile)
 {
     CliResult result = run({"report", "/no/such/file.csv"});

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for deterministic fault injection: every FailureKind is
+ * produced on a seeded schedule, the schedule is reproducible, and the
+ * launcher's retry/abort machinery reacts to injected faults exactly
+ * as it would to real ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/stopping/fixed_rule.hh"
+#include "json/parser.hh"
+#include "json/writer.hh"
+#include "launcher/fault_backend.hh"
+#include "launcher/launcher.hh"
+#include "launcher/sim_backend.hh"
+#include "record/failure.hh"
+#include "sim/machine.hh"
+#include "sim/rodinia.hh"
+#include "util/message.hh"
+
+namespace
+{
+
+using namespace sharp::launcher;
+using sharp::record::FailureKind;
+
+std::shared_ptr<SimBackend>
+bfsBackend(uint64_t seed = 1)
+{
+    return std::make_shared<SimBackend>(
+        sharp::sim::rodiniaByName("bfs"),
+        sharp::sim::machineById("machine1"), 0, seed);
+}
+
+FaultInjectingBackend
+always(double FaultSpec::*field, uint64_t seed = 1)
+{
+    FaultSpec spec;
+    spec.*field = 1.0;
+    spec.seed = seed;
+    return FaultInjectingBackend(bfsBackend(), spec);
+}
+
+TEST(FaultSpec, ValidatesProbabilities)
+{
+    FaultSpec negative;
+    negative.crashProbability = -0.1;
+    EXPECT_THROW(negative.validate(), std::invalid_argument);
+
+    FaultSpec oversum;
+    oversum.crashProbability = 0.6;
+    oversum.flakyExitProbability = 0.6;
+    EXPECT_THROW(oversum.validate(), std::invalid_argument);
+
+    FaultSpec bad_factor;
+    bad_factor.slowFactor = 0.0;
+    EXPECT_THROW(bad_factor.validate(), std::invalid_argument);
+}
+
+TEST(FaultSpec, JsonRoundTrip)
+{
+    FaultSpec spec;
+    spec.crashProbability = 0.05;
+    spec.hangProbability = 0.02;
+    spec.corruptProbability = 0.1;
+    spec.flakyExitProbability = 0.1;
+    spec.slowProbability = 0.05;
+    spec.slowFactor = 4.0;
+    spec.seed = 99;
+
+    FaultSpec parsed =
+        FaultSpec::fromJson(sharp::json::parse(
+            sharp::json::write(spec.toJson())));
+    EXPECT_DOUBLE_EQ(parsed.crashProbability, 0.05);
+    EXPECT_DOUBLE_EQ(parsed.hangProbability, 0.02);
+    EXPECT_DOUBLE_EQ(parsed.corruptProbability, 0.1);
+    EXPECT_DOUBLE_EQ(parsed.flakyExitProbability, 0.1);
+    EXPECT_DOUBLE_EQ(parsed.slowProbability, 0.05);
+    EXPECT_DOUBLE_EQ(parsed.slowFactor, 4.0);
+    EXPECT_EQ(parsed.seed, 99u);
+}
+
+TEST(FaultBackend, RejectsNullInner)
+{
+    EXPECT_THROW(FaultInjectingBackend(nullptr, FaultSpec()),
+                 std::invalid_argument);
+}
+
+TEST(FaultBackend, CrashBandYieldsSignalCrash)
+{
+    auto backend = always(&FaultSpec::crashProbability);
+    RunResult res = backend.run();
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.kind, FailureKind::SignalCrash);
+    EXPECT_NE(res.error.find("signal"), std::string::npos);
+}
+
+TEST(FaultBackend, SpawnBandYieldsSpawnError)
+{
+    auto backend = always(&FaultSpec::spawnErrorProbability);
+    RunResult res = backend.run();
+    EXPECT_EQ(res.kind, FailureKind::SpawnError);
+}
+
+TEST(FaultBackend, HangBandYieldsTimeout)
+{
+    auto backend = always(&FaultSpec::hangProbability);
+    RunResult res = backend.run();
+    EXPECT_EQ(res.kind, FailureKind::Timeout);
+}
+
+TEST(FaultBackend, CorruptBandYieldsUnparsableOutput)
+{
+    auto backend = always(&FaultSpec::corruptProbability);
+    RunResult res = backend.run();
+    EXPECT_EQ(res.kind, FailureKind::UnparsableOutput);
+    EXPECT_TRUE(res.metrics.empty());
+}
+
+TEST(FaultBackend, FlakyBandYieldsNonzeroExit)
+{
+    auto backend = always(&FaultSpec::flakyExitProbability);
+    RunResult res = backend.run();
+    EXPECT_EQ(res.kind, FailureKind::NonzeroExit);
+    EXPECT_NE(res.error.find("status 1"), std::string::npos);
+}
+
+TEST(FaultBackend, SlowBandInflatesMetricButSucceeds)
+{
+    FaultSpec spec;
+    spec.slowProbability = 1.0;
+    spec.slowFactor = 10.0;
+    FaultInjectingBackend slowed(bfsBackend(7), spec);
+    auto clean = bfsBackend(7);
+
+    RunResult fast = clean->run();
+    RunResult slow = slowed.run();
+    ASSERT_TRUE(slow.success);
+    EXPECT_EQ(slow.kind, FailureKind::None);
+    EXPECT_DOUBLE_EQ(slow.metric("execution_time"),
+                     10.0 * fast.metric("execution_time"));
+}
+
+TEST(FaultBackend, PassThroughKeepsInnerResult)
+{
+    FaultSpec spec; // all probabilities zero
+    FaultInjectingBackend wrapped(bfsBackend(3), spec);
+    auto clean = bfsBackend(3);
+    for (int i = 0; i < 5; ++i) {
+        RunResult a = wrapped.run();
+        RunResult b = clean->run();
+        ASSERT_TRUE(a.success);
+        EXPECT_DOUBLE_EQ(a.metric("execution_time"),
+                         b.metric("execution_time"));
+    }
+    EXPECT_EQ(wrapped.name(), "fault+sim");
+    EXPECT_TRUE(wrapped.deterministic());
+}
+
+TEST(FaultBackend, ScheduleIsDeterministicPerSeed)
+{
+    FaultSpec spec;
+    spec.crashProbability = 0.2;
+    spec.hangProbability = 0.2;
+    spec.flakyExitProbability = 0.2;
+    spec.seed = 42;
+
+    auto kindsOf = [&](uint64_t seed) {
+        FaultSpec copy = spec;
+        copy.seed = seed;
+        FaultInjectingBackend backend(bfsBackend(), copy);
+        std::vector<FailureKind> kinds;
+        for (int i = 0; i < 200; ++i)
+            kinds.push_back(backend.run().kind);
+        return kinds;
+    };
+
+    auto first = kindsOf(42);
+    EXPECT_EQ(first, kindsOf(42));
+    EXPECT_NE(first, kindsOf(43));
+
+    // With these band widths, a 200-draw schedule exercises every
+    // configured fault at least once.
+    std::map<FailureKind, int> seen;
+    for (FailureKind kind : first)
+        ++seen[kind];
+    EXPECT_GT(seen[FailureKind::SignalCrash], 0);
+    EXPECT_GT(seen[FailureKind::Timeout], 0);
+    EXPECT_GT(seen[FailureKind::NonzeroExit], 0);
+    EXPECT_GT(seen[FailureKind::None], 0);
+}
+
+TEST(FaultBackend, BatchAdvancesScheduleLikeSequentialRuns)
+{
+    FaultSpec spec;
+    spec.crashProbability = 0.5;
+    spec.seed = 5;
+    FaultInjectingBackend batched(bfsBackend(), spec);
+    FaultInjectingBackend sequential(bfsBackend(), spec);
+
+    auto batch = batched.runBatch(8);
+    std::vector<RunResult> loop;
+    for (int i = 0; i < 8; ++i)
+        loop.push_back(sequential.run());
+    ASSERT_EQ(batch.size(), loop.size());
+    for (size_t i = 0; i < batch.size(); ++i)
+        EXPECT_EQ(batch[i].kind, loop[i].kind);
+    EXPECT_EQ(batched.invocations(), 8u);
+}
+
+TEST(FaultBackend, LauncherRetriesInjectedFaults)
+{
+    std::string captured;
+    sharp::util::setMessageCapture(&captured);
+    FaultSpec spec;
+    spec.flakyExitProbability = 0.3;
+    spec.seed = 11;
+
+    LaunchOptions opts;
+    opts.maxFailures = 1000;
+    opts.retry.maxAttempts = 4;
+    Launcher launcher(
+        std::make_shared<FaultInjectingBackend>(bfsBackend(), spec),
+        std::make_unique<sharp::core::FixedCountRule>(50), opts);
+    LaunchReport report = launcher.launch();
+    sharp::util::setMessageCapture(nullptr);
+
+    // Flaky exits are transient: with retries the campaign still
+    // collects its full series.
+    EXPECT_EQ(report.series.size(), 50u);
+    EXPECT_GT(report.retries, 0u);
+    EXPECT_EQ(report.log.primaryValues().size(), 50u);
+}
+
+TEST(FaultBackend, LauncherAbortNamesInjectedKinds)
+{
+    std::string captured;
+    sharp::util::setMessageCapture(&captured);
+    FaultSpec spec;
+    spec.crashProbability = 1.0;
+
+    LaunchOptions opts;
+    opts.maxFailures = 3;
+    Launcher launcher(
+        std::make_shared<FaultInjectingBackend>(bfsBackend(), spec),
+        std::make_unique<sharp::core::FixedCountRule>(50), opts);
+    LaunchReport report = launcher.launch();
+    sharp::util::setMessageCapture(nullptr);
+
+    EXPECT_TRUE(report.aborted);
+    EXPECT_EQ(report.failures, 3u);
+    EXPECT_NE(report.finalDecision.reason.find("signal-crash=3"),
+              std::string::npos);
+}
+
+} // anonymous namespace

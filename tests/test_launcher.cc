@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 
 #include "core/stopping/fixed_rule.hh"
@@ -146,7 +147,7 @@ class FailingBackend : public Backend
     }
 };
 
-TEST(Launcher, AbortsAfterTooManyFailures)
+TEST(Launcher, AbortsAtExactlyMaxFailures)
 {
     std::string captured;
     sharp::util::setMessageCapture(&captured);
@@ -160,10 +161,177 @@ TEST(Launcher, AbortsAfterTooManyFailures)
 
     EXPECT_TRUE(report.aborted);
     EXPECT_EQ(report.series.size(), 0u);
-    EXPECT_GT(report.failures, 5u);
+    // Regression pin for the old off-by-one: exactly maxFailures
+    // failures trigger the abort, not maxFailures + 1.
+    EXPECT_EQ(report.failures, 5u);
     EXPECT_NE(report.finalDecision.reason.find("aborted"),
               std::string::npos);
+    // The abort message names the workload and the kind histogram.
+    EXPECT_NE(report.finalDecision.reason.find("doomed"),
+              std::string::npos);
+    EXPECT_NE(
+        report.finalDecision.reason.find("backend-unavailable=5"),
+        std::string::npos);
     EXPECT_NE(captured.find("synthetic failure"), std::string::npos);
+}
+
+TEST(Launcher, MaxFailuresZeroToleratesNoFailure)
+{
+    std::string captured;
+    sharp::util::setMessageCapture(&captured);
+    LaunchOptions opts;
+    opts.maxFailures = 0;
+    Launcher launcher(std::make_shared<FailingBackend>(),
+                      std::make_unique<FixedCountRule>(10), opts);
+    LaunchReport report = launcher.launch();
+    sharp::util::setMessageCapture(nullptr);
+    EXPECT_TRUE(report.aborted);
+    EXPECT_EQ(report.failures, 1u);
+}
+
+TEST(Launcher, ClassifiesKindlessFailuresAsBackendUnavailable)
+{
+    std::string captured;
+    sharp::util::setMessageCapture(&captured);
+    LaunchOptions opts;
+    opts.maxFailures = 1;
+    Launcher launcher(std::make_shared<FailingBackend>(),
+                      std::make_unique<FixedCountRule>(10), opts);
+    LaunchReport report = launcher.launch();
+    sharp::util::setMessageCapture(nullptr);
+    ASSERT_EQ(report.log.size(), 1u);
+    EXPECT_EQ(report.log.records()[0].failure,
+              sharp::record::FailureKind::BackendUnavailable);
+    EXPECT_EQ(
+        report.failuresByKind
+            .at(sharp::record::FailureKind::BackendUnavailable),
+        1u);
+}
+
+/**
+ * Fails every odd invocation with a retryable kind; succeeds
+ * otherwise. Deterministic, so retry accounting is exact.
+ */
+class FlakyBackend : public Backend
+{
+  public:
+    explicit FlakyBackend(FailureKind kind_in = FailureKind::NonzeroExit)
+        : kind(kind_in)
+    {
+    }
+
+    std::string name() const override { return "flaky"; }
+    std::string workloadName() const override { return "coinflip"; }
+
+    RunResult
+    run() override
+    {
+        size_t index = calls++;
+        if (index % 2 == 0)
+            return RunResult::failure(kind, "flaky failure");
+        RunResult res;
+        res.metrics["execution_time"] =
+            1.0 + static_cast<double>(index);
+        return res;
+    }
+
+    size_t calls = 0;
+
+  private:
+    FailureKind kind;
+};
+
+TEST(Launcher, RetryRecoversFlakyRuns)
+{
+    std::string captured;
+    sharp::util::setMessageCapture(&captured);
+    LaunchOptions opts;
+    opts.maxFailures = 1;
+    opts.retry.maxAttempts = 2;
+    Launcher launcher(std::make_shared<FlakyBackend>(),
+                      std::make_unique<FixedCountRule>(10), opts);
+    LaunchReport report = launcher.launch();
+    sharp::util::setMessageCapture(nullptr);
+
+    // Every invocation fails once and succeeds on its retry.
+    EXPECT_FALSE(report.aborted);
+    EXPECT_EQ(report.failures, 0u);
+    EXPECT_EQ(report.series.size(), 10u);
+    EXPECT_EQ(report.retries, 10u);
+    // Both attempts are logged as tidy rows.
+    EXPECT_EQ(report.log.size(), 20u);
+    size_t retried_rows = 0;
+    for (const auto &rec : report.log.records()) {
+        if (rec.attempt == 1) {
+            ++retried_rows;
+            EXPECT_TRUE(rec.succeeded());
+        } else {
+            EXPECT_EQ(rec.failure, FailureKind::NonzeroExit);
+        }
+    }
+    EXPECT_EQ(retried_rows, 10u);
+    // Only the final attempts feed the series.
+    EXPECT_EQ(report.log.primaryValues().size(), 10u);
+}
+
+TEST(Launcher, RetryKindFilterSkipsNonRetryableFailures)
+{
+    std::string captured;
+    sharp::util::setMessageCapture(&captured);
+    LaunchOptions opts;
+    opts.maxFailures = 3;
+    opts.retry.maxAttempts = 3;
+    opts.retry.retryableKinds = {FailureKind::Timeout};
+    Launcher launcher(
+        std::make_shared<FlakyBackend>(FailureKind::NonzeroExit),
+        std::make_unique<FixedCountRule>(10), opts);
+    LaunchReport report = launcher.launch();
+    sharp::util::setMessageCapture(nullptr);
+
+    // NonzeroExit is not in the filter: no retries, failures count up.
+    EXPECT_EQ(report.retries, 0u);
+    EXPECT_TRUE(report.aborted);
+    EXPECT_EQ(report.failures, 3u);
+}
+
+/** Alternates success/failure to exercise the failure-rate policy. */
+TEST(Launcher, FailureRatePolicyAborts)
+{
+    std::string captured;
+    sharp::util::setMessageCapture(&captured);
+    LaunchOptions opts;
+    opts.maxFailures = 1000; // cap out of the way
+    opts.maxFailureRate = 0.2;
+    opts.failureRateMinRuns = 10;
+    Launcher launcher(std::make_shared<FlakyBackend>(),
+                      std::make_unique<FixedCountRule>(100), opts);
+    LaunchReport report = launcher.launch();
+    sharp::util::setMessageCapture(nullptr);
+
+    // Half the invocations fail; the rate policy trips as soon as it
+    // is armed at failureRateMinRuns completed invocations.
+    EXPECT_TRUE(report.aborted);
+    EXPECT_EQ(report.failures + report.series.size(), 10u);
+    EXPECT_NE(report.finalDecision.reason.find("rate"),
+              std::string::npos);
+}
+
+TEST(Launcher, InterruptFlagStopsBetweenRounds)
+{
+    std::atomic<bool> flag{true};
+    LaunchOptions opts;
+    opts.interruptFlag = &flag;
+    Launcher launcher(bfsBackend(),
+                      std::make_unique<FixedCountRule>(50), opts);
+    LaunchReport report = launcher.launch();
+    EXPECT_TRUE(report.interrupted);
+    EXPECT_FALSE(report.ruleFired);
+    EXPECT_EQ(report.series.size(), 0u);
+    auto metadata = report.log.toMetadata();
+    EXPECT_EQ(metadata.get("Configuration", "resumable").value_or(""),
+              "true");
+    EXPECT_EQ(metadata.get("Configuration", "stopped_by").value_or(""),
+              "interrupt");
 }
 
 TEST(Launcher, RejectsInvalidConstruction)

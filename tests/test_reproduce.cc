@@ -60,6 +60,32 @@ TEST(Reproduce, SpecRoundTripsThroughMetadata)
               spec.experiment.options.maxSamples);
 }
 
+TEST(Reproduce, FaultToleranceFieldsRoundTripThroughMetadata)
+{
+    ReproSpec spec = hotspotSpec();
+    spec.maxFailures = 7;
+    spec.maxFailureRate = 0.25;
+    spec.retry.maxAttempts = 3;
+    spec.retry.backoffBaseSeconds = 0.5;
+    spec.retry.jitterSeed = 13;
+    spec.faultEnabled = true;
+    spec.fault.flakyExitProbability = 0.1;
+    spec.fault.seed = 21;
+
+    record::RunLog log("hotspot");
+    launcher::annotate(log, spec);
+    ReproSpec again =
+        launcher::reproSpecFromMetadata(log.toMetadata());
+    EXPECT_EQ(again.maxFailures, 7u);
+    EXPECT_DOUBLE_EQ(again.maxFailureRate, 0.25);
+    EXPECT_EQ(again.retry.maxAttempts, 3u);
+    EXPECT_DOUBLE_EQ(again.retry.backoffBaseSeconds, 0.5);
+    EXPECT_EQ(again.retry.jitterSeed, 13u);
+    ASSERT_TRUE(again.faultEnabled);
+    EXPECT_DOUBLE_EQ(again.fault.flakyExitProbability, 0.1);
+    EXPECT_EQ(again.fault.seed, 21u);
+}
+
 TEST(Reproduce, MetadataWithoutJobsDefaultsToSerial)
 {
     // Metadata recorded before the parallel layer lacks repro_jobs;

@@ -47,11 +47,42 @@ TEST(RunLog, TidyShapeOneRowPerInstance)
     EXPECT_EQ(csv.numRows(), 6u);
     // Fixed columns followed by metric columns.
     auto cols = csv.columns();
-    ASSERT_GE(cols.size(), 9u);
+    ASSERT_GE(cols.size(), 11u);
     EXPECT_EQ(cols[0], "run");
     EXPECT_EQ(cols[1], "instance");
+    EXPECT_EQ(cols[2], "attempt");
+    EXPECT_TRUE(csv.columnIndex("failure").has_value());
     EXPECT_TRUE(csv.columnIndex("execution_time").has_value());
     EXPECT_TRUE(csv.columnIndex("cold_start").has_value());
+    // A clean log records attempt 0 and failure "none" everywhere.
+    EXPECT_EQ(csv.cell(0, *csv.columnIndex("attempt")), "0");
+    EXPECT_EQ(csv.cell(0, *csv.columnIndex("failure")), "none");
+}
+
+TEST(RunLog, FailedAndRetriedRowsAreRecorded)
+{
+    RunLog log("flaky", "execution_time");
+    RunRecord failed;
+    failed.run = 0;
+    failed.workload = "w";
+    failed.failure = FailureKind::Timeout;
+    log.add(failed);
+
+    RunRecord retried;
+    retried.run = 0;
+    retried.attempt = 1;
+    retried.workload = "w";
+    retried.metrics["execution_time"] = 2.5;
+    log.add(retried);
+
+    CsvTable csv = log.toCsv();
+    EXPECT_EQ(csv.cell(0, *csv.columnIndex("failure")), "timeout");
+    EXPECT_EQ(csv.cell(1, *csv.columnIndex("attempt")), "1");
+    EXPECT_EQ(csv.cell(1, *csv.columnIndex("failure")), "none");
+    // Failed rows never contribute to the analysed series.
+    auto values = log.primaryValues();
+    ASSERT_EQ(values.size(), 1u);
+    EXPECT_DOUBLE_EQ(values[0], 2.5);
 }
 
 TEST(RunLog, PrimaryValuesExcludeWarmups)
