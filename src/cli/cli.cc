@@ -344,7 +344,12 @@ executeRun(const launcher::ReproSpec &spec, const ParsedArgs &args,
         }
     }
     if (!journal_path.empty()) {
-        journal = std::make_unique<record::RunJournal>(journal_path);
+        // Fresh campaigns truncate: appending to a leftover journal
+        // at the same path would mix two campaigns' rounds and break
+        // a later --resume. Only a resume may append.
+        journal = std::make_unique<record::RunJournal>(
+            journal_path, resume ? record::JournalMode::Resume
+                                 : record::JournalMode::Fresh);
         if (!resume)
             journal->writeSpec(spec.toJson());
         options.journal = journal.get();
@@ -388,9 +393,14 @@ executeRun(const launcher::ReproSpec &spec, const ParsedArgs &args,
         return 3;
     }
     if (result.interrupted) {
-        out << "interrupted; resume with: sharp run --resume "
-            << (journal_path.empty() ? "<journal>" : journal_path)
-            << "\n";
+        if (journal_path.empty()) {
+            out << "interrupted; no journal was attached, so the "
+                   "campaign cannot be resumed (pass --journal next "
+                   "time)\n";
+        } else {
+            out << "interrupted; resume with: sharp run --resume "
+                << journal_path << "\n";
+        }
         return 130;
     }
     return 0;

@@ -1,5 +1,9 @@
 #include "json/value.hh"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
 namespace sharp
 {
 namespace json
@@ -167,6 +171,38 @@ Value::getLong(const std::string &key, long fallback) const
 {
     const Value *value = find(key);
     return value && value->isNumber() ? value->asLong() : fallback;
+}
+
+uint64_t
+Value::getUint64(const std::string &key, uint64_t fallback) const
+{
+    const Value *value = find(key);
+    if (!value)
+        return fallback;
+    if (value->isNumber()) {
+        double num = value->asNumber();
+        if (num < 0.0 || num != std::floor(num))
+            throw TypeError("member '" + key +
+                            "' must be a non-negative integer");
+        return static_cast<uint64_t>(num);
+    }
+    if (value->isString()) {
+        const std::string &text = value->asString();
+        if (text.empty() ||
+            text.find_first_not_of("0123456789") != std::string::npos)
+            throw TypeError("member '" + key +
+                            "' is not an unsigned decimal");
+        errno = 0;
+        char *end = nullptr;
+        unsigned long long parsed =
+            std::strtoull(text.c_str(), &end, 10);
+        if (errno == ERANGE || end != text.c_str() + text.size())
+            throw TypeError("member '" + key +
+                            "' overflows 64 bits");
+        return parsed;
+    }
+    throw TypeError("member '" + key +
+                    "' must be a number or decimal string");
 }
 
 bool

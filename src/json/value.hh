@@ -130,6 +130,14 @@ class Value
     /** Lookup with a default for optional config fields. */
     double getNumber(const std::string &key, double fallback) const;
     long getLong(const std::string &key, long fallback) const;
+    /**
+     * Exact 64-bit unsigned lookup. Accepts a decimal string (the
+     * lossless encoding — numbers are doubles, which corrupt values
+     * >= 2^53) or, for documents written before string seeds, a
+     * non-negative number. @throws TypeError when the member is
+     * present but negative or not a valid decimal.
+     */
+    uint64_t getUint64(const std::string &key, uint64_t fallback) const;
     bool getBool(const std::string &key, bool fallback) const;
     std::string getString(const std::string &key,
                           const std::string &fallback) const;

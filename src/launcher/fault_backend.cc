@@ -45,10 +45,7 @@ FaultSpec::fromJson(const json::Value &doc)
     spec.slowProbability = doc.getNumber("slow", 0.0);
     spec.slowFactor = doc.getNumber("slow_factor", spec.slowFactor);
     spec.slowMetric = doc.getString("slow_metric", spec.slowMetric);
-    long seed = doc.getLong("seed", 1);
-    if (seed < 0)
-        throw std::invalid_argument("fault seed must be >= 0");
-    spec.seed = static_cast<uint64_t>(seed);
+    spec.seed = doc.getUint64("seed", 1);
     spec.validate();
     return spec;
 }
@@ -65,7 +62,9 @@ FaultSpec::toJson() const
     doc.set("slow", slowProbability);
     doc.set("slow_factor", slowFactor);
     doc.set("slow_metric", slowMetric);
-    doc.set("seed", static_cast<double>(seed));
+    // As a decimal string: JSON numbers are doubles, which would
+    // round seeds >= 2^53 and replay a different fault schedule.
+    doc.set("seed", std::to_string(seed));
     return doc;
 }
 

@@ -80,7 +80,11 @@ Launcher::launch()
         report.finalDecision = core::StopDecision::stopNow(
             static_cast<double>(report.series.size()),
             static_cast<double>(options.maxSamples),
-            "interrupted before completion; resumable from the journal");
+            options.journal
+                ? "interrupted before completion; resumable from "
+                  "the journal"
+                : "interrupted before completion; no journal "
+                  "attached, completed rounds are not recoverable");
         done = true;
     };
 
@@ -313,7 +317,8 @@ Launcher::launch()
         report.log.setConfigEntry("retries",
                                   std::to_string(report.retries));
     if (report.interrupted)
-        report.log.setConfigEntry("resumable", "true");
+        report.log.setConfigEntry("resumable",
+                                  options.journal ? "true" : "false");
     else if (options.journal)
         options.journal->markDone();
     return report;

@@ -61,15 +61,14 @@ ReproSpec::fromJson(const json::Value &doc)
         spec.machines = {"machine1"};
 
     long day = doc.getLong("day", 0);
-    long seed = doc.getLong("seed", 1);
     long concurrency = doc.getLong("concurrency", 1);
     long jobs = doc.getLong("jobs", 1);
-    if (seed < 0 || concurrency < 1)
-        throw std::invalid_argument("invalid seed or concurrency");
+    if (concurrency < 1)
+        throw std::invalid_argument("invalid concurrency");
     if (jobs < 1)
         throw std::invalid_argument("invalid jobs (must be >= 1)");
     spec.day = static_cast<int>(day);
-    spec.seed = static_cast<uint64_t>(seed);
+    spec.seed = doc.getUint64("seed", 1);
     spec.concurrency = static_cast<size_t>(concurrency);
     spec.jobs = static_cast<size_t>(jobs);
 
@@ -114,7 +113,9 @@ ReproSpec::toJson() const
         machine_list.append(machine);
     doc.set("machines", std::move(machine_list));
     doc.set("day", day);
-    doc.set("seed", static_cast<double>(seed));
+    // As a decimal string: JSON numbers are doubles, which would
+    // round seeds >= 2^53 (see Value::getUint64).
+    doc.set("seed", std::to_string(seed));
     doc.set("concurrency", concurrency);
     doc.set("jobs", jobs);
     doc.set("experiment", experiment.toJson());

@@ -36,7 +36,10 @@ struct ResumedCampaign
 };
 
 /**
- * Parse the journal at @p journalPath.
+ * Parse the journal at @p journalPath. A torn trailing line (crash
+ * mid-write) is discarded AND trimmed from the file on disk, so
+ * reopening the journal in Resume mode appends on a clean line
+ * boundary.
  * @throws std::runtime_error when the journal is unreadable,
  *         malformed beyond a torn trailing line, or lacks a spec
  *         header (nothing to rebuild the campaign from).

@@ -76,11 +76,7 @@ RetryPolicy::fromJson(const json::Value &doc)
         doc.getNumber("max_backoff", policy.maxBackoffSeconds);
     policy.jitterFraction =
         doc.getNumber("jitter", policy.jitterFraction);
-    long seed = doc.getLong("jitter_seed",
-                            static_cast<long>(policy.jitterSeed));
-    if (seed < 0)
-        throw std::invalid_argument("retry jitter_seed must be >= 0");
-    policy.jitterSeed = static_cast<uint64_t>(seed);
+    policy.jitterSeed = doc.getUint64("jitter_seed", policy.jitterSeed);
     if (const json::Value *kinds = doc.find("kinds")) {
         if (!kinds->isArray())
             throw std::invalid_argument(
@@ -102,7 +98,9 @@ RetryPolicy::toJson() const
     doc.set("multiplier", backoffMultiplier);
     doc.set("max_backoff", maxBackoffSeconds);
     doc.set("jitter", jitterFraction);
-    doc.set("jitter_seed", static_cast<double>(jitterSeed));
+    // As a decimal string: JSON numbers are doubles, which would
+    // round seeds >= 2^53 and replay a different jitter schedule.
+    doc.set("jitter_seed", std::to_string(jitterSeed));
     if (!retryableKinds.empty()) {
         json::Value kinds = json::Value::makeArray();
         for (record::FailureKind kind : retryableKinds)

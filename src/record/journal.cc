@@ -15,9 +15,11 @@ namespace sharp
 namespace record
 {
 
-RunJournal::RunJournal(std::string path_in) : filePath(std::move(path_in))
+RunJournal::RunJournal(std::string path_in, JournalMode mode)
+    : filePath(std::move(path_in))
 {
-    file = std::fopen(filePath.c_str(), "ab");
+    file = std::fopen(filePath.c_str(),
+                      mode == JournalMode::Resume ? "ab" : "wb");
     if (!file) {
         throw std::runtime_error("cannot open journal '" + filePath +
                                  "': " + std::strerror(errno));
@@ -141,13 +143,21 @@ readJournal(const std::string &path)
     auto lines = util::split(text, '\n');
     // A healthy journal ends with a newline, so the final split field
     // is empty; anything else is a torn trailing line.
+    size_t last_nonempty = lines.size();
+    for (size_t i = lines.size(); i-- > 0;) {
+        if (!lines[i].empty()) {
+            last_nonempty = i;
+            break;
+        }
+    }
+    size_t offset = 0;
     for (size_t i = 0; i < lines.size(); ++i) {
         const std::string &line = lines[i];
+        size_t start = offset;
+        offset += line.size() + 1; // +1 for the '\n' split consumed
         if (line.empty())
             continue;
-        bool last = true;
-        for (size_t j = i + 1; j < lines.size(); ++j)
-            last &= lines[j].empty();
+        bool last = i == last_nonempty;
         json::Value doc;
         try {
             doc = json::parse(line);
@@ -160,6 +170,9 @@ readJournal(const std::string &path)
                 "malformed journal line " + std::to_string(i + 1) +
                 " in '" + path + "'");
         }
+        bool has_newline = start + line.size() < text.size();
+        contents.validBytes = start + line.size() + (has_newline ? 1 : 0);
+        contents.terminated = has_newline;
         std::string type = doc.getString("type", "");
         if (type == "spec") {
             if (const json::Value *spec = doc.find("spec"))
@@ -180,6 +193,32 @@ readJournal(const std::string &path)
         }
     }
     return contents;
+}
+
+void
+repairJournal(const std::string &path, const JournalContents &contents)
+{
+    if (contents.truncated &&
+        ::truncate(path.c_str(),
+                   static_cast<off_t>(contents.validBytes)) != 0) {
+        throw std::runtime_error("cannot trim torn journal '" + path +
+                                 "': " + std::strerror(errno));
+    }
+    if (contents.terminated)
+        return;
+    // The last valid line lost its newline (crash between the write
+    // and the terminator); supply it so appends start a fresh line.
+    std::FILE *out = std::fopen(path.c_str(), "ab");
+    if (!out) {
+        throw std::runtime_error("cannot terminate journal '" + path +
+                                 "': " + std::strerror(errno));
+    }
+    bool wrote = std::fputc('\n', out) != EOF;
+    bool closed = std::fclose(out) == 0;
+    if (!wrote || !closed) {
+        throw std::runtime_error("cannot terminate journal '" + path +
+                                 "': " + std::strerror(errno));
+    }
 }
 
 } // namespace record

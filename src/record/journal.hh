@@ -32,18 +32,33 @@ namespace sharp
 namespace record
 {
 
+/** How a journal file is opened. */
+enum class JournalMode
+{
+    /**
+     * A fresh campaign: truncate any pre-existing file so stale
+     * rounds (or a stale 'done' marker) from an earlier campaign at
+     * the same path can never mix into this one.
+     */
+    Fresh,
+    /** A resumed campaign: append after the existing rounds. */
+    Resume,
+};
+
 /**
  * Append-only writer. One journal = one experiment execution (a
- * resumed run re-opens the same file in append mode and continues).
+ * resumed run re-opens the same file in Resume mode and continues).
  */
 class RunJournal
 {
   public:
     /**
-     * Open @p path for appending (created if missing).
+     * Open @p path (created if missing) — truncating in Fresh mode,
+     * appending in Resume mode.
      * @throws std::runtime_error when the file cannot be opened.
      */
-    explicit RunJournal(std::string path);
+    explicit RunJournal(std::string path,
+                        JournalMode mode = JournalMode::Fresh);
     ~RunJournal();
 
     RunJournal(const RunJournal &) = delete;
@@ -86,6 +101,14 @@ struct JournalContents
     bool done = false;
     /** True when a torn trailing line was discarded. */
     bool truncated = false;
+    /**
+     * Byte length of the valid prefix: everything up to and including
+     * the last parsed line (and its newline, when present). Appending
+     * must happen at this offset — see repairJournal().
+     */
+    size_t validBytes = 0;
+    /** True when the valid prefix ends with a newline. */
+    bool terminated = true;
 };
 
 /**
@@ -95,6 +118,18 @@ struct JournalContents
  *         non-trailing line is malformed.
  */
 JournalContents readJournal(const std::string &path);
+
+/**
+ * Make @p path safe to append to: drop a torn trailing fragment (a
+ * crash mid-write) by truncating the file to @p contents.validBytes,
+ * and terminate an unterminated final line with a newline. Without
+ * this, the first appended line after a resume would fuse onto the
+ * fragment into one malformed line, leaving the journal unresumable.
+ * A clean journal is left untouched.
+ * @throws std::runtime_error when the file cannot be modified.
+ */
+void repairJournal(const std::string &path,
+                   const JournalContents &contents);
 
 /** Serialize one record to its journal JSON object (round-trips). */
 json::Value recordToJson(const RunRecord &record);

@@ -84,6 +84,29 @@ TEST(FaultSpec, JsonRoundTrip)
     EXPECT_EQ(parsed.seed, 99u);
 }
 
+TEST(FaultSpec, SeedAbove2To53RoundTripsExactly)
+{
+    // Seeds are serialized as decimal strings: through a JSON number
+    // (a double) this seed would round and the resumed/reproduced
+    // fault schedule would diverge from the original run's.
+    FaultSpec spec;
+    spec.seed = (1ULL << 53) + 1;
+    FaultSpec parsed = FaultSpec::fromJson(
+        sharp::json::parse(sharp::json::write(spec.toJson())));
+    EXPECT_EQ(parsed.seed, (1ULL << 53) + 1);
+
+    spec.seed = 0xFFFFFFFFFFFFFFFFULL;
+    parsed = FaultSpec::fromJson(
+        sharp::json::parse(sharp::json::write(spec.toJson())));
+    EXPECT_EQ(parsed.seed, 0xFFFFFFFFFFFFFFFFULL);
+
+    // Documents written before string seeds used numbers; those
+    // still parse.
+    FaultSpec legacy = FaultSpec::fromJson(
+        sharp::json::parse("{\"seed\": 42}"));
+    EXPECT_EQ(legacy.seed, 42u);
+}
+
 TEST(FaultBackend, RejectsNullInner)
 {
     EXPECT_THROW(FaultInjectingBackend(nullptr, FaultSpec()),

@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <memory>
 
 #include "core/stopping/fixed_rule.hh"
 #include "core/stopping/ks_rule.hh"
 #include "launcher/launcher.hh"
 #include "launcher/sim_backend.hh"
+#include "record/journal.hh"
 #include "sim/machine.hh"
 #include "sim/rodinia.hh"
 #include "util/message.hh"
@@ -327,11 +329,39 @@ TEST(Launcher, InterruptFlagStopsBetweenRounds)
     EXPECT_TRUE(report.interrupted);
     EXPECT_FALSE(report.ruleFired);
     EXPECT_EQ(report.series.size(), 0u);
+    // No journal attached: the campaign is interrupted but NOT
+    // resumable, and the decision must not claim otherwise.
+    auto metadata = report.log.toMetadata();
+    EXPECT_EQ(metadata.get("Configuration", "resumable").value_or(""),
+              "false");
+    EXPECT_EQ(report.finalDecision.reason.find("resumable"),
+              std::string::npos);
+    EXPECT_EQ(metadata.get("Configuration", "stopped_by").value_or(""),
+              "interrupt");
+}
+
+TEST(Launcher, InterruptWithJournalReportsResumable)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         "sharp_launcher_interrupt.jsonl")
+            .string();
+    std::filesystem::remove(path);
+    sharp::record::RunJournal journal(path);
+    std::atomic<bool> flag{true};
+    LaunchOptions opts;
+    opts.interruptFlag = &flag;
+    opts.journal = &journal;
+    Launcher launcher(bfsBackend(),
+                      std::make_unique<FixedCountRule>(50), opts);
+    LaunchReport report = launcher.launch();
+    EXPECT_TRUE(report.interrupted);
     auto metadata = report.log.toMetadata();
     EXPECT_EQ(metadata.get("Configuration", "resumable").value_or(""),
               "true");
-    EXPECT_EQ(metadata.get("Configuration", "stopped_by").value_or(""),
-              "interrupt");
+    EXPECT_NE(report.finalDecision.reason.find("resumable"),
+              std::string::npos);
+    std::filesystem::remove(path);
 }
 
 TEST(Launcher, RejectsInvalidConstruction)

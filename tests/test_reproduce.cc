@@ -12,6 +12,7 @@
 
 #include "core/stopping/ks_rule.hh"
 #include "json/parser.hh"
+#include "json/writer.hh"
 #include "launcher/launcher.hh"
 #include "launcher/reproduce.hh"
 #include "launcher/sim_backend.hh"
@@ -84,6 +85,28 @@ TEST(Reproduce, FaultToleranceFieldsRoundTripThroughMetadata)
     ASSERT_TRUE(again.faultEnabled);
     EXPECT_DOUBLE_EQ(again.fault.flakyExitProbability, 0.1);
     EXPECT_EQ(again.fault.seed, 21u);
+}
+
+TEST(Reproduce, LargeSeedsRoundTripThroughSpecJson)
+{
+    // The journal spec header round-trips through JSON; seeds above
+    // 2^53 must survive exactly or a resumed campaign replays a
+    // different jitter/fault schedule than the interrupted one.
+    ReproSpec spec = hotspotSpec();
+    spec.seed = (1ULL << 53) + 1;
+    spec.retry.maxAttempts = 2;
+    spec.retry.backoffBaseSeconds = 0.1;
+    spec.retry.jitterFraction = 0.5;
+    spec.retry.jitterSeed = (1ULL << 60) + 3;
+    spec.faultEnabled = true;
+    spec.fault.flakyExitProbability = 0.1;
+    spec.fault.seed = 0xFFFFFFFFFFFFFFFFULL;
+
+    ReproSpec again = ReproSpec::fromJson(
+        sharp::json::parse(sharp::json::write(spec.toJson())));
+    EXPECT_EQ(again.seed, (1ULL << 53) + 1);
+    EXPECT_EQ(again.retry.jitterSeed, (1ULL << 60) + 3);
+    EXPECT_EQ(again.fault.seed, 0xFFFFFFFFFFFFFFFFULL);
 }
 
 TEST(Reproduce, MetadataWithoutJobsDefaultsToSerial)

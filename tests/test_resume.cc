@@ -139,6 +139,100 @@ TEST(Journal, TornTrailingLineIsDiscarded)
     fs::remove(path);
 }
 
+/**
+ * Rerunning a fresh campaign with the same --journal path must not
+ * append after the previous campaign's rounds and 'done' marker —
+ * that would make a later --resume refuse ("already completed") or
+ * replay rounds from both campaigns.
+ */
+TEST(Journal, FreshOpenTruncatesLeftoverCampaign)
+{
+    std::string path = tempPath("sharp_journal_leftover.jsonl");
+    fs::remove(path);
+    {
+        RunJournal journal(path);
+        sharp::json::Value spec = sharp::json::Value::makeObject();
+        spec.set("backend", "old");
+        journal.writeSpec(spec);
+        journal.appendRound({sampleRecord(0, 0, 0, FailureKind::None)});
+        journal.markDone();
+    }
+    {
+        RunJournal journal(path);
+        sharp::json::Value spec = sharp::json::Value::makeObject();
+        spec.set("backend", "new");
+        journal.writeSpec(spec);
+    }
+    JournalContents contents = readJournal(path);
+    EXPECT_EQ(contents.spec.getString("backend", ""), "new");
+    EXPECT_EQ(contents.rounds, 0u);
+    EXPECT_TRUE(contents.records.empty());
+    EXPECT_FALSE(contents.done);
+    fs::remove(path);
+}
+
+/**
+ * Resuming after a crash mid-append must trim the torn fragment
+ * before new rounds are appended; otherwise the first append fuses
+ * onto the fragment and the journal becomes unresumable.
+ */
+TEST(Resume, LoadTrimsTornTrailingLineBeforeAppend)
+{
+    std::string path = tempPath("sharp_journal_repair.jsonl");
+    fs::remove(path);
+    sharp::json::Value spec = sharp::json::Value::makeObject();
+    spec.set("backend", "sim");
+    {
+        RunJournal journal(path);
+        journal.writeSpec(spec);
+        journal.appendRound({sampleRecord(0, 0, 0, FailureKind::None)});
+    }
+    {
+        std::ofstream torn(path, std::ios::app);
+        torn << "{\"type\":\"round\",\"run\":1,\"rec";
+    }
+    ResumedCampaign campaign = loadResumedCampaign(path);
+    EXPECT_TRUE(campaign.truncated);
+    EXPECT_EQ(campaign.state.rounds, 1u);
+    {
+        RunJournal journal(path, JournalMode::Resume);
+        journal.appendRound({sampleRecord(1, 0, 0, FailureKind::None)});
+        journal.markDone();
+    }
+    // The appended round landed on a clean line boundary: the journal
+    // parses whole and a second load sees both rounds.
+    JournalContents contents = readJournal(path);
+    EXPECT_FALSE(contents.truncated);
+    EXPECT_EQ(contents.rounds, 2u);
+    EXPECT_TRUE(contents.done);
+    fs::remove(path);
+}
+
+/**
+ * A crash can also land between a line's payload and its newline: the
+ * final line parses but is unterminated. Loading must supply the
+ * newline so appends start a fresh line instead of fusing.
+ */
+TEST(Resume, LoadTerminatesUnterminatedFinalLine)
+{
+    std::string path = tempPath("sharp_journal_noterm.jsonl");
+    fs::remove(path);
+    {
+        std::ofstream raw(path);
+        raw << "{\"type\":\"spec\",\"spec\":{\"backend\":\"sim\"}}";
+    }
+    ResumedCampaign campaign = loadResumedCampaign(path);
+    EXPECT_FALSE(campaign.truncated);
+    {
+        RunJournal journal(path, JournalMode::Resume);
+        journal.appendRound({sampleRecord(0, 0, 0, FailureKind::None)});
+    }
+    JournalContents contents = readJournal(path);
+    EXPECT_FALSE(contents.spec.isNull());
+    EXPECT_EQ(contents.rounds, 1u);
+    fs::remove(path);
+}
+
 TEST(Resume, LoadRejectsSpeclessJournal)
 {
     std::string path = tempPath("sharp_journal_nospec.jsonl");
@@ -263,7 +357,7 @@ TEST(Resume, KillThenResumeMatchesUninterruptedRun)
             loadResumedCampaign(interrupted_journal);
         EXPECT_FALSE(campaign.done);
         EXPECT_GT(campaign.state.rounds, 0u);
-        RunJournal journal(interrupted_journal);
+        RunJournal journal(interrupted_journal, JournalMode::Resume);
         LaunchOptions opts = campaignOptions();
         opts.journal = &journal;
         opts.resume = &campaign.state;
@@ -339,7 +433,7 @@ TEST(Resume, ResumeWithFaultInjectionAndRetries)
     {
         ResumedCampaign campaign =
             loadResumedCampaign(interrupted_journal);
-        RunJournal journal(interrupted_journal);
+        RunJournal journal(interrupted_journal, JournalMode::Resume);
         LaunchOptions opts = makeOptions();
         opts.journal = &journal;
         opts.resume = &campaign.state;
