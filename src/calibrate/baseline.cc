@@ -1,7 +1,11 @@
 #include "calibrate/baseline.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "check/diagnostic.hh"
+#include "core/stopping/stopping_rule.hh"
+#include "rng/synthetic.hh"
 #include "util/string_utils.hh"
 
 namespace sharp
@@ -123,6 +127,179 @@ compareToBaseline(const json::Value &baseline, const json::Value &current,
         }
     }
     return report;
+}
+
+void
+checkBaseline(const json::Value &doc, check::CheckResult &out)
+{
+    if (!doc.isObject()) {
+        out.error(doc, "wrong-type",
+                  "calibration baseline must be a JSON object");
+        return;
+    }
+    static const std::vector<std::string> known_top = {
+        "schema", "config", "rules", "classifier", "meta_vs_fixed"};
+    check::checkKnownFields(doc, known_top, "calibration baseline",
+                            out);
+
+    static const char *schema_tag = "sharp-calibration-summary-v1";
+    if (const json::Value *schema = doc.find("schema")) {
+        if (!schema->isString() || schema->asString() != schema_tag) {
+            out.error(*schema, "schema-mismatch",
+                      "unrecognized baseline schema",
+                      std::string("expected \"") + schema_tag + "\"");
+        }
+    } else {
+        out.warning(std::string("missing-field"),
+                    "baseline lacks a 'schema' tag",
+                    std::string("expected \"") + schema_tag + "\"");
+    }
+
+    const json::Value *rules = doc.find("rules");
+    if (!rules || !rules->isObject()) {
+        out.error(rules ? *rules : doc, "missing-field",
+                  "baseline requires a 'rules' object");
+        return;
+    }
+
+    std::vector<std::string> live_rules =
+        core::StoppingRuleFactory::instance().names();
+    std::vector<std::string> live_dists;
+    for (const auto &spec : rng::syntheticRegistry())
+        live_dists.push_back(spec.name);
+    auto known = [](const std::vector<std::string> &pool,
+                    const std::string &name) {
+        return std::find(pool.begin(), pool.end(), name) != pool.end();
+    };
+
+    // The sweep cap from the config echo bounds every cell's
+    // median_samples.
+    double max_samples = 0.0;
+    const json::Value *config = doc.find("config");
+    if (config && config->isObject())
+        max_samples = config->getNumber("max_samples", 0.0);
+
+    auto checkFraction = [&out](const json::Value &cell,
+                                const char *key) {
+        const json::Value *value = cell.find(key);
+        if (!value)
+            return;
+        if (!value->isNumber() || value->asNumber() < 0.0 ||
+            value->asNumber() > 1.0) {
+            out.error(*value, "out-of-range",
+                      "'" + std::string(key) +
+                          "' must be a number in [0, 1]");
+        }
+    };
+
+    for (const auto &[rule, dists] : rules->members()) {
+        if (!known(live_rules, rule)) {
+            out.warning(dists, "stale-baseline-cell",
+                        "baseline rule '" + rule +
+                            "' is not in the stopping-rule registry; "
+                            "the gate will never compare it",
+                        check::suggestName(rule, live_rules));
+        }
+        if (!dists.isObject()) {
+            out.error(dists, "wrong-type",
+                      "baseline rule entry must be an object");
+            continue;
+        }
+        for (const auto &[dist, cell] : dists.members()) {
+            if (!known(live_dists, dist)) {
+                out.warning(cell, "stale-baseline-cell",
+                            "baseline distribution '" + dist +
+                                "' (under rule '" + rule +
+                                "') is not in the synthetic registry",
+                            check::suggestName(dist, live_dists));
+            }
+            if (!cell.isObject()) {
+                out.error(cell, "wrong-type",
+                          "baseline cell must be an object");
+                continue;
+            }
+            check::checkKnownFields(
+                cell,
+                {"median_samples", "median_ks", "fired_fraction"},
+                "baseline cell", out);
+            if (const json::Value *samples =
+                    cell.find("median_samples")) {
+                if (!samples->isNumber() || samples->asNumber() < 1) {
+                    out.error(*samples, "out-of-range",
+                              "'median_samples' must be a number >= 1");
+                } else if (max_samples > 0.0 &&
+                           samples->asNumber() > max_samples) {
+                    out.warning(
+                        *samples, "out-of-range",
+                        "'median_samples' exceeds the config echo's "
+                        "max_samples (" +
+                            util::formatDouble(max_samples, 0) + ")");
+                }
+            }
+            checkFraction(cell, "median_ks");
+            checkFraction(cell, "fired_fraction");
+        }
+    }
+
+    // The config echo promises a full rule x distribution grid; a
+    // missing cell means the gate silently stopped covering it.
+    if (config && config->isObject()) {
+        const json::Value *grid_rules = config->find("rules");
+        const json::Value *grid_dists = config->find("distributions");
+        if (grid_rules && grid_rules->isArray() && grid_dists &&
+            grid_dists->isArray()) {
+            for (const auto &rule : grid_rules->asArray()) {
+                if (!rule.isString())
+                    continue;
+                const json::Value *dists =
+                    rules->find(rule.asString());
+                for (const auto &dist : grid_dists->asArray()) {
+                    if (!dist.isString())
+                        continue;
+                    if (!dists || !dists->isObject() ||
+                        !dists->find(dist.asString())) {
+                        out.error(rule, "missing-baseline-cell",
+                                  "config echo lists cell '" +
+                                      rule.asString() + "/" +
+                                      dist.asString() +
+                                      "' but the rules table has no "
+                                      "entry for it",
+                                  "regenerate with `sharp calibrate "
+                                  "--write-baseline`");
+                    }
+                }
+            }
+        }
+    }
+
+    if (const json::Value *classifier = doc.find("classifier")) {
+        if (!classifier->isObject()) {
+            out.error(*classifier, "wrong-type",
+                      "'classifier' must be an object");
+        } else if (const json::Value *accuracy =
+                       classifier->find("accuracy")) {
+            if (!accuracy->isNumber() || accuracy->asNumber() < 0.0 ||
+                accuracy->asNumber() > 1.0) {
+                out.error(*accuracy, "out-of-range",
+                          "classifier 'accuracy' must be a number in "
+                          "[0, 1]");
+            }
+        }
+    }
+    if (const json::Value *versus = doc.find("meta_vs_fixed")) {
+        if (!versus->isObject()) {
+            out.error(*versus, "wrong-type",
+                      "'meta_vs_fixed' must be an object");
+        } else {
+            double wins = versus->getNumber("wins", 0.0);
+            double total = versus->getNumber("total", wins);
+            if (wins < 0.0 || total < 0.0 || wins > total) {
+                out.error(*versus, "out-of-range",
+                          "'meta_vs_fixed' wins must lie in "
+                          "[0, total]");
+            }
+        }
+    }
 }
 
 } // namespace calibrate

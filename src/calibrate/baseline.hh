@@ -26,6 +26,11 @@
 
 namespace sharp
 {
+namespace check
+{
+class CheckResult;
+} // namespace check
+
 namespace calibrate
 {
 
@@ -96,6 +101,18 @@ struct GateReport
 GateReport compareToBaseline(const json::Value &baseline,
                              const json::Value &current,
                              const GateTolerances &tolerances = {});
+
+/**
+ * Static analysis of a calibration-baseline document: schema tag,
+ * structural shape, per-cell value ranges (median_ks and
+ * fired_fraction in [0, 1], median_samples within the sweep cap),
+ * cells the config echo promises but the table lacks
+ * (missing-baseline-cell), and cells naming rules or distributions
+ * that no longer exist in the live registries (stale-baseline-cell —
+ * the gate would silently never compare them again). Never throws;
+ * findings are appended to @p out.
+ */
+void checkBaseline(const json::Value &doc, check::CheckResult &out);
 
 } // namespace calibrate
 } // namespace sharp

@@ -9,6 +9,7 @@
 
 #include "calibrate/baseline.hh"
 #include "calibrate/calibration.hh"
+#include "check/analyzer.hh"
 #include "core/stopping/stopping_rule.hh"
 #include "json/writer.hh"
 #include "launcher/fault_backend.hh"
@@ -156,6 +157,12 @@ commands:
   workflow SPEC.json           translate a serverless workflow
       --makefile FILE          write the Makefile
       --execute                run the DAG natively
+  check PATH...                statically validate artifacts without
+                               running anything: run/fault/retry specs,
+                               experiment configs, workflows, journals,
+                               calibration baselines, metadata
+      --format text|json       diagnostic output format (default text)
+      (exit: 0 clean, 1 warnings only, 2 errors)
   help                         this text
 
 exit codes: 0 ok, 1 error, 2 usage, 3 aborted by the failure policy,
@@ -904,6 +911,59 @@ cmdWorkflow(const ParsedArgs &args, std::ostream &out,
     return 0;
 }
 
+/**
+ * `sharp check <paths...>`: the static analyzer. Never executes
+ * anything; reads each artifact, reports every diagnostic, and exits
+ * with the CheckResult contract (0 clean, 1 warnings only, 2 errors).
+ */
+int
+cmdCheck(const ParsedArgs &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positional.empty()) {
+        err << "check requires at least one artifact path\n";
+        return 2;
+    }
+    std::string format = args.get("format", "text");
+    if (format != "text" && format != "json") {
+        err << "unknown --format '" << format
+            << "' (expected text or json)\n";
+        return 2;
+    }
+
+    check::CheckResult total;
+    size_t clean = 0;
+    for (const auto &path : args.positional) {
+        check::CheckResult result;
+        check::ArtifactKind kind =
+            check::checkArtifactFile(path, result);
+        if (format == "text") {
+            out << result.renderText();
+            if (result.clean()) {
+                out << path << ": "
+                    << check::artifactKindName(kind) << ": ok\n";
+            }
+        }
+        if (result.clean())
+            ++clean;
+        total.merge(result);
+    }
+
+    if (format == "json") {
+        json::Value summary = total.toJson();
+        summary.set("artifacts", args.positional.size());
+        summary.set("clean", clean);
+        out << json::writePretty(summary) << "\n";
+    } else {
+        out << "checked " << args.positional.size() << " artifact"
+            << (args.positional.size() == 1 ? "" : "s") << ": "
+            << total.errorCount() << " error"
+            << (total.errorCount() == 1 ? "" : "s") << ", "
+            << total.warningCount() << " warning"
+            << (total.warningCount() == 1 ? "" : "s") << "\n";
+    }
+    return total.exitCode();
+}
+
 } // anonymous namespace
 
 int
@@ -937,6 +997,8 @@ runCli(const std::vector<std::string> &argv, std::ostream &out,
             return cmdMicro(args, out, err);
         if (args.command == "workflow")
             return cmdWorkflow(args, out, err);
+        if (args.command == "check")
+            return cmdCheck(args, out, err);
         err << "unknown command '" << args.command
             << "' (try `sharp help`)\n";
         return 2;

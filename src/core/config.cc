@@ -2,17 +2,109 @@
 
 #include <stdexcept>
 
+#include "check/diagnostic.hh"
+
 namespace sharp
 {
 namespace core
 {
 
+void
+checkExperimentConfig(const json::Value &doc, check::CheckResult &out)
+{
+    if (!doc.isObject()) {
+        out.error(doc, "wrong-type",
+                  "experiment config must be a JSON object");
+        return;
+    }
+    static const std::vector<std::string> known = {
+        "rule", "params", "warmup", "min", "max", "checkInterval",
+        "seed"};
+    check::checkKnownFields(doc, known, "experiment config", out);
+
+    const json::Value *rule = doc.find("rule");
+    if (rule && !rule->isString()) {
+        out.error(*rule, "wrong-type", "'rule' must be a string");
+        rule = nullptr;
+    }
+
+    bool paramsUsable = true;
+    StoppingRuleFactory::Params params;
+    if (const json::Value *doc_params = doc.find("params")) {
+        if (!doc_params->isObject()) {
+            out.error(*doc_params, "wrong-type",
+                      "'params' must be an object");
+            paramsUsable = false;
+        } else {
+            for (const auto &[key, value] : doc_params->members()) {
+                if (!value.isNumber()) {
+                    out.error(value, "wrong-type",
+                              "rule parameter '" + key +
+                                  "' must be a number");
+                    paramsUsable = false;
+                    continue;
+                }
+                params[key] = value.asNumber();
+            }
+        }
+    }
+
+    auto boundAtLeast = [&](const char *key, long minimum) {
+        const json::Value *value = doc.find(key);
+        if (!value)
+            return;
+        if (!value->isNumber() ||
+            value->asNumber() < static_cast<double>(minimum)) {
+            out.error(*value, "out-of-range",
+                      "'" + std::string(key) +
+                          "' must be an integer >= " +
+                          std::to_string(minimum));
+        }
+    };
+    boundAtLeast("warmup", 0);
+    boundAtLeast("min", 1);
+    boundAtLeast("max", 1);
+    boundAtLeast("checkInterval", 1);
+    boundAtLeast("seed", 0);
+    const json::Value *min_value = doc.find("min");
+    const json::Value *max_value = doc.find("max");
+    if (min_value && max_value && min_value->isNumber() &&
+        max_value->isNumber() &&
+        max_value->asNumber() < min_value->asNumber()) {
+        out.error(*max_value, "out-of-range",
+                  "'max' (" + std::to_string(max_value->asLong()) +
+                      ") is below 'min' (" +
+                      std::to_string(min_value->asLong()) + ")");
+    }
+
+    // Instantiate the rule eagerly — the factory is the authority on
+    // rule names and parameter ranges, so a config typo surfaces here
+    // instead of mid-experiment.
+    std::string rule_name =
+        rule ? rule->asString() : ExperimentConfig().ruleName;
+    const json::Value &rule_site = rule ? *rule : doc;
+    try {
+        if (paramsUsable)
+            StoppingRuleFactory::instance().make(rule_name, params);
+    } catch (const std::out_of_range &) {
+        out.error(rule_site, "unknown-rule",
+                  "unknown stopping rule '" + rule_name + "'",
+                  check::suggestName(
+                      rule_name,
+                      StoppingRuleFactory::instance().names()));
+    } catch (const std::exception &problem) {
+        out.error(rule_site, "bad-rule-params",
+                  "stopping rule '" + rule_name +
+                      "' rejects its parameters: " + problem.what());
+    }
+}
+
 ExperimentConfig
 ExperimentConfig::fromJson(const json::Value &doc)
 {
-    if (!doc.isObject())
-        throw std::invalid_argument(
-            "experiment config must be a JSON object");
+    check::CheckResult findings;
+    checkExperimentConfig(doc, findings);
+    check::throwIfErrors(std::move(findings));
 
     ExperimentConfig config;
     config.ruleName = doc.getString("rule", config.ruleName);

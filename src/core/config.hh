@@ -23,6 +23,11 @@
 
 namespace sharp
 {
+namespace check
+{
+class CheckResult;
+} // namespace check
+
 namespace core
 {
 
@@ -57,6 +62,16 @@ struct ExperimentConfig
     /** Instantiate the configured stopping rule. */
     std::unique_ptr<StoppingRule> makeRule() const;
 };
+
+/**
+ * Static analysis of an experiment-config document: located
+ * diagnostics for structural problems, unknown stopping rules (with a
+ * did-you-mean hint), and rule parameters the factory rejects.
+ * Never throws; ExperimentConfig::fromJson runs this first and throws
+ * check::CheckFailure on errors.
+ */
+void checkExperimentConfig(const json::Value &doc,
+                           check::CheckResult &out);
 
 } // namespace core
 } // namespace sharp

@@ -18,8 +18,9 @@ namespace core
 
 using util::formatDouble;
 
-ConstantRule::ConstantRule(double cvTolerance, size_t minRuns)
-    : cvTolerance(cvTolerance), minRunsCfg(std::max<size_t>(minRuns, 2))
+ConstantRule::ConstantRule(double cvTolerance_in, size_t minRuns)
+    : cvTolerance(cvTolerance_in),
+      minRunsCfg(std::max<size_t>(minRuns, 2))
 {
     if (cvTolerance < 0.0)
         throw std::invalid_argument(
@@ -49,9 +50,11 @@ ConstantRule::evaluate(const SampleSeries &series)
                                    detail + " (not constant)");
 }
 
-UniformRangeRule::UniformRangeRule(double growthTolerance,
-                                   double windowFraction, size_t minRuns)
-    : growthTolerance(growthTolerance), windowFraction(windowFraction),
+UniformRangeRule::UniformRangeRule(double growthTolerance_in,
+                                   double windowFraction_in,
+                                   size_t minRuns)
+    : growthTolerance(growthTolerance_in),
+      windowFraction(windowFraction_in),
       minRunsCfg(std::max<size_t>(minRuns, 8))
 {
     if (growthTolerance < 0.0)
@@ -100,9 +103,9 @@ UniformRangeRule::evaluate(const SampleSeries &series)
     return StopDecision::keepGoing(growth, growthTolerance, detail);
 }
 
-AutocorrEssRule::AutocorrEssRule(double threshold, double level,
-                                 double minEss, size_t minRuns)
-    : threshold(threshold), level(level), minEss(minEss),
+AutocorrEssRule::AutocorrEssRule(double threshold_in, double level_in,
+                                 double minEss_in, size_t minRuns)
+    : threshold(threshold_in), level(level_in), minEss(minEss_in),
       minRunsCfg(std::max<size_t>(minRuns, 8))
 {
     if (!(threshold > 0.0))
@@ -150,9 +153,9 @@ AutocorrEssRule::evaluate(const SampleSeries &series)
     return StopDecision::keepGoing(rel, threshold, detail);
 }
 
-ModalityRule::ModalityRule(double ksThreshold, double prominence,
+ModalityRule::ModalityRule(double ksThreshold_in, double prominence_in,
                            size_t minRuns)
-    : ksThreshold(ksThreshold), prominence(prominence),
+    : ksThreshold(ksThreshold_in), prominence(prominence_in),
       minRunsCfg(std::max<size_t>(minRuns, 16))
 {
     if (!(ksThreshold > 0.0 && ksThreshold <= 1.0))
@@ -193,9 +196,9 @@ ModalityRule::evaluate(const SampleSeries &series)
                                    detail + " (shape still changing)");
 }
 
-TailQuantileRule::TailQuantileRule(double quantile, double threshold,
-                                   double level, size_t minRuns)
-    : quantileP(quantile), threshold(threshold), level(level),
+TailQuantileRule::TailQuantileRule(double quantile, double threshold_in,
+                                   double level_in, size_t minRuns)
+    : quantileP(quantile), threshold(threshold_in), level(level_in),
       minRunsCfg(std::max<size_t>(minRuns, 10))
 {
     if (!(quantile > 0.0 && quantile < 1.0))

@@ -40,8 +40,9 @@ decideRelativeWidth(double rel_width, double threshold,
 
 } // anonymous namespace
 
-MeanCiRule::MeanCiRule(double threshold, double level, size_t minRuns)
-    : threshold(threshold), level(level),
+MeanCiRule::MeanCiRule(double threshold_in, double level_in,
+                       size_t minRuns)
+    : threshold(threshold_in), level(level_in),
       minRunsCfg(std::max<size_t>(minRuns, 2))
 {
     checkCiParams(threshold, level, "MeanCiRule");
@@ -71,9 +72,9 @@ MeanCiRule::evaluate(const SampleSeries &series)
     return decideRelativeWidth(rel, threshold, "right-tailed mean CI");
 }
 
-NormalMeanCiRule::NormalMeanCiRule(double threshold, double level,
-                                   size_t minRuns)
-    : threshold(threshold), level(level),
+NormalMeanCiRule::NormalMeanCiRule(double threshold_in,
+                                   double level_in, size_t minRuns)
+    : threshold(threshold_in), level(level_in),
       minRunsCfg(std::max<size_t>(minRuns, 2))
 {
     checkCiParams(threshold, level, "NormalMeanCiRule");
@@ -97,9 +98,9 @@ NormalMeanCiRule::evaluate(const SampleSeries &series)
     return decideRelativeWidth(rel, threshold, "two-sided mean CI");
 }
 
-GeoMeanCiRule::GeoMeanCiRule(double threshold, double level,
+GeoMeanCiRule::GeoMeanCiRule(double threshold_in, double level_in,
                              size_t minRuns)
-    : threshold(threshold), level(level),
+    : threshold(threshold_in), level(level_in),
       minRunsCfg(std::max<size_t>(minRuns, 2))
 {
     checkCiParams(threshold, level, "GeoMeanCiRule");
@@ -131,8 +132,9 @@ GeoMeanCiRule::evaluate(const SampleSeries &series)
     return decideRelativeWidth(rel, threshold, "geometric-mean CI");
 }
 
-MedianCiRule::MedianCiRule(double threshold, double level, size_t minRuns)
-    : threshold(threshold), level(level),
+MedianCiRule::MedianCiRule(double threshold_in, double level_in,
+                           size_t minRuns)
+    : threshold(threshold_in), level(level_in),
       minRunsCfg(std::max<size_t>(minRuns, 6))
 {
     checkCiParams(threshold, level, "MedianCiRule");

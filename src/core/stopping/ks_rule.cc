@@ -11,8 +11,8 @@ namespace sharp
 namespace core
 {
 
-KsHalvesRule::KsHalvesRule(double threshold, size_t minRuns)
-    : threshold(threshold), minRunsCfg(std::max<size_t>(minRuns, 4))
+KsHalvesRule::KsHalvesRule(double threshold_in, size_t minRuns)
+    : threshold(threshold_in), minRunsCfg(std::max<size_t>(minRuns, 4))
 {
     if (!(threshold > 0.0 && threshold <= 1.0))
         throw std::invalid_argument(

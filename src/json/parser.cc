@@ -21,7 +21,7 @@ namespace
 class Cursor
 {
   public:
-    explicit Cursor(std::string_view text) : text(text) {}
+    explicit Cursor(std::string_view text_in) : text(text_in) {}
 
     bool
     atEnd() const
@@ -262,22 +262,31 @@ parseValue(Cursor &cur, int depth)
     cur.skipWhitespaceAndComments();
     if (cur.atEnd())
         cur.fail("unexpected end of input");
+    // Every parsed value remembers where its first token begins, so
+    // validators above the parser can point diagnostics at the
+    // offending line (see json::Location).
+    Location where{static_cast<uint32_t>(cur.lineNum),
+                   static_cast<uint32_t>(cur.colNum)};
+    Value out;
     char c = cur.peek();
     if (c == '{')
-        return parseObject(cur, depth);
-    if (c == '[')
-        return parseArray(cur, depth);
-    if (c == '"')
-        return Value(parseStringBody(cur));
-    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
-        return parseNumber(cur);
-    if (cur.consumeKeyword("true"))
-        return Value(true);
-    if (cur.consumeKeyword("false"))
-        return Value(false);
-    if (cur.consumeKeyword("null"))
-        return Value(nullptr);
-    cur.fail("unexpected character");
+        out = parseObject(cur, depth);
+    else if (c == '[')
+        out = parseArray(cur, depth);
+    else if (c == '"')
+        out = Value(parseStringBody(cur));
+    else if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+        out = parseNumber(cur);
+    else if (cur.consumeKeyword("true"))
+        out = Value(true);
+    else if (cur.consumeKeyword("false"))
+        out = Value(false);
+    else if (cur.consumeKeyword("null"))
+        out = Value(nullptr);
+    else
+        cur.fail("unexpected character");
+    out.setLocation(where);
+    return out;
 }
 
 } // anonymous namespace

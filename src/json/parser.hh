@@ -22,11 +22,11 @@ namespace json
 class ParseError : public std::runtime_error
 {
   public:
-    ParseError(const std::string &what, size_t line, size_t column)
+    ParseError(const std::string &what, size_t line_in, size_t column_in)
         : std::runtime_error("JSON parse error at line " +
-                             std::to_string(line) + ", column " +
-                             std::to_string(column) + ": " + what),
-          line(line), column(column)
+                             std::to_string(line_in) + ", column " +
+                             std::to_string(column_in) + ": " + what),
+          line(line_in), column(column_in)
     {}
 
     /** 1-based line of the error. */

@@ -26,6 +26,22 @@ namespace json
 
 class Value;
 
+/**
+ * Where a parsed value begins in its source document. Line and column
+ * are 1-based; a default-constructed (0, 0) location means "unknown"
+ * — values built programmatically rather than parsed carry no
+ * position. Locations ride along on copies but never participate in
+ * equality, so documents stay comparable across round trips.
+ */
+struct Location
+{
+    uint32_t line = 0;
+    uint32_t column = 0;
+
+    /** True when the location points into a source document. */
+    bool known() const { return line != 0; }
+};
+
 /** Thrown when a Value is accessed as the wrong type. */
 class TypeError : public std::runtime_error
 {
@@ -142,12 +158,18 @@ class Value
     std::string getString(const std::string &key,
                           const std::string &fallback) const;
 
-    /** Deep structural equality. */
+    /** Deep structural equality (source locations are ignored). */
     bool operator==(const Value &other) const;
     bool operator!=(const Value &other) const { return !(*this == other); }
 
+    /** Source position of this value's first token, if parsed. */
+    const Location &location() const { return loc; }
+    /** Attach a source position (used by the parser). */
+    void setLocation(Location location) { loc = location; }
+
   private:
     Type tag;
+    Location loc;
     bool boolValue = false;
     double numValue = 0.0;
     std::string strValue;

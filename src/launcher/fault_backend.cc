@@ -2,10 +2,90 @@
 
 #include <stdexcept>
 
+#include "check/diagnostic.hh"
+#include "util/string_utils.hh"
+
 namespace sharp
 {
 namespace launcher
 {
+
+namespace
+{
+
+const char *const faultProbabilityKeys[] = {
+    "crash", "spawn_error", "hang", "corrupt", "flaky_exit", "slow"};
+
+} // anonymous namespace
+
+void
+checkFaultSpec(const json::Value &doc, check::CheckResult &out)
+{
+    if (!doc.isObject()) {
+        out.error(doc, "wrong-type", "fault spec must be a JSON object");
+        return;
+    }
+    static const std::vector<std::string> known = {
+        "crash",      "spawn_error", "hang",        "corrupt",
+        "flaky_exit", "slow",        "slow_factor", "slow_metric",
+        "seed"};
+    check::checkKnownFields(doc, known, "fault spec", out);
+
+    double total = 0.0;
+    bool bandsUsable = true;
+    for (const char *key : faultProbabilityKeys) {
+        const json::Value *band = doc.find(key);
+        if (!band)
+            continue;
+        if (!band->isNumber()) {
+            out.error(*band, "wrong-type",
+                      "fault probability '" + std::string(key) +
+                          "' must be a number");
+            bandsUsable = false;
+            continue;
+        }
+        double p = band->asNumber();
+        if (p < 0.0 || p > 1.0) {
+            out.error(*band, "out-of-range",
+                      "fault probability '" + std::string(key) +
+                          "' must be in [0, 1]");
+            bandsUsable = false;
+            continue;
+        }
+        total += p;
+    }
+    if (bandsUsable && total > 1.0) {
+        out.error(doc, "out-of-range",
+                  "fault probabilities sum to " +
+                      util::formatDouble(total, 3) +
+                      "; the bands must sum to <= 1");
+    }
+
+    if (const json::Value *factor = doc.find("slow_factor")) {
+        if (!factor->isNumber())
+            out.error(*factor, "wrong-type",
+                      "'slow_factor' must be a number");
+        else if (factor->asNumber() <= 0.0)
+            out.error(*factor, "out-of-range",
+                      "'slow_factor' must be > 0");
+    }
+    if (const json::Value *metric = doc.find("slow_metric")) {
+        if (!metric->isString() || metric->asString().empty())
+            out.error(*metric, "wrong-type",
+                      "'slow_metric' must be a non-empty string");
+    }
+    if (const json::Value *seed = doc.find("seed")) {
+        try {
+            doc.getUint64("seed", 1);
+        } catch (const json::TypeError &) {
+            out.error(*seed, "wrong-type",
+                      "'seed' must be a non-negative integer or a "
+                      "decimal string",
+                      "seeds >= 2^53 need the string form to "
+                      "round-trip exactly");
+        }
+    }
+}
 
 double
 FaultSpec::totalProbability() const
@@ -34,8 +114,10 @@ FaultSpec::validate() const
 FaultSpec
 FaultSpec::fromJson(const json::Value &doc)
 {
-    if (!doc.isObject())
-        throw std::invalid_argument("fault spec must be an object");
+    check::CheckResult findings;
+    checkFaultSpec(doc, findings);
+    check::throwIfErrors(std::move(findings));
+
     FaultSpec spec;
     spec.crashProbability = doc.getNumber("crash", 0.0);
     spec.spawnErrorProbability = doc.getNumber("spawn_error", 0.0);

@@ -23,6 +23,11 @@
 
 namespace sharp
 {
+namespace check
+{
+class CheckResult;
+} // namespace check
+
 namespace launcher
 {
 
@@ -65,6 +70,14 @@ struct FaultSpec
     /** Serialize to JSON (round-trips through fromJson). */
     json::Value toJson() const;
 };
+
+/**
+ * Static analysis of a fault-spec document: every structural problem
+ * is reported as a located diagnostic, never thrown. FaultSpec::
+ * fromJson runs this first and throws check::CheckFailure on errors,
+ * so `sharp run --fault` and `sharp check` agree on every finding.
+ */
+void checkFaultSpec(const json::Value &doc, check::CheckResult &out);
 
 /**
  * Wraps any backend and injects faults per the seeded schedule.

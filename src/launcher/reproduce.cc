@@ -1,7 +1,9 @@
 #include "launcher/reproduce.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "check/diagnostic.hh"
 #include "json/parser.hh"
 #include "json/writer.hh"
 #include "launcher/faas_backend.hh"
@@ -33,11 +35,237 @@ ReproSpec::launchOptions() const
     return options;
 }
 
+namespace
+{
+
+/** Backend kinds makeBackend() can construct. */
+const std::vector<std::string> knownBackendKinds = {
+    "sim", "sim-phased", "faas", "local"};
+
+/** Metrics each simulated backend kind emits (local emits anything). */
+std::vector<std::string>
+backendMetricNames(const std::string &kind)
+{
+    if (kind == "sim")
+        return {"execution_time"};
+    if (kind == "sim-phased")
+        return {"execution_time", "detection_time", "tracking_time"};
+    if (kind == "faas")
+        return {"execution_time", "response_time", "cold_start"};
+    return {};
+}
+
+/**
+ * The run-spec checker behind both fromJson (structural depth: what
+ * loading must reject) and checkRunSpec (adds the registry-reference
+ * lints; fromJson skips those because specs with unknown kinds must
+ * still round-trip through metadata — see makeBackend, which is where
+ * execution rejects them).
+ */
+void
+checkRunSpecImpl(const json::Value &doc, check::CheckResult &out,
+                 bool semantic)
+{
+    if (!doc.isObject()) {
+        out.error(doc, "wrong-type", "run spec must be a JSON object");
+        return;
+    }
+    static const std::vector<std::string> known = {
+        "backend",     "workload",     "argv",
+        "timeout",     "machines",     "day",
+        "seed",        "concurrency",  "jobs",
+        "experiment",  "max_failures", "max_failure_rate",
+        "retry",       "fault"};
+    check::checkKnownFields(doc, known, "run spec", out);
+
+    auto stringField = [&](const char *key) {
+        const json::Value *value = doc.find(key);
+        if (value && !value->isString())
+            out.error(*value, "wrong-type",
+                      "'" + std::string(key) + "' must be a string");
+        return value;
+    };
+    const json::Value *backend = stringField("backend");
+    stringField("workload");
+
+    if (const json::Value *argv = doc.find("argv")) {
+        if (!argv->isArray()) {
+            out.error(*argv, "wrong-type", "'argv' must be an array");
+        } else {
+            for (const auto &arg : argv->asArray()) {
+                if (!arg.isString())
+                    out.error(arg, "wrong-type",
+                              "argv entries must be strings");
+            }
+        }
+    }
+    if (const json::Value *timeout = doc.find("timeout")) {
+        if (!timeout->isNumber() || timeout->asNumber() < 0.0)
+            out.error(*timeout, "out-of-range",
+                      "'timeout' must be a number >= 0");
+    }
+    if (const json::Value *machines = doc.find("machines")) {
+        if (!machines->isArray()) {
+            out.error(*machines, "wrong-type",
+                      "'machines' must be an array");
+        } else {
+            for (const auto &machine : machines->asArray()) {
+                if (!machine.isString())
+                    out.error(machine, "wrong-type",
+                              "machine ids must be strings");
+            }
+        }
+    }
+
+    auto integerAtLeast = [&](const char *key, long minimum) {
+        const json::Value *value = doc.find(key);
+        if (!value)
+            return;
+        if (!value->isNumber() ||
+            value->asNumber() < static_cast<double>(minimum)) {
+            out.error(*value, "out-of-range",
+                      "'" + std::string(key) +
+                          "' must be an integer >= " +
+                          std::to_string(minimum));
+        }
+    };
+    integerAtLeast("concurrency", 1);
+    integerAtLeast("jobs", 1);
+    integerAtLeast("max_failures", 0);
+    if (const json::Value *day = doc.find("day")) {
+        if (!day->isNumber())
+            out.error(*day, "wrong-type", "'day' must be a number");
+    }
+    if (const json::Value *seed = doc.find("seed")) {
+        try {
+            doc.getUint64("seed", 1);
+        } catch (const json::TypeError &) {
+            out.error(*seed, "wrong-type",
+                      "'seed' must be a non-negative integer or a "
+                      "decimal string",
+                      "seeds >= 2^53 need the string form to "
+                      "round-trip exactly");
+        }
+    }
+    if (const json::Value *rate = doc.find("max_failure_rate")) {
+        if (!rate->isNumber() || rate->asNumber() <= 0.0 ||
+            rate->asNumber() > 1.0) {
+            out.error(*rate, "out-of-range",
+                      "'max_failure_rate' must be in (0, 1]");
+        }
+    }
+
+    if (const json::Value *experiment = doc.find("experiment"))
+        core::checkExperimentConfig(*experiment, out);
+    if (const json::Value *retry = doc.find("retry"))
+        checkRetryPolicy(*retry, out);
+    const json::Value *fault = doc.find("fault");
+    if (fault)
+        checkFaultSpec(*fault, out);
+
+    if (!semantic)
+        return;
+
+    // Registry-reference lints: what a campaign would only discover
+    // at backend-construction time, minutes into a queue slot.
+    std::string kind = doc.getString("backend", "sim");
+    if (backend && backend->isString() &&
+        std::find(knownBackendKinds.begin(), knownBackendKinds.end(),
+                  kind) == knownBackendKinds.end()) {
+        out.error(*backend, "unknown-backend",
+                  "unknown backend kind '" + kind + "'",
+                  check::suggestName(kind, knownBackendKinds));
+    }
+
+    std::vector<std::string> workloads;
+    for (const auto &spec : sim::rodiniaRegistry())
+        workloads.push_back(spec.name);
+    const json::Value *workload = doc.find("workload");
+    if (kind == "sim" || kind == "faas") {
+        std::string name = doc.getString("workload", "");
+        bool registered =
+            std::find(workloads.begin(), workloads.end(), name) !=
+            workloads.end();
+        if (!registered) {
+            const json::Value &where = workload ? *workload : doc;
+            out.error(where, "dangling-workload",
+                      name.empty()
+                          ? "backend '" + kind +
+                                "' requires a 'workload'"
+                          : "workload '" + name +
+                                "' is not in the Rodinia registry",
+                      name.empty()
+                          ? "see `sharp list` for the registry"
+                          : check::suggestName(name, workloads));
+        }
+    }
+
+    if (kind != "local") {
+        std::vector<std::string> machineIds;
+        for (const auto &machine : sim::machineRegistry())
+            machineIds.push_back(machine.id);
+        if (const json::Value *machines = doc.find("machines")) {
+            if (machines->isArray()) {
+                for (const auto &machine : machines->asArray()) {
+                    if (!machine.isString())
+                        continue;
+                    const std::string &id = machine.asString();
+                    if (std::find(machineIds.begin(), machineIds.end(),
+                                  id) == machineIds.end()) {
+                        out.error(machine, "unknown-machine",
+                                  "machine '" + id +
+                                      "' is not in the machine "
+                                      "registry",
+                                  check::suggestName(id, machineIds));
+                    }
+                }
+            }
+        }
+    } else {
+        const json::Value *argv = doc.find("argv");
+        if (!argv || !argv->isArray() || argv->size() == 0) {
+            out.error(argv ? *argv : doc, "missing-field",
+                      "the local backend requires a non-empty 'argv'");
+        }
+        out.report(check::Severity::Note, doc, "nondeterministic",
+                   "the local backend replays the command, not the "
+                   "samples; a reproduction will not be bit-exact");
+    }
+
+    // A slow fault that inflates a metric the backend never emits
+    // silently does nothing — almost certainly a typo.
+    if (fault && fault->isObject() &&
+        fault->getNumber("slow", 0.0) > 0.0 && kind != "local") {
+        std::string metric =
+            fault->getString("slow_metric", "execution_time");
+        std::vector<std::string> metrics = backendMetricNames(kind);
+        if (!metrics.empty() &&
+            std::find(metrics.begin(), metrics.end(), metric) ==
+                metrics.end()) {
+            const json::Value *where = fault->find("slow_metric");
+            out.warning(where ? *where : *fault, "dangling-metric",
+                        "slow faults inflate metric '" + metric +
+                            "', which backend '" + kind +
+                            "' never emits",
+                        check::suggestName(metric, metrics));
+        }
+    }
+}
+
+} // anonymous namespace
+
+void
+checkRunSpec(const json::Value &doc, check::CheckResult &out)
+{
+    checkRunSpecImpl(doc, out, true);
+}
+
 ReproSpec
 ReproSpec::fromJson(const json::Value &doc)
 {
-    if (!doc.isObject())
-        throw std::invalid_argument("run spec must be a JSON object");
+    check::CheckResult findings;
+    checkRunSpecImpl(doc, findings, false);
+    check::throwIfErrors(std::move(findings));
 
     ReproSpec spec;
     spec.backendKind = doc.getString("backend", spec.backendKind);

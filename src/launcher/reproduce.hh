@@ -32,6 +32,11 @@
 
 namespace sharp
 {
+namespace check
+{
+class CheckResult;
+} // namespace check
+
 namespace launcher
 {
 
@@ -92,6 +97,17 @@ struct ReproSpec
     /** Serialize to JSON (round-trips through fromJson). */
     json::Value toJson() const;
 };
+
+/**
+ * Full static analysis of a run-spec document: every structural
+ * problem ReproSpec::fromJson would reject, plus the registry lints
+ * loading alone only hits at backend construction — unknown backend
+ * kinds, workloads absent from the Rodinia registry, machines absent
+ * from the machine registry, a local backend without argv, and a
+ * fault schedule inflating a metric the backend never emits. Never
+ * throws; findings are appended to @p out.
+ */
+void checkRunSpec(const json::Value &doc, check::CheckResult &out);
 
 /** Record @p spec in @p log's metadata ("Reproduction" section). */
 void annotate(record::RunLog &log, const ReproSpec &spec);

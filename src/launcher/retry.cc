@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/diagnostic.hh"
 #include "rng/xoshiro.hh"
 #include "util/string_utils.hh"
 
@@ -11,6 +12,80 @@ namespace sharp
 {
 namespace launcher
 {
+
+void
+checkRetryPolicy(const json::Value &doc, check::CheckResult &out)
+{
+    if (!doc.isObject()) {
+        out.error(doc, "wrong-type",
+                  "retry policy must be a JSON object");
+        return;
+    }
+    static const std::vector<std::string> known = {
+        "attempts", "backoff",     "multiplier", "max_backoff",
+        "jitter",   "jitter_seed", "kinds"};
+    check::checkKnownFields(doc, known, "retry policy", out);
+
+    auto numberAtLeast = [&](const char *key, double minimum) {
+        const json::Value *value = doc.find(key);
+        if (!value)
+            return;
+        if (!value->isNumber()) {
+            out.error(*value, "wrong-type",
+                      "'" + std::string(key) + "' must be a number");
+        } else if (value->asNumber() < minimum) {
+            out.error(*value, "out-of-range",
+                      "'" + std::string(key) + "' must be >= " +
+                          util::formatDouble(minimum, 0));
+        }
+    };
+    numberAtLeast("attempts", 1.0);
+    numberAtLeast("backoff", 0.0);
+    numberAtLeast("multiplier", 1.0);
+    numberAtLeast("max_backoff", 0.0);
+    if (const json::Value *jitter = doc.find("jitter")) {
+        if (!jitter->isNumber() || jitter->asNumber() < 0.0 ||
+            jitter->asNumber() > 1.0) {
+            out.error(*jitter, "out-of-range",
+                      "'jitter' must be a number in [0, 1]");
+        }
+    }
+    if (const json::Value *seed = doc.find("jitter_seed")) {
+        try {
+            doc.getUint64("jitter_seed", 1);
+        } catch (const json::TypeError &) {
+            out.error(*seed, "wrong-type",
+                      "'jitter_seed' must be a non-negative integer "
+                      "or a decimal string");
+        }
+    }
+    if (const json::Value *kinds = doc.find("kinds")) {
+        if (!kinds->isArray()) {
+            out.error(*kinds, "wrong-type",
+                      "retry 'kinds' must be an array");
+        } else {
+            std::vector<std::string> names;
+            for (record::FailureKind kind : record::allFailureKinds())
+                names.push_back(record::failureKindName(kind));
+            for (const auto &kind : kinds->asArray()) {
+                if (!kind.isString()) {
+                    out.error(kind, "wrong-type",
+                              "failure kinds must be strings");
+                    continue;
+                }
+                try {
+                    record::failureKindFromName(kind.asString());
+                } catch (const std::invalid_argument &) {
+                    out.error(kind, "unknown-name",
+                              "unknown failure kind '" +
+                                  kind.asString() + "'",
+                              check::suggestName(kind.asString(),
+                                                 names));
+                }
+            }
+        }
+    }
+}
 
 bool
 RetryPolicy::shouldRetry(record::FailureKind kind) const
@@ -61,13 +136,13 @@ RetryPolicy::validate() const
 RetryPolicy
 RetryPolicy::fromJson(const json::Value &doc)
 {
-    if (!doc.isObject())
-        throw std::invalid_argument("retry policy must be an object");
+    check::CheckResult findings;
+    checkRetryPolicy(doc, findings);
+    check::throwIfErrors(std::move(findings));
+
     RetryPolicy policy;
-    long attempts = doc.getLong("attempts", 1);
-    if (attempts < 1)
-        throw std::invalid_argument("retry attempts must be >= 1");
-    policy.maxAttempts = static_cast<size_t>(attempts);
+    policy.maxAttempts =
+        static_cast<size_t>(doc.getLong("attempts", 1));
     policy.backoffBaseSeconds =
         doc.getNumber("backoff", policy.backoffBaseSeconds);
     policy.backoffMultiplier =

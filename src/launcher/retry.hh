@@ -24,6 +24,11 @@
 
 namespace sharp
 {
+namespace check
+{
+class CheckResult;
+} // namespace check
+
 namespace launcher
 {
 
@@ -80,6 +85,13 @@ struct RetryPolicy
     /** One-line human-readable summary for metadata/logs. */
     std::string describe() const;
 };
+
+/**
+ * Static analysis of a retry-policy document: located diagnostics,
+ * never throws. RetryPolicy::fromJson runs this first and throws
+ * check::CheckFailure on errors.
+ */
+void checkRetryPolicy(const json::Value &doc, check::CheckResult &out);
 
 } // namespace launcher
 } // namespace sharp

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "check/diagnostic.hh"
 #include "json/parser.hh"
 #include "json/writer.hh"
 #include "util/string_utils.hh"
@@ -14,6 +15,8 @@ namespace sharp
 {
 namespace record
 {
+
+using check::Severity;
 
 RunJournal::RunJournal(std::string path_in, JournalMode mode)
     : filePath(std::move(path_in))
@@ -193,6 +196,205 @@ readJournal(const std::string &path)
         }
     }
     return contents;
+}
+
+void
+checkJournalText(const std::string &text, check::CheckResult &out)
+{
+    // Lightweight view of the spec line, for cross-line lints.
+    std::string spec_workload;
+    std::string spec_backend;
+    long spec_min = -1;
+    long spec_max = -1;
+    bool have_spec = false;
+
+    bool done = false;
+    long last_run = -1;
+    size_t measured_rounds = 0;
+
+    auto lines = util::split(text, '\n');
+    size_t last_nonempty = lines.size();
+    for (size_t i = lines.size(); i-- > 0;) {
+        if (!lines[i].empty()) {
+            last_nonempty = i;
+            break;
+        }
+    }
+    if (last_nonempty == lines.size()) {
+        out.warning("empty-journal", "journal holds no lines");
+        return;
+    }
+
+    auto locate = [](size_t line_index, const json::Value &value) {
+        // Journal lines are parsed one at a time, so a value's own
+        // line is always 1; the journal line number is the authority.
+        return json::Location{static_cast<uint32_t>(line_index + 1),
+                              value.location().column};
+    };
+
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &line = lines[i];
+        if (line.empty())
+            continue;
+        json::Location whole_line{static_cast<uint32_t>(i + 1), 1};
+        json::Value doc;
+        try {
+            doc = json::parse(line);
+        } catch (const std::exception &problem) {
+            if (i == last_nonempty) {
+                out.report(Severity::Warning, whole_line,
+                           "truncated-journal",
+                           "torn trailing line (crash mid-write); the "
+                           "reader discards it",
+                           "run `sharp run --resume` to repair and "
+                           "continue the campaign");
+            } else {
+                out.report(Severity::Error, whole_line, "journal-syntax",
+                           std::string("malformed journal line: ") +
+                               problem.what());
+            }
+            continue;
+        }
+        if (!doc.isObject()) {
+            out.report(Severity::Error, whole_line, "journal-syntax",
+                       "journal line must be a JSON object");
+            continue;
+        }
+        std::string type = doc.getString("type", "");
+        if (type == "spec") {
+            if (have_spec) {
+                out.report(Severity::Error, whole_line, "journal-order",
+                           "duplicate spec line; a journal describes "
+                           "exactly one campaign");
+                continue;
+            }
+            if (i != 0) {
+                out.report(Severity::Warning, whole_line,
+                           "journal-order",
+                           "spec line is not the first line");
+            }
+            const json::Value *spec = doc.find("spec");
+            if (!spec || !spec->isObject()) {
+                out.report(Severity::Error, whole_line, "missing-field",
+                           "spec line lacks a 'spec' object");
+                continue;
+            }
+            have_spec = true;
+            spec_workload = spec->getString("workload", "");
+            spec_backend = spec->getString("backend", "");
+            if (const json::Value *experiment =
+                    spec->find("experiment")) {
+                spec_min = experiment->getLong("min", -1);
+                spec_max = experiment->getLong("max", -1);
+            }
+        } else if (type == "round") {
+            if (done) {
+                out.report(Severity::Error, whole_line, "journal-order",
+                           "round recorded after the done marker");
+            }
+            bool warmup = doc.getBool("warmup", false);
+            if (!warmup)
+                ++measured_rounds;
+            long run = doc.getLong("run", -1);
+            if (run >= 0 && run <= last_run) {
+                out.report(
+                    Severity::Warning, whole_line, "journal-order",
+                    "run index " + std::to_string(run) +
+                        " does not advance past the previous round (" +
+                        std::to_string(last_run) + ")");
+            }
+            if (run >= 0)
+                last_run = run;
+            const json::Value *records = doc.find("records");
+            if (!records || !records->isArray()) {
+                out.report(Severity::Error, whole_line, "missing-field",
+                           "round line lacks a 'records' array");
+                continue;
+            }
+            for (const auto &entry : records->asArray()) {
+                if (!entry.isObject()) {
+                    out.report(Severity::Error, locate(i, entry),
+                               "wrong-type",
+                               "journal record must be an object");
+                    continue;
+                }
+                std::string failure =
+                    entry.getString("failure", "none");
+                try {
+                    failureKindFromName(failure);
+                } catch (const std::invalid_argument &) {
+                    out.report(Severity::Error, locate(i, entry),
+                               "unknown-name",
+                               "unknown failure kind '" + failure +
+                                   "'");
+                }
+                std::string workload = entry.getString("workload", "");
+                if (have_spec && !spec_workload.empty() &&
+                    workload != spec_workload) {
+                    out.report(Severity::Error, locate(i, entry),
+                               "journal-spec-mismatch",
+                               "record workload '" + workload +
+                                   "' disagrees with the journaled "
+                                   "spec ('" +
+                                   spec_workload + "')");
+                }
+                std::string backend = entry.getString("backend", "");
+                if (have_spec && !spec_backend.empty() &&
+                    !backend.empty() && backend != spec_backend) {
+                    out.report(Severity::Error, locate(i, entry),
+                               "journal-spec-mismatch",
+                               "record backend '" + backend +
+                                   "' disagrees with the journaled "
+                                   "spec ('" +
+                                   spec_backend + "')");
+                }
+                if (const json::Value *metrics =
+                        entry.find("metrics")) {
+                    for (const auto &[name, value] :
+                         metrics->members()) {
+                        if (!value.isNumber()) {
+                            out.report(Severity::Error,
+                                       locate(i, value), "wrong-type",
+                                       "metric '" + name +
+                                           "' must be a number");
+                        }
+                    }
+                }
+            }
+        } else if (type == "done") {
+            if (done) {
+                out.report(Severity::Warning, whole_line,
+                           "journal-order", "duplicate done marker");
+            }
+            done = true;
+        } else {
+            out.report(Severity::Error, whole_line, "journal-type",
+                       "unknown journal line type '" + type + "'");
+        }
+    }
+
+    if (!have_spec) {
+        out.warning("missing-spec",
+                    "journal has no spec line; `sharp run --resume` "
+                    "cannot rebuild the experiment from it");
+    }
+    if (spec_max > 0 &&
+        measured_rounds > static_cast<size_t>(spec_max)) {
+        out.warning("journal-overrun",
+                    "journal holds " +
+                        std::to_string(measured_rounds) +
+                        " measured rounds but the spec caps the "
+                        "experiment at " +
+                        std::to_string(spec_max));
+    }
+    if (done && spec_min > 0 &&
+        measured_rounds < static_cast<size_t>(spec_min)) {
+        out.warning("journal-underrun",
+                    "journal finished with " +
+                        std::to_string(measured_rounds) +
+                        " measured rounds, below the spec minimum of " +
+                        std::to_string(spec_min));
+    }
 }
 
 void

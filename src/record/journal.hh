@@ -29,6 +29,11 @@
 
 namespace sharp
 {
+namespace check
+{
+class CheckResult;
+} // namespace check
+
 namespace record
 {
 
@@ -136,6 +141,19 @@ json::Value recordToJson(const RunRecord &record);
 
 /** Parse a record serialized by recordToJson(). */
 RunRecord recordFromJson(const json::Value &doc);
+
+/**
+ * Static analysis of journal text (the JSONL file contents): per-line
+ * syntax diagnostics, lifecycle-order problems (rounds after the done
+ * marker, duplicate spec lines, non-monotonic run indices), records
+ * that disagree with the journaled spec (wrong workload or backend),
+ * and round counts outside the spec's sampling bounds. A torn
+ * trailing line is a warning — the reader discards it and resume
+ * repairs it — while any other malformed line is an error. Line
+ * numbers in the diagnostics are 1-based journal lines. Never throws;
+ * findings are appended to @p out.
+ */
+void checkJournalText(const std::string &text, check::CheckResult &out);
 
 } // namespace record
 } // namespace sharp

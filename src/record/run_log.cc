@@ -49,9 +49,9 @@ std::vector<std::string>
 RunLog::metricNames() const
 {
     std::vector<std::string> names;
-    auto seen = [&names](const std::string &name) {
+    auto seen = [&names](const std::string &candidate) {
         for (const auto &existing : names) {
-            if (existing == name)
+            if (existing == candidate)
                 return true;
         }
         return false;

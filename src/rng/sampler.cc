@@ -37,8 +37,8 @@ ConstantSampler::describe() const
     return "constant(" + formatDouble(value) + ")";
 }
 
-UniformSampler::UniformSampler(double low, double high)
-    : low(low), high(high)
+UniformSampler::UniformSampler(double low_in, double high_in)
+    : low(low_in), high(high_in)
 {
     if (!(low < high))
         throw std::invalid_argument("UniformSampler requires low < high");
@@ -56,8 +56,8 @@ UniformSampler::describe() const
     return "uniform(" + formatDouble(low) + ", " + formatDouble(high) + ")";
 }
 
-LogUniformSampler::LogUniformSampler(double low, double high)
-    : low(low), high(high)
+LogUniformSampler::LogUniformSampler(double low_in, double high_in)
+    : low(low_in), high(high_in)
 {
     if (!(low > 0.0) || !(low < high)) {
         throw std::invalid_argument(
@@ -80,8 +80,8 @@ LogUniformSampler::describe() const
            ")";
 }
 
-NormalSampler::NormalSampler(double mean, double stddev)
-    : mean(mean), stddev(stddev)
+NormalSampler::NormalSampler(double mean_in, double stddev_in)
+    : mean(mean_in), stddev(stddev_in)
 {
     if (stddev < 0.0)
         throw std::invalid_argument("NormalSampler requires stddev >= 0");
@@ -112,8 +112,8 @@ NormalSampler::describe() const
            ")";
 }
 
-LogNormalSampler::LogNormalSampler(double mu, double sigma)
-    : mu(mu), sigma(sigma)
+LogNormalSampler::LogNormalSampler(double mu_in, double sigma_in)
+    : mu(mu_in), sigma(sigma_in)
 {
     if (sigma < 0.0)
         throw std::invalid_argument("LogNormalSampler requires sigma >= 0");
@@ -132,8 +132,8 @@ LogNormalSampler::describe() const
            ")";
 }
 
-LogisticSampler::LogisticSampler(double mu, double scale)
-    : mu(mu), scale(scale)
+LogisticSampler::LogisticSampler(double mu_in, double scale_in)
+    : mu(mu_in), scale(scale_in)
 {
     if (scale <= 0.0)
         throw std::invalid_argument("LogisticSampler requires scale > 0");
@@ -152,8 +152,8 @@ LogisticSampler::describe() const
     return "logistic(" + formatDouble(mu) + ", " + formatDouble(scale) + ")";
 }
 
-CauchySampler::CauchySampler(double location, double scale)
-    : location(location), scale(scale)
+CauchySampler::CauchySampler(double location_in, double scale_in)
+    : location(location_in), scale(scale_in)
 {
     if (scale <= 0.0)
         throw std::invalid_argument("CauchySampler requires scale > 0");
@@ -173,7 +173,8 @@ CauchySampler::describe() const
            ")";
 }
 
-ExponentialSampler::ExponentialSampler(double lambda) : lambda(lambda)
+ExponentialSampler::ExponentialSampler(double lambda_in)
+    : lambda(lambda_in)
 {
     if (lambda <= 0.0)
         throw std::invalid_argument("ExponentialSampler requires lambda > 0");
@@ -191,8 +192,8 @@ ExponentialSampler::describe() const
     return "exponential(" + formatDouble(lambda) + ")";
 }
 
-MixtureSampler::MixtureSampler(std::vector<Component> components)
-    : components(std::move(components))
+MixtureSampler::MixtureSampler(std::vector<Component> components_in)
+    : components(std::move(components_in))
 {
     if (this->components.empty())
         throw std::invalid_argument("MixtureSampler requires components");
@@ -237,9 +238,10 @@ MixtureSampler::describe() const
     return out + ")";
 }
 
-SinusoidalSampler::SinusoidalSampler(double base, double amplitude,
-                                     double period, double noise)
-    : base(base), amplitude(amplitude), period(period), noise(noise)
+SinusoidalSampler::SinusoidalSampler(double base_in, double amplitude_in,
+                                     double period_in, double noise_in)
+    : base(base_in), amplitude(amplitude_in), period(period_in),
+      noise(noise_in)
 {
     if (period <= 0.0)
         throw std::invalid_argument("SinusoidalSampler requires period > 0");
@@ -265,8 +267,8 @@ SinusoidalSampler::describe() const
            ", noise=" + formatDouble(noise) + ")";
 }
 
-Ar1Sampler::Ar1Sampler(double mean, double phi, double sigma)
-    : mean(mean), phi(phi), sigma(sigma), previous(mean)
+Ar1Sampler::Ar1Sampler(double mean_in, double phi_in, double sigma_in)
+    : mean(mean_in), phi(phi_in), sigma(sigma_in), previous(mean_in)
 {
     if (std::fabs(phi) >= 1.0)
         throw std::invalid_argument("Ar1Sampler requires |phi| < 1");
@@ -296,9 +298,9 @@ Ar1Sampler::describe() const
            ", sigma=" + formatDouble(sigma) + ")";
 }
 
-AffineSampler::AffineSampler(std::shared_ptr<Sampler> inner, double scale,
-                             double offset)
-    : inner(std::move(inner)), scale(scale), offset(offset)
+AffineSampler::AffineSampler(std::shared_ptr<Sampler> inner_in,
+                             double scale_in, double offset_in)
+    : inner(std::move(inner_in)), scale(scale_in), offset(offset_in)
 {
     if (!this->inner)
         throw std::invalid_argument("AffineSampler requires a sampler");
@@ -317,9 +319,9 @@ AffineSampler::describe() const
            inner->describe();
 }
 
-ClampSampler::ClampSampler(std::shared_ptr<Sampler> inner, double low,
-                           double high)
-    : inner(std::move(inner)), low(low), high(high)
+ClampSampler::ClampSampler(std::shared_ptr<Sampler> inner_in,
+                           double low_in, double high_in)
+    : inner(std::move(inner_in)), low(low_in), high(high_in)
 {
     if (!this->inner)
         throw std::invalid_argument("ClampSampler requires a sampler");

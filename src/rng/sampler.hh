@@ -48,7 +48,7 @@ class Sampler
 class ConstantSampler : public Sampler
 {
   public:
-    explicit ConstantSampler(double value) : value(value) {}
+    explicit ConstantSampler(double value_in) : value(value_in) {}
     double sample(Xoshiro256 &gen) override;
     std::string describe() const override;
 

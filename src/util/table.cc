@@ -10,8 +10,8 @@ namespace sharp
 namespace util
 {
 
-TextTable::TextTable(std::vector<std::string> headers)
-    : headers(std::move(headers))
+TextTable::TextTable(std::vector<std::string> headers_in)
+    : headers(std::move(headers_in))
 {
     if (this->headers.empty())
         panic("TextTable requires at least one column");

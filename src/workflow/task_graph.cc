@@ -8,6 +8,23 @@ namespace sharp
 namespace workflow
 {
 
+namespace
+{
+
+std::string
+joinCycle(const std::vector<std::string> &cycle)
+{
+    std::string out;
+    for (const auto &name : cycle) {
+        if (!out.empty())
+            out += " -> ";
+        out += name;
+    }
+    return out;
+}
+
+} // anonymous namespace
+
 void
 TaskGraph::addTask(Task task)
 {
@@ -62,7 +79,61 @@ TaskGraph::validate() const
             }
         }
     }
-    topologicalOrder(); // throws on cycles
+    std::vector<std::string> cycle = findCycle();
+    if (!cycle.empty())
+        throw std::invalid_argument("workflow graph has a cycle: " +
+                                    joinCycle(cycle));
+}
+
+std::vector<std::string>
+TaskGraph::findCycle() const
+{
+    // Iterative DFS, insertion order, three colors: 0 unvisited,
+    // 1 on the current path, 2 finished. A back edge to a color-1
+    // task closes a cycle; the path stack spells it out.
+    std::vector<int> color(taskList.size(), 0);
+    std::vector<size_t> path;
+
+    for (size_t root = 0; root < taskList.size(); ++root) {
+        if (color[root] != 0)
+            continue;
+        // Frame: (task index, next dependency to explore).
+        std::vector<std::pair<size_t, size_t>> stack;
+        stack.emplace_back(root, 0);
+        color[root] = 1;
+        path.push_back(root);
+        while (!stack.empty()) {
+            auto &[at, next_dep] = stack.back();
+            const auto &deps = taskList[at].dependencies;
+            if (next_dep >= deps.size()) {
+                color[at] = 2;
+                path.pop_back();
+                stack.pop_back();
+                continue;
+            }
+            auto it = index.find(deps[next_dep]);
+            ++next_dep;
+            if (it == index.end())
+                continue; // dangling: validate() reports it
+            size_t to = it->second;
+            if (color[to] == 1) {
+                // Close the loop: slice the path from `to` onward.
+                std::vector<std::string> cycle;
+                auto start =
+                    std::find(path.begin(), path.end(), to);
+                for (auto walk = start; walk != path.end(); ++walk)
+                    cycle.push_back(taskList[*walk].name);
+                cycle.push_back(taskList[to].name);
+                return cycle;
+            }
+            if (color[to] == 0) {
+                color[to] = 1;
+                path.push_back(to);
+                stack.emplace_back(to, 0);
+            }
+        }
+    }
+    return {};
 }
 
 std::vector<std::string>
@@ -104,8 +175,11 @@ TaskGraph::topologicalOrder() const
             }
             progress = true;
         }
-        if (!progress)
-            throw std::invalid_argument("workflow graph has a cycle");
+        if (!progress) {
+            throw std::invalid_argument(
+                "workflow graph has a cycle: " +
+                joinCycle(findCycle()));
+        }
     }
     return order;
 }

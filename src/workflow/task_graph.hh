@@ -67,9 +67,20 @@ class TaskGraph
     /**
      * Validate the graph: every dependency must name an existing task
      * and the graph must be acyclic.
-     * @throws std::invalid_argument describing the first problem found.
+     * @throws std::invalid_argument describing the first problem
+     *         found; for a cycle, the message spells out the full
+     *         cycle path ("a -> b -> c -> a").
      */
     void validate() const;
+
+    /**
+     * First dependency cycle found, as the task names along it with
+     * the starting task repeated at the end ("a", "b", "a"); empty
+     * when the graph is acyclic. Dangling dependencies are ignored —
+     * they cannot be part of a cycle. Deterministic: the search
+     * follows insertion order.
+     */
+    std::vector<std::string> findCycle() const;
 
     /**
      * Tasks in a valid execution order (dependencies first). Ties are

@@ -3,6 +3,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "check/diagnostic.hh"
 #include "json/parser.hh"
 
 namespace sharp
@@ -13,81 +14,134 @@ namespace workflow
 namespace
 {
 
-/** Function name -> operation (command). */
-using FunctionMap = std::map<std::string, std::string>;
+/** One declared function: its command and where it was declared. */
+struct FunctionInfo
+{
+    std::string command;
+    const json::Value *site = nullptr;
+    bool used = false;
+};
+
+using FunctionMap = std::map<std::string, FunctionInfo>;
 
 FunctionMap
-parseFunctions(const json::Value &doc)
+collectFunctions(const json::Value &doc, check::CheckResult &out)
 {
     FunctionMap functions;
     const json::Value *list = doc.find("functions");
     if (!list)
         return functions;
-    if (!list->isArray())
-        throw std::invalid_argument("'functions' must be an array");
+    if (!list->isArray()) {
+        out.error(*list, "wrong-type", "'functions' must be an array");
+        return functions;
+    }
     for (const auto &fn : list->asArray()) {
-        if (!fn.isObject())
-            throw std::invalid_argument("function must be an object");
+        if (!fn.isObject()) {
+            out.error(fn, "wrong-type", "function must be an object");
+            continue;
+        }
+        check::checkKnownFields(fn, {"name", "operation", "type"},
+                                "function", out);
         std::string name = fn.getString("name", "");
-        if (name.empty())
-            throw std::invalid_argument("function requires a name");
-        functions[name] = fn.getString("operation", "");
+        if (name.empty()) {
+            out.error(fn, "missing-field", "function requires a name");
+            continue;
+        }
+        if (functions.count(name)) {
+            out.error(fn, "duplicate-function",
+                      "duplicate function '" + name + "'");
+            continue;
+        }
+        functions[name] =
+            FunctionInfo{fn.getString("operation", ""), &fn, false};
     }
     return functions;
 }
 
-/** Resolve an action's functionRef to a function name. */
+/**
+ * Resolve an action's functionRef to a function name; empty means the
+ * action is unusable (a diagnostic has been reported).
+ */
 std::string
-actionFunctionName(const json::Value &action)
+actionFunctionName(const json::Value &action, check::CheckResult &out)
 {
+    if (!action.isObject()) {
+        out.error(action, "wrong-type", "action must be an object");
+        return "";
+    }
+    check::checkKnownFields(action, {"name", "functionRef", "arguments"},
+                            "action", out);
     const json::Value *ref = action.find("functionRef");
-    if (!ref)
-        throw std::invalid_argument("action requires functionRef");
+    if (!ref) {
+        out.error(action, "missing-field", "action requires functionRef");
+        return "";
+    }
     if (ref->isString())
         return ref->asString();
     if (ref->isObject()) {
         std::string name = ref->getString("refName", "");
-        if (name.empty())
-            throw std::invalid_argument("functionRef requires refName");
+        if (name.empty()) {
+            out.error(*ref, "missing-field",
+                      "functionRef requires refName");
+            return "";
+        }
         return name;
     }
-    throw std::invalid_argument("functionRef must be string or object");
-}
-
-/** Resolve a state's transition target; empty = end. */
-std::string
-stateTransition(const json::Value &state)
-{
-    const json::Value *transition = state.find("transition");
-    if (transition) {
-        if (transition->isString())
-            return transition->asString();
-        if (transition->isObject())
-            return transition->getString("nextState", "");
-        throw std::invalid_argument(
-            "transition must be string or object");
-    }
+    out.error(*ref, "wrong-type",
+              "functionRef must be string or object");
     return "";
 }
 
-} // anonymous namespace
-
-Workflow
-parseServerlessWorkflow(const json::Value &doc)
+/** Resolve a state's transition target; empty = end state. */
+std::string
+stateTransition(const json::Value &state, check::CheckResult &out)
 {
-    if (!doc.isObject())
-        throw std::invalid_argument("workflow must be a JSON object");
+    const json::Value *transition = state.find("transition");
+    if (!transition)
+        return "";
+    if (transition->isString())
+        return transition->asString();
+    if (transition->isObject())
+        return transition->getString("nextState", "");
+    out.error(*transition, "wrong-type",
+              "transition must be string or object");
+    return "";
+}
 
+/**
+ * The real parser: build the workflow, appending every problem to
+ * @p out instead of stopping at the first. Bad states are skipped and
+ * the analysis continues, so `sharp check` reports a dangling
+ * transition AND an unknown function AND a cycle in one pass. The
+ * returned workflow is only meaningful when @p out has no errors.
+ */
+Workflow
+buildWorkflow(const json::Value &doc, check::CheckResult &out)
+{
     Workflow wf;
+    if (!doc.isObject()) {
+        out.error(doc, "wrong-type", "workflow must be a JSON object");
+        return wf;
+    }
+    static const std::vector<std::string> known_top = {
+        "id",    "name",      "version", "specVersion",
+        "start", "functions", "states",  "description"};
+    check::checkKnownFields(doc, known_top, "workflow", out);
+
     wf.id = doc.getString("id", "workflow");
     wf.name = doc.getString("name", wf.id);
 
-    FunctionMap functions = parseFunctions(doc);
+    FunctionMap functions = collectFunctions(doc, out);
+    std::vector<std::string> function_names;
+    for (const auto &[name, info] : functions)
+        function_names.push_back(name);
 
     const json::Value *states = doc.find("states");
-    if (!states || !states->isArray() || states->size() == 0)
-        throw std::invalid_argument(
-            "workflow requires a non-empty 'states' array");
+    if (!states || !states->isArray() || states->size() == 0) {
+        out.error(states ? *states : doc, "missing-field",
+                  "workflow requires a non-empty 'states' array");
+        return wf;
+    }
 
     // First pass: collect state metadata and, per state, the names of
     // its first (entry) tasks and last (exit) tasks within the graph.
@@ -95,125 +149,252 @@ parseServerlessWorkflow(const json::Value &doc)
     {
         std::string name;
         std::string transition;
+        const json::Value *site = nullptr;
         std::vector<std::string> entryTasks;
         std::vector<std::string> exitTasks;
     };
     std::vector<StateTasks> state_tasks;
 
-    auto commandFor = [&functions](const std::string &fn_name) {
-        auto it = functions.find(fn_name);
-        if (it == functions.end())
-            throw std::invalid_argument("action references unknown "
-                                        "function '" +
-                                        fn_name + "'");
-        return it->second;
+    auto addTask = [&wf, &out](Task task, const json::Value &site) {
+        if (wf.graph.contains(task.name)) {
+            out.error(site, "duplicate-task",
+                      "duplicate workflow task '" + task.name + "'");
+            return;
+        }
+        wf.graph.addTask(std::move(task));
     };
 
+    // Resolves a function reference to its command; unknown functions
+    // still yield a (command-less) task so sequencing analysis goes on.
+    auto commandFor = [&functions, &function_names, &out](
+                          const std::string &fn_name,
+                          const json::Value &site) {
+        auto it = functions.find(fn_name);
+        if (it == functions.end()) {
+            out.error(site, "dangling-function",
+                      "action references unknown function '" + fn_name +
+                          "'",
+                      check::suggestName(fn_name, function_names));
+            return std::string();
+        }
+        it->second.used = true;
+        return it->second.command;
+    };
+
+    static const std::vector<std::string> known_state = {
+        "name", "type", "actions", "branches", "transition", "end"};
+
     for (const auto &state : states->asArray()) {
-        if (!state.isObject())
-            throw std::invalid_argument("state must be an object");
+        if (!state.isObject()) {
+            out.error(state, "wrong-type", "state must be an object");
+            continue;
+        }
+        check::checkKnownFields(state, known_state, "state", out);
         StateTasks st;
+        st.site = &state;
         st.name = state.getString("name", "");
-        if (st.name.empty())
-            throw std::invalid_argument("state requires a name");
-        st.transition = stateTransition(state);
+        if (st.name.empty()) {
+            out.error(state, "missing-field", "state requires a name");
+            continue;
+        }
+        bool duplicate = false;
+        for (const auto &prior : state_tasks)
+            duplicate = duplicate || prior.name == st.name;
+        if (duplicate) {
+            out.error(state, "duplicate-state",
+                      "duplicate state '" + st.name + "'");
+            continue;
+        }
+        st.transition = stateTransition(state, out);
         std::string type = state.getString("type", "operation");
 
         if (type == "operation") {
             const json::Value *actions = state.find("actions");
-            if (!actions || !actions->isArray() || actions->size() == 0)
-                throw std::invalid_argument("operation state '" +
-                                            st.name +
-                                            "' requires actions");
+            if (!actions || !actions->isArray() ||
+                actions->size() == 0) {
+                out.error(actions ? *actions : state, "missing-field",
+                          "operation state '" + st.name +
+                              "' requires actions");
+                state_tasks.push_back(std::move(st));
+                continue;
+            }
             // Actions within one operation state run sequentially.
             std::string prev;
             size_t i = 0;
             for (const auto &action : actions->asArray()) {
-                std::string fn = actionFunctionName(action);
+                std::string fn = actionFunctionName(action, out);
+                if (fn.empty()) {
+                    ++i;
+                    continue;
+                }
                 std::string task_name =
                     st.name + "." + std::to_string(i) + "." + fn;
                 Task task;
                 task.name = task_name;
-                task.command = commandFor(fn);
+                task.command = commandFor(fn, action);
                 if (!prev.empty())
                     task.dependencies.push_back(prev);
-                wf.graph.addTask(std::move(task));
+                addTask(std::move(task), action);
                 if (i == 0)
                     st.entryTasks.push_back(task_name);
                 prev = task_name;
                 ++i;
             }
-            st.exitTasks.push_back(prev);
+            if (!prev.empty())
+                st.exitTasks.push_back(prev);
         } else if (type == "parallel") {
             const json::Value *branches = state.find("branches");
             if (!branches || !branches->isArray() ||
                 branches->size() == 0) {
-                throw std::invalid_argument("parallel state '" +
-                                            st.name +
-                                            "' requires branches");
+                out.error(branches ? *branches : state, "missing-field",
+                          "parallel state '" + st.name +
+                              "' requires branches");
+                state_tasks.push_back(std::move(st));
+                continue;
             }
             for (const auto &branch : branches->asArray()) {
-                if (!branch.isObject())
-                    throw std::invalid_argument(
-                        "branch must be an object");
+                if (!branch.isObject()) {
+                    out.error(branch, "wrong-type",
+                              "branch must be an object");
+                    continue;
+                }
+                check::checkKnownFields(branch, {"name", "actions"},
+                                        "branch", out);
                 std::string branch_name =
                     branch.getString("name", "branch");
                 const json::Value *actions = branch.find("actions");
                 if (!actions || !actions->isArray() ||
                     actions->size() == 0) {
-                    throw std::invalid_argument(
-                        "branch '" + branch_name + "' requires actions");
+                    out.error(actions ? *actions : branch,
+                              "missing-field",
+                              "branch '" + branch_name +
+                                  "' requires actions");
+                    continue;
                 }
                 std::string prev;
                 size_t i = 0;
                 for (const auto &action : actions->asArray()) {
-                    std::string fn = actionFunctionName(action);
+                    std::string fn = actionFunctionName(action, out);
+                    if (fn.empty()) {
+                        ++i;
+                        continue;
+                    }
                     std::string task_name = st.name + "." + branch_name +
                                             "." + std::to_string(i) +
                                             "." + fn;
                     Task task;
                     task.name = task_name;
-                    task.command = commandFor(fn);
+                    task.command = commandFor(fn, action);
                     if (!prev.empty())
                         task.dependencies.push_back(prev);
-                    wf.graph.addTask(std::move(task));
+                    addTask(std::move(task), action);
                     if (i == 0)
                         st.entryTasks.push_back(task_name);
                     prev = task_name;
                     ++i;
                 }
-                st.exitTasks.push_back(prev);
+                if (!prev.empty())
+                    st.exitTasks.push_back(prev);
             }
         } else {
-            throw std::invalid_argument("unsupported state type '" +
-                                        type + "' in state '" + st.name +
-                                        "'");
+            out.error(state, "unknown-state-type",
+                      "unsupported state type '" + type +
+                          "' in state '" + st.name + "'",
+                      check::suggestName(type,
+                                         {"operation", "parallel"}));
+            state_tasks.push_back(std::move(st));
+            continue;
         }
         state_tasks.push_back(std::move(st));
     }
 
+    std::vector<std::string> state_names;
+    for (const auto &st : state_tasks)
+        state_names.push_back(st.name);
+
     // Second pass: wire state transitions — every entry task of the
     // target state depends on every exit task of the source state.
-    auto findState =
-        [&state_tasks](const std::string &name) -> const StateTasks & {
-        for (const auto &st : state_tasks) {
-            if (st.name == name)
-                return st;
-        }
-        throw std::invalid_argument("transition to unknown state '" +
-                                    name + "'");
-    };
-
     for (const auto &st : state_tasks) {
         if (st.transition.empty())
             continue;
-        const StateTasks &target = findState(st.transition);
-        for (const auto &entry : target.entryTasks) {
+        const StateTasks *target = nullptr;
+        for (const auto &candidate : state_tasks) {
+            if (candidate.name == st.transition)
+                target = &candidate;
+        }
+        if (!target) {
+            out.error(*st.site, "dangling-transition",
+                      "state '" + st.name +
+                          "' transitions to unknown state '" +
+                          st.transition + "'",
+                      check::suggestName(st.transition, state_names));
+            continue;
+        }
+        for (const auto &entry : target->entryTasks) {
             for (const auto &exit : st.exitTasks)
                 wf.graph.addDependency(entry, exit);
         }
     }
 
+    // The declared start state, when present, must exist.
+    if (const json::Value *start = doc.find("start")) {
+        std::string start_name;
+        if (start->isString())
+            start_name = start->asString();
+        else if (start->isObject())
+            start_name = start->getString("stateName", "");
+        else
+            out.error(*start, "wrong-type",
+                      "'start' must be string or object");
+        bool found = start_name.empty();
+        for (const auto &name : state_names)
+            found = found || name == start_name;
+        if (!found) {
+            out.error(*start, "dangling-transition",
+                      "start references unknown state '" + start_name +
+                          "'",
+                      check::suggestName(start_name, state_names));
+        }
+    }
+
+    for (const auto &[name, info] : functions) {
+        if (!info.used && info.site) {
+            out.warning(*info.site, "unused-function",
+                        "function '" + name +
+                            "' is never referenced by any action");
+        }
+    }
+
+    // Transition wiring can close a loop; report it with the full
+    // cycle path rather than a bare "has a cycle".
+    std::vector<std::string> cycle = wf.graph.findCycle();
+    if (!cycle.empty()) {
+        std::string path;
+        for (const auto &name : cycle) {
+            if (!path.empty())
+                path += " -> ";
+            path += name;
+        }
+        out.error(*states, "workflow-cycle",
+                  "workflow graph has a cycle: " + path);
+    }
+    return wf;
+}
+
+} // anonymous namespace
+
+void
+checkWorkflow(const json::Value &doc, check::CheckResult &out)
+{
+    buildWorkflow(doc, out);
+}
+
+Workflow
+parseServerlessWorkflow(const json::Value &doc)
+{
+    check::CheckResult findings;
+    Workflow wf = buildWorkflow(doc, findings);
+    check::throwIfErrors(std::move(findings));
     wf.graph.validate();
     return wf;
 }

@@ -31,6 +31,11 @@
 
 namespace sharp
 {
+namespace check
+{
+class CheckResult;
+} // namespace check
+
 namespace workflow
 {
 
@@ -53,6 +58,16 @@ Workflow parseServerlessWorkflow(const json::Value &doc);
  * string literal does not face an ambiguous conversion.
  */
 Workflow parseServerlessWorkflowText(const std::string &text);
+
+/**
+ * Static analysis of a workflow document: every structural problem
+ * parseServerlessWorkflow would reject — reported all at once with
+ * source locations instead of one exception at a time — plus lint
+ * findings (unknown fields, unused functions). Dependency cycles are
+ * reported with the full cycle path. Never throws; findings are
+ * appended to @p out.
+ */
+void checkWorkflow(const json::Value &doc, check::CheckResult &out);
 
 } // namespace workflow
 } // namespace sharp

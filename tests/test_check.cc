@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Tests for the static analyzer: the Diagnostic/CheckResult API, the
+ * per-artifact checkers, artifact sniffing, the seeded defect
+ * fixtures (one per defect class, pinned down to severity, source
+ * location, and exit code), and the `sharp check` CLI command.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/analyzer.hh"
+#include "check/diagnostic.hh"
+#include "cli/cli.hh"
+#include "core/config.hh"
+#include "json/parser.hh"
+#include "launcher/reproduce.hh"
+#include "record/journal.hh"
+#include "workflow/workflow_parser.hh"
+
+namespace
+{
+
+using namespace sharp;
+using check::ArtifactKind;
+using check::CheckResult;
+using check::Severity;
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(SHARP_SOURCE_DIR) + "/tests/fixtures/check/" +
+           name;
+}
+
+std::string
+example(const std::string &name)
+{
+    return std::string(SHARP_SOURCE_DIR) + "/examples/" + name;
+}
+
+/** First diagnostic carrying @p rule; nullptr when absent. */
+const check::Diagnostic *
+findRule(const CheckResult &result, const std::string &rule)
+{
+    for (const auto &diagnostic : result.diagnostics()) {
+        if (diagnostic.rule == rule)
+            return &diagnostic;
+    }
+    return nullptr;
+}
+
+TEST(Diagnostic, RenderIncludesLocationSeverityRuleAndHint)
+{
+    check::Diagnostic diagnostic;
+    diagnostic.severity = Severity::Warning;
+    diagnostic.artifact = "spec.json";
+    diagnostic.line = 3;
+    diagnostic.column = 7;
+    diagnostic.rule = "unknown-field";
+    diagnostic.message = "unknown field 'slowfactor'";
+    diagnostic.hint = "did you mean 'slow_factor'?";
+    EXPECT_EQ(diagnostic.render(),
+              "spec.json:3:7: warning: unknown field 'slowfactor' "
+              "[unknown-field] (hint: did you mean 'slow_factor'?)");
+}
+
+TEST(Diagnostic, RenderOmitsUnknownLocation)
+{
+    check::Diagnostic diagnostic;
+    diagnostic.artifact = "j.jsonl";
+    diagnostic.rule = "missing-spec";
+    diagnostic.message = "no spec line";
+    EXPECT_EQ(diagnostic.render(),
+              "j.jsonl: error: no spec line [missing-spec]");
+}
+
+TEST(CheckResult, ExitCodeContract)
+{
+    CheckResult clean;
+    EXPECT_EQ(clean.exitCode(), 0);
+    EXPECT_TRUE(clean.clean());
+
+    CheckResult warned;
+    warned.warning(std::string("w"), "just a warning");
+    EXPECT_EQ(warned.exitCode(), 1);
+    EXPECT_TRUE(warned.ok());
+    EXPECT_FALSE(warned.clean());
+
+    CheckResult failed;
+    failed.warning(std::string("w"), "warning");
+    failed.error(std::string("e"), "error");
+    EXPECT_EQ(failed.exitCode(), 2);
+    EXPECT_FALSE(failed.ok());
+    EXPECT_EQ(failed.errorCount(), 1u);
+    EXPECT_EQ(failed.warningCount(), 1u);
+}
+
+TEST(CheckResult, ArtifactPathIsStampedOntoDiagnostics)
+{
+    CheckResult result;
+    result.setArtifact("a.json");
+    result.error(std::string("r"), "m");
+    EXPECT_EQ(result.diagnostics()[0].artifact, "a.json");
+}
+
+TEST(CheckResult, ValueOverloadsCarryParsedLocations)
+{
+    auto doc = json::parse("{\n  \"crash\": 2.0\n}");
+    CheckResult result;
+    launcher::checkFaultSpec(doc, result);
+    const check::Diagnostic *range = findRule(result, "out-of-range");
+    ASSERT_NE(range, nullptr);
+    EXPECT_EQ(range->line, 2u);
+    EXPECT_GT(range->column, 1u);
+}
+
+TEST(SuggestName, SuggestsCloseNamesOnly)
+{
+    EXPECT_EQ(check::suggestName("hotspit", {"hotspot", "bfs"}),
+              "did you mean 'hotspot'?");
+    EXPECT_EQ(check::suggestName("zzz", {"hotspot", "bfs"}), "");
+}
+
+TEST(CheckFailure, LoadersThrowWithFullDiagnostics)
+{
+    auto doc = json::parse(
+        R"({"backend": "sim", "experiment": {"rule": "kss"},
+            "max_failures": -1})");
+    try {
+        launcher::ReproSpec::fromJson(doc);
+        FAIL() << "expected CheckFailure";
+    } catch (const check::CheckFailure &failure) {
+        EXPECT_GE(failure.result().errorCount(), 2u);
+        EXPECT_NE(findRule(failure.result(), "unknown-rule"), nullptr);
+    }
+}
+
+TEST(CheckFailure, IsAnInvalidArgument)
+{
+    auto doc = json::parse(R"({"rule": 7})");
+    EXPECT_THROW(core::ExperimentConfig::fromJson(doc),
+                 std::invalid_argument);
+}
+
+TEST(CheckRunSpec, RegistryLintsAreCheckOnly)
+{
+    // Unknown backend kinds must still round-trip through the loader
+    // (reproduce rejects them later, at backend construction) but the
+    // analyzer flags them immediately.
+    auto doc = json::parse(R"({"backend": "quantum"})");
+    EXPECT_NO_THROW(launcher::ReproSpec::fromJson(doc));
+    CheckResult result;
+    launcher::checkRunSpec(doc, result);
+    EXPECT_NE(findRule(result, "unknown-backend"), nullptr);
+}
+
+TEST(CheckRunSpec, FlagsFaultMetricTheBackendNeverEmits)
+{
+    auto doc = json::parse(
+        R"({"backend": "sim", "workload": "hotspot",
+            "fault": {"slow": 0.5, "slow_factor": 2.0,
+                      "slow_metric": "response_time"}})");
+    CheckResult result;
+    launcher::checkRunSpec(doc, result);
+    const check::Diagnostic *dangling =
+        findRule(result, "dangling-metric");
+    ASSERT_NE(dangling, nullptr);
+    EXPECT_EQ(dangling->severity, Severity::Warning);
+}
+
+TEST(CheckWorkflow, ReportsEveryProblemInOnePass)
+{
+    auto doc = json::parse(R"({
+        "functions": [{"name": "f", "operation": "true"},
+                      {"name": "unused", "operation": "true"}],
+        "states": [
+          {"name": "a", "type": "operation",
+           "actions": [{"functionRef": "g"}],
+           "transition": "ghost"}
+        ]})");
+    CheckResult result;
+    workflow::checkWorkflow(doc, result);
+    EXPECT_NE(findRule(result, "dangling-function"), nullptr);
+    EXPECT_NE(findRule(result, "dangling-transition"), nullptr);
+    EXPECT_NE(findRule(result, "unused-function"), nullptr);
+}
+
+TEST(CheckWorkflow, ReportsCyclesWithTheFullPath)
+{
+    auto doc = json::parse(R"({
+        "functions": [{"name": "f", "operation": "true"}],
+        "states": [
+          {"name": "a", "type": "operation",
+           "actions": [{"functionRef": "f"}], "transition": "b"},
+          {"name": "b", "type": "operation",
+           "actions": [{"functionRef": "f"}], "transition": "a"}
+        ]})");
+    CheckResult result;
+    workflow::checkWorkflow(doc, result);
+    const check::Diagnostic *cycle = findRule(result, "workflow-cycle");
+    ASSERT_NE(cycle, nullptr);
+    EXPECT_NE(cycle->message.find("a.0.f -> b.0.f -> a.0.f"),
+              std::string::npos);
+}
+
+TEST(CheckJournal, FlagsRoundsThatDisagreeWithTheSpec)
+{
+    std::string text =
+        R"({"type":"spec","spec":{"backend":"sim","workload":"bfs"}})"
+        "\n"
+        R"({"type":"round","run":0,"records":[{"workload":"nw",)"
+        R"("failure":"none"}]})"
+        "\n";
+    CheckResult result;
+    record::checkJournalText(text, result);
+    const check::Diagnostic *mismatch =
+        findRule(result, "journal-spec-mismatch");
+    ASSERT_NE(mismatch, nullptr);
+    EXPECT_EQ(mismatch->severity, Severity::Error);
+    EXPECT_EQ(mismatch->line, 2u);
+}
+
+TEST(CheckJournal, FlagsRoundAfterDoneAndOverrun)
+{
+    std::string text =
+        R"({"type":"spec","spec":{"backend":"sim","workload":"bfs",)"
+        R"("experiment":{"max":1}}})"
+        "\n"
+        R"({"type":"round","run":0,"records":[]})"
+        "\n"
+        R"({"type":"done"})"
+        "\n"
+        R"({"type":"round","run":1,"records":[]})"
+        "\n";
+    CheckResult result;
+    record::checkJournalText(text, result);
+    const check::Diagnostic *order = findRule(result, "journal-order");
+    ASSERT_NE(order, nullptr);
+    EXPECT_EQ(order->severity, Severity::Error);
+    EXPECT_EQ(order->line, 4u);
+    EXPECT_NE(findRule(result, "journal-overrun"), nullptr);
+}
+
+TEST(SniffArtifact, ClassifiesByExtensionAndContent)
+{
+    auto run_spec = json::parse(R"({"backend": "sim"})");
+    EXPECT_EQ(check::sniffArtifact("x.json", "", &run_spec),
+              ArtifactKind::RunSpec);
+    auto fault = json::parse(R"({"crash": 0.1})");
+    EXPECT_EQ(check::sniffArtifact("x.json", "", &fault),
+              ArtifactKind::FaultSpec);
+    auto wf = json::parse(R"({"states": []})");
+    EXPECT_EQ(check::sniffArtifact("x.json", "", &wf),
+              ArtifactKind::Workflow);
+    EXPECT_EQ(check::sniffArtifact("x.jsonl", "", nullptr),
+              ArtifactKind::Journal);
+    EXPECT_EQ(check::sniffArtifact("x.md", "", nullptr),
+              ArtifactKind::Metadata);
+    auto mystery = json::parse(R"({"who": "knows"})");
+    EXPECT_EQ(check::sniffArtifact("x.json", "", &mystery),
+              ArtifactKind::Unknown);
+}
+
+// ---- Seeded defect fixtures: one per defect class. Each pin covers
+// ---- the rule, the severity, the source location, and the exit code.
+
+TEST(Fixtures, MalformedJsonIsALocatedSyntaxError)
+{
+    CheckResult result;
+    check::checkArtifactFile(fixture("malformed.json"), result);
+    EXPECT_EQ(result.exitCode(), 2);
+    const check::Diagnostic *syntax = findRule(result, "json-syntax");
+    ASSERT_NE(syntax, nullptr);
+    EXPECT_EQ(syntax->severity, Severity::Error);
+    EXPECT_EQ(syntax->line, 4u);
+    EXPECT_EQ(syntax->column, 1u);
+}
+
+TEST(Fixtures, UnknownFieldIsAWarningWithAHint)
+{
+    CheckResult result;
+    ArtifactKind kind =
+        check::checkArtifactFile(fixture("unknown_field.json"), result);
+    EXPECT_EQ(kind, ArtifactKind::FaultSpec);
+    EXPECT_EQ(result.exitCode(), 1);
+    const check::Diagnostic *unknown =
+        findRule(result, "unknown-field");
+    ASSERT_NE(unknown, nullptr);
+    EXPECT_EQ(unknown->severity, Severity::Warning);
+    EXPECT_EQ(unknown->line, 4u);
+    EXPECT_EQ(unknown->hint, "did you mean 'slow_factor'?");
+}
+
+TEST(Fixtures, DanglingWorkloadIsALocatedError)
+{
+    CheckResult result;
+    ArtifactKind kind = check::checkArtifactFile(
+        fixture("dangling_workload.json"), result);
+    EXPECT_EQ(kind, ArtifactKind::RunSpec);
+    EXPECT_EQ(result.exitCode(), 2);
+    const check::Diagnostic *dangling =
+        findRule(result, "dangling-workload");
+    ASSERT_NE(dangling, nullptr);
+    EXPECT_EQ(dangling->severity, Severity::Error);
+    EXPECT_EQ(dangling->line, 3u);
+    EXPECT_EQ(dangling->hint, "did you mean 'hotspot'?");
+}
+
+TEST(Fixtures, TruncatedJournalIsAWarningOnTheTornLine)
+{
+    CheckResult result;
+    ArtifactKind kind =
+        check::checkArtifactFile(fixture("truncated.jsonl"), result);
+    EXPECT_EQ(kind, ArtifactKind::Journal);
+    EXPECT_EQ(result.exitCode(), 1);
+    const check::Diagnostic *torn =
+        findRule(result, "truncated-journal");
+    ASSERT_NE(torn, nullptr);
+    EXPECT_EQ(torn->severity, Severity::Warning);
+    EXPECT_EQ(torn->line, 4u);
+}
+
+TEST(Fixtures, StaleBaselineCellWarnsAndMissingCellErrors)
+{
+    CheckResult result;
+    ArtifactKind kind = check::checkArtifactFile(
+        fixture("stale_baseline.json"), result);
+    EXPECT_EQ(kind, ArtifactKind::Baseline);
+    EXPECT_EQ(result.exitCode(), 2);
+    const check::Diagnostic *stale =
+        findRule(result, "stale-baseline-cell");
+    ASSERT_NE(stale, nullptr);
+    EXPECT_EQ(stale->severity, Severity::Warning);
+    const check::Diagnostic *missing =
+        findRule(result, "missing-baseline-cell");
+    ASSERT_NE(missing, nullptr);
+    EXPECT_EQ(missing->severity, Severity::Error);
+    EXPECT_NE(missing->message.find("ks/lognormal"),
+              std::string::npos);
+}
+
+// ---- The CLI command.
+
+struct CliResult
+{
+    int status;
+    std::string out;
+    std::string err;
+};
+
+CliResult
+runCheck(const std::vector<std::string> &argv)
+{
+    std::ostringstream out, err;
+    int status = cli::runCli(argv, out, err);
+    return {status, out.str(), err.str()};
+}
+
+TEST(CliCheck, CleanExamplesExitZero)
+{
+    auto result = runCheck({"check", example("run_spec.json"),
+                            example("fault_spec.json"),
+                            example("workflow.json")});
+    EXPECT_EQ(result.status, 0) << result.out;
+    EXPECT_NE(result.out.find("run spec: ok"), std::string::npos);
+    EXPECT_NE(result.out.find("0 errors, 0 warnings"),
+              std::string::npos);
+}
+
+TEST(CliCheck, DefectiveFixtureExitsTwoWithLocatedDiagnostic)
+{
+    auto result =
+        runCheck({"check", fixture("dangling_workload.json")});
+    EXPECT_EQ(result.status, 2);
+    EXPECT_NE(result.out.find("dangling_workload.json:3:"),
+              std::string::npos);
+    EXPECT_NE(result.out.find("did you mean 'hotspot'?"),
+              std::string::npos);
+}
+
+TEST(CliCheck, WarningOnlyFixtureExitsOne)
+{
+    auto result = runCheck({"check", fixture("unknown_field.json")});
+    EXPECT_EQ(result.status, 1);
+}
+
+TEST(CliCheck, JsonFormatIsMachineReadable)
+{
+    auto result = runCheck({"check", fixture("unknown_field.json"),
+                            "--format", "json"});
+    EXPECT_EQ(result.status, 1);
+    auto doc = json::parse(result.out);
+    EXPECT_EQ(doc.getLong("errors", -1), 0);
+    EXPECT_EQ(doc.getLong("warnings", -1), 1);
+    EXPECT_EQ(doc.getLong("artifacts", -1), 1);
+    const json::Value *diagnostics = doc.find("diagnostics");
+    ASSERT_NE(diagnostics, nullptr);
+    ASSERT_EQ(diagnostics->size(), 1u);
+    EXPECT_EQ(diagnostics->asArray()[0].getString("rule", ""),
+              "unknown-field");
+    EXPECT_EQ(diagnostics->asArray()[0].getLong("line", 0), 4);
+}
+
+TEST(CliCheck, MissingFileIsAnIoError)
+{
+    auto result = runCheck({"check", "/no/such/file.json"});
+    EXPECT_EQ(result.status, 2);
+    EXPECT_NE(result.out.find("io-error"), std::string::npos);
+}
+
+TEST(CliCheck, RequiresAPath)
+{
+    auto result = runCheck({"check"});
+    EXPECT_EQ(result.status, 2);
+}
+
+TEST(CliCheck, RejectsUnknownFormat)
+{
+    auto result = runCheck(
+        {"check", example("run_spec.json"), "--format", "yaml"});
+    EXPECT_EQ(result.status, 2);
+}
+
+} // anonymous namespace

@@ -80,7 +80,7 @@ TEST(ExperimentConfig, JsonRoundTrip)
 TEST(ExperimentConfig, RejectsUnknownRule)
 {
     auto doc = json::parse(R"({"rule": "definitely-not-a-rule"})");
-    EXPECT_THROW(ExperimentConfig::fromJson(doc), std::out_of_range);
+    EXPECT_THROW(ExperimentConfig::fromJson(doc), std::invalid_argument);
 }
 
 TEST(ExperimentConfig, RejectsBadBounds)

@@ -144,4 +144,41 @@ TEST(TaskGraph, EmptyGraphIsValid)
     EXPECT_TRUE(graph.waves().empty());
 }
 
+TEST(TaskGraph, CycleErrorSpellsOutTheFullPath)
+{
+    TaskGraph graph;
+    graph.addTask({"a", "", {"c"}});
+    graph.addTask({"b", "", {"a"}});
+    graph.addTask({"c", "", {"b"}});
+    EXPECT_EQ(graph.findCycle(),
+              (std::vector<std::string>{"a", "c", "b", "a"}));
+    try {
+        graph.validate();
+        FAIL() << "expected a cycle error";
+    } catch (const std::invalid_argument &problem) {
+        EXPECT_STREQ(problem.what(),
+                     "workflow graph has a cycle: a -> c -> b -> a");
+    }
+    try {
+        graph.topologicalOrder();
+        FAIL() << "expected a cycle error";
+    } catch (const std::invalid_argument &problem) {
+        EXPECT_STREQ(problem.what(),
+                     "workflow graph has a cycle: a -> c -> b -> a");
+    }
+}
+
+TEST(TaskGraph, FindCycleIsEmptyOnAcyclicGraphs)
+{
+    EXPECT_TRUE(diamond().findCycle().empty());
+    EXPECT_TRUE(TaskGraph().findCycle().empty());
+}
+
+TEST(TaskGraph, FindCycleIgnoresDanglingDependencies)
+{
+    TaskGraph graph;
+    graph.addTask({"a", "", {"ghost"}});
+    EXPECT_TRUE(graph.findCycle().empty());
+}
+
 } // anonymous namespace
