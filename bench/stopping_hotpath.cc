@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Perf-regression bench for the stopping-rule hot path.
+ *
+ * Measures the steady-state cost of one stopping-rule evaluation —
+ * append one sample, consult the rule — at series sizes 10^2..10^5,
+ * once with the incremental statistics engine (core::StatsCache) and
+ * once with it disabled via the kill switch, which recomputes every
+ * statistic batch-style exactly as the pre-engine code did. Both modes
+ * draw identical sample streams, so every decision (criterion,
+ * threshold, stop flag, reason) must agree bit for bit; the bench
+ * asserts this and exits non-zero on any divergence.
+ *
+ * Also times a full `sharp calibrate` sweep in both modes, since the
+ * calibration harness is the engine's heaviest consumer.
+ *
+ * Output: a human-readable table on stdout plus BENCH_stopping.json
+ * (see --out) with ns/eval, deterministic work counters (structure
+ * comparisons and binomial PMF terms per eval), and speedups. CI runs
+ * `stopping_hotpath --quick` as a smoke gate: the equivalence
+ * assertions plus deterministic counter bounds showing the cached fast
+ * paths do sub-linear structural work per eval.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "calibrate/calibration.hh"
+#include "core/sample_series.hh"
+#include "core/stats_cache.hh"
+#include "core/stopping/stopping_rule.hh"
+#include "json/value.hh"
+#include "json/writer.hh"
+#include "rng/synthetic.hh"
+#include "rng/xoshiro.hh"
+
+namespace
+{
+
+using sharp::core::SampleSeries;
+using sharp::core::StatsEngineCounters;
+using sharp::core::StopDecision;
+
+/** Which synthetic stream each rule is exercised on. */
+struct RuleCase
+{
+    const char *rule;
+    const char *stream;
+};
+
+/**
+ * Every registered rule, on a stream its criterion is meaningful for.
+ * The meta rule gets the heavy-tail stream: its hot path there is the
+ * classifier plus the median-CI delegate, the two costliest cached
+ * consumers.
+ */
+const RuleCase ruleCases[] = {
+    {"fixed", "lognormal"},        {"constant", "constant"},
+    {"ci", "lognormal"},           {"normal-ci", "normal"},
+    {"geomean-ci", "lognormal"},   {"median-ci", "lognormal"},
+    {"ks", "lognormal"},           {"uniform-range", "uniform"},
+    {"autocorr-ess", "sinusoidal"}, {"modality", "bimodal"},
+    {"tail-quantile", "lognormal"}, {"meta", "cauchy"},
+};
+
+/** One mode's measurement at one series size. */
+struct Measurement
+{
+    double nsPerEval = 0.0;
+    double comparisonsPerEval = 0.0;
+    double pmfEvalsPerEval = 0.0;
+    std::vector<StopDecision> decisions;
+};
+
+uint64_t
+caseSeed(const std::string &rule, size_t n)
+{
+    // Fixed per (rule, n) so the cached and batch runs replay the
+    // exact same stream; any constant works.
+    uint64_t h = 0x9e3779b97f4a7c15ull ^ n;
+    for (unsigned char c : rule)
+        h = (h ^ c) * 0x100000001b3ull;
+    return h;
+}
+
+/**
+ * Steady-state eval cost for one rule at one size: build the series to
+ * @p n samples, do one untimed warm-up evaluation (establishing the
+ * rule's internal state and, in cached mode, the engine's structures),
+ * then time @p evals rounds of append-plus-evaluate.
+ */
+Measurement
+measure(const std::string &rule_name, const std::string &stream, size_t n,
+        size_t evals, bool cached)
+{
+    sharp::core::setStatsCacheEnabled(cached);
+
+    auto rule = sharp::core::StoppingRuleFactory::instance().make(rule_name);
+    auto sampler = sharp::rng::syntheticByName(stream).make();
+    sharp::rng::Xoshiro256 gen(caseSeed(rule_name, n));
+
+    SampleSeries series;
+    for (size_t i = 0; i < n; ++i)
+        series.append(sampler->sample(gen));
+
+    Measurement m;
+    m.decisions.reserve(evals + 1);
+    m.decisions.push_back(rule->evaluate(series));
+
+    StatsEngineCounters before = series.stats().counters();
+    auto start = std::chrono::steady_clock::now();
+    for (size_t e = 0; e < evals; ++e) {
+        series.append(sampler->sample(gen));
+        m.decisions.push_back(rule->evaluate(series));
+    }
+    auto stop = std::chrono::steady_clock::now();
+    StatsEngineCounters delta = series.stats().counters() - before;
+
+    double ne = static_cast<double>(evals);
+    m.nsPerEval =
+        std::chrono::duration<double, std::nano>(stop - start).count() / ne;
+    m.comparisonsPerEval = static_cast<double>(delta.comparisons) / ne;
+    m.pmfEvalsPerEval = static_cast<double>(delta.pmfEvals) / ne;
+
+    sharp::core::setStatsCacheEnabled(true);
+    return m;
+}
+
+/** Bitwise equality of doubles (so NaN == NaN and -0.0 != 0.0). */
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool
+sameDecisions(const std::vector<StopDecision> &a,
+              const std::vector<StopDecision> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].stop != b[i].stop ||
+            !sameBits(a[i].criterion, b[i].criterion) ||
+            !sameBits(a[i].threshold, b[i].threshold) ||
+            a[i].reason != b[i].reason)
+            return false;
+    }
+    return true;
+}
+
+double
+calibrationWallSeconds(bool cached, bool quick)
+{
+    sharp::core::setStatsCacheEnabled(cached);
+    sharp::calibrate::CalibrationConfig config;
+    config.jobs = 4;
+    if (quick) {
+        config.seedsPerCell = 2;
+        config.maxSamples = 400;
+        config.truthSamples = 4096;
+    }
+    auto start = std::chrono::steady_clock::now();
+    sharp::calibrate::runCalibration(config);
+    auto stop = std::chrono::steady_clock::now();
+    sharp::core::setStatsCacheEnabled(true);
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string out = "BENCH_stopping.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick")
+            quick = true;
+        else if (arg == "--out" && i + 1 < argc)
+            out = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: stopping_hotpath [--quick] [--out FILE]\n");
+            return 2;
+        }
+    }
+
+    bench::banner("BENCH stopping",
+                  quick ? "stopping-rule hot path (quick smoke gate)"
+                        : "stopping-rule hot path, incremental vs batch");
+
+    std::vector<size_t> sizes = {100, 1000, 10000};
+    if (!quick)
+        sizes.push_back(100000);
+
+    sharp::json::Value doc = sharp::json::Value::makeObject();
+    doc.set("schema", "sharp-bench-stopping-v1");
+    doc.set("mode", quick ? "quick" : "full");
+    sharp::json::Value size_arr = sharp::json::Value::makeArray();
+    for (size_t n : sizes)
+        size_arr.append(n);
+    doc.set("sizes", size_arr);
+
+    bool all_equivalent = true;
+    bool gates_pass = true;
+    sharp::json::Value rules_json = sharp::json::Value::makeArray();
+
+    for (const RuleCase &rc : ruleCases) {
+        bench::section(std::string(rc.rule) + " on " + rc.stream);
+        std::printf("%10s %14s %14s %9s %16s %14s\n", "n", "incr ns/eval",
+                    "batch ns/eval", "speedup", "incr cmp/eval",
+                    "incr pmf/eval");
+
+        sharp::json::Value rule_json = sharp::json::Value::makeObject();
+        rule_json.set("rule", rc.rule);
+        rule_json.set("stream", rc.stream);
+        sharp::json::Value points = sharp::json::Value::makeArray();
+
+        for (size_t n : sizes) {
+            // Fewer timed rounds at the largest size: the batch mode's
+            // per-eval cost is linear-plus, and the KDE-based rules pay
+            // an uncached O(n) density pass in both modes.
+            size_t evals = n >= 100000 ? 8 : 64;
+            Measurement incr = measure(rc.rule, rc.stream, n, evals, true);
+            Measurement batch = measure(rc.rule, rc.stream, n, evals, false);
+
+            bool equivalent = sameDecisions(incr.decisions, batch.decisions);
+            all_equivalent = all_equivalent && equivalent;
+
+            double speedup = incr.nsPerEval > 0.0
+                                 ? batch.nsPerEval / incr.nsPerEval
+                                 : 0.0;
+            std::printf("%10zu %14.0f %14.0f %8.1fx %16.0f %14.0f%s\n", n,
+                        incr.nsPerEval, batch.nsPerEval, speedup,
+                        incr.comparisonsPerEval, incr.pmfEvalsPerEval,
+                        equivalent ? "" : "  DECISIONS DIVERGED");
+
+            sharp::json::Value point = sharp::json::Value::makeObject();
+            point.set("n", n);
+            point.set("evals", evals);
+            point.set("incremental_ns_per_eval", incr.nsPerEval);
+            point.set("batch_ns_per_eval", batch.nsPerEval);
+            point.set("speedup", speedup);
+            point.set("incremental_comparisons_per_eval",
+                      incr.comparisonsPerEval);
+            point.set("batch_comparisons_per_eval",
+                      batch.comparisonsPerEval);
+            point.set("incremental_pmf_evals_per_eval",
+                      incr.pmfEvalsPerEval);
+            point.set("batch_pmf_evals_per_eval", batch.pmfEvalsPerEval);
+            point.set("decisions_bitwise_equal", equivalent);
+            points.append(std::move(point));
+
+            // Deterministic sub-linearity gate on the cached fast
+            // paths: per eval they must do a small fraction of the
+            // batch mode's structural work (which re-sorts, so it is
+            // at least n log n comparisons). The counters are exact
+            // replay counts, not timings, so the bound is stable.
+            bool counter_gated = std::string(rc.rule) == "ks" ||
+                                 std::string(rc.rule) == "median-ci" ||
+                                 std::string(rc.rule) == "meta";
+            if (counter_gated && n >= 10000) {
+                if (incr.comparisonsPerEval >
+                    batch.comparisonsPerEval / 10.0) {
+                    std::printf("  GATE: comparisons/eval %.0f not "
+                                "sub-linear vs batch %.0f\n",
+                                incr.comparisonsPerEval,
+                                batch.comparisonsPerEval);
+                    gates_pass = false;
+                }
+                if (batch.pmfEvalsPerEval > 0.0 &&
+                    incr.pmfEvalsPerEval > batch.pmfEvalsPerEval / 5.0) {
+                    std::printf("  GATE: pmf evals/eval %.0f not "
+                                "sub-linear vs batch %.0f\n",
+                                incr.pmfEvalsPerEval,
+                                batch.pmfEvalsPerEval);
+                    gates_pass = false;
+                }
+            }
+        }
+        rule_json.set("points", std::move(points));
+        rules_json.append(std::move(rule_json));
+    }
+    doc.set("rules", std::move(rules_json));
+
+    bench::section("sharp calibrate wall time");
+    double cal_incr = calibrationWallSeconds(true, quick);
+    double cal_batch = calibrationWallSeconds(false, quick);
+    std::printf("incremental %.2fs   batch %.2fs   speedup %.1fx\n",
+                cal_incr, cal_batch,
+                cal_incr > 0.0 ? cal_batch / cal_incr : 0.0);
+    sharp::json::Value cal = sharp::json::Value::makeObject();
+    cal.set("incremental_wall_seconds", cal_incr);
+    cal.set("batch_wall_seconds", cal_batch);
+    cal.set("speedup", cal_incr > 0.0 ? cal_batch / cal_incr : 0.0);
+    doc.set("calibration", std::move(cal));
+
+    doc.set("decisions_bitwise_equal", all_equivalent);
+    sharp::json::writeFile(doc, out);
+    std::printf("\nwrote %s\n", out.c_str());
+
+    if (!all_equivalent) {
+        std::fprintf(stderr, "FAIL: incremental and batch stopping "
+                             "decisions diverged\n");
+        return 1;
+    }
+    if (!gates_pass) {
+        std::fprintf(stderr, "FAIL: cached fast-path work counters "
+                             "exceeded the sub-linearity gate\n");
+        return 1;
+    }
+    std::printf("incremental == batch bit-for-bit across %zu rules x %zu "
+                "sizes\n",
+                sizeof(ruleCases) / sizeof(ruleCases[0]), sizes.size());
+    return 0;
+}

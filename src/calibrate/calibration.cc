@@ -7,6 +7,7 @@
 
 #include "core/classifier.hh"
 #include "core/sample_series.hh"
+#include "core/stats_cache.hh"
 #include "core/stopping/stopping_rule.hh"
 #include "rng/synthetic.hh"
 #include "rng/xoshiro.hh"
@@ -100,17 +101,22 @@ runCell(const CalibrationConfig &config, const std::string &rule_name,
     }
     cell.samplesToStop = series.size();
 
+    // The series' stats cache already holds a sorted view (maintained
+    // incrementally while the rule consumed it); the KS fidelity check
+    // and the classifier both reuse it instead of re-sorting. @p truth
+    // arrives pre-sorted from runCalibration.
     const auto &values = series.values();
-    cell.postStopKs = artifactRound(stats::ksDistance(values, truth));
+    cell.postStopKs = artifactRound(
+        stats::ksDistanceSorted(series.stats().sorted(), truth));
 
     cell.ciApplicable = meanCiApplicable(spec.truth) && values.size() >= 2;
     if (cell.ciApplicable) {
-        auto ci = stats::meanCi(values, 0.95);
+        auto ci = series.stats().meanCi(0.95);
         cell.ciRelWidth = artifactRound(ci.relativeWidth(series.mean()));
         cell.ciCovered = ci.lower <= truth_mean && truth_mean <= ci.upper;
     }
 
-    core::Classification cls = core::classifyDistribution(values);
+    core::Classification cls = core::classifyDistribution(series);
     cell.classifiedClass = core::distributionClassName(cls.cls);
     cell.classifierCorrect = cell.classifiedClass == cell.truthClass;
 
@@ -197,7 +203,11 @@ runCalibration(CalibrationConfig config)
             cellSeed(config.baseSeed, truthStream,
                      config.distributions[d], 0),
             config.truthSamples);
+        // Mean first (Kahan in arrival order, as the artifacts pin),
+        // then sort in place: every cell compares against the truth
+        // via the sorted KS overload, so sort each truth exactly once.
         truth_means[d] = stats::mean(truths[d]);
+        std::sort(truths[d].begin(), truths[d].end());
     });
 
     CalibrationResult result;

@@ -5,6 +5,7 @@
 
 #include "calibrate/baseline.hh"
 #include "core/config.hh"
+#include "core/stopping/stopping_rule.hh"
 #include "json/parser.hh"
 #include "launcher/fault_backend.hh"
 #include "launcher/reproduce.hh"
@@ -175,6 +176,23 @@ checkMetadata(const std::string &text, CheckResult &out)
                    "nondeterministic-repro", message,
                    "expect distribution-level, not sample-level, "
                    "agreement on reproduction");
+    }
+
+    if (!spec.statsCache &&
+        core::ruleHasCachedFastPath(spec.experiment.ruleName)) {
+        out.report(
+            Severity::Warning,
+            json::Location{static_cast<uint32_t>(findLine(
+                               text, "repro_stats_cache")),
+                           0},
+            "disabled-stats-cache",
+            "metadata pins rule '" + spec.experiment.ruleName +
+                "', which has an incremental fast path, to a run with "
+                "the statistics engine disabled "
+                "(repro_stats_cache=off); the reproduction recomputes "
+                "every statistic batch-style",
+            "decisions are bit-identical either way — unset "
+            "SHARP_STATS_CACHE to reproduce at full speed");
     }
 }
 

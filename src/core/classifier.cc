@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <numbers>
 
+#include "core/sample_series.hh"
+#include "core/stats_cache.hh"
 #include "stats/autocorr.hh"
 #include "stats/descriptive.hh"
 #include "stats/ecdf.hh"
@@ -55,21 +58,22 @@ normalCdfAt(double x, double mu, double sigma)
  * with the smallest one-sample KS distance.
  */
 Candidate
-bestParametricFit(const std::vector<double> &values)
+bestParametricFit(const std::vector<double> &values,
+                  const std::vector<double> &sorted)
 {
-    using stats::ksStatisticAgainst;
+    using stats::ksStatisticAgainstSorted;
 
     double m = stats::mean(values);
     double sd = stats::stddev(values);
-    double lo = *std::min_element(values.begin(), values.end());
-    double hi = *std::max_element(values.begin(), values.end());
+    double lo = sorted.front();
+    double hi = sorted.back();
     bool all_positive = lo > 0.0;
 
     std::vector<Candidate> fits;
 
     // Normal(mean, sd).
     fits.push_back({DistributionClass::Normal,
-                    ksStatisticAgainst(values, [=](double x) {
+                    ksStatisticAgainstSorted(sorted, [=](double x) {
                         return normalCdfAt(x, m, sd);
                     })});
 
@@ -77,7 +81,7 @@ bestParametricFit(const std::vector<double> &values)
     {
         double s = sd * std::numbers::sqrt3 / std::numbers::pi;
         fits.push_back({DistributionClass::Logistic,
-                        ksStatisticAgainst(values, [=](double x) {
+                        ksStatisticAgainstSorted(sorted, [=](double x) {
                             return 1.0 /
                                    (1.0 + std::exp(-(x - m) / s));
                         })});
@@ -91,7 +95,7 @@ bestParametricFit(const std::vector<double> &values)
         double pad = (hi - lo) / (n - 1.0);
         double a = lo - pad / 2.0, b = hi + pad / 2.0;
         fits.push_back({DistributionClass::Uniform,
-                        ksStatisticAgainst(values, [=](double x) {
+                        ksStatisticAgainstSorted(sorted, [=](double x) {
                             if (x <= a)
                                 return 0.0;
                             if (x >= b)
@@ -110,7 +114,7 @@ bestParametricFit(const std::vector<double> &values)
         double lsd = stats::stddev(logs);
         if (lsd > 0.0) {
             fits.push_back({DistributionClass::LogNormal,
-                            ksStatisticAgainst(values, [=](double x) {
+                            ksStatisticAgainstSorted(sorted, [=](double x) {
                                 if (x <= 0.0)
                                     return 0.0;
                                 return normalCdfAt(std::log(x), lm, lsd);
@@ -124,7 +128,7 @@ bestParametricFit(const std::vector<double> &values)
             double pad = (log_hi - log_lo) / (n - 1.0);
             double a = log_lo - pad / 2.0, b = log_hi + pad / 2.0;
             fits.push_back({DistributionClass::LogUniform,
-                            ksStatisticAgainst(values, [=](double x) {
+                            ksStatisticAgainstSorted(sorted, [=](double x) {
                                 if (x <= 0.0)
                                     return 0.0;
                                 double l = std::log(x);
@@ -185,11 +189,16 @@ bestParametricFit(const std::vector<double> &values)
     return best;
 }
 
-} // anonymous namespace
-
+/**
+ * Shared classification pipeline. @p sortedView supplies the sorted
+ * sample lazily, so data rejected by the cheap structural screens
+ * (constant, autocorrelated) never pays for a sort — and series-backed
+ * callers hand out the incremental cache's sorted view for free.
+ */
 Classification
-classifyDistribution(const std::vector<double> &values,
-                     const ClassifierConfig &config)
+classifyWith(const std::vector<double> &values,
+             const std::function<const std::vector<double> &()> &sortedView,
+             const ClassifierConfig &config)
 {
     Classification result;
     if (values.size() < config.minSamples) {
@@ -233,8 +242,7 @@ classifyDistribution(const std::vector<double> &values,
     // Screen 3: heavy tail. Quantile-ratio screen is robust to the
     // undefined moments of Cauchy-like data.
     {
-        std::vector<double> sorted = values;
-        std::sort(sorted.begin(), sorted.end());
+        const std::vector<double> &sorted = sortedView();
         double spread_iqr = stats::quantileSorted(sorted, 0.75) -
                             stats::quantileSorted(sorted, 0.25);
         double spread_tail = stats::quantileSorted(sorted, 0.99) -
@@ -262,7 +270,7 @@ classifyDistribution(const std::vector<double> &values,
     }
 
     // Stage 2: minimum-KS parametric fit.
-    Candidate best = bestParametricFit(values);
+    Candidate best = bestParametricFit(values, sortedView());
     result.cls = best.cls;
     result.fitDistance = best.ks;
     result.rationale = std::string("best parametric fit '") +
@@ -270,6 +278,33 @@ classifyDistribution(const std::vector<double> &values,
                        "' with KS distance " +
                        util::formatDouble(best.ks, 4);
     return result;
+}
+
+} // anonymous namespace
+
+Classification
+classifyDistribution(const std::vector<double> &values,
+                     const ClassifierConfig &config)
+{
+    std::vector<double> sorted;
+    auto sortedView = [&]() -> const std::vector<double> & {
+        if (sorted.size() != values.size()) {
+            sorted = values;
+            std::sort(sorted.begin(), sorted.end());
+        }
+        return sorted;
+    };
+    return classifyWith(values, sortedView, config);
+}
+
+Classification
+classifyDistribution(const SampleSeries &series,
+                     const ClassifierConfig &config)
+{
+    auto sortedView = [&]() -> const std::vector<double> & {
+        return series.stats().sorted();
+    };
+    return classifyWith(series.values(), sortedView, config);
 }
 
 } // namespace core

@@ -30,6 +30,8 @@ namespace sharp
 namespace core
 {
 
+class SampleSeries;
+
 /** Distribution classes recognized by the meta-heuristic. */
 enum class DistributionClass
 {
@@ -88,6 +90,15 @@ struct Classification
  * @param config screen thresholds
  */
 Classification classifyDistribution(const std::vector<double> &values,
+                                    const ClassifierConfig &config = {});
+
+/**
+ * Classify a series, reusing its incremental statistics cache: the
+ * heavy-tail screen's quantiles and the parametric fits read the
+ * cached sorted view instead of re-sorting a copy. Bit-identical to
+ * classifyDistribution(series.values(), config).
+ */
+Classification classifyDistribution(const SampleSeries &series,
                                     const ClassifierConfig &config = {});
 
 } // namespace core

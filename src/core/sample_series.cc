@@ -3,14 +3,76 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/stats_cache.hh"
+
 namespace sharp
 {
 namespace core
 {
 
+SampleSeries::SampleSeries() = default;
+
+SampleSeries::~SampleSeries() = default;
+
 SampleSeries::SampleSeries(const std::vector<double> &values)
 {
     appendAll(values);
+}
+
+SampleSeries::SampleSeries(const SampleSeries &other)
+    : data(other.data), count(other.count),
+      dataVersion(other.dataVersion), runningMean(other.runningMean),
+      m2(other.m2), m3(other.m3), m4(other.m4),
+      minValue(other.minValue), maxValue(other.maxValue)
+{
+}
+
+SampleSeries &
+SampleSeries::operator=(const SampleSeries &other)
+{
+    if (this == &other)
+        return *this;
+    data = other.data;
+    count = other.count;
+    dataVersion = other.dataVersion;
+    runningMean = other.runningMean;
+    m2 = other.m2;
+    m3 = other.m3;
+    m4 = other.m4;
+    minValue = other.minValue;
+    maxValue = other.maxValue;
+    cache.reset();
+    return *this;
+}
+
+SampleSeries::SampleSeries(SampleSeries &&other) noexcept
+    : data(std::move(other.data)), count(other.count),
+      dataVersion(other.dataVersion), runningMean(other.runningMean),
+      m2(other.m2), m3(other.m3), m4(other.m4),
+      minValue(other.minValue), maxValue(other.maxValue)
+{
+    // The moved-from cache back-references `other`; neither side may
+    // keep it.
+    other.cache.reset();
+}
+
+SampleSeries &
+SampleSeries::operator=(SampleSeries &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    data = std::move(other.data);
+    count = other.count;
+    dataVersion = other.dataVersion;
+    runningMean = other.runningMean;
+    m2 = other.m2;
+    m3 = other.m3;
+    m4 = other.m4;
+    minValue = other.minValue;
+    maxValue = other.maxValue;
+    cache.reset();
+    other.cache.reset();
+    return *this;
 }
 
 void
@@ -18,13 +80,26 @@ SampleSeries::append(double value)
 {
     data.push_back(value);
     ++count;
+    ++dataVersion;
     if (count == 1) {
         runningMean = value;
         m2 = 0.0;
+        m3 = 0.0;
+        m4 = 0.0;
         minValue = maxValue = value;
         return;
     }
     double delta = value - runningMean;
+    // Higher moments first (Pébay's update), against the *old* m2/m3.
+    double n = static_cast<double>(count);
+    double delta_n = delta / n;
+    double delta_n2 = delta_n * delta_n;
+    double term1 = delta * delta_n * (n - 1.0);
+    m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) +
+          6.0 * delta_n2 * m2 - 4.0 * delta_n * m3;
+    m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2;
+    // Mean and m2 keep the historical update order so existing
+    // consumers (variance, the constant rule) see identical bits.
     runningMean += delta / static_cast<double>(count);
     m2 += delta * (value - runningMean);
     minValue = std::min(minValue, value);
@@ -34,6 +109,7 @@ SampleSeries::append(double value)
 void
 SampleSeries::appendAll(const std::vector<double> &values)
 {
+    data.reserve(data.size() + values.size());
     for (double v : values)
         append(v);
 }
@@ -43,10 +119,15 @@ SampleSeries::clear()
 {
     data.clear();
     count = 0;
+    ++dataVersion;
     runningMean = 0.0;
     m2 = 0.0;
+    m3 = 0.0;
+    m4 = 0.0;
     minValue = 0.0;
     maxValue = 0.0;
+    if (cache)
+        cache->invalidate();
 }
 
 double
@@ -61,6 +142,27 @@ double
 SampleSeries::stddev() const
 {
     return std::sqrt(variance());
+}
+
+double
+SampleSeries::skewness() const
+{
+    if (count < 3 || m2 <= 0.0)
+        return 0.0;
+    double n = static_cast<double>(count);
+    double g1 = (m3 / n) / std::pow(m2 / n, 1.5);
+    return g1 * std::sqrt(n * (n - 1.0)) / (n - 2.0);
+}
+
+double
+SampleSeries::excessKurtosis() const
+{
+    if (count < 4 || m2 <= 0.0)
+        return 0.0;
+    double n = static_cast<double>(count);
+    double c2 = m2 / n;
+    double g2 = (m4 / n) / (c2 * c2) - 3.0;
+    return ((n + 1.0) * g2 + 6.0) * (n - 1.0) / ((n - 2.0) * (n - 3.0));
 }
 
 std::vector<double>
@@ -85,6 +187,14 @@ SampleSeries::tail(size_t n) const
     size_t take = std::min(n, data.size());
     return std::vector<double>(data.end() - static_cast<long>(take),
                                data.end());
+}
+
+StatsCache &
+SampleSeries::stats() const
+{
+    if (!cache)
+        cache = std::make_unique<StatsCache>(*this);
+    return *cache;
 }
 
 } // namespace core

@@ -1,0 +1,496 @@
+#include "core/stats_cache.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "core/sample_series.hh"
+#include "stats/descriptive.hh"
+#include "stats/ecdf.hh"
+#include "stats/special.hh"
+
+namespace sharp
+{
+namespace core
+{
+
+namespace
+{
+
+bool
+initialStatsCacheEnabled()
+{
+    const char *env = std::getenv("SHARP_STATS_CACHE");
+    if (env != nullptr) {
+        std::string v(env);
+        for (char &c : v)
+            c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        if (v == "off" || v == "0" || v == "false" || v == "no")
+            return false;
+    }
+    return true;
+}
+
+std::atomic<bool> &
+statsCacheFlag()
+{
+    static std::atomic<bool> flag(initialStatsCacheEnabled());
+    return flag;
+}
+
+/**
+ * NaN-safe ordering that counts its invocations. For NaN-free data it
+ * is exactly operator< — so sorts and searches produce bit-identical
+ * sequences to std::sort in the batch paths — and with NaNs present it
+ * is still a strict weak ordering (NaNs form one equivalence class at
+ * the end) where raw operator< would hand std::sort undefined
+ * behavior.
+ */
+struct CountingLess
+{
+    uint64_t *count;
+
+    bool
+    operator()(double a, double b) const
+    {
+        ++*count;
+        if (std::isnan(b))
+            return !std::isnan(a);
+        if (std::isnan(a))
+            return false;
+        return a < b;
+    }
+};
+
+void
+checkLevel(double level)
+{
+    if (!(level > 0.0 && level < 1.0))
+        throw std::invalid_argument("confidence level must be in (0, 1)");
+}
+
+} // anonymous namespace
+
+bool
+statsCacheEnabled()
+{
+    return statsCacheFlag().load(std::memory_order_relaxed);
+}
+
+void
+setStatsCacheEnabled(bool enabled)
+{
+    statsCacheFlag().store(enabled, std::memory_order_relaxed);
+}
+
+StatsCache::StatsCache(const SampleSeries &owner_) : owner(owner_) {}
+
+void
+StatsCache::invalidate()
+{
+    body.clear();
+    sortedTail.clear();
+    mergeScratch.clear();
+    lowHalf.clear();
+    highHalf.clear();
+    prefixMin.clear();
+    prefixMax.clear();
+    kahanSum = 0.0;
+    kahanComp = 0.0;
+    seenVersion = 0;
+    seenCount = 0;
+    ksVersion = 0;
+    ksValue = 0.0;
+    varianceVersion = 0;
+    varianceValue = 0.0;
+    warmMedian.clear();
+}
+
+size_t
+StatsCache::tailLimit() const
+{
+    // Small enough that tail insertion stays cheap, large enough that
+    // body merges amortize away: O(min(n/8, 2048)) insertion moves and
+    // O(log n) comparisons per append.
+    return std::max<size_t>(64, std::min<size_t>(body.size() / 8, 2048));
+}
+
+void
+StatsCache::mergeTail()
+{
+    CountingLess cmp{&work.comparisons};
+    mergeScratch.clear();
+    mergeScratch.reserve(body.size() + sortedTail.size());
+    std::merge(body.begin(), body.end(), sortedTail.begin(),
+               sortedTail.end(), std::back_inserter(mergeScratch), cmp);
+    body.swap(mergeScratch);
+    sortedTail.clear();
+}
+
+void
+StatsCache::ingest(double value)
+{
+    CountingLess cmp{&work.comparisons};
+
+    // Sorted view: insert into the (small, sorted) tail, merging into
+    // the body once the tail outgrows its budget.
+    auto tail_pos = std::lower_bound(sortedTail.begin(), sortedTail.end(),
+                                     value, cmp);
+    sortedTail.insert(tail_pos, value);
+    if (sortedTail.size() > tailLimit())
+        mergeTail();
+
+    // Half-split KS state. The new sample has the highest arrival
+    // index, so it always lands in the high half; when floor(n/2)
+    // grows, the sample at the old boundary migrates low.
+    size_t idx = prefixMin.size(); // arrival index of `value`
+    size_t old_half = idx / 2;
+    size_t new_half = (idx + 1) / 2;
+    auto high_pos = std::lower_bound(highHalf.begin(), highHalf.end(),
+                                     value, cmp);
+    highHalf.insert(high_pos, value);
+    if (new_half > old_half) {
+        double boundary = owner.values()[old_half];
+        auto victim = std::lower_bound(highHalf.begin(), highHalf.end(),
+                                       boundary, cmp);
+        highHalf.erase(victim);
+        auto low_pos = std::lower_bound(lowHalf.begin(), lowHalf.end(),
+                                        boundary, cmp);
+        lowHalf.insert(low_pos, boundary);
+    }
+
+    // Prefix extrema, arrival order.
+    if (prefixMin.empty()) {
+        prefixMin.push_back(value);
+        prefixMax.push_back(value);
+    } else {
+        prefixMin.push_back(std::min(prefixMin.back(), value));
+        prefixMax.push_back(std::max(prefixMax.back(), value));
+    }
+
+    // Incremental Kahan: continuing the loop from stats::mean, so the
+    // running (sum, comp) pair is bit-equal to a fresh left-to-right
+    // pass over the whole series.
+    double y = value - kahanComp;
+    double t = kahanSum + y;
+    kahanComp = (t - kahanSum) - y;
+    kahanSum = t;
+}
+
+void
+StatsCache::sync()
+{
+    const std::vector<double> &v = owner.values();
+    if (owner.version() == seenVersion && v.size() == seenCount)
+        return;
+    if (v.size() < seenCount)
+        invalidate();
+    for (size_t i = seenCount; i < v.size(); ++i)
+        ingest(v[i]);
+    seenCount = v.size();
+    seenVersion = owner.version();
+}
+
+const std::vector<double> &
+StatsCache::sorted()
+{
+    CountingLess cmp{&work.comparisons};
+    if (!statsCacheEnabled()) {
+        mergeScratch = owner.values();
+        std::sort(mergeScratch.begin(), mergeScratch.end(), cmp);
+        return mergeScratch;
+    }
+    sync();
+    if (!sortedTail.empty())
+        mergeTail();
+    return body;
+}
+
+double
+StatsCache::orderStatTwoRuns(size_t k)
+{
+    CountingLess cmp{&work.comparisons};
+    const std::vector<double> &a = body;
+    const std::vector<double> &b = sortedTail;
+    // Binary search the split: take `lo` elements from a and k - lo
+    // from b such that they are exactly the k smallest overall.
+    size_t lo = k > b.size() ? k - b.size() : 0;
+    size_t hi = std::min(k, a.size());
+    while (lo < hi) {
+        size_t i = (lo + hi) / 2;
+        size_t j = k - i;
+        if (j > 0 && cmp(a[i], b[j - 1]))
+            lo = i + 1;
+        else
+            hi = i;
+    }
+    size_t j = k - lo;
+    if (lo >= a.size())
+        return b[j];
+    if (j >= b.size())
+        return a[lo];
+    return cmp(b[j], a[lo]) ? b[j] : a[lo];
+}
+
+double
+StatsCache::orderStat(size_t k)
+{
+    if (k >= owner.size())
+        throw std::out_of_range("orderStat index past end of series");
+    if (!statsCacheEnabled())
+        return sorted()[k];
+    sync();
+    if (sortedTail.empty())
+        return body[k];
+    return orderStatTwoRuns(k);
+}
+
+double
+StatsCache::quantile(double p)
+{
+    if (owner.empty())
+        throw std::invalid_argument("quantile requires a non-empty sample");
+    if (p < 0.0 || p > 1.0)
+        throw std::invalid_argument("quantile requires p in [0, 1]");
+    if (!statsCacheEnabled())
+        return stats::quantileSorted(sorted(), p);
+    sync();
+    size_t n = owner.size();
+    if (n == 1)
+        return orderStat(0);
+    // Same arithmetic as stats::quantileSorted, fed by order statistics
+    // instead of a fully merged array.
+    double h = (static_cast<double>(n) - 1.0) * p;
+    size_t lo = static_cast<size_t>(std::floor(h));
+    size_t hi = std::min(lo + 1, n - 1);
+    double frac = h - static_cast<double>(lo);
+    double a = orderStat(lo);
+    double b = orderStat(hi);
+    return a + frac * (b - a);
+}
+
+double
+StatsCache::ksHalves()
+{
+    if (owner.size() < 2)
+        throw std::invalid_argument("ksStatistic requires non-empty samples");
+    if (!statsCacheEnabled()) {
+        CountingLess cmp{&work.comparisons};
+        std::vector<double> a = owner.firstHalf();
+        std::vector<double> b = owner.secondHalf();
+        std::sort(a.begin(), a.end(), cmp);
+        std::sort(b.begin(), b.end(), cmp);
+        return stats::ksStatisticSorted(a, b);
+    }
+    sync();
+    if (ksVersion == owner.version())
+        return ksValue;
+    // The walk itself is inherently linear (the statistic is a sup over
+    // every merge point); what the cache removes is the per-eval
+    // sorting and copying.
+    ksValue = stats::ksStatisticSorted(lowHalf, highHalf);
+    ksVersion = owner.version();
+    return ksValue;
+}
+
+std::pair<double, double>
+StatsCache::prefixRange(size_t count)
+{
+    if (count == 0 || count > owner.size())
+        throw std::out_of_range("prefixRange count out of range");
+    if (!statsCacheEnabled()) {
+        const std::vector<double> &v = owner.values();
+        double lo = v[0], hi = v[0];
+        for (size_t i = 1; i < count; ++i) {
+            lo = std::min(lo, v[i]);
+            hi = std::max(hi, v[i]);
+        }
+        return {lo, hi};
+    }
+    sync();
+    return {prefixMin[count - 1], prefixMax[count - 1]};
+}
+
+double
+StatsCache::mean()
+{
+    if (owner.empty())
+        throw std::invalid_argument("mean requires a non-empty sample");
+    if (!statsCacheEnabled())
+        return stats::mean(owner.values());
+    sync();
+    return kahanSum / static_cast<double>(owner.size());
+}
+
+double
+StatsCache::varianceMemo()
+{
+    if (varianceVersion == owner.version() && owner.version() != 0)
+        return varianceValue;
+    // Same pass as stats::variance: the deviations use the final mean,
+    // so this recomputation is O(n) — but memoized per version, and
+    // only CI rules pay it.
+    size_t n = owner.size();
+    if (n < 2) {
+        varianceValue = 0.0;
+    } else {
+        double m = kahanSum / static_cast<double>(n);
+        double ss = 0.0;
+        for (double v : owner.values()) {
+            double d = v - m;
+            ss += d * d;
+        }
+        varianceValue = ss / static_cast<double>(n - 1);
+    }
+    varianceVersion = owner.version();
+    return varianceValue;
+}
+
+stats::ConfidenceInterval
+StatsCache::meanCi(double level)
+{
+    checkLevel(level);
+    if (owner.size() < 2)
+        throw std::invalid_argument("meanCi requires n >= 2");
+    if (!statsCacheEnabled())
+        return stats::meanCi(owner.values(), level);
+    sync();
+    double n = static_cast<double>(owner.size());
+    double m = kahanSum / n;
+    double se = std::sqrt(varianceMemo()) / std::sqrt(n);
+    double dof = n - 1.0;
+    double t = stats::studentTQuantile(0.5 + level / 2.0, dof);
+    return {m - t * se, m + t * se, level};
+}
+
+stats::ConfidenceInterval
+StatsCache::meanCiRightTailed(double level)
+{
+    checkLevel(level);
+    if (owner.size() < 2)
+        throw std::invalid_argument("meanCiRightTailed requires n >= 2");
+    if (!statsCacheEnabled())
+        return stats::meanCiRightTailed(owner.values(), level);
+    sync();
+    double n = static_cast<double>(owner.size());
+    double m = kahanSum / n;
+    double se = std::sqrt(varianceMemo()) / std::sqrt(n);
+    double dof = n - 1.0;
+    double t = stats::studentTQuantile(level, dof);
+    return {m, m + t * se, level};
+}
+
+double
+StatsCache::coverageAt(size_t k)
+{
+    size_t n = owner.size();
+    work.pmfEvals += static_cast<uint64_t>(n - 2 * k + 1);
+    return stats::medianOrderCoverage(n, k);
+}
+
+stats::ConfidenceInterval
+StatsCache::medianCi(double level)
+{
+    checkLevel(level);
+    if (owner.empty())
+        throw std::invalid_argument("medianCi requires a non-empty sample");
+    size_t n = owner.size();
+
+    if (!statsCacheEnabled()) {
+        CountingLess cmp{&work.comparisons};
+        std::vector<double> x = owner.values();
+        std::sort(x.begin(), x.end(), cmp);
+        if (n < 6) {
+            double coverage =
+                1.0 - std::pow(0.5, static_cast<double>(n) - 1.0);
+            return {x.front(), x.back(), coverage};
+        }
+        size_t k = n / 2;
+        while (k >= 1) {
+            if (coverageAt(k) >= level)
+                break;
+            --k;
+        }
+        if (k < 1)
+            k = 1;
+        return {x[k - 1], x[n - k], level};
+    }
+
+    sync();
+    if (n < 6) {
+        double coverage =
+            1.0 - std::pow(0.5, static_cast<double>(n) - 1.0);
+        return {orderStat(0), orderStat(n - 1), coverage};
+    }
+
+    // Warm-started search for the batch scan's k: the largest k in
+    // [1, n/2] with coverage >= level (coverage shrinks as k grows).
+    // Start from the previous evaluation's k and walk to the boundary,
+    // verifying with the *identical* coverage summation — so the
+    // chosen k, and therefore the interval, matches stats::medianCi
+    // bit for bit at a fraction of the PMF evaluations.
+    WarmMedianK *entry = nullptr;
+    for (WarmMedianK &w : warmMedian) {
+        if (w.level == level) {
+            entry = &w;
+            break;
+        }
+    }
+    size_t g;
+    if (entry == nullptr) {
+        // Cold start: the batch descending scan.
+        g = n / 2;
+        while (g >= 1) {
+            if (coverageAt(g) >= level)
+                break;
+            --g;
+        }
+        if (g < 1)
+            g = 1;
+        warmMedian.push_back({level, g});
+    } else {
+        g = std::clamp<size_t>(entry->k, 1, n / 2);
+        if (coverageAt(g) >= level) {
+            while (g < n / 2 && coverageAt(g + 1) >= level)
+                ++g;
+        } else {
+            while (g > 1) {
+                --g;
+                if (coverageAt(g) >= level)
+                    break;
+            }
+        }
+        entry->k = g;
+    }
+    return {orderStat(g - 1), orderStat(n - g), level};
+}
+
+stats::ConfidenceInterval
+StatsCache::quantileCi(double p, double level)
+{
+    checkLevel(level);
+    if (!(p > 0.0 && p < 1.0))
+        throw std::invalid_argument("quantileCi requires p in (0, 1)");
+    if (owner.empty())
+        throw std::invalid_argument("quantileCi requires a sample");
+    size_t n = owner.size();
+    if (!statsCacheEnabled()) {
+        CountingLess cmp{&work.comparisons};
+        std::vector<double> x = owner.values();
+        std::sort(x.begin(), x.end(), cmp);
+        stats::QuantileCiIndices idx = stats::quantileCiIndices(n, p, level);
+        work.pmfEvals += idx.pmfTerms;
+        return {x[idx.lower], x[idx.upper], level};
+    }
+    sync();
+    stats::QuantileCiIndices idx = stats::quantileCiIndices(n, p, level);
+    work.pmfEvals += idx.pmfTerms;
+    return {orderStat(idx.lower), orderStat(idx.upper), level};
+}
+
+} // namespace core
+} // namespace sharp

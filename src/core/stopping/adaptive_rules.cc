@@ -4,9 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/stats_cache.hh"
 #include "stats/autocorr.hh"
 #include "stats/ci.hh"
-#include "stats/ecdf.hh"
 #include "stats/kde.hh"
 #include "stats/special.hh"
 #include "util/string_utils.hh"
@@ -79,17 +79,12 @@ UniformRangeRule::evaluate(const SampleSeries &series)
         return StopDecision::keepGoing(1.0, growthTolerance,
                                        "warming up");
 
-    const auto &values = series.values();
-    size_t n = values.size();
+    size_t n = series.size();
     size_t window = std::max<size_t>(
         1, static_cast<size_t>(windowFraction * static_cast<double>(n)));
     size_t old_n = n - window;
 
-    double old_min = values[0], old_max = values[0];
-    for (size_t i = 0; i < old_n; ++i) {
-        old_min = std::min(old_min, values[i]);
-        old_max = std::max(old_max, values[i]);
-    }
+    auto [old_min, old_max] = series.stats().prefixRange(old_n);
     double full_range = series.max() - series.min();
     double old_range = old_max - old_min;
     double growth = full_range > 0.0
@@ -179,12 +174,14 @@ ModalityRule::evaluate(const SampleSeries &series)
     if (series.size() < minRunsCfg)
         return StopDecision::keepGoing(1.0, ksThreshold, "warming up");
 
+    // findModes must see the halves in *arrival* order: the KDE picks
+    // its bandwidth from the sample before sorting internally, so
+    // feeding it a pre-sorted view would change the estimate.
     auto first = series.firstHalf();
-    auto second = series.secondHalf();
     size_t modes_half = stats::findModes(first, prominence).size();
     size_t modes_full = stats::findModes(series.values(),
                                          prominence).size();
-    double ks = stats::ksStatistic(first, second);
+    double ks = series.stats().ksHalves();
 
     std::string detail = "modes " + std::to_string(modes_half) + "->" +
                          std::to_string(modes_full) + ", KS(halves) " +
@@ -225,7 +222,7 @@ TailQuantileRule::evaluate(const SampleSeries &series)
     if (series.size() < minRunsCfg)
         return StopDecision::keepGoing(1.0, threshold, "warming up");
 
-    auto ci = stats::quantileCi(series.values(), quantileP, level);
+    auto ci = series.stats().quantileCi(quantileP, level);
     double center = 0.5 * (ci.lower + ci.upper);
     double rel = ci.relativeWidth(center);
     std::string detail = "p" +

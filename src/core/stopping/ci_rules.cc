@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/stats_cache.hh"
 #include "stats/ci.hh"
 #include "util/string_utils.hh"
 
@@ -65,7 +66,7 @@ MeanCiRule::evaluate(const SampleSeries &series)
                                 std::to_string(series.size()) + "/" +
                                 std::to_string(minRunsCfg) + ")");
     }
-    auto ci = stats::meanCiRightTailed(series.values(), level);
+    auto ci = series.stats().meanCiRightTailed(level);
     double rel = series.mean() != 0.0
                      ? ci.width() / std::fabs(series.mean())
                      : 0.0;
@@ -93,7 +94,7 @@ NormalMeanCiRule::evaluate(const SampleSeries &series)
     if (series.size() < minRunsCfg) {
         return StopDecision::keepGoing(0.0, threshold, "warming up");
     }
-    auto ci = stats::meanCi(series.values(), level);
+    auto ci = series.stats().meanCi(level);
     double rel = ci.relativeWidth(series.mean());
     return decideRelativeWidth(rel, threshold, "two-sided mean CI");
 }
@@ -121,7 +122,7 @@ GeoMeanCiRule::evaluate(const SampleSeries &series)
     if (series.min() <= 0.0) {
         // Data are not positive; fall back to the arithmetic-mean CI so
         // the rule degrades gracefully rather than failing.
-        auto ci = stats::meanCi(series.values(), level);
+        auto ci = series.stats().meanCi(level);
         return decideRelativeWidth(ci.relativeWidth(series.mean()),
                                    threshold,
                                    "mean CI (non-positive data)");
@@ -152,7 +153,7 @@ MedianCiRule::evaluate(const SampleSeries &series)
 {
     if (series.size() < minRunsCfg)
         return StopDecision::keepGoing(0.0, threshold, "warming up");
-    auto ci = stats::medianCi(series.values(), level);
+    auto ci = series.stats().medianCi(level);
     double center = 0.5 * (ci.lower + ci.upper);
     double rel = ci.relativeWidth(center);
     return decideRelativeWidth(rel, threshold, "median CI");

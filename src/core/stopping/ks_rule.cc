@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "stats/ecdf.hh"
+#include "core/stats_cache.hh"
 #include "util/string_utils.hh"
 
 namespace sharp
@@ -35,8 +35,7 @@ KsHalvesRule::evaluate(const SampleSeries &series)
                                 std::to_string(series.size()) + "/" +
                                 std::to_string(minRunsCfg) + ")");
     }
-    double ks = stats::ksStatistic(series.firstHalf(),
-                                   series.secondHalf());
+    double ks = series.stats().ksHalves();
     std::string detail = "KS(halves) = " + util::formatDouble(ks, 4) +
                          (ks < threshold ? " < " : " >= ") +
                          util::formatDouble(threshold, 4);

@@ -107,7 +107,7 @@ MetaRule::evaluate(const SampleSeries &series)
     if (due) {
         bool first = lastClassifiedAt == 0;
         Classification fresh =
-            classifyDistribution(series.values(), config.classifier);
+            classifyDistribution(series, config.classifier);
         lastClassifiedAt = series.size();
         if (fresh.cls != lastClass.cls) {
             active = ruleFor(fresh.cls);

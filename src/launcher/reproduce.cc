@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "check/diagnostic.hh"
+#include "core/stats_cache.hh"
 #include "json/parser.hh"
 #include "json/writer.hh"
 #include "launcher/faas_backend.hh"
@@ -75,7 +76,7 @@ checkRunSpecImpl(const json::Value &doc, check::CheckResult &out,
         "timeout",     "machines",     "day",
         "seed",        "concurrency",  "jobs",
         "experiment",  "max_failures", "max_failure_rate",
-        "retry",       "fault"};
+        "retry",       "fault",        "stats_cache"};
     check::checkKnownFields(doc, known, "run spec", out);
 
     auto stringField = [&](const char *key) {
@@ -320,6 +321,7 @@ ReproSpec::fromJson(const json::Value &doc)
         spec.fault = FaultSpec::fromJson(*fault);
         spec.faultEnabled = true;
     }
+    spec.statsCache = doc.getBool("stats_cache", true);
     return spec;
 }
 
@@ -354,6 +356,8 @@ ReproSpec::toJson() const
         doc.set("retry", retry.toJson());
     if (faultEnabled)
         doc.set("fault", fault.toJson());
+    if (!statsCache)
+        doc.set("stats_cache", false);
     return doc;
 }
 
@@ -390,6 +394,10 @@ annotate(record::RunLog &log, const ReproSpec &spec)
     if (spec.faultEnabled)
         log.setConfigEntry("repro_fault",
                            json::write(spec.fault.toJson()));
+    // Record only the non-default: the engine state at record time (the
+    // kill switch is process-wide, so the spec field tracks it).
+    if (!spec.statsCache || !core::statsCacheEnabled())
+        log.setConfigEntry("repro_stats_cache", "off");
 }
 
 ReproSpec
@@ -463,6 +471,15 @@ reproSpecFromMetadata(const record::MetadataDocument &doc)
     if (auto fault = doc.get(sec, "repro_fault")) {
         spec.fault = FaultSpec::fromJson(json::parse(*fault));
         spec.faultEnabled = true;
+    }
+    if (auto stats_cache = doc.get(sec, "repro_stats_cache")) {
+        if (*stats_cache == "off" || *stats_cache == "0" ||
+            *stats_cache == "false" || *stats_cache == "no") {
+            spec.statsCache = false;
+        } else if (*stats_cache != "on") {
+            throw std::invalid_argument(
+                "malformed repro_stats_cache entry");
+        }
     }
     return spec;
 }

@@ -82,14 +82,39 @@ meanCiRightTailed(const std::vector<double> &x, double level)
     return {m, m + t * se, level};
 }
 
+double
+medianOrderCoverage(size_t n, size_t k)
+{
+    double coverage = 0.0;
+    for (size_t j = k; j <= n - k; ++j)
+        coverage += binomialHalfPmf(n, j);
+    return coverage;
+}
+
+size_t
+medianCiLowerK(size_t n, double level)
+{
+    // Find the symmetric order-statistic pair (k, n+1-k) with coverage
+    // P(k <= B < n+1-k) >= level where B ~ Binomial(n, 1/2).
+    // Start from the innermost pair and widen until coverage suffices.
+    size_t k = n / 2; // 1-based lower index candidate
+    while (k >= 1) {
+        if (medianOrderCoverage(n, k) >= level)
+            break;
+        --k;
+    }
+    if (k < 1)
+        k = 1;
+    return k;
+}
+
 ConfidenceInterval
-medianCi(std::vector<double> x, double level)
+medianCiSorted(const std::vector<double> &sorted, double level)
 {
     checkLevel(level);
-    if (x.empty())
+    if (sorted.empty())
         throw std::invalid_argument("medianCi requires a non-empty sample");
-    std::sort(x.begin(), x.end());
-    size_t n = x.size();
+    size_t n = sorted.size();
     if (n < 6) {
         // Too small for a meaningful order-statistic interval at the
         // requested level; report the sample range labelled with its
@@ -97,27 +122,23 @@ medianCi(std::vector<double> x, double level)
         // 1 - 2 * (1/2)^n, rather than overstating it as `level`.
         double coverage =
             1.0 - std::pow(0.5, static_cast<double>(n) - 1.0);
-        return {x.front(), x.back(), coverage};
+        return {sorted.front(), sorted.back(), coverage};
     }
 
-    // Find the symmetric order-statistic pair (k, n+1-k) with coverage
-    // P(k <= B < n+1-k) >= level where B ~ Binomial(n, 1/2).
-    // Start from the innermost pair and widen until coverage suffices.
-    size_t k = n / 2; // 1-based lower index candidate
-    double coverage = 0.0;
-    while (k >= 1) {
-        coverage = 0.0;
-        for (size_t j = k; j <= n - k; ++j)
-            coverage += binomialHalfPmf(n, j);
-        if (coverage >= level)
-            break;
-        --k;
-    }
-    if (k < 1)
-        k = 1;
+    size_t k = medianCiLowerK(n, level);
     size_t lower_idx = k - 1;          // 0-based
     size_t upper_idx = n - k;          // 0-based (n+1-k in 1-based)
-    return {x[lower_idx], x[upper_idx], level};
+    return {sorted[lower_idx], sorted[upper_idx], level};
+}
+
+ConfidenceInterval
+medianCi(std::vector<double> x, double level)
+{
+    checkLevel(level);
+    if (x.empty())
+        throw std::invalid_argument("medianCi requires a non-empty sample");
+    std::sort(x.begin(), x.end());
+    return medianCiSorted(x, level);
 }
 
 ConfidenceInterval
@@ -139,23 +160,28 @@ geometricMeanCi(const std::vector<double> &x, double level)
     return {std::exp(log_ci.lower), std::exp(log_ci.upper), level};
 }
 
-ConfidenceInterval
-quantileCi(std::vector<double> x, double p, double level)
+QuantileCiIndices
+quantileCiIndices(size_t n, double p, double level)
 {
     checkLevel(level);
     if (!(p > 0.0 && p < 1.0))
         throw std::invalid_argument("quantileCi requires p in (0, 1)");
-    if (x.empty())
+    if (n == 0)
         throw std::invalid_argument("quantileCi requires a sample");
-    std::sort(x.begin(), x.end());
-    size_t n = x.size();
 
     // Cumulative binomial probabilities F(k) = P(B <= k), B~Bin(n, p).
-    std::vector<double> cum(n + 1);
+    // Both index scans below only ever read entries strictly before the
+    // first one that reaches target_high, so the accumulation stops
+    // there — the prefix computed is bit-identical to the full array.
+    double target_high = 1.0 - (1.0 - level) / 2.0;
+    std::vector<double> cum;
+    cum.reserve(n);
     double acc = 0.0;
     for (size_t k = 0; k <= n; ++k) {
         acc += binomialPmf(n, k, p);
-        cum[k] = std::min(acc, 1.0);
+        cum.push_back(std::min(acc, 1.0));
+        if (cum.back() >= target_high)
+            break;
     }
 
     // Choose the smallest interval of order statistics [l+1, u] (1-based)
@@ -167,12 +193,30 @@ quantileCi(std::vector<double> x, double p, double level)
     if (lower_idx > 0)
         --lower_idx;
 
-    double target_high = 1.0 - (1.0 - level) / 2.0;
     size_t upper_idx = lower_idx;
     while (upper_idx < n - 1 && cum[upper_idx] < target_high)
         ++upper_idx;
 
-    return {x[lower_idx], x[upper_idx], level};
+    return {lower_idx, upper_idx, cum.size()};
+}
+
+ConfidenceInterval
+quantileCiSorted(const std::vector<double> &sorted, double p, double level)
+{
+    QuantileCiIndices idx = quantileCiIndices(sorted.size(), p, level);
+    return {sorted[idx.lower], sorted[idx.upper], level};
+}
+
+ConfidenceInterval
+quantileCi(std::vector<double> x, double p, double level)
+{
+    checkLevel(level);
+    if (!(p > 0.0 && p < 1.0))
+        throw std::invalid_argument("quantileCi requires p in (0, 1)");
+    if (x.empty())
+        throw std::invalid_argument("quantileCi requires a sample");
+    std::sort(x.begin(), x.end());
+    return quantileCiSorted(x, p, level);
 }
 
 } // namespace stats

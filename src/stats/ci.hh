@@ -13,6 +13,7 @@
 #ifndef SHARP_STATS_CI_HH
 #define SHARP_STATS_CI_HH
 
+#include <cstddef>
 #include <vector>
 
 namespace sharp
@@ -60,6 +61,26 @@ ConfidenceInterval meanCiRightTailed(const std::vector<double> &x,
  */
 ConfidenceInterval medianCi(std::vector<double> x, double level);
 
+/** medianCi over an already-sorted sample (ascending). */
+ConfidenceInterval medianCiSorted(const std::vector<double> &sorted,
+                                  double level);
+
+/**
+ * Coverage of the symmetric order-statistic pair (k, n+1-k) for the
+ * median, P(k <= B <= n-k) with B ~ Binomial(n, 1/2), summed in the
+ * exact term order medianCi uses. Exposed so incremental callers
+ * (core::StatsCache) can warm-start the k search yet verify against
+ * the identical batch arithmetic.
+ */
+double medianOrderCoverage(size_t n, size_t k);
+
+/**
+ * The 1-based lower order-statistic index k chosen by medianCi's
+ * descending scan: the largest k in [1, n/2] whose coverage reaches
+ * @p level, or 1 if none does. Requires n >= 6.
+ */
+size_t medianCiLowerK(size_t n, double level);
+
 /**
  * CI on the geometric mean via a t-interval on log-values,
  * back-transformed; appropriate for log-normal run times.
@@ -74,6 +95,25 @@ ConfidenceInterval geometricMeanCi(const std::vector<double> &x,
  */
 ConfidenceInterval quantileCi(std::vector<double> x, double p,
                               double level);
+
+/** quantileCi over an already-sorted sample (ascending). */
+ConfidenceInterval quantileCiSorted(const std::vector<double> &sorted,
+                                    double p, double level);
+
+/**
+ * The 0-based order-statistic indices quantileCi selects, plus the
+ * number of binomial PMF terms evaluated to find them. Pure function
+ * of (n, p, level) — no sample needed — so incremental callers can
+ * pick order statistics out of a sorted view without re-sorting.
+ */
+struct QuantileCiIndices
+{
+    size_t lower;
+    size_t upper;
+    size_t pmfTerms;
+};
+
+QuantileCiIndices quantileCiIndices(size_t n, double p, double level);
 
 } // namespace stats
 } // namespace sharp

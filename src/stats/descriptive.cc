@@ -123,21 +123,41 @@ median(std::vector<double> values)
 }
 
 double
+iqrSorted(const std::vector<double> &sorted)
+{
+    requireNonEmpty(sorted, "iqr");
+    return quantileSorted(sorted, 0.75) - quantileSorted(sorted, 0.25);
+}
+
+double
 iqr(std::vector<double> values)
 {
     requireNonEmpty(values, "iqr");
     std::sort(values.begin(), values.end());
-    return quantileSorted(values, 0.75) - quantileSorted(values, 0.25);
+    return iqrSorted(values);
+}
+
+double
+medianAbsoluteDeviationSorted(const std::vector<double> &sorted)
+{
+    requireNonEmpty(sorted, "medianAbsoluteDeviation");
+    double med = quantileSorted(sorted, 0.5);
+    std::vector<double> deviations;
+    deviations.reserve(sorted.size());
+    for (double v : sorted)
+        deviations.push_back(std::fabs(v - med));
+    std::sort(deviations.begin(), deviations.end());
+    return quantileSorted(deviations, 0.5);
 }
 
 double
 medianAbsoluteDeviation(std::vector<double> values)
 {
     requireNonEmpty(values, "medianAbsoluteDeviation");
-    double med = median(values);
-    for (double &v : values)
-        v = std::fabs(v - med);
-    return median(std::move(values));
+    // One in-place sort serves both the median and the deviation pass,
+    // where this used to copy-and-sort twice inside median().
+    std::sort(values.begin(), values.end());
+    return medianAbsoluteDeviationSorted(values);
 }
 
 double
@@ -228,9 +248,22 @@ Summary::compute(const std::vector<double> &values)
     requireNonEmpty(values, "Summary::compute");
     std::vector<double> sorted = values;
     std::sort(sorted.begin(), sorted.end());
+    return compute(values, sorted);
+}
+
+Summary
+Summary::compute(const std::vector<double> &values,
+                 const std::vector<double> &sorted)
+{
+    requireNonEmpty(values, "Summary::compute");
 
     Summary s;
     s.n = values.size();
+    // One Kahan pass for the mean and one deviation pass for the
+    // spread; CV and SE are derived from those instead of re-running
+    // the same loops three more times. skewness/excessKurtosis keep
+    // their own calls so their accumulation order (and therefore their
+    // bits) stay exactly those of the standalone functions.
     s.mean = sharp::stats::mean(values);
     s.stddev = sharp::stats::stddev(values);
     s.min = sorted.front();
@@ -244,8 +277,9 @@ Summary::compute(const std::vector<double> &values)
     s.skewness = sharp::stats::skewness(values);
     s.excessKurtosis = sharp::stats::excessKurtosis(values);
     s.coefficientOfVariation =
-        sharp::stats::coefficientOfVariation(values);
-    s.standardError = sharp::stats::standardError(values);
+        s.mean == 0.0 ? 0.0 : s.stddev / std::fabs(s.mean);
+    s.standardError =
+        s.stddev / std::sqrt(static_cast<double>(values.size()));
     return s;
 }
 

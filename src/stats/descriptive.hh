@@ -48,8 +48,18 @@ double median(std::vector<double> values);
 /** Interquartile range Q3 - Q1. */
 double iqr(std::vector<double> values);
 
+/** IQR of already-sorted data. */
+double iqrSorted(const std::vector<double> &sorted);
+
 /** Median absolute deviation (unscaled). */
 double medianAbsoluteDeviation(std::vector<double> values);
+
+/**
+ * MAD of already-sorted data. The deviations still need their own
+ * sort, but the input's is shared with whatever else the caller
+ * computes from the same sorted pass.
+ */
+double medianAbsoluteDeviationSorted(const std::vector<double> &sorted);
 
 /** Trimmed mean discarding fraction @p trim from each tail. */
 double trimmedMean(std::vector<double> values, double trim);
@@ -89,6 +99,14 @@ struct Summary
 
     /** Compute a summary; @p values must be non-empty. */
     static Summary compute(const std::vector<double> &values);
+
+    /**
+     * Compute a summary when the caller already holds the sample
+     * sorted ascending (same multiset as @p values), skipping the
+     * internal copy-and-sort.
+     */
+    static Summary compute(const std::vector<double> &values,
+                           const std::vector<double> &sorted);
 
     /** One-line rendering, e.g. for log output. */
     std::string toString() const;

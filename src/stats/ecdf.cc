@@ -39,8 +39,15 @@ Ecdf::inverse(double p) const
 namespace
 {
 
+/**
+ * Reference walk: step both ECDFs past each distinct value and track
+ * the supremum in doubles at every tie-group boundary. Kept as the
+ * fallback for sample sizes where the integer-scaled fast path could
+ * overflow, and as the executable specification the fast path must
+ * reproduce bit for bit.
+ */
 double
-ksSorted(const std::vector<double> &a, const std::vector<double> &b)
+ksSortedReference(const std::vector<double> &a, const std::vector<double> &b)
 {
     size_t na = a.size(), nb = b.size();
     size_t ia = 0, ib = 0;
@@ -69,6 +76,85 @@ ksSorted(const std::vector<double> &a, const std::vector<double> &b)
     return sup;
 }
 
+double
+ksSorted(const std::vector<double> &a, const std::vector<double> &b)
+{
+    size_t na = a.size(), nb = b.size();
+    if (na > (size_t{1} << 31) || nb > (size_t{1} << 31))
+        return ksSortedReference(a, b);
+
+    // Single-step merge with an integer guard. The ECDF gap at a merge
+    // point is |ia/na - ib/nb|; scaled by na*nb it is the integer
+    // |ia*nb - ib*na|, maintained here as a running sum (+nb per a
+    // element, -na per b element). Distinct integer values are at
+    // least 1/(na*nb) apart as reals, which dwarfs the rounding of the
+    // two divisions, so the integer order strictly dominates the
+    // double order: every point achieving the double supremum ties the
+    // integer maximum. The double expression of the reference walk is
+    // evaluated only when the integer maximum is reached (>=, so ties
+    // are never skipped), at tie-group boundaries only — yielding a
+    // bit-identical supremum while skipping two divisions and a
+    // hard-to-predict tie loop at almost every point.
+    size_t ia = 0, ib = 0;
+    const long long lna = static_cast<long long>(na);
+    const long long lnb = static_cast<long long>(nb);
+    long long cum = 0, best = 0;
+    double sup = 0.0;
+    double v = 0.0;
+    while (ia < na && ib < nb) {
+        double va = a[ia], vb = b[ib];
+        bool take_a = va <= vb;
+        v = take_a ? va : vb;
+        ia += take_a ? 1 : 0;
+        ib += take_a ? 0 : 1;
+        cum += take_a ? lnb : -lna;
+        // Evaluate only once the whole tie group is consumed: the
+        // reference walk's merge points are tie-group boundaries, and
+        // mid-group gaps may exceed every boundary gap.
+        if ((ia >= na || a[ia] != v) && (ib >= nb || b[ib] != v)) {
+            long long gap = cum < 0 ? -cum : cum;
+            if (gap >= best) {
+                best = gap;
+                double fa =
+                    static_cast<double>(ia) / static_cast<double>(na);
+                double fb =
+                    static_cast<double>(ib) / static_cast<double>(nb);
+                sup = std::max(sup, std::fabs(fa - fb));
+            }
+        }
+    }
+    // If one side ran out mid-group, finish the group and evaluate its
+    // boundary; re-evaluating an already-scored point is idempotent.
+    while (ia < na && a[ia] == v) {
+        ++ia;
+        cum += lnb;
+    }
+    while (ib < nb && b[ib] == v) {
+        ++ib;
+        cum -= lna;
+    }
+    {
+        long long gap = cum < 0 ? -cum : cum;
+        if (gap >= best) {
+            double fa = static_cast<double>(ia) / static_cast<double>(na);
+            double fb = static_cast<double>(ib) / static_cast<double>(nb);
+            sup = std::max(sup, std::fabs(fa - fb));
+        }
+    }
+    // After one sample is exhausted its ECDF is 1; the gap can only
+    // shrink toward the final point where both reach 1, except at the
+    // first unprocessed point of the other sample.
+    if (ia < na) {
+        double fb = static_cast<double>(ib) / static_cast<double>(nb);
+        sup = std::max(sup, std::fabs(1.0 - fb));
+    }
+    if (ib < nb) {
+        double fa = static_cast<double>(ia) / static_cast<double>(na);
+        sup = std::max(sup, std::fabs(fa - 1.0));
+    }
+    return sup;
+}
+
 } // anonymous namespace
 
 double
@@ -89,14 +175,30 @@ ksStatistic(const Ecdf &a, const Ecdf &b)
 }
 
 double
-ksStatisticAgainst(const std::vector<double> &sample,
-                   const std::function<double(double)> &cdf)
+ksStatisticSorted(const std::vector<double> &a,
+                  const std::vector<double> &b)
 {
-    if (sample.empty())
+    if (a.empty() || b.empty())
+        throw std::invalid_argument("ksStatistic requires non-empty samples");
+    return ksSorted(a, b);
+}
+
+double
+ksStatisticSortedReference(const std::vector<double> &a,
+                           const std::vector<double> &b)
+{
+    if (a.empty() || b.empty())
+        throw std::invalid_argument("ksStatistic requires non-empty samples");
+    return ksSortedReference(a, b);
+}
+
+double
+ksStatisticAgainstSorted(const std::vector<double> &sorted,
+                         const std::function<double(double)> &cdf)
+{
+    if (sorted.empty())
         throw std::invalid_argument(
             "ksStatisticAgainst requires a non-empty sample");
-    std::vector<double> sorted = sample;
-    std::sort(sorted.begin(), sorted.end());
     size_t n = sorted.size();
     double nd = static_cast<double>(n);
     double sup = 0.0;
@@ -107,6 +209,18 @@ ksStatisticAgainst(const std::vector<double> &sample,
         sup = std::max({sup, upper, lower});
     }
     return sup;
+}
+
+double
+ksStatisticAgainst(const std::vector<double> &sample,
+                   const std::function<double(double)> &cdf)
+{
+    if (sample.empty())
+        throw std::invalid_argument(
+            "ksStatisticAgainst requires a non-empty sample");
+    std::vector<double> sorted = sample;
+    std::sort(sorted.begin(), sorted.end());
+    return ksStatisticAgainstSorted(sorted, cdf);
 }
 
 } // namespace stats

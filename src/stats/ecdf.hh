@@ -57,12 +57,36 @@ double ksStatistic(const std::vector<double> &a,
 double ksStatistic(const Ecdf &a, const Ecdf &b);
 
 /**
+ * KS statistic over two already-sorted samples (ascending) — the
+ * linear merge walk with no copying or sorting. This is the form the
+ * incremental statistics engine (core::StatsCache) evaluates against
+ * its maintained sorted runs; bit-identical to ksStatistic on the same
+ * multisets.
+ */
+double ksStatisticSorted(const std::vector<double> &a,
+                         const std::vector<double> &b);
+
+/**
+ * Reference implementation of the two-sample sorted walk: evaluates the
+ * ECDF gap in doubles at every tie-group boundary. ksStatisticSorted's
+ * integer-guarded fast path must agree with this bit for bit (the
+ * equivalence property tests enforce it); it is also the fallback for
+ * samples too large for the integer scaling.
+ */
+double ksStatisticSortedReference(const std::vector<double> &a,
+                                  const std::vector<double> &b);
+
+/**
  * One-sample Kolmogorov–Smirnov statistic against a theoretical CDF:
  * sup_x |F_n(x) - F(x)|. Used by the distribution classifier to score
  * candidate parametric fits. @p cdf must be non-decreasing into [0, 1].
  */
 double ksStatisticAgainst(const std::vector<double> &sample,
                           const std::function<double(double)> &cdf);
+
+/** One-sample KS over an already-sorted sample (ascending). */
+double ksStatisticAgainstSorted(const std::vector<double> &sorted,
+                                const std::function<double(double)> &cdf);
 
 } // namespace stats
 } // namespace sharp

@@ -38,19 +38,24 @@ resampleQuantiles(const std::vector<double> &sorted, size_t n)
 } // anonymous namespace
 
 double
-namd(const std::vector<double> &x, const std::vector<double> &y)
+namdSorted(const std::vector<double> &sx_in,
+           const std::vector<double> &sy_in)
 {
-    if (x.empty() || y.empty())
+    if (sx_in.empty() || sy_in.empty())
         throw std::invalid_argument("namd requires non-empty samples");
 
-    std::vector<double> sx = x, sy = y;
-    std::sort(sx.begin(), sx.end());
-    std::sort(sy.begin(), sy.end());
-    size_t n = std::min(sx.size(), sy.size());
-    if (sx.size() != n)
-        sx = resampleQuantiles(sx, n);
-    if (sy.size() != n)
-        sy = resampleQuantiles(sy, n);
+    // Only the longer sample is materialized (quantile-resampled down
+    // to the shorter length); equal-length inputs are used in place.
+    size_t n = std::min(sx_in.size(), sy_in.size());
+    std::vector<double> resampled_x, resampled_y;
+    if (sx_in.size() != n)
+        resampled_x = resampleQuantiles(sx_in, n);
+    if (sy_in.size() != n)
+        resampled_y = resampleQuantiles(sy_in, n);
+    const std::vector<double> &sx = resampled_x.empty() ? sx_in
+                                                        : resampled_x;
+    const std::vector<double> &sy = resampled_y.empty() ? sy_in
+                                                        : resampled_y;
 
     double mean_x = mean(sx);
     double mean_y = mean(sy);
@@ -67,20 +72,37 @@ namd(const std::vector<double> &x, const std::vector<double> &y)
 }
 
 double
+namd(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.empty() || y.empty())
+        throw std::invalid_argument("namd requires non-empty samples");
+
+    std::vector<double> sx = x, sy = y;
+    std::sort(sx.begin(), sx.end());
+    std::sort(sy.begin(), sy.end());
+    return namdSorted(sx, sy);
+}
+
+double
 ksDistance(const std::vector<double> &x, const std::vector<double> &y)
 {
     return ksStatistic(x, y);
 }
 
 double
-wasserstein1(const std::vector<double> &x, const std::vector<double> &y)
+ksDistanceSorted(const std::vector<double> &sx,
+                 const std::vector<double> &sy)
 {
-    if (x.empty() || y.empty())
+    return ksStatisticSorted(sx, sy);
+}
+
+double
+wasserstein1Sorted(const std::vector<double> &sx,
+                   const std::vector<double> &sy)
+{
+    if (sx.empty() || sy.empty())
         throw std::invalid_argument("wasserstein1 requires non-empty "
                                     "samples");
-    std::vector<double> sx = x, sy = y;
-    std::sort(sx.begin(), sx.end());
-    std::sort(sy.begin(), sy.end());
 
     // W1 = integral over p of |Qx(p) - Qy(p)|; evaluate on the merged
     // probability grid i/na and j/nb, which is exact for step quantile
@@ -101,6 +123,18 @@ wasserstein1(const std::vector<double> &x, const std::vector<double> &y)
             ++ib;
     }
     return dist;
+}
+
+double
+wasserstein1(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.empty() || y.empty())
+        throw std::invalid_argument("wasserstein1 requires non-empty "
+                                    "samples");
+    std::vector<double> sx = x, sy = y;
+    std::sort(sx.begin(), sx.end());
+    std::sort(sy.begin(), sy.end());
+    return wasserstein1Sorted(sx, sy);
 }
 
 double
@@ -183,10 +217,18 @@ SimilarityReport
 SimilarityReport::compute(const std::vector<double> &x,
                           const std::vector<double> &y)
 {
+    // One sort per sample serves NAMD, KS, and Wasserstein; the KDE
+    // overlap and the histogram JS divergence take the raw samples —
+    // the KDE picks its bandwidth in arrival order before sorting
+    // internally, so handing it the sorted copies would change it.
+    std::vector<double> sx = x, sy = y;
+    std::sort(sx.begin(), sx.end());
+    std::sort(sy.begin(), sy.end());
+
     SimilarityReport report;
-    report.namd = sharp::stats::namd(x, y);
-    report.ks = ksDistance(x, y);
-    report.wasserstein = wasserstein1(x, y);
+    report.namd = namdSorted(sx, sy);
+    report.ks = ksDistanceSorted(sx, sy);
+    report.wasserstein = wasserstein1Sorted(sx, sy);
     report.overlap = overlapCoefficient(x, y);
     report.jensenShannon = jensenShannonDivergence(x, y);
     return report;

@@ -39,6 +39,10 @@ namespace stats
  */
 double namd(const std::vector<double> &x, const std::vector<double> &y);
 
+/** NAMD over already-sorted samples (ascending); no copies made. */
+double namdSorted(const std::vector<double> &sx,
+                  const std::vector<double> &sy);
+
 /**
  * Two-sample Kolmogorov–Smirnov distance in [0, 1]; re-exported here so
  * similarity consumers need one header. See ecdf.hh.
@@ -46,12 +50,20 @@ double namd(const std::vector<double> &x, const std::vector<double> &y);
 double ksDistance(const std::vector<double> &x,
                   const std::vector<double> &y);
 
+/** KS distance over already-sorted samples (ascending). */
+double ksDistanceSorted(const std::vector<double> &sx,
+                        const std::vector<double> &sy);
+
 /**
  * 1-Wasserstein (earth-mover) distance between empirical distributions,
  * computed as the L1 distance between quantile functions.
  */
 double wasserstein1(const std::vector<double> &x,
                     const std::vector<double> &y);
+
+/** Wasserstein-1 over already-sorted samples (ascending). */
+double wasserstein1Sorted(const std::vector<double> &sx,
+                          const std::vector<double> &sy);
 
 /**
  * Overlap coefficient of the two KDE-smoothed densities, in [0, 1]

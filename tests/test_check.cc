@@ -341,6 +341,68 @@ TEST(Fixtures, StaleBaselineCellWarnsAndMissingCellErrors)
               std::string::npos);
 }
 
+TEST(CheckMetadata, WarnsWhenCachedRuleRanWithEngineDisabled)
+{
+    // Metadata recording a KS run with the statistics engine disabled:
+    // the reproduction is still bit-exact, but pays the batch-recompute
+    // cost on every evaluation — worth a warning, located at the
+    // repro_stats_cache entry.
+    launcher::ReproSpec spec;
+    spec.backendKind = "sim";
+    spec.workload = "hotspot";
+    spec.machines = {"machine1"};
+    spec.experiment.ruleName = "ks";
+    spec.statsCache = false;
+    record::RunLog log("hotspot");
+    launcher::annotate(log, spec);
+    std::string text = log.toMetadata().render();
+
+    CheckResult result;
+    check::checkArtifactText("run.md", text, ArtifactKind::Unknown,
+                             result);
+    const check::Diagnostic *slow =
+        findRule(result, "disabled-stats-cache");
+    ASSERT_NE(slow, nullptr);
+    EXPECT_EQ(slow->severity, Severity::Warning);
+    EXPECT_NE(slow->message.find("'ks'"), std::string::npos);
+    EXPECT_GT(slow->line, 0u);
+    EXPECT_NE(slow->hint.find("SHARP_STATS_CACHE"), std::string::npos);
+    // The embedded run spec carries "stats_cache": false; the field
+    // whitelist must know it, or every off-cache artifact gets a bogus
+    // typo warning on top of the intended one.
+    EXPECT_EQ(findRule(result, "unknown-field"), nullptr);
+}
+
+TEST(CheckMetadata, NoWarningForRulesWithoutACachedFastPath)
+{
+    // The fixed-count rule never consults the engine, so a disabled
+    // cache changes nothing; the lint must stay quiet.
+    launcher::ReproSpec spec;
+    spec.backendKind = "sim";
+    spec.workload = "hotspot";
+    spec.machines = {"machine1"};
+    spec.experiment.ruleName = "fixed";
+    spec.statsCache = false;
+    record::RunLog log("hotspot");
+    launcher::annotate(log, spec);
+
+    CheckResult off_result;
+    check::checkArtifactText("run.md", log.toMetadata().render(),
+                             ArtifactKind::Unknown, off_result);
+    EXPECT_EQ(findRule(off_result, "disabled-stats-cache"), nullptr);
+
+    // Engine enabled (the default): quiet for every rule.
+    launcher::ReproSpec cached = spec;
+    cached.experiment.ruleName = "ks";
+    cached.statsCache = true;
+    record::RunLog cached_log("hotspot");
+    launcher::annotate(cached_log, cached);
+    CheckResult on_result;
+    check::checkArtifactText("run.md", cached_log.toMetadata().render(),
+                             ArtifactKind::Unknown, on_result);
+    EXPECT_EQ(findRule(on_result, "disabled-stats-cache"), nullptr);
+}
+
 // ---- The CLI command.
 
 struct CliResult

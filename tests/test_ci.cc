@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "rng/sampler.hh"
@@ -180,6 +181,27 @@ TEST(CiValidation, RejectsBadLevels)
     EXPECT_THROW(meanCi(xs, 1.0), std::invalid_argument);
     EXPECT_THROW(meanCi({1.0}, 0.95), std::invalid_argument);
     EXPECT_THROW(quantileCi(xs, 0.0, 0.95), std::invalid_argument);
+}
+
+TEST(SortedOverloads, AgreeWithUnsortedBitForBit)
+{
+    Xoshiro256 gen(23);
+    LogNormalSampler sampler(0.5, 0.8);
+    for (size_t n : {1u, 2u, 6u, 47u, 300u}) {
+        auto xs = sampler.sampleMany(gen, n);
+        auto sorted = xs;
+        std::sort(sorted.begin(), sorted.end());
+        auto plain = medianCi(xs, 0.95);
+        auto fast = medianCiSorted(sorted, 0.95);
+        EXPECT_EQ(fast.lower, plain.lower) << "n=" << n;
+        EXPECT_EQ(fast.upper, plain.upper) << "n=" << n;
+        if (n >= 2) {
+            auto qplain = quantileCi(xs, 0.9, 0.95);
+            auto qfast = quantileCiSorted(sorted, 0.9, 0.95);
+            EXPECT_EQ(qfast.lower, qplain.lower) << "n=" << n;
+            EXPECT_EQ(qfast.upper, qplain.upper) << "n=" << n;
+        }
+    }
 }
 
 } // anonymous namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "stats/descriptive.hh"
@@ -177,6 +178,35 @@ TEST(SummaryCompute, ToStringMentionsKeyNumbers)
 TEST(SummaryCompute, ThrowsOnEmpty)
 {
     EXPECT_THROW(Summary::compute({}), std::invalid_argument);
+}
+
+TEST(SortedOverloads, AgreeWithUnsortedBitForBit)
+{
+    // The Sorted variants exist so callers holding a maintained sorted
+    // view (the incremental statistics engine) can skip the copy+sort;
+    // they must produce the exact same bits as the by-value forms.
+    std::vector<double> xs = {7.25, -1.5, 3.0, 3.0, 9.75, 0.125,
+                              3.0,  -1.5, 6.5, 2.0, 11.0, 4.5};
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+
+    for (double p : {0.0, 0.1, 0.25, 0.5, 0.9, 1.0})
+        EXPECT_EQ(quantileSorted(sorted, p), quantile(xs, p)) << p;
+    EXPECT_EQ(iqrSorted(sorted), iqr(xs));
+    EXPECT_EQ(medianAbsoluteDeviationSorted(sorted),
+              medianAbsoluteDeviation(xs));
+
+    Summary plain = Summary::compute(xs);
+    Summary presorted = Summary::compute(xs, sorted);
+    EXPECT_EQ(presorted.median, plain.median);
+    EXPECT_EQ(presorted.q1, plain.q1);
+    EXPECT_EQ(presorted.q3, plain.q3);
+    EXPECT_EQ(presorted.p95, plain.p95);
+    EXPECT_EQ(presorted.p99, plain.p99);
+    EXPECT_EQ(presorted.min, plain.min);
+    EXPECT_EQ(presorted.max, plain.max);
+    EXPECT_EQ(presorted.mean, plain.mean);
+    EXPECT_EQ(presorted.stddev, plain.stddev);
 }
 
 } // anonymous namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "rng/sampler.hh"
@@ -183,6 +184,22 @@ TEST(OneSampleKs, DegenerateAgainstStep)
         return x <= 0.0 ? 0.0 : (x >= 1.0 ? 1.0 : x);
     });
     EXPECT_DOUBLE_EQ(d, 0.5);
+}
+
+TEST(SortedKs, SortedOverloadAndReferenceAgreeWithBatch)
+{
+    Xoshiro256 gen(29);
+    NormalSampler s1(0.0, 1.0), s2(0.3, 1.2);
+    auto a = s1.sampleMany(gen, 211);
+    auto b = s2.sampleMany(gen, 97);
+    double batch = ksStatistic(a, b);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(ksStatisticSorted(a, b), batch);
+    EXPECT_EQ(ksStatisticSortedReference(a, b), batch);
+    EXPECT_THROW(ksStatisticSorted({}, a), std::invalid_argument);
+    EXPECT_THROW(ksStatisticSortedReference(a, {}),
+                 std::invalid_argument);
 }
 
 } // anonymous namespace

@@ -109,6 +109,29 @@ TEST(Reproduce, LargeSeedsRoundTripThroughSpecJson)
     EXPECT_EQ(again.fault.seed, 0xFFFFFFFFFFFFFFFFULL);
 }
 
+TEST(Reproduce, StatsCacheStateRoundTripsThroughMetadata)
+{
+    // Default (engine on): nothing recorded, parses back as enabled.
+    record::RunLog on_log("hotspot");
+    launcher::annotate(on_log, hotspotSpec());
+    record::MetadataDocument on_doc = on_log.toMetadata();
+    EXPECT_FALSE(on_doc.get("Configuration", "repro_stats_cache"));
+    EXPECT_TRUE(launcher::reproSpecFromMetadata(on_doc).statsCache);
+
+    ReproSpec spec = hotspotSpec();
+    spec.statsCache = false;
+    record::RunLog off_log("hotspot");
+    launcher::annotate(off_log, spec);
+    ReproSpec again =
+        launcher::reproSpecFromMetadata(off_log.toMetadata());
+    EXPECT_FALSE(again.statsCache);
+
+    // And through the JSON spec form (journal headers).
+    ReproSpec json_again = ReproSpec::fromJson(
+        sharp::json::parse(sharp::json::write(spec.toJson())));
+    EXPECT_FALSE(json_again.statsCache);
+}
+
 TEST(Reproduce, MetadataWithoutJobsDefaultsToSerial)
 {
     // Metadata recorded before the parallel layer lacks repro_jobs;

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/sample_series.hh"
 #include "rng/sampler.hh"
 #include "stats/descriptive.hh"
@@ -111,6 +113,72 @@ TEST(SampleSeries, NegativeAndMixedValues)
     EXPECT_DOUBLE_EQ(s.min(), -5.0);
     EXPECT_DOUBLE_EQ(s.max(), 5.0);
     EXPECT_NEAR(s.variance(), 25.0, 1e-12);
+}
+
+TEST(SampleSeries, StreamingSkewnessTracksBatch)
+{
+    // The streaming higher moments match the batch formulas up to
+    // floating-point accumulation order, not bit for bit — hence the
+    // relative tolerance here, unlike the engine's exactness tests.
+    sharp::rng::Xoshiro256 gen(41);
+    sharp::rng::LogNormalSampler sampler(0.0, 0.9);
+    SampleSeries s;
+    std::vector<double> xs;
+    for (size_t i = 0; i < 2000; ++i) {
+        double v = sampler.sample(gen);
+        s.append(v);
+        xs.push_back(v);
+        if (i == 99 || i == 999 || i == 1999) {
+            double batch = stats::skewness(xs);
+            EXPECT_NEAR(s.skewness(), batch,
+                        1e-9 * std::max(1.0, std::fabs(batch)))
+                << "n=" << i + 1;
+        }
+    }
+}
+
+TEST(SampleSeries, StreamingKurtosisTracksBatch)
+{
+    sharp::rng::Xoshiro256 gen(43);
+    sharp::rng::NormalSampler sampler(5.0, 2.0);
+    SampleSeries s;
+    std::vector<double> xs;
+    for (size_t i = 0; i < 2000; ++i) {
+        double v = sampler.sample(gen);
+        s.append(v);
+        xs.push_back(v);
+        if (i == 99 || i == 999 || i == 1999) {
+            double batch = stats::excessKurtosis(xs);
+            EXPECT_NEAR(s.excessKurtosis(), batch,
+                        1e-9 * std::max(1.0, std::fabs(batch)))
+                << "n=" << i + 1;
+        }
+    }
+}
+
+TEST(SampleSeries, HigherMomentsDegenerateCases)
+{
+    SampleSeries tiny({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(tiny.skewness(), 0.0); // n < 3
+    SampleSeries three({1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(three.excessKurtosis(), 0.0); // n < 4
+    SampleSeries flat({4.0, 4.0, 4.0, 4.0, 4.0});
+    EXPECT_DOUBLE_EQ(flat.skewness(), 0.0); // zero variance
+    EXPECT_DOUBLE_EQ(flat.excessKurtosis(), 0.0);
+}
+
+TEST(SampleSeries, VersionAdvancesOnEveryMutation)
+{
+    SampleSeries s;
+    uint64_t v = s.version();
+    s.append(1.0);
+    ASSERT_GT(s.version(), v);
+    v = s.version();
+    s.appendAll({2.0, 3.0});
+    ASSERT_GT(s.version(), v);
+    v = s.version();
+    s.clear();
+    EXPECT_GT(s.version(), v);
 }
 
 } // anonymous namespace

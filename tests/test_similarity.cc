@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "rng/sampler.hh"
@@ -163,6 +164,20 @@ TEST(SimilarityReport, AllMetricsPopulated)
     EXPECT_GT(rep.overlap, 0.0);
     EXPECT_LT(rep.overlap, 1.0);
     EXPECT_GT(rep.jensenShannon, 0.0);
+}
+
+TEST(SortedOverloads, AgreeWithUnsortedBitForBit)
+{
+    Xoshiro256 gen(17);
+    LogNormalSampler s1(1.0, 0.6), s2(1.2, 0.4);
+    auto x = s1.sampleMany(gen, 257);
+    auto y = s2.sampleMany(gen, 181);
+    auto sx = x, sy = y;
+    std::sort(sx.begin(), sx.end());
+    std::sort(sy.begin(), sy.end());
+    EXPECT_EQ(namdSorted(sx, sy), namd(x, y));
+    EXPECT_EQ(ksDistanceSorted(sx, sy), ksDistance(x, y));
+    EXPECT_EQ(wasserstein1Sorted(sx, sy), wasserstein1(x, y));
 }
 
 } // anonymous namespace
