@@ -35,21 +35,12 @@ checkUpperBound(GateReport &report, const std::string &where,
                 const std::string &what, double baseline, double current,
                 double limit)
 {
-    if (current <= limit)
-        return;
-    report.pass = false;
-    report.violations.push_back({where, what, baseline, current, limit});
+    if (compare::checkUpperBound(report.violations, where, what,
+                                 baseline, current, limit))
+        report.pass = false;
 }
 
 } // anonymous namespace
-
-std::string
-GateViolation::render() const
-{
-    return where + ": " + what + " " + util::formatDouble(current, 4) +
-           " vs limit " + util::formatDouble(limit, 4) + " (baseline " +
-           util::formatDouble(baseline, 4) + ")";
-}
 
 std::string
 GateReport::render() const
@@ -60,6 +51,8 @@ GateReport::render() const
            std::to_string(violations.size()) + " violations)\n";
     for (const auto &violation : violations)
         out += "  " + violation.render() + "\n";
+    for (const auto &cell : unbaselined)
+        out += "  new (not gated): " + cell + "\n";
     return out;
 }
 
@@ -95,6 +88,21 @@ compareToBaseline(const json::Value &baseline, const json::Value &current,
             checkUpperBound(report, where, "median_ks", base_ks,
                             cur_entry->getNumber("median_ks", 0.0),
                             base_ks + tolerances.ksSlack);
+        }
+    }
+
+    // The symmetric scan: cells only the current summary has. These
+    // are new coverage, not regressions, so they are surfaced in the
+    // report but never fail the gate.
+    for (const auto &[rule, cur_dists] : cur_rules.members()) {
+        if (!cur_dists.isObject())
+            continue;
+        const json::Value *base_dists = base_rules.find(rule);
+        for (const auto &[dist, cur_entry] : cur_dists.members()) {
+            (void)cur_entry;
+            if (!base_dists || !base_dists->isObject() ||
+                !base_dists->find(dist))
+                report.unbaselined.push_back(rule + "/" + dist);
         }
     }
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "compare/currency.hh"
 #include "json/value.hh"
 
 namespace sharp
@@ -57,21 +58,12 @@ struct GateTolerances
     size_t minMetaWins = 7;
 };
 
-/** One tolerance breach, with enough context to act on it. */
-struct GateViolation
-{
-    /** e.g. "meta/lognormal" or "classifier". */
-    std::string where;
-    /** Which quantity degraded, e.g. "median_samples". */
-    std::string what;
-    double baseline = 0.0;
-    double current = 0.0;
-    /** The value the current measurement was allowed to reach. */
-    double limit = 0.0;
-
-    /** One-line human-readable form. */
-    std::string render() const;
-};
+/**
+ * One tolerance breach. The record (and its render) is the shared
+ * regression-gate currency from src/compare, so calibration-gate and
+ * `sharp compare` violations read identically.
+ */
+using GateViolation = compare::Violation;
 
 /** The comparator's verdict. */
 struct GateReport
@@ -80,6 +72,12 @@ struct GateReport
     /** Number of (rule, distribution) entries compared. */
     size_t comparisons = 0;
     std::vector<GateViolation> violations;
+    /**
+     * Cells only the current summary has (new rules/distributions).
+     * Reported for visibility; never a violation, so adding coverage
+     * cannot break an old baseline.
+     */
+    std::vector<std::string> unbaselined;
 
     /** Multi-line human-readable form (verdict plus every violation). */
     std::string render() const;
@@ -90,8 +88,9 @@ struct GateReport
  *
  * Every rule x distribution entry present in the baseline must exist in
  * @p current (a vanished entry is a violation) and stay within the
- * tolerances; entries only in @p current are ignored, so adding rules
- * or distributions never breaks an old baseline. Classifier accuracy
+ * tolerances; entries only in @p current are listed in
+ * GateReport::unbaselined but never fail the gate, so adding rules or
+ * distributions cannot break an old baseline. Classifier accuracy
  * and the meta-versus-fixed win count are checked when the baseline
  * carries them.
  *

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "calibrate/baseline.hh"
+#include "compare/bundle.hh"
+#include "compare/compare.hh"
 #include "core/config.hh"
 #include "core/stopping/stopping_rule.hh"
 #include "json/parser.hh"
@@ -216,6 +218,10 @@ artifactKindName(ArtifactKind kind)
         return "journal";
     case ArtifactKind::Baseline:
         return "calibration baseline";
+    case ArtifactKind::BaselineBundle:
+        return "baseline bundle";
+    case ArtifactKind::CompareReport:
+        return "compare report";
     case ArtifactKind::Metadata:
         return "metadata";
     case ArtifactKind::Unknown:
@@ -237,8 +243,17 @@ sniffArtifact(const std::string &path, const std::string &text,
     if (doc->isObject() && doc->find("type") &&
         doc->getString("type", "") == "spec" && doc->find("spec"))
         return ArtifactKind::Journal;
-    if (doc->isObject() && doc->find("schema"))
+    if (doc->isObject() && doc->find("schema")) {
+        // Schema-tagged documents are told apart by the tag's value;
+        // an unknown tag falls back to the calibration baseline, whose
+        // checker reports the mismatch with the expected tag.
+        std::string schema = doc->getString("schema", "");
+        if (schema == compare::kBaselineBundleSchema)
+            return ArtifactKind::BaselineBundle;
+        if (schema == compare::kCompareReportSchema)
+            return ArtifactKind::CompareReport;
         return ArtifactKind::Baseline;
+    }
     if (hasAnyKey(*doc, {"states", "functions"}))
         return ArtifactKind::Workflow;
     if (hasAnyKey(*doc, {"backend", "experiment", "workload", "argv"}))
@@ -278,6 +293,12 @@ checkDocument(ArtifactKind kind, const json::Value &doc,
         break;
     case ArtifactKind::Baseline:
         calibrate::checkBaseline(doc, out);
+        break;
+    case ArtifactKind::BaselineBundle:
+        compare::checkBaselineBundle(doc, out);
+        break;
+    case ArtifactKind::CompareReport:
+        compare::checkCompareReport(doc, out);
         break;
     case ArtifactKind::Journal:
     case ArtifactKind::Metadata:

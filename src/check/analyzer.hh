@@ -46,6 +46,10 @@ enum class ArtifactKind
     Journal,
     /** A calibration-baseline summary. */
     Baseline,
+    /** A `sharp baseline capture` bundle. */
+    BaselineBundle,
+    /** A `sharp compare` report. */
+    CompareReport,
     /** A reproduction metadata document (markdown). */
     Metadata,
     /** Nothing recognizable. */

@@ -10,6 +10,8 @@
 #include "calibrate/baseline.hh"
 #include "calibrate/calibration.hh"
 #include "check/analyzer.hh"
+#include "compare/bundle.hh"
+#include "compare/compare.hh"
 #include "core/stopping/stopping_rule.hh"
 #include "json/writer.hh"
 #include "launcher/fault_backend.hh"
@@ -139,6 +141,27 @@ commands:
       --html FILE              write an HTML report
   compare A.csv B.csv          compare two recorded runs
       --metric NAME --html FILE
+  baseline capture RUNS...     distill recorded runs (tidy CSVs or
+                               .jsonl journals) into a baseline bundle
+                               for `compare --against`; byte-identical
+                               for any --jobs
+      --out PATH               bundle file (.json) or directory (required)
+      --metric NAME            metric column (default execution_time)
+      --group-by COL           scenario key column (default workload)
+      --jobs N                 parse inputs in parallel
+  compare RUNS... --against B  gate candidate runs against a baseline
+                               bundle: per-scenario KS distance,
+                               quantile shifts, bootstrap speedup CI
+                               (a median regression only fails when the
+                               whole CI confirms it), and a %CV
+                               reproducibility verdict
+      --format text|json       report format (default text)
+      --out FILE               also write the JSON report to FILE
+      --median-ratio X         median may grow to baseline*X (+ slack)
+      --median-slack X         additive slack in metric units
+      --ks-limit X --cv-limit X
+      --level X --resamples N --seed S
+      (exit: 0 no regression, 1 investigate, 2 usage/artifact error)
   gate BASE.csv CAND.csv       regression gate between two runs
       --slowdown X --ks X --alpha X [--larger-is-better]
   calibrate                    sweep stopping rules over the synthetic
@@ -165,8 +188,10 @@ commands:
       (exit: 0 clean, 1 warnings only, 2 errors)
   help                         this text
 
-exit codes: 0 ok, 1 error, 2 usage, 3 aborted by the failure policy,
-            130 interrupted (campaign resumable with run --resume)
+exit codes: 0 ok, 1 error (compare --against: regression to
+            investigate; check: warnings only), 2 usage or malformed
+            artifact, 3 aborted by the failure policy, 130 interrupted
+            (campaign resumable with run --resume)
 )";
 
 /**
@@ -567,9 +592,157 @@ cmdReport(const ParsedArgs &args, std::ostream &out, std::ostream &err)
     return 0;
 }
 
+/**
+ * `sharp baseline capture <runs...> --out PATH`: distill recorded runs
+ * into a baseline bundle. Artifact problems (unreadable input, missing
+ * metric column, nothing usable) are usage-contract errors: exit 2.
+ */
+int
+cmdBaseline(const ParsedArgs &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positional.empty() || args.positional[0] != "capture") {
+        err << "baseline: expected `sharp baseline capture <runs...> "
+               "--out PATH`\n";
+        return 2;
+    }
+    std::vector<std::string> inputs(args.positional.begin() + 1,
+                                    args.positional.end());
+    if (inputs.empty()) {
+        err << "baseline capture: at least one recorded run (CSV or "
+               ".jsonl journal) is required\n";
+        return 2;
+    }
+    std::string out_path = args.get("out");
+    if (out_path.empty()) {
+        err << "baseline capture: --out PATH is required\n";
+        return 2;
+    }
+    compare::CaptureOptions options;
+    options.metric = args.get("metric", options.metric);
+    options.groupBy = args.get("group-by", options.groupBy);
+    if (!parseJobs(args, err, "baseline capture", options.jobs))
+        return 2;
+
+    try {
+        compare::BaselineBundle bundle =
+            compare::captureBaseline(inputs, options);
+        std::string file = compare::saveBundle(bundle, out_path);
+        size_t samples = 0;
+        for (const auto &scenario : bundle.scenarios)
+            samples += scenario.sorted.size();
+        out << "captured " << bundle.scenarios.size() << " scenario"
+            << (bundle.scenarios.size() == 1 ? "" : "s") << " ("
+            << samples << " samples; excluded "
+            << bundle.excludedWarmup << " warmup, "
+            << bundle.excludedFailures << " failed)\n";
+        out << "wrote " << file << "\n";
+        return 0;
+    } catch (const std::exception &problem) {
+        err << "baseline capture: " << problem.what() << "\n";
+        return 2;
+    }
+}
+
+/**
+ * The `--against` arm of `sharp compare`: capture the candidate runs
+ * with the baseline bundle's own metric/grouping, compare, render.
+ * Exit contract: 0 no regression, 1 investigate, 2 usage or artifact
+ * error — artifact problems are caught here (not left to runCli's
+ * catch-all, which exits 1) so a malformed bundle cannot masquerade as
+ * a regression.
+ */
+int
+cmdCompareAgainst(const ParsedArgs &args, std::ostream &out,
+                  std::ostream &err)
+{
+    if (args.positional.empty()) {
+        err << "compare: candidate run files are required with "
+               "--against\n";
+        return 2;
+    }
+    std::string format = args.get("format", "text");
+    if (format != "text" && format != "json") {
+        err << "compare: unknown --format '" << format
+            << "' (expected text or json)\n";
+        return 2;
+    }
+
+    compare::CompareTolerances tolerances;
+    auto parse_flag = [&](const char *key, double &target) {
+        std::string value = args.get(key);
+        if (value.empty())
+            return true;
+        auto parsed = util::parseDouble(value);
+        if (!parsed) {
+            err << "compare: --" << key << " must be a number\n";
+            return false;
+        }
+        target = *parsed;
+        return true;
+    };
+    if (!parse_flag("median-ratio", tolerances.medianRatio) ||
+        !parse_flag("median-slack", tolerances.medianSlack) ||
+        !parse_flag("ks-limit", tolerances.ksLimit) ||
+        !parse_flag("cv-limit", tolerances.cvLimit) ||
+        !parse_flag("level", tolerances.level)) {
+        return 2;
+    }
+    auto parse_count = [&](const char *key, auto &target) {
+        std::string value = args.get(key);
+        if (value.empty())
+            return true;
+        auto parsed = util::parseLong(value);
+        if (!parsed || *parsed < 0) {
+            err << "compare: --" << key
+                << " must be a non-negative integer\n";
+            return false;
+        }
+        target = static_cast<std::decay_t<decltype(target)>>(*parsed);
+        return true;
+    };
+    if (!parse_count("resamples", tolerances.resamples) ||
+        !parse_count("seed", tolerances.seed)) {
+        return 2;
+    }
+
+    try {
+        compare::BaselineBundle baseline =
+            compare::loadBundle(args.get("against"));
+        compare::CaptureOptions capture;
+        // The bundle dictates the comparison currency; --metric only
+        // overrides it explicitly (and a mismatch is then an error).
+        capture.metric = args.get("metric", baseline.metric);
+        if (!baseline.groupBy.empty())
+            capture.groupBy = baseline.groupBy;
+        if (!parseJobs(args, err, "compare", capture.jobs))
+            return 2;
+        compare::BaselineBundle candidate =
+            compare::captureBaseline(args.positional, capture);
+
+        compare::CompareReport report =
+            compare::compareBundles(baseline, candidate, tolerances);
+        if (format == "json")
+            out << json::writePretty(report.toJson());
+        else
+            out << report.renderText();
+        std::string report_file = args.get("out");
+        if (!report_file.empty()) {
+            json::writeFile(report.toJson(), report_file);
+            if (format == "text")
+                out << "wrote " << report_file << "\n";
+        }
+        return report.exitCode();
+    } catch (const std::exception &problem) {
+        err << "compare: " << problem.what() << "\n";
+        return 2;
+    }
+}
+
 int
 cmdCompare(const ParsedArgs &args, std::ostream &out, std::ostream &err)
 {
+    if (args.has("against"))
+        return cmdCompareAgainst(args, out, err);
     if (args.positional.size() < 2) {
         err << "compare: two CSV files are required\n";
         return 2;
@@ -987,6 +1160,8 @@ runCli(const std::vector<std::string> &argv, std::ostream &out,
             return cmdReport(args, out, err);
         if (args.command == "compare")
             return cmdCompare(args, out, err);
+        if (args.command == "baseline")
+            return cmdBaseline(args, out, err);
         if (args.command == "gate")
             return cmdGate(args, out, err);
         if (args.command == "calibrate")

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Distribution-based regression comparison: the `sharp compare
+ * --against` engine.
+ *
+ * SHARP's thesis is that performance claims need distributions, not
+ * point summaries, and regression gating is where that bites hardest:
+ * a CI gate on mean run time flags noise and misses tail regressions.
+ * This comparator takes a candidate distribution set and a captured
+ * baseline bundle and reports, per scenario: the KS distance between
+ * the empirical distributions, the shift at a fixed quantile ladder,
+ * the speedup of medians with a Touati-style two-sample bootstrap CI,
+ * and a coefficient-of-variation reproducibility verdict. A median
+ * regression is only *confirmed* (exit 1) when the whole bootstrap
+ * interval lies below 1 — a point-estimate dip whose CI straddles 1 is
+ * reported but does not fail the gate. Improvements never fail.
+ *
+ * Exit-code contract of the CLI surface built on this report:
+ *   0 — no confirmed regression,
+ *   1 — at least one confirmed regression to investigate,
+ *   2 — usage error or a malformed/mismatched artifact.
+ */
+
+#ifndef SHARP_COMPARE_COMPARE_HH
+#define SHARP_COMPARE_COMPARE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compare/bundle.hh"
+#include "compare/currency.hh"
+#include "json/value.hh"
+#include "stats/speedup.hh"
+
+namespace sharp
+{
+namespace check
+{
+class CheckResult;
+} // namespace check
+
+namespace compare
+{
+
+/** Schema tag of a compare-report document. */
+inline constexpr const char *kCompareReportSchema =
+    "sharp-compare-report-v1";
+
+/** What a candidate is allowed to do before the gate fails. */
+struct CompareTolerances
+{
+    /** Median may grow to baseline * ratio + slack. */
+    double medianRatio = 1.05;
+    /** Additive slack, in metric units, for tiny baselines. */
+    double medianSlack = 0.0;
+    /** Max KS distance when the candidate median degraded. */
+    double ksLimit = 0.25;
+    /** Absolute %CV ceiling for the candidate sample. */
+    double cvLimit = 0.20;
+    /** ... but a noisy baseline raises it to baseline CV * this. */
+    double cvRatio = 1.5;
+    /** Bootstrap confidence level for the speedup CI. */
+    double level = 0.95;
+    /** Bootstrap resamples per scenario. */
+    size_t resamples = 2000;
+    /** Base seed; each scenario derives its own stream from it. */
+    uint64_t seed = 1;
+};
+
+/** Candidate-vs-baseline shift at one quantile. */
+struct QuantileShift
+{
+    double p = 0.0;
+    double baseline = 0.0;
+    double candidate = 0.0;
+    /** candidate / baseline; > 1 means slower at this quantile. */
+    double ratio = 0.0;
+};
+
+/** One scenario's full comparison. */
+struct ScenarioComparison
+{
+    std::string name;
+    size_t baselineCount = 0;
+    size_t candidateCount = 0;
+    /** KS distance between the two empirical distributions. */
+    double ksDistance = 0.0;
+    /** Shifts at the fixed quantile ladder. */
+    std::vector<QuantileShift> shifts;
+    /** Speedup of medians (baseline/candidate) with bootstrap CI. */
+    stats::SpeedupEstimate speedup;
+    double baselineCv = 0.0;
+    double candidateCv = 0.0;
+    /** Tolerance breaches; empty means the scenario passed. */
+    std::vector<Violation> violations;
+
+    bool pass() const { return violations.empty(); }
+};
+
+/** The full comparison result, renderable as text or JSON. */
+struct CompareReport
+{
+    std::string metric;
+    CompareTolerances tolerances;
+    /** Scenario comparisons, baseline order (i.e. sorted by name). */
+    std::vector<ScenarioComparison> scenarios;
+    /** Baseline scenarios absent from the candidate (violations). */
+    std::vector<std::string> missing;
+    /** Candidate scenarios absent from the baseline (reported only). */
+    std::vector<std::string> unbaselined;
+
+    /** True when no scenario has violations and nothing is missing. */
+    bool pass() const;
+    /** The compare exit contract: 0 pass, 1 investigate. */
+    int exitCode() const { return pass() ? 0 : 1; }
+
+    json::Value toJson() const;
+    /** Human-readable multi-line rendering. */
+    std::string renderText() const;
+};
+
+/**
+ * Compare a candidate bundle against a baseline bundle.
+ * @throws std::invalid_argument when the bundles measure different
+ *         metrics.
+ */
+CompareReport compareBundles(const BaselineBundle &baseline,
+                             const BaselineBundle &candidate,
+                             const CompareTolerances &tolerances = {});
+
+/**
+ * Static analysis of a compare-report document: schema tag, pass /
+ * exit-code consistency, KS distances in [0, 1], positive speedups,
+ * ordered intervals. Never throws; findings are appended to @p out.
+ */
+void checkCompareReport(const json::Value &doc, check::CheckResult &out);
+
+} // namespace compare
+} // namespace sharp
+
+#endif // SHARP_COMPARE_COMPARE_HH

@@ -1,0 +1,30 @@
+#include "compare/currency.hh"
+
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace compare
+{
+
+std::string
+Violation::render() const
+{
+    return where + ": " + what + " " + util::formatDouble(current, 4) +
+           " vs limit " + util::formatDouble(limit, 4) + " (baseline " +
+           util::formatDouble(baseline, 4) + ")";
+}
+
+bool
+checkUpperBound(std::vector<Violation> &out, const std::string &where,
+                const std::string &what, double baseline, double current,
+                double limit)
+{
+    if (current <= limit)
+        return false;
+    out.push_back({where, what, baseline, current, limit});
+    return true;
+}
+
+} // namespace compare
+} // namespace sharp

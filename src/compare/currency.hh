@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The shared tolerance/violation currency for regression comparators.
+ *
+ * Two gates speak it: `sharp compare` (run distributions against a
+ * baseline bundle) and the calibration gate in src/calibrate (fresh
+ * sweep medians against tests/baselines/calibration.json). Both follow
+ * the same asymmetric-tolerance idiom — improvements always pass, only
+ * degradations beyond configured slack are violations — so the breach
+ * record and the upper-bound check live here once instead of being
+ * duplicated per gate.
+ */
+
+#ifndef SHARP_COMPARE_CURRENCY_HH
+#define SHARP_COMPARE_CURRENCY_HH
+
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace compare
+{
+
+/** One tolerance breach, with enough context to act on it. */
+struct Violation
+{
+    /** e.g. "meta/lognormal" or "bfs@machine1". */
+    std::string where;
+    /** Which quantity degraded, e.g. "median_samples". */
+    std::string what;
+    double baseline = 0.0;
+    double current = 0.0;
+    /** The value the current measurement was allowed to reach. */
+    double limit = 0.0;
+
+    /** One-line human-readable form. */
+    std::string render() const;
+};
+
+/**
+ * Append a violation to @p out when @p current exceeds @p limit.
+ * Returns true when it did (i.e. the check failed).
+ */
+bool checkUpperBound(std::vector<Violation> &out,
+                     const std::string &where, const std::string &what,
+                     double baseline, double current, double limit);
+
+} // namespace compare
+} // namespace sharp
+
+#endif // SHARP_COMPARE_CURRENCY_HH

@@ -42,6 +42,26 @@ statsCacheFlag()
     return flag;
 }
 
+size_t
+initialStatsCacheCutover()
+{
+    const char *env = std::getenv("SHARP_STATS_CACHE_CUTOVER");
+    if (env != nullptr) {
+        char *end = nullptr;
+        unsigned long long parsed = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0')
+            return static_cast<size_t>(parsed);
+    }
+    return kDefaultStatsCacheCutover;
+}
+
+std::atomic<size_t> &
+statsCacheCutoverValue()
+{
+    static std::atomic<size_t> cutover(initialStatsCacheCutover());
+    return cutover;
+}
+
 /**
  * NaN-safe ordering that counts its invocations. For NaN-free data it
  * is exactly operator< — so sorts and searches produce bit-identical
@@ -87,7 +107,28 @@ setStatsCacheEnabled(bool enabled)
     statsCacheFlag().store(enabled, std::memory_order_relaxed);
 }
 
+size_t
+statsCacheCutover()
+{
+    return statsCacheCutoverValue().load(std::memory_order_relaxed);
+}
+
+void
+setStatsCacheCutover(size_t cutover)
+{
+    statsCacheCutoverValue().store(cutover, std::memory_order_relaxed);
+}
+
 StatsCache::StatsCache(const SampleSeries &owner_) : owner(owner_) {}
+
+bool
+StatsCache::batchMode() const
+{
+    // The batch branches never touch the incremental structures, so a
+    // small series pays nothing for the engine; the first access past
+    // the cutover ingests the whole series in one pass (sync()).
+    return !statsCacheEnabled() || owner.size() <= statsCacheCutover();
+}
 
 void
 StatsCache::invalidate()
@@ -199,7 +240,7 @@ const std::vector<double> &
 StatsCache::sorted()
 {
     CountingLess cmp{&work.comparisons};
-    if (!statsCacheEnabled()) {
+    if (batchMode()) {
         mergeScratch = owner.values();
         std::sort(mergeScratch.begin(), mergeScratch.end(), cmp);
         return mergeScratch;
@@ -241,7 +282,7 @@ StatsCache::orderStat(size_t k)
 {
     if (k >= owner.size())
         throw std::out_of_range("orderStat index past end of series");
-    if (!statsCacheEnabled())
+    if (batchMode())
         return sorted()[k];
     sync();
     if (sortedTail.empty())
@@ -256,7 +297,7 @@ StatsCache::quantile(double p)
         throw std::invalid_argument("quantile requires a non-empty sample");
     if (p < 0.0 || p > 1.0)
         throw std::invalid_argument("quantile requires p in [0, 1]");
-    if (!statsCacheEnabled())
+    if (batchMode())
         return stats::quantileSorted(sorted(), p);
     sync();
     size_t n = owner.size();
@@ -278,7 +319,7 @@ StatsCache::ksHalves()
 {
     if (owner.size() < 2)
         throw std::invalid_argument("ksStatistic requires non-empty samples");
-    if (!statsCacheEnabled()) {
+    if (batchMode()) {
         CountingLess cmp{&work.comparisons};
         std::vector<double> a = owner.firstHalf();
         std::vector<double> b = owner.secondHalf();
@@ -302,7 +343,7 @@ StatsCache::prefixRange(size_t count)
 {
     if (count == 0 || count > owner.size())
         throw std::out_of_range("prefixRange count out of range");
-    if (!statsCacheEnabled()) {
+    if (batchMode()) {
         const std::vector<double> &v = owner.values();
         double lo = v[0], hi = v[0];
         for (size_t i = 1; i < count; ++i) {
@@ -320,7 +361,7 @@ StatsCache::mean()
 {
     if (owner.empty())
         throw std::invalid_argument("mean requires a non-empty sample");
-    if (!statsCacheEnabled())
+    if (batchMode())
         return stats::mean(owner.values());
     sync();
     return kahanSum / static_cast<double>(owner.size());
@@ -356,7 +397,7 @@ StatsCache::meanCi(double level)
     checkLevel(level);
     if (owner.size() < 2)
         throw std::invalid_argument("meanCi requires n >= 2");
-    if (!statsCacheEnabled())
+    if (batchMode())
         return stats::meanCi(owner.values(), level);
     sync();
     double n = static_cast<double>(owner.size());
@@ -373,7 +414,7 @@ StatsCache::meanCiRightTailed(double level)
     checkLevel(level);
     if (owner.size() < 2)
         throw std::invalid_argument("meanCiRightTailed requires n >= 2");
-    if (!statsCacheEnabled())
+    if (batchMode())
         return stats::meanCiRightTailed(owner.values(), level);
     sync();
     double n = static_cast<double>(owner.size());
@@ -400,7 +441,7 @@ StatsCache::medianCi(double level)
         throw std::invalid_argument("medianCi requires a non-empty sample");
     size_t n = owner.size();
 
-    if (!statsCacheEnabled()) {
+    if (batchMode()) {
         CountingLess cmp{&work.comparisons};
         std::vector<double> x = owner.values();
         std::sort(x.begin(), x.end(), cmp);
@@ -478,7 +519,7 @@ StatsCache::quantileCi(double p, double level)
     if (owner.empty())
         throw std::invalid_argument("quantileCi requires a sample");
     size_t n = owner.size();
-    if (!statsCacheEnabled()) {
+    if (batchMode()) {
         CountingLess cmp{&work.comparisons};
         std::vector<double> x = owner.values();
         std::sort(x.begin(), x.end(), cmp);

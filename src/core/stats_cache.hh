@@ -42,6 +42,16 @@
  * in the environment) makes every accessor recompute batch-style —
  * identical results, pre-engine cost profile. The bench uses this as
  * its batch reference; `sharp check` warns when a repro pins it off.
+ *
+ * Size cutover: below a few hundred samples the batch recomputation is
+ * a handful of cache-resident sorts, and maintaining the incremental
+ * structures costs more than it saves (BENCH_stopping.json showed the
+ * CI rule at 0.24x at n=100). Accessors therefore take the batch
+ * branch whenever the series is at or below statsCacheCutover()
+ * (default 256, or SHARP_STATS_CACHE_CUTOVER in the environment); the
+ * incremental structures are built in one pass on the first access
+ * past the cutover. Results are bit-identical on both sides — the
+ * batch branches *are* the src/stats recomputations.
  */
 
 #ifndef SHARP_CORE_STATS_CACHE_HH
@@ -66,6 +76,19 @@ bool statsCacheEnabled();
 
 /** Toggle the incremental fast path process-wide. */
 void setStatsCacheEnabled(bool enabled);
+
+/**
+ * The series-size cutover: accessors on a series of size <= this use
+ * the batch path even with the engine enabled (small-n batch work is
+ * cheaper than incremental upkeep; results are identical either way).
+ */
+size_t statsCacheCutover();
+
+/** Set the cutover process-wide; 0 means incremental from n = 1. */
+void setStatsCacheCutover(size_t cutover);
+
+/** The shipped default cutover (also the reset value for tests). */
+inline constexpr size_t kDefaultStatsCacheCutover = 256;
 
 /**
  * Deterministic work counters, the currency of the perf-regression
@@ -152,6 +175,7 @@ class StatsCache
     void invalidate();
 
   private:
+    bool batchMode() const;
     void sync();
     void ingest(double value);
     void mergeTail();

@@ -1,0 +1,80 @@
+#include "stats/speedup.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/descriptive.hh"
+
+namespace sharp
+{
+namespace stats
+{
+
+namespace
+{
+
+void
+checkSample(const std::vector<double> &sample, const char *which)
+{
+    if (sample.empty()) {
+        throw std::invalid_argument(std::string("speedupOfMedians: ") +
+                                    which + " sample is empty");
+    }
+    for (double v : sample) {
+        if (!(v > 0.0)) {
+            throw std::invalid_argument(
+                std::string("speedupOfMedians: ") + which +
+                " sample has a non-positive value; speedup ratios "
+                "need a positive metric");
+        }
+    }
+}
+
+/** Median of a resample drawn with replacement from @p sample. */
+double
+resampledMedian(const std::vector<double> &sample,
+                std::vector<double> &scratch, rng::Xoshiro256 &gen)
+{
+    scratch.resize(sample.size());
+    for (size_t i = 0; i < sample.size(); ++i)
+        scratch[i] = sample[gen.nextBelow(sample.size())];
+    std::sort(scratch.begin(), scratch.end());
+    return quantileSorted(scratch, 0.5);
+}
+
+} // anonymous namespace
+
+SpeedupEstimate
+speedupOfMedians(const std::vector<double> &baseline,
+                 const std::vector<double> &candidate, double level,
+                 size_t resamples, rng::Xoshiro256 &gen)
+{
+    if (!(level > 0.0 && level < 1.0))
+        throw std::invalid_argument("confidence level must be in (0, 1)");
+    if (resamples == 0)
+        throw std::invalid_argument("bootstrap requires resamples >= 1");
+    checkSample(baseline, "baseline");
+    checkSample(candidate, "candidate");
+
+    SpeedupEstimate estimate;
+    estimate.baselineMedian = median(baseline);
+    estimate.candidateMedian = median(candidate);
+    estimate.speedup = estimate.baselineMedian / estimate.candidateMedian;
+
+    std::vector<double> ratios;
+    ratios.reserve(resamples);
+    std::vector<double> base_scratch, cand_scratch;
+    for (size_t r = 0; r < resamples; ++r) {
+        double b = resampledMedian(baseline, base_scratch, gen);
+        double c = resampledMedian(candidate, cand_scratch, gen);
+        ratios.push_back(b / c);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    double alpha = 1.0 - level;
+    estimate.ci = {quantileSorted(ratios, alpha / 2.0),
+                   quantileSorted(ratios, 1.0 - alpha / 2.0), level};
+    return estimate;
+}
+
+} // namespace stats
+} // namespace sharp

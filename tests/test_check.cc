@@ -263,6 +263,28 @@ TEST(SniffArtifact, ClassifiesByExtensionAndContent)
               ArtifactKind::Unknown);
 }
 
+TEST(SniffArtifact, SchemaTagValueTellsBundlesAndReportsApart)
+{
+    auto bundle =
+        json::parse(R"({"schema": "sharp-baseline-bundle-v1"})");
+    EXPECT_EQ(check::sniffArtifact("x.json", "", &bundle),
+              ArtifactKind::BaselineBundle);
+    auto report =
+        json::parse(R"({"schema": "sharp-compare-report-v1"})");
+    EXPECT_EQ(check::sniffArtifact("x.json", "", &report),
+              ArtifactKind::CompareReport);
+    // An unknown schema tag falls back to the calibration baseline,
+    // whose checker names the expected tag in its diagnostic.
+    auto unknown = json::parse(R"({"schema": "who-knows-v9"})");
+    EXPECT_EQ(check::sniffArtifact("x.json", "", &unknown),
+              ArtifactKind::Baseline);
+
+    EXPECT_STREQ(check::artifactKindName(ArtifactKind::BaselineBundle),
+                 "baseline bundle");
+    EXPECT_STREQ(check::artifactKindName(ArtifactKind::CompareReport),
+                 "compare report");
+}
+
 // ---- Seeded defect fixtures: one per defect class. Each pin covers
 // ---- the rule, the severity, the source location, and the exit code.
 
@@ -463,6 +485,25 @@ TEST(CliCheck, JsonFormatIsMachineReadable)
     EXPECT_EQ(diagnostics->asArray()[0].getString("rule", ""),
               "unknown-field");
     EXPECT_EQ(diagnostics->asArray()[0].getLong("line", 0), 4);
+}
+
+TEST(CliCheck, MalformedBaselineBundleExitsTwoWithBothDefects)
+{
+    auto result = runCheck({"check", fixture("bad_bundle.json")});
+    EXPECT_EQ(result.status, 2) << result.out;
+    EXPECT_NE(result.out.find("unsorted-samples"), std::string::npos);
+    EXPECT_NE(result.out.find("inconsistent-count"),
+              std::string::npos);
+}
+
+TEST(CliCheck, CompareReportArtifactIsRecognized)
+{
+    auto result = runCheck(
+        {"check", std::string(SHARP_SOURCE_DIR) +
+                      "/tests/fixtures/compare/golden_report.json"});
+    EXPECT_EQ(result.status, 0) << result.out;
+    EXPECT_NE(result.out.find("compare report: ok"),
+              std::string::npos);
 }
 
 TEST(CliCheck, MissingFileIsAnIoError)

@@ -367,6 +367,102 @@ TEST(Cli, RunFromJsonConfig)
     fs::remove(config);
 }
 
+TEST(Cli, BaselineCompareExitContract)
+{
+    // End to end through the real CLI: capture a baseline from a sim
+    // campaign, self-compare (0), compare a perturbed candidate (1),
+    // compare against a malformed bundle (2).
+    fs::path dir = fs::temp_directory_path() / "sharp_cli_compare";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    auto path = [&dir](const std::string &name) {
+        return (dir / name).string();
+    };
+
+    CliResult campaign = run({"run", "--workload", "bfs", "--rule",
+                              "fixed", "--count", "30", "--seed", "7",
+                              "--out", path("runs")});
+    ASSERT_EQ(campaign.status, 0) << campaign.err;
+
+    CliResult capture = run({"baseline", "capture", path("runs.csv"),
+                             "--out", path("base.json")});
+    ASSERT_EQ(capture.status, 0) << capture.err;
+    EXPECT_NE(capture.out.find("captured 1 scenario"),
+              std::string::npos);
+
+    CliResult self = run({"compare", path("runs.csv"), "--against",
+                          path("base.json")});
+    EXPECT_EQ(self.status, 0) << self.out << self.err;
+    EXPECT_NE(self.out.find("PASS"), std::string::npos);
+
+    // Perturb: scale the execution_time column (last field) by 1.5.
+    {
+        std::ifstream in(path("runs.csv"));
+        std::ofstream out(path("slow.csv"));
+        std::string line;
+        std::getline(in, line);
+        out << line << "\n";
+        while (std::getline(in, line)) {
+            size_t comma = line.rfind(',');
+            double value = std::stod(line.substr(comma + 1));
+            out << line.substr(0, comma + 1) << value * 1.5 << "\n";
+        }
+    }
+    CliResult slow = run({"compare", path("slow.csv"), "--against",
+                          path("base.json"), "--format", "json",
+                          "--out", path("report.json")});
+    EXPECT_EQ(slow.status, 1) << slow.out << slow.err;
+    EXPECT_NE(slow.out.find("\"pass\": false"), std::string::npos);
+    EXPECT_NE(slow.out.find("\"exit_code\": 1"), std::string::npos);
+    EXPECT_TRUE(fs::exists(path("report.json")));
+
+    // Malformed bundle (unsorted samples, bad count) → artifact error.
+    CliResult bad =
+        run({"compare", path("runs.csv"), "--against",
+             std::string(SHARP_SOURCE_DIR) +
+                 "/tests/fixtures/check/bad_bundle.json"});
+    EXPECT_EQ(bad.status, 2) << bad.out;
+    EXPECT_NE(bad.err.find("compare:"), std::string::npos);
+
+    fs::remove_all(dir);
+}
+
+TEST(Cli, BaselineCompareUsageErrors)
+{
+    CliResult no_out = run({"baseline", "capture", "whatever.csv"});
+    EXPECT_EQ(no_out.status, 2);
+    EXPECT_NE(no_out.err.find("--out"), std::string::npos);
+
+    CliResult no_inputs = run({"baseline", "capture", "--out", "b"});
+    EXPECT_EQ(no_inputs.status, 2);
+
+    CliResult no_subcommand = run({"baseline"});
+    EXPECT_EQ(no_subcommand.status, 2);
+
+    CliResult no_candidate = run({"compare", "--against", "b.json"});
+    EXPECT_EQ(no_candidate.status, 2);
+
+    CliResult bad_format =
+        run({"compare", "a.csv", "--against", "b.json", "--format",
+             "yaml"});
+    EXPECT_EQ(bad_format.status, 2);
+    EXPECT_NE(bad_format.err.find("format"), std::string::npos);
+}
+
+TEST(Cli, UsagePinsRegressionGatingContract)
+{
+    CliResult help = run({"help"});
+    EXPECT_NE(help.out.find("baseline capture"), std::string::npos);
+    EXPECT_NE(help.out.find("--against"), std::string::npos);
+    EXPECT_NE(help.out.find("exit codes: 0 ok, 1 error (compare "
+                            "--against: regression to"),
+              std::string::npos);
+    EXPECT_NE(help.out.find("2 usage or malformed"),
+              std::string::npos);
+    EXPECT_NE(help.out.find("0 no regression, 1 investigate"),
+              std::string::npos);
+}
+
 TEST(Cli, WorkflowReportsBadSpec)
 {
     fs::path spec = fs::temp_directory_path() / "sharp_cli_bad.json";

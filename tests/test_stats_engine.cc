@@ -59,7 +59,30 @@ struct CacheGuard
     ~CacheGuard() { sharp::core::setStatsCacheEnabled(true); }
 };
 
-TEST(StatsEngine, SortedViewMatchesStdSortAcrossAppends)
+/**
+ * Fixture forcing the size cutover to 0: the series in these tests are
+ * tens to hundreds of samples — below the production cutover, where
+ * every accessor would route to the batch branch and the incremental
+ * structures under test would never run. The cutover's own routing is
+ * covered by the SizeCutover* tests, which set it back explicitly.
+ */
+class StatsEngine : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        sharp::core::setStatsCacheEnabled(true);
+        sharp::core::setStatsCacheCutover(0);
+    }
+    void TearDown() override
+    {
+        sharp::core::setStatsCacheEnabled(true);
+        sharp::core::setStatsCacheCutover(
+            sharp::core::kDefaultStatsCacheCutover);
+    }
+};
+
+TEST_F(StatsEngine, SortedViewMatchesStdSortAcrossAppends)
 {
     auto xs = lognormalDraws(1, 700);
     SampleSeries s;
@@ -77,7 +100,7 @@ TEST(StatsEngine, SortedViewMatchesStdSortAcrossAppends)
     }
 }
 
-TEST(StatsEngine, OrderStatAgreesWithSortedWithoutMerging)
+TEST_F(StatsEngine, OrderStatAgreesWithSortedWithoutMerging)
 {
     auto xs = lognormalDraws(2, 500);
     SampleSeries s;
@@ -98,7 +121,7 @@ TEST(StatsEngine, OrderStatAgreesWithSortedWithoutMerging)
     EXPECT_THROW(s.stats().orderStat(xs.size()), std::out_of_range);
 }
 
-TEST(StatsEngine, QuantileBitEqualToBatch)
+TEST_F(StatsEngine, QuantileBitEqualToBatch)
 {
     auto xs = lognormalDraws(3, 321);
     SampleSeries s;
@@ -112,7 +135,7 @@ TEST(StatsEngine, QuantileBitEqualToBatch)
     }
 }
 
-TEST(StatsEngine, KsHalvesBitEqualToBatchAtEverySize)
+TEST_F(StatsEngine, KsHalvesBitEqualToBatchAtEverySize)
 {
     auto xs = lognormalDraws(4, 400);
     SampleSeries s;
@@ -126,7 +149,7 @@ TEST(StatsEngine, KsHalvesBitEqualToBatchAtEverySize)
     }
 }
 
-TEST(StatsEngine, KsHalvesHandlesDuplicateHeavyData)
+TEST_F(StatsEngine, KsHalvesHandlesDuplicateHeavyData)
 {
     // Discrete data exercises the tie-group logic in the sorted walk
     // and ambiguous boundary migration between the half runs.
@@ -142,7 +165,7 @@ TEST(StatsEngine, KsHalvesHandlesDuplicateHeavyData)
     }
 }
 
-TEST(StatsEngine, ConstantSeriesIsExactEverywhere)
+TEST_F(StatsEngine, ConstantSeriesIsExactEverywhere)
 {
     SampleSeries s;
     for (int i = 0; i < 64; ++i)
@@ -156,7 +179,7 @@ TEST(StatsEngine, ConstantSeriesIsExactEverywhere)
     EXPECT_TRUE(bitEqual(ci.upper, batch.upper));
 }
 
-TEST(StatsEngine, NansOrderLastDeterministically)
+TEST_F(StatsEngine, NansOrderLastDeterministically)
 {
     // std::sort on raw NaN data is undefined behavior; the engine's
     // comparator is a strict weak ordering that places NaNs last, so
@@ -175,7 +198,7 @@ TEST(StatsEngine, NansOrderLastDeterministically)
     EXPECT_TRUE(std::isnan(sorted[5]));
 }
 
-TEST(StatsEngine, PrefixRangeMatchesArrivalOrderScan)
+TEST_F(StatsEngine, PrefixRangeMatchesArrivalOrderScan)
 {
     auto xs = lognormalDraws(6, 200);
     SampleSeries s;
@@ -195,7 +218,7 @@ TEST(StatsEngine, PrefixRangeMatchesArrivalOrderScan)
     EXPECT_THROW(s.stats().prefixRange(xs.size() + 1), std::out_of_range);
 }
 
-TEST(StatsEngine, MeanAndCisBitEqualToBatch)
+TEST_F(StatsEngine, MeanAndCisBitEqualToBatch)
 {
     auto xs = lognormalDraws(7, 333);
     SampleSeries s;
@@ -217,7 +240,7 @@ TEST(StatsEngine, MeanAndCisBitEqualToBatch)
     }
 }
 
-TEST(StatsEngine, WarmMedianCiTracksBatchAcrossGrowth)
+TEST_F(StatsEngine, WarmMedianCiTracksBatchAcrossGrowth)
 {
     // The warm-started k search must pick the batch scan's k at every
     // size, across the n<6 closed form, the cold scan, and warm
@@ -241,7 +264,7 @@ TEST(StatsEngine, WarmMedianCiTracksBatchAcrossGrowth)
     }
 }
 
-TEST(StatsEngine, QuantileCiBitEqualToBatch)
+TEST_F(StatsEngine, QuantileCiBitEqualToBatch)
 {
     auto xs = lognormalDraws(9, 260);
     SampleSeries s;
@@ -258,7 +281,7 @@ TEST(StatsEngine, QuantileCiBitEqualToBatch)
     }
 }
 
-TEST(StatsEngine, KillSwitchPreservesValuesBitForBit)
+TEST_F(StatsEngine, KillSwitchPreservesValuesBitForBit)
 {
     CacheGuard guard;
     auto xs = lognormalDraws(10, 257);
@@ -281,7 +304,7 @@ TEST(StatsEngine, KillSwitchPreservesValuesBitForBit)
     EXPECT_TRUE(bitEqual(q_on, q_off));
 }
 
-TEST(StatsEngine, MemoizedReadsDoNoWork)
+TEST_F(StatsEngine, MemoizedReadsDoNoWork)
 {
     auto xs = lognormalDraws(11, 1000);
     SampleSeries s;
@@ -295,7 +318,7 @@ TEST(StatsEngine, MemoizedReadsDoNoWork)
     EXPECT_EQ(delta.total(), 0u);
 }
 
-TEST(StatsEngine, StructuralWorkPerAppendIsSubLinear)
+TEST_F(StatsEngine, StructuralWorkPerAppendIsSubLinear)
 {
     // The deterministic stand-in for the wall-clock claim: per
     // append-and-read, the engine's comparator work must not grow
@@ -335,7 +358,7 @@ TEST(StatsEngine, StructuralWorkPerAppendIsSubLinear)
     EXPECT_LT(incr.comparisons, small.comparisons * 5);
 }
 
-TEST(StatsEngine, ClearInvalidatesAndRecovers)
+TEST_F(StatsEngine, ClearInvalidatesAndRecovers)
 {
     SampleSeries s;
     for (double v : lognormalDraws(13, 50))
@@ -353,7 +376,7 @@ TEST(StatsEngine, ClearInvalidatesAndRecovers)
                          stats::ksStatistic({2.0}, {1.0})));
 }
 
-TEST(StatsEngine, CopyAndMoveRebuildCachesSafely)
+TEST_F(StatsEngine, CopyAndMoveRebuildCachesSafely)
 {
     auto xs = lognormalDraws(14, 120);
     SampleSeries a;
@@ -380,7 +403,7 @@ TEST(StatsEngine, CopyAndMoveRebuildCachesSafely)
     EXPECT_TRUE(bitEqual(assigned.stats().ksHalves(), ks));
 }
 
-TEST(StatsEngine, VersionBumpsOnAppendAndClear)
+TEST_F(StatsEngine, VersionBumpsOnAppendAndClear)
 {
     SampleSeries s;
     uint64_t v0 = s.version();
@@ -391,7 +414,7 @@ TEST(StatsEngine, VersionBumpsOnAppendAndClear)
     EXPECT_GT(s.version(), v1);
 }
 
-TEST(StatsEngine, FastKsWalkMatchesReferenceOnAdversarialData)
+TEST_F(StatsEngine, FastKsWalkMatchesReferenceOnAdversarialData)
 {
     // The integer-guarded sorted walk must reproduce the reference
     // double walk bit for bit, including tie groups that span both
@@ -415,6 +438,74 @@ TEST(StatsEngine, FastKsWalkMatchesReferenceOnAdversarialData)
         ASSERT_TRUE(bitEqual(stats::ksStatisticSorted(a, b),
                              stats::ksStatisticSortedReference(a, b)))
             << "trial " << trial;
+    }
+}
+
+TEST_F(StatsEngine, SizeCutoverSetterRoundTripsAndDefaultIsSane)
+{
+    // SetUp forced 0; the setter must round-trip arbitrary values and
+    // the compile-time default must match what batchMode() assumes.
+    EXPECT_EQ(sharp::core::statsCacheCutover(), 0u);
+    sharp::core::setStatsCacheCutover(7);
+    EXPECT_EQ(sharp::core::statsCacheCutover(), 7u);
+    sharp::core::setStatsCacheCutover(
+        sharp::core::kDefaultStatsCacheCutover);
+    EXPECT_EQ(sharp::core::statsCacheCutover(), 256u);
+}
+
+TEST_F(StatsEngine, SizeCutoverRoutesSmallSeriesToBatchExactly)
+{
+    // At sizes at or below the cutover, the enabled engine must run
+    // the identical batch code the kill switch runs: same values bit
+    // for bit AND exactly the same deterministic work counters — the
+    // small-n no-overhead guarantee the cutover exists for.
+    sharp::core::setStatsCacheCutover(
+        sharp::core::kDefaultStatsCacheCutover);
+    auto xs = lognormalDraws(77, 120);
+
+    auto run = [&](bool enabled) {
+        CacheGuard guard;
+        sharp::core::setStatsCacheEnabled(enabled);
+        SampleSeries s;
+        std::vector<double> values;
+        for (double v : xs) {
+            s.append(v);
+            if (s.size() % 13 == 0) {
+                values.push_back(s.stats().quantile(0.5));
+                values.push_back(s.stats().mean());
+                values.push_back(s.stats().ksHalves());
+            }
+        }
+        return std::make_pair(values, s.stats().counters());
+    };
+    auto [cached_values, cached_work] = run(true);
+    auto [batch_values, batch_work] = run(false);
+
+    ASSERT_EQ(cached_values.size(), batch_values.size());
+    for (size_t i = 0; i < cached_values.size(); ++i)
+        EXPECT_TRUE(bitEqual(cached_values[i], batch_values[i])) << i;
+    EXPECT_EQ(cached_work.comparisons, batch_work.comparisons);
+    EXPECT_EQ(cached_work.pmfEvals, batch_work.pmfEvals);
+}
+
+TEST_F(StatsEngine, SizeCutoverCrossingStaysBitExact)
+{
+    // Grow a series across the cutover boundary. Below it, accessors
+    // run batch-style and the incremental structures see nothing; the
+    // first access above it must ingest the entire backlog and carry
+    // on bit-for-bit — this is the batch-to-incremental handoff.
+    sharp::core::setStatsCacheCutover(32);
+    auto xs = lognormalDraws(78, 100);
+    SampleSeries s;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        s.append(xs[i]);
+        std::vector<double> sorted(xs.begin(),
+                                   xs.begin() + static_cast<long>(i + 1));
+        std::sort(sorted.begin(), sorted.end());
+        ASSERT_TRUE(bitEqual(s.stats().quantile(0.75),
+                             stats::quantileSorted(sorted, 0.75)))
+            << "n=" << i + 1;
+        ASSERT_EQ(s.stats().sorted(), sorted) << "n=" << i + 1;
     }
 }
 
