@@ -5,6 +5,7 @@
 
 #include "check/diagnostic.hh"
 #include "core/stopping/stopping_rule.hh"
+#include "rng/nonstationary.hh"
 #include "rng/synthetic.hh"
 #include "util/string_utils.hh"
 
@@ -88,6 +89,24 @@ compareToBaseline(const json::Value &baseline, const json::Value &current,
             checkUpperBound(report, where, "median_ks", base_ks,
                             cur_entry->getNumber("median_ks", 0.0),
                             base_ks + tolerances.ksSlack);
+            // Delegation drift: the meta rule picking a different
+            // tailored rule for a distribution is a behavioral change
+            // that must arrive as an explicit baseline update, never
+            // as silent fallout of unrelated tuning.
+            std::string base_delegate =
+                base_entry.getString("delegate", "");
+            if (!base_delegate.empty()) {
+                std::string cur_delegate =
+                    cur_entry->getString("delegate", "");
+                if (cur_delegate != base_delegate) {
+                    report.pass = false;
+                    report.violations.push_back(
+                        {where,
+                         "delegate drift ('" + base_delegate +
+                             "' -> '" + cur_delegate + "')",
+                         0.0, 0.0, 0.0});
+                }
+            }
         }
     }
 
@@ -175,6 +194,8 @@ checkBaseline(const json::Value &doc, check::CheckResult &out)
     std::vector<std::string> live_dists;
     for (const auto &spec : rng::syntheticRegistry())
         live_dists.push_back(spec.name);
+    for (const auto &spec : rng::nonstationaryRegistry())
+        live_dists.push_back(spec.name);
     auto known = [](const std::vector<std::string> &pool,
                     const std::string &name) {
         return std::find(pool.begin(), pool.end(), name) != pool.end();
@@ -228,8 +249,24 @@ checkBaseline(const json::Value &doc, check::CheckResult &out)
             }
             check::checkKnownFields(
                 cell,
-                {"median_samples", "median_ks", "fired_fraction"},
+                {"median_samples", "median_ks", "fired_fraction",
+                 "delegate"},
                 "baseline cell", out);
+            if (const json::Value *delegate = cell.find("delegate")) {
+                if (!delegate->isString()) {
+                    out.error(*delegate, "wrong-type",
+                              "'delegate' must be a string (a "
+                              "stopping-rule name)");
+                } else if (!known(live_rules,
+                                  delegate->asString())) {
+                    out.warning(
+                        *delegate, "stale-baseline-cell",
+                        "baseline delegate '" + delegate->asString() +
+                            "' is not in the stopping-rule registry",
+                        check::suggestName(delegate->asString(),
+                                           live_rules));
+                }
+            }
             if (const json::Value *samples =
                     cell.find("median_samples")) {
                 if (!samples->isNumber() || samples->asNumber() < 1) {

@@ -8,7 +8,9 @@
 #include "core/classifier.hh"
 #include "core/sample_series.hh"
 #include "core/stats_cache.hh"
+#include "core/stopping/meta_rule.hh"
 #include "core/stopping/stopping_rule.hh"
+#include "rng/nonstationary.hh"
 #include "rng/synthetic.hh"
 #include "rng/xoshiro.hh"
 #include "stats/ci.hh"
@@ -120,6 +122,9 @@ runCell(const CalibrationConfig &config, const std::string &rule_name,
     cell.classifiedClass = core::distributionClassName(cls.cls);
     cell.classifierCorrect = cell.classifiedClass == cell.truthClass;
 
+    if (const auto *meta = dynamic_cast<const core::MetaRule *>(rule.get()))
+        cell.metaDelegate = meta->delegate().name();
+
     cell.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -143,6 +148,10 @@ CalibrationConfig::resolveDefaults()
         rules = core::StoppingRuleFactory::instance().names();
     if (distributions.empty()) {
         for (const auto &spec : rng::syntheticRegistry())
+            distributions.push_back(spec.name);
+        for (const auto &spec : rng::nonstationaryRegistry())
+            distributions.push_back(spec.name);
+        for (const auto &spec : extraDistributions)
             distributions.push_back(spec.name);
     }
 }
@@ -185,11 +194,23 @@ runCalibration(CalibrationConfig config)
     config.resolveDefaults();
 
     // Validate names eagerly (throws out_of_range on unknowns) and
-    // collect the specs once.
+    // collect the specs once. Extras (scenario distributions) are
+    // looked up first, then the synthetic and nonstationary registries.
+    auto lookup = [&config](const std::string &name)
+        -> const rng::SyntheticSpec & {
+        for (const auto &extra : config.extraDistributions)
+            if (extra.name == name)
+                return extra;
+        try {
+            return rng::syntheticByName(name);
+        } catch (const std::out_of_range &) {
+            return rng::nonstationaryByName(name);
+        }
+    };
     std::vector<const rng::SyntheticSpec *> specs;
     specs.reserve(config.distributions.size());
     for (const auto &name : config.distributions)
-        specs.push_back(&rng::syntheticByName(name));
+        specs.push_back(&lookup(name));
     for (const auto &rule : config.rules)
         core::StoppingRuleFactory::instance().make(rule);
 
@@ -238,7 +259,8 @@ CalibrationResult::toCsv() const
         "rule",          "distribution",     "seed_index",
         "cell_seed",     "samples_to_stop",  "rule_fired",
         "post_stop_ks",  "ci_rel_width",     "ci_covered",
-        "truth_class",   "classified_class", "classifier_correct"};
+        "truth_class",   "classified_class", "classifier_correct",
+        "meta_delegate"};
     if (config.recordTimings)
         columns.push_back("wall_ms");
 
@@ -256,7 +278,8 @@ CalibrationResult::toCsv() const
             cell.ciApplicable ? (cell.ciCovered ? "true" : "false") : "",
             cell.truthClass,
             cell.classifiedClass,
-            cell.classifierCorrect ? "true" : "false"};
+            cell.classifierCorrect ? "true" : "false",
+            cell.metaDelegate};
         if (config.recordTimings)
             row.push_back(fmt(cell.wallSeconds * 1000.0));
         table.addRow(std::move(row));
@@ -291,6 +314,8 @@ CalibrationResult::summaryJson() const
         std::vector<double> samples;
         std::vector<double> ks;
         size_t fired = 0;
+        /** Delegate-name counts (meta cells only). */
+        std::map<std::string, size_t> delegates;
     };
     std::map<std::string, std::map<std::string, Group>> groups;
     for (const auto &cell : cells) {
@@ -299,7 +324,23 @@ CalibrationResult::summaryJson() const
         g.ks.push_back(cell.postStopKs);
         if (cell.ruleFired)
             ++g.fired;
+        if (!cell.metaDelegate.empty())
+            ++g.delegates[cell.metaDelegate];
     }
+
+    // Modal delegate over the seed grid (ties resolved by name order,
+    // so the artifact stays deterministic).
+    auto modalDelegate = [](const Group &g) {
+        std::string best;
+        size_t bestCount = 0;
+        for (const auto &[name, count] : g.delegates) {
+            if (count > bestCount) {
+                best = name;
+                bestCount = count;
+            }
+        }
+        return best;
+    };
 
     json::Value rules = json::Value::makeObject();
     for (const auto &rule : config.rules) {
@@ -313,6 +354,12 @@ CalibrationResult::summaryJson() const
                       artifactRound(static_cast<double>(g.fired) /
                                     static_cast<double>(
                                         g.samples.size())));
+            // The meta rule's per-distribution delegation: what the
+            // tuning sweep selects, pinned by the baseline gate so
+            // delegation drift is an explicit, reviewed change.
+            std::string delegate = modalDelegate(g);
+            if (!delegate.empty())
+                entry.set("delegate", delegate);
             per_dist.set(dist, entry);
         }
         rules.set(rule, per_dist);

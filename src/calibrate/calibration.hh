@@ -43,6 +43,7 @@
 
 #include "json/value.hh"
 #include "record/csv.hh"
+#include "rng/synthetic.hh"
 
 namespace sharp
 {
@@ -54,8 +55,18 @@ struct CalibrationConfig
 {
     /** Rules to sweep; empty means every registered rule. */
     std::vector<std::string> rules;
-    /** Distributions to sweep; empty means the full registry. */
+    /**
+     * Distributions to sweep; empty means the full registry — the
+     * paper's ten synthetics plus the five nonstationary families —
+     * and any extraDistributions.
+     */
     std::vector<std::string> distributions;
+    /**
+     * Ad-hoc distributions beyond the registries, e.g. scenario-file
+     * entries from `sharp calibrate --scenarios`. Looked up first, so
+     * a scenario may shadow a registry name.
+     */
+    std::vector<rng::SyntheticSpec> extraDistributions;
     /** Repetitions per (rule, distribution) cell group. */
     size_t seedsPerCell = 9;
     /** Base seed the per-cell seeds are derived from. */
@@ -99,6 +110,12 @@ struct CalibrationCell
     /** Online classifier's label on the collected sample. */
     std::string classifiedClass;
     bool classifierCorrect = false;
+    /**
+     * For the meta rule: the delegate in force when the run ended —
+     * what the §IV-c tuning actually selects per distribution. Empty
+     * for every other rule.
+     */
+    std::string metaDelegate;
     /** Cell wall time; informational, nondeterministic. */
     double wallSeconds = 0.0;
 };

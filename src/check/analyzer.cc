@@ -14,6 +14,7 @@
 #include "launcher/retry.hh"
 #include "record/journal.hh"
 #include "record/metadata.hh"
+#include "sim/scenario.hh"
 #include "util/string_utils.hh"
 #include "workflow/workflow_parser.hh"
 
@@ -218,6 +219,8 @@ artifactKindName(ArtifactKind kind)
         return "journal";
     case ArtifactKind::Baseline:
         return "calibration baseline";
+    case ArtifactKind::Scenario:
+        return "scenario";
     case ArtifactKind::BaselineBundle:
         return "baseline bundle";
     case ArtifactKind::CompareReport:
@@ -252,6 +255,8 @@ sniffArtifact(const std::string &path, const std::string &text,
             return ArtifactKind::BaselineBundle;
         if (schema == compare::kCompareReportSchema)
             return ArtifactKind::CompareReport;
+        if (schema == sim::kScenarioSchema)
+            return ArtifactKind::Scenario;
         return ArtifactKind::Baseline;
     }
     if (hasAnyKey(*doc, {"states", "functions"}))
@@ -293,6 +298,12 @@ checkDocument(ArtifactKind kind, const json::Value &doc,
         break;
     case ArtifactKind::Baseline:
         calibrate::checkBaseline(doc, out);
+        break;
+    case ArtifactKind::Scenario:
+        // No file path in this entry point, so the relative trace-path
+        // existence lint is skipped; checkArtifactText threads the
+        // artifact's directory through for the on-disk case.
+        sim::checkScenario(doc, "", out);
         break;
     case ArtifactKind::BaselineBundle:
         compare::checkBaselineBundle(doc, out);
@@ -353,6 +364,10 @@ checkArtifactText(const std::string &path, const std::string &text,
         checkJournal(text, out);
     else if (kind == ArtifactKind::Metadata)
         checkMetadata(text, out);
+    else if (kind == ArtifactKind::Scenario)
+        // The file's own directory anchors relative trace paths, so
+        // the dangling-trace lint works wherever check is invoked from.
+        sim::checkScenario(doc, sim::dirNameOf(path), out);
     else
         checkDocument(kind, doc, out);
     return kind;

@@ -46,6 +46,8 @@ enum class ArtifactKind
     Journal,
     /** A calibration-baseline summary. */
     Baseline,
+    /** A scenario-library document (`sharp-scenario-v1`). */
+    Scenario,
     /** A `sharp baseline capture` bundle. */
     BaselineBundle,
     /** A `sharp compare` report. */

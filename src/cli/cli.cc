@@ -33,6 +33,8 @@
 #include "report/report.hh"
 #include "sim/machine.hh"
 #include "sim/rodinia.hh"
+#include "sim/scenario.hh"
+#include "util/fs.hh"
 #include "stats/descriptive.hh"
 #include "util/string_utils.hh"
 #include "util/table.hh"
@@ -103,6 +105,8 @@ commands:
   list                         show benchmarks, machines, stopping rules
   run                          run one experiment on the simulated testbed
       --config FILE.json       full run spec from a JSON file, or:
+      --scenario FILE.json     scenario-library workload (nonstationary
+                               family or recorded-trace replay), or:
       --workload NAME          Rodinia benchmark (required)
       --machine ID             machine1|machine2|machine3 (default machine1)
       --rule NAME              stopping rule (default ks)
@@ -130,6 +134,8 @@ commands:
   reproduce FILE.md            re-run an experiment from its metadata
   suite                        run the Rodinia grid on one machine
       --machine ID --rule NAME --threshold X --max N --seed S
+      --scenarios DIR          run every scenario file in DIR instead
+                               of the Rodinia grid
       --retries N              retry failed runs inside every entry
       --jobs N                 run suite entries in parallel (results
                                are identical for any N)
@@ -172,7 +178,11 @@ commands:
       --truth N                ground-truth sample size (default 8192)
       --jobs N                 worker threads (output identical for any N)
       --rules a,b,c            subset of rules (default: all registered)
-      --distributions x,y      subset of synthetics (default: all ten)
+      --distributions x,y      subset of the tuning set (default: the
+                               ten synthetics + five nonstationary
+                               scenario families)
+      --scenarios DIR          add DIR's generator scenarios to the
+                               sweep (trace scenarios are skipped)
       --out BASE               write BASE.csv and BASE.json
       --write-baseline FILE    write the summary JSON as a new baseline
       --baseline FILE          compare against a baseline; exit 1 on fail
@@ -183,7 +193,9 @@ commands:
   check PATH...                statically validate artifacts without
                                running anything: run/fault/retry specs,
                                experiment configs, workflows, journals,
-                               calibration baselines, metadata
+                               calibration baselines, scenarios,
+                               metadata; a directory expands to its
+                               .json/.jsonl/.md entries (non-recursive)
       --format text|json       diagnostic output format (default text)
       (exit: 0 clean, 1 warnings only, 2 errors)
   help                         this text
@@ -475,8 +487,10 @@ cmdRun(const ParsedArgs &args, std::ostream &out, std::ostream &err)
     }
 
     std::string workload = args.get("workload");
-    if (workload.empty()) {
-        err << "run: --workload is required (see `sharp list`)\n";
+    std::string scenario_path = args.get("scenario");
+    if (workload.empty() && scenario_path.empty()) {
+        err << "run: --workload or --scenario is required (see "
+               "`sharp list`)\n";
         return 2;
     }
     std::string machine_id = args.get("machine", "machine1");
@@ -505,9 +519,14 @@ cmdRun(const ParsedArgs &args, std::ostream &out, std::ostream &err)
     };
 
     launcher::ReproSpec spec;
-    spec.backendKind = "sim";
-    spec.workload = workload;
-    spec.machines = {machine_id};
+    if (!scenario_path.empty()) {
+        spec.backendKind = "scenario";
+        spec.scenario = scenario_path;
+    } else {
+        spec.backendKind = "sim";
+        spec.workload = workload;
+        spec.machines = {machine_id};
+    }
     spec.day = static_cast<int>(parse_count("day", 0));
     spec.seed = static_cast<uint64_t>(parse_count("seed", 1));
     spec.concurrency =
@@ -521,8 +540,10 @@ cmdRun(const ParsedArgs &args, std::ostream &out, std::ostream &err)
     if (!applyFaultToleranceFlags(args, err, spec))
         return 2;
 
-    return executeRun(spec, args, out, err, workload + " @ " + machine_id,
-                      "", nullptr);
+    std::string label = scenario_path.empty() ?
+                            workload + " @ " + machine_id :
+                            scenario_path;
+    return executeRun(spec, args, out, err, label, "", nullptr);
 }
 
 int
@@ -866,7 +887,18 @@ cmdSuite(const ParsedArgs &args, std::ostream &out, std::ostream &err)
     }
     config.makeRule(); // validate eagerly
 
-    auto entries = launcher::rodiniaSuite(machine);
+    std::string scenarios_dir = args.get("scenarios");
+    std::vector<launcher::SuiteEntry> entries;
+    if (!scenarios_dir.empty()) {
+        entries = launcher::scenarioSuite(scenarios_dir);
+        if (entries.empty()) {
+            err << "suite: no scenario files (*.json) in '"
+                << scenarios_dir << "'\n";
+            return 2;
+        }
+    } else {
+        entries = launcher::rodiniaSuite(machine);
+    }
     auto suite = launcher::runSuite(entries, config, 0, jobs, retry);
 
     util::TextTable table({"workload", "runs", "mean", "median",
@@ -986,6 +1018,32 @@ cmdCalibrate(const ParsedArgs &args, std::ostream &out,
     parse_list("distributions", config.distributions);
     config.recordTimings = args.has("timings");
 
+    // Scenario files feed the sweep as extra distributions: the meta
+    // rule's delegation is re-tuned against exactly the nonstationary
+    // streams the scenario library ships. Trace scenarios are skipped
+    // — a recorded stream has no generator to draw ground truth from.
+    std::string scenarios_dir = args.get("scenarios");
+    if (!scenarios_dir.empty()) {
+        size_t traces = 0;
+        for (const auto &name : util::listDirectory(scenarios_dir)) {
+            if (!util::endsWith(name, ".json"))
+                continue;
+            sim::ScenarioSpec scenario =
+                sim::loadScenario(scenarios_dir + "/" + name);
+            if (scenario.isTrace()) {
+                ++traces;
+                continue;
+            }
+            config.extraDistributions.push_back(
+                sim::scenarioDistribution(scenario));
+        }
+        if (traces > 0) {
+            out << "note: skipped " << traces << " trace scenario"
+                << (traces == 1 ? "" : "s")
+                << " (no generator to calibrate against)\n";
+        }
+    }
+
     calibrate::CalibrationResult result =
         runCalibration(std::move(config));
     json::Value summary = result.summaryJson();
@@ -1103,9 +1161,38 @@ cmdCheck(const ParsedArgs &args, std::ostream &out, std::ostream &err)
         return 2;
     }
 
+    // Directory arguments expand to their artifact-shaped entries
+    // (.json, .jsonl, .md), non-recursively and in sorted order, so
+    // `sharp check scenarios/ examples/` covers whole libraries
+    // without enumerating files in CI scripts.
+    std::vector<std::string> paths;
+    for (const auto &path : args.positional) {
+        if (!util::isDirectory(path)) {
+            paths.push_back(path);
+            continue;
+        }
+        for (const auto &name : util::listDirectory(path)) {
+            std::string full = path;
+            if (!full.empty() && full.back() != '/')
+                full += '/';
+            full += name;
+            if (util::isDirectory(full))
+                continue;
+            if (util::endsWith(name, ".json") ||
+                util::endsWith(name, ".jsonl") ||
+                util::endsWith(name, ".md")) {
+                paths.push_back(std::move(full));
+            }
+        }
+    }
+    if (paths.empty()) {
+        err << "check: no artifacts found under the given paths\n";
+        return 2;
+    }
+
     check::CheckResult total;
     size_t clean = 0;
-    for (const auto &path : args.positional) {
+    for (const auto &path : paths) {
         check::CheckResult result;
         check::ArtifactKind kind =
             check::checkArtifactFile(path, result);
@@ -1123,12 +1210,12 @@ cmdCheck(const ParsedArgs &args, std::ostream &out, std::ostream &err)
 
     if (format == "json") {
         json::Value summary = total.toJson();
-        summary.set("artifacts", args.positional.size());
+        summary.set("artifacts", paths.size());
         summary.set("clean", clean);
         out << json::writePretty(summary) << "\n";
     } else {
-        out << "checked " << args.positional.size() << " artifact"
-            << (args.positional.size() == 1 ? "" : "s") << ": "
+        out << "checked " << paths.size() << " artifact"
+            << (paths.size() == 1 ? "" : "s") << ": "
             << total.errorCount() << " error"
             << (total.errorCount() == 1 ? "" : "s") << ", "
             << total.warningCount() << " warning"

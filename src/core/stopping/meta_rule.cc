@@ -1,8 +1,13 @@
 #include "core/stopping/meta_rule.hh"
 
+#include <cmath>
+#include <limits>
+
 #include "core/stopping/adaptive_rules.hh"
 #include "core/stopping/ci_rules.hh"
 #include "core/stopping/ks_rule.hh"
+#include "stats/descriptive.hh"
+#include "util/string_utils.hh"
 
 namespace sharp
 {
@@ -85,6 +90,31 @@ MetaRule::ruleFor(DistributionClass cls)
     }
 }
 
+namespace
+{
+
+/**
+ * How far the last @p window samples sit from the series' overall
+ * level, in robust standard deviations (IQR/1.349). Medians on both
+ * sides so a lone Cauchy draw can neither trigger nor mask a shift.
+ */
+double
+recentLevelShift(const SampleSeries &series, size_t window)
+{
+    std::vector<double> all = series.values();
+    double overall = stats::median(all);
+    double spread = stats::iqr(std::move(all)) / 1.349;
+    double recent = stats::median(series.tail(window));
+    double diff = std::fabs(recent - overall);
+    if (!(spread > 0.0)) {
+        return diff > 0.0 ? std::numeric_limits<double>::infinity()
+                          : 0.0;
+    }
+    return diff / spread;
+}
+
+} // namespace
+
 StopDecision
 MetaRule::evaluate(const SampleSeries &series)
 {
@@ -127,6 +157,24 @@ MetaRule::evaluate(const SampleSeries &series)
         lastClass.cls != DistributionClass::Constant) {
         decision.stop = false;
         decision.reason += " (awaiting class confirmation)";
+    }
+    // Hysteresis against regime switches: robust delegates (median-,
+    // range-, and mode-based) barely move when the stream's level just
+    // jumped, so without this check a regime switch landing shortly
+    // before the stop criterion fires would be summarized away. The
+    // stop is vetoed while the recent window sits away from the
+    // overall level; sampling continues until the new regime is
+    // represented (or the delegate's criterion widens and takes over).
+    if (decision.stop && config.shiftWindow > 0 &&
+        lastClass.cls != DistributionClass::Constant &&
+        series.size() >= 2 * config.shiftWindow) {
+        double shift = recentLevelShift(series, config.shiftWindow);
+        if (shift > config.shiftThreshold) {
+            decision.stop = false;
+            decision.reason +=
+                " (vetoed: recent level shift " +
+                util::formatDouble(shift, 2) + " robust sd)";
+        }
     }
     decision.reason = "[" +
                       std::string(distributionClassName(lastClass.cls)) +

@@ -48,6 +48,19 @@ class MetaRule : public StoppingRule
         ClassifierConfig classifier;
         /** Hard floor of samples before any delegate may fire. */
         size_t minRuns = 30;
+        /**
+         * Hysteresis against regime switches: when the delegate wants
+         * to stop, the median of the last `shiftWindow` samples is
+         * compared against the whole-series median in robust units
+         * (IQR/1.349). A recent level shift beyond `shiftThreshold`
+         * vetoes the stop — the stream just moved, so a summary built
+         * mostly from the old regime would be stale the moment it is
+         * reported. Robust (median/IQR) statistics keep heavy-tailed
+         * stationary streams from tripping the veto. 0 disables.
+         */
+        size_t shiftWindow = 20;
+        /** Veto threshold, in robust standard deviations. */
+        double shiftThreshold = 1.0;
     };
 
     /** Construct with default configuration. */

@@ -9,6 +9,7 @@
 #include "json/writer.hh"
 #include "launcher/faas_backend.hh"
 #include "launcher/local_backend.hh"
+#include "launcher/scenario_backend.hh"
 #include "launcher/sim_backend.hh"
 #include "sim/faas.hh"
 #include "sim/machine.hh"
@@ -41,7 +42,7 @@ namespace
 
 /** Backend kinds makeBackend() can construct. */
 const std::vector<std::string> knownBackendKinds = {
-    "sim", "sim-phased", "faas", "local"};
+    "sim", "sim-phased", "faas", "local", "scenario"};
 
 /** Metrics each simulated backend kind emits (local emits anything). */
 std::vector<std::string>
@@ -76,7 +77,8 @@ checkRunSpecImpl(const json::Value &doc, check::CheckResult &out,
         "timeout",     "machines",     "day",
         "seed",        "concurrency",  "jobs",
         "experiment",  "max_failures", "max_failure_rate",
-        "retry",       "fault",        "stats_cache"};
+        "retry",       "fault",        "stats_cache",
+        "scenario"};
     check::checkKnownFields(doc, known, "run spec", out);
 
     auto stringField = [&](const char *key) {
@@ -88,6 +90,7 @@ checkRunSpecImpl(const json::Value &doc, check::CheckResult &out,
     };
     const json::Value *backend = stringField("backend");
     stringField("workload");
+    const json::Value *scenario = stringField("scenario");
 
     if (const json::Value *argv = doc.find("argv")) {
         if (!argv->isArray()) {
@@ -201,7 +204,19 @@ checkRunSpecImpl(const json::Value &doc, check::CheckResult &out,
         }
     }
 
-    if (kind != "local") {
+    if (kind == "scenario") {
+        if (!scenario || !scenario->isString() ||
+            scenario->asString().empty()) {
+            out.error(scenario ? *scenario : doc, "missing-field",
+                      "the scenario backend requires a 'scenario' file "
+                      "path");
+        }
+    } else if (scenario != nullptr) {
+        out.warning(*scenario, "unused-field",
+                    "'scenario' is ignored by backend '" + kind + "'");
+    }
+
+    if (kind != "local" && kind != "scenario") {
         std::vector<std::string> machineIds;
         for (const auto &machine : sim::machineRegistry())
             machineIds.push_back(machine.id);
@@ -222,7 +237,7 @@ checkRunSpecImpl(const json::Value &doc, check::CheckResult &out,
                 }
             }
         }
-    } else {
+    } else if (kind == "local") {
         const json::Value *argv = doc.find("argv");
         if (!argv || !argv->isArray() || argv->size() == 0) {
             out.error(argv ? *argv : doc, "missing-field",
@@ -271,6 +286,7 @@ ReproSpec::fromJson(const json::Value &doc)
     ReproSpec spec;
     spec.backendKind = doc.getString("backend", spec.backendKind);
     spec.workload = doc.getString("workload", "");
+    spec.scenario = doc.getString("scenario", "");
     if (const json::Value *argv = doc.find("argv")) {
         if (!argv->isArray())
             throw std::invalid_argument("'argv' must be an array");
@@ -331,6 +347,8 @@ ReproSpec::toJson() const
     json::Value doc = json::Value::makeObject();
     doc.set("backend", backendKind);
     doc.set("workload", workload);
+    if (!scenario.empty())
+        doc.set("scenario", scenario);
     if (!argv.empty()) {
         json::Value argv_list = json::Value::makeArray();
         for (const auto &arg : argv)
@@ -366,6 +384,8 @@ annotate(record::RunLog &log, const ReproSpec &spec)
 {
     log.setConfigEntry("repro_backend", spec.backendKind);
     log.setConfigEntry("repro_workload", spec.workload);
+    if (!spec.scenario.empty())
+        log.setConfigEntry("repro_scenario", spec.scenario);
     log.setConfigEntry("repro_machines",
                        util::join(spec.machines, ";"));
     log.setConfigEntry("repro_day", std::to_string(spec.day));
@@ -416,6 +436,8 @@ reproSpecFromMetadata(const record::MetadataDocument &doc)
     ReproSpec spec;
     spec.backendKind = require("repro_backend");
     spec.workload = require("repro_workload");
+    if (auto scenario = doc.get(sec, "repro_scenario"))
+        spec.scenario = *scenario;
     for (const auto &machine :
          util::split(require("repro_machines"), ';')) {
         if (!machine.empty())
@@ -499,6 +521,14 @@ makeInnerBackend(const ReproSpec &spec)
         options.workload = spec.workload;
         return std::make_shared<LocalProcessBackend>(spec.argv,
                                                      options);
+    }
+    if (spec.backendKind == "scenario") {
+        if (spec.scenario.empty()) {
+            throw std::invalid_argument(
+                "scenario backend requires a 'scenario' file path");
+        }
+        return makeScenarioBackend(sim::loadScenario(spec.scenario),
+                                   spec.seed);
     }
     if (spec.machines.empty())
         throw std::invalid_argument("ReproSpec requires >= 1 machine");

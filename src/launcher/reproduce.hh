@@ -43,10 +43,17 @@ namespace launcher
 /** Everything needed to recreate an experiment. */
 struct ReproSpec
 {
-    /** Backend kind: "sim", "sim-phased", "faas", or "local". */
+    /** Backend kind: "sim", "sim-phased", "faas", "local", "scenario". */
     std::string backendKind = "sim";
     /** Workload (Rodinia benchmark) name; unused for sim-phased. */
     std::string workload;
+    /**
+     * Scenario file for the "scenario" backend (a `sharp-scenario-v1`
+     * document naming a nonstationary family or a recorded trace).
+     * Resolved relative to the working directory at launch; loaders
+     * that know the spec file's location join it on beforehand.
+     */
+    std::string scenario;
     /** Command line for the "local" backend. */
     std::vector<std::string> argv;
     /** Per-run timeout for the "local" backend (0 = none). */

@@ -5,6 +5,8 @@
 #include "launcher/launcher.hh"
 #include "sim/machine.hh"
 #include "sim/rodinia.hh"
+#include "util/fs.hh"
+#include "util/string_utils.hh"
 #include "util/thread_pool.hh"
 
 namespace sharp
@@ -39,9 +41,14 @@ runSuite(const std::vector<SuiteEntry> &entries,
         outcome.entry = entries[i];
         try {
             ReproSpec spec;
-            spec.backendKind = "sim";
-            spec.workload = entries[i].workload;
-            spec.machines = {entries[i].machine};
+            if (!entries[i].scenario.empty()) {
+                spec.backendKind = "scenario";
+                spec.scenario = entries[i].scenario;
+            } else {
+                spec.backendKind = "sim";
+                spec.workload = entries[i].workload;
+                spec.machines = {entries[i].machine};
+            }
             spec.day = day;
             spec.seed = config.seed;
             spec.jobs = jobs;
@@ -73,6 +80,23 @@ runSuite(const std::vector<SuiteEntry> &entries,
         }
     }
     return report;
+}
+
+std::vector<SuiteEntry>
+scenarioSuite(const std::string &dir)
+{
+    std::vector<SuiteEntry> entries;
+    for (const auto &name : util::listDirectory(dir)) {
+        if (!util::endsWith(name, ".json"))
+            continue;
+        SuiteEntry entry;
+        // Display name: the file stem; the scenario's own name is not
+        // known without parsing, which is deferred to the run.
+        entry.workload = name.substr(0, name.size() - 5);
+        entry.scenario = dir + "/" + name;
+        entries.push_back(std::move(entry));
+    }
+    return entries;
 }
 
 std::vector<SuiteEntry>

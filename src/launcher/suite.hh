@@ -22,11 +22,17 @@ namespace sharp
 namespace launcher
 {
 
-/** One entry of a suite: a workload on a machine. */
+/** One entry of a suite: a workload on a machine, or a scenario. */
 struct SuiteEntry
 {
     std::string workload;
     std::string machine;
+    /**
+     * When non-empty, the path of a scenario file to run instead of a
+     * simulated (workload, machine) pair; workload then carries the
+     * display name.
+     */
+    std::string scenario;
 };
 
 /** Outcome of one suite entry. */
@@ -93,6 +99,14 @@ SuiteReport runSuite(const std::vector<SuiteEntry> &entries,
 
 /** The full 20-benchmark Rodinia suite on one machine. */
 std::vector<SuiteEntry> rodiniaSuite(const std::string &machine);
+
+/**
+ * One entry per `.json` scenario file in @p dir (non-recursive,
+ * lexicographic order). Files are not parsed here — a malformed
+ * scenario becomes a failed outcome when its entry runs, instead of
+ * sinking the whole suite up front.
+ */
+std::vector<SuiteEntry> scenarioSuite(const std::string &dir);
 
 } // namespace launcher
 } // namespace sharp

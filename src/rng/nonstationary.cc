@@ -1,0 +1,354 @@
+#include "rng/nonstationary.hh"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace rng
+{
+
+using util::formatDouble;
+
+namespace
+{
+
+/**
+ * Geometric dwell time with mean @p mean (support {1, 2, ...}): the
+ * number of samples until the next regime switch. Inverse-CDF so one
+ * uniform draw per switch keeps streams cheap and reproducible.
+ */
+size_t
+geometricDwell(Xoshiro256 &gen, double mean)
+{
+    double p = 1.0 / mean;
+    double u = gen.nextDoubleOpen();
+    double draw = std::floor(std::log1p(-u) / std::log1p(-p));
+    if (!(draw >= 0.0))
+        draw = 0.0;
+    return 1 + static_cast<size_t>(draw);
+}
+
+} // namespace
+
+RegimeSwitchSampler::RegimeSwitchSampler(std::vector<double> levels_in,
+                                         double sigma_in,
+                                         double meanDuration_in)
+    : levels(std::move(levels_in)), sigma(sigma_in),
+      meanDuration(meanDuration_in)
+{
+    if (levels.size() < 2) {
+        throw std::invalid_argument(
+            "RegimeSwitchSampler requires at least 2 levels");
+    }
+    if (sigma < 0.0)
+        throw std::invalid_argument("RegimeSwitchSampler requires sigma >= 0");
+    if (!(meanDuration >= 1.0)) {
+        throw std::invalid_argument(
+            "RegimeSwitchSampler requires mean duration >= 1");
+    }
+}
+
+double
+RegimeSwitchSampler::sample(Xoshiro256 &gen)
+{
+    if (!started) {
+        started = true;
+        remaining = geometricDwell(gen, meanDuration);
+    }
+    if (remaining == 0) {
+        level = (level + 1) % levels.size();
+        ++switchCount;
+        remaining = geometricDwell(gen, meanDuration);
+    }
+    --remaining;
+    return levels[level] + sigma * NormalSampler::standard(gen);
+}
+
+std::string
+RegimeSwitchSampler::describe() const
+{
+    std::string out = "regime-switch([";
+    for (size_t i = 0; i < levels.size(); ++i)
+        out += (i ? ", " : "") + formatDouble(levels[i]);
+    out += "], " + formatDouble(sigma) + ", " + formatDouble(meanDuration) +
+           ")";
+    return out;
+}
+
+LoadRampSampler::LoadRampSampler(double start_in, double end_in,
+                                 size_t rampSamples_in, double sigma_in)
+    : start(start_in), end(end_in), rampSamples(rampSamples_in),
+      sigma(sigma_in)
+{
+    if (rampSamples == 0)
+        throw std::invalid_argument("LoadRampSampler requires ramp > 0");
+    if (sigma < 0.0)
+        throw std::invalid_argument("LoadRampSampler requires sigma >= 0");
+}
+
+double
+LoadRampSampler::sample(Xoshiro256 &gen)
+{
+    double progress = index >= rampSamples
+                          ? 1.0
+                          : static_cast<double>(index) /
+                                static_cast<double>(rampSamples);
+    ++index;
+    double mean = start + (end - start) * progress;
+    return mean + sigma * NormalSampler::standard(gen);
+}
+
+std::string
+LoadRampSampler::describe() const
+{
+    return "load-ramp(" + formatDouble(start) + " -> " + formatDouble(end) +
+           " over " + std::to_string(rampSamples) + ", " +
+           formatDouble(sigma) + ")";
+}
+
+HeavyTailBurstSampler::HeavyTailBurstSampler(double base_in, double sigma_in,
+                                             size_t burstEvery_in,
+                                             size_t burstLen_in,
+                                             double tailScale_in)
+    : base(base_in), sigma(sigma_in), burstEvery(burstEvery_in),
+      burstLen(burstLen_in), tailScale(tailScale_in)
+{
+    if (burstEvery == 0)
+        throw std::invalid_argument("HeavyTailBurstSampler period must be > 0");
+    if (burstLen > burstEvery) {
+        throw std::invalid_argument(
+            "HeavyTailBurstSampler burst length must be <= its period");
+    }
+    if (sigma < 0.0 || tailScale <= 0.0) {
+        throw std::invalid_argument(
+            "HeavyTailBurstSampler requires sigma >= 0 and tail scale > 0");
+    }
+}
+
+double
+HeavyTailBurstSampler::sample(Xoshiro256 &gen)
+{
+    bool burst = index % burstEvery < burstLen;
+    ++index;
+    if (burst) {
+        double u = gen.nextDoubleOpen();
+        return base + tailScale * std::tan(std::numbers::pi * (u - 0.5));
+    }
+    return base + sigma * NormalSampler::standard(gen);
+}
+
+std::string
+HeavyTailBurstSampler::describe() const
+{
+    return "heavy-tail-burst(" + formatDouble(base) + ", " +
+           formatDouble(sigma) + ", " + std::to_string(burstLen) + "/" +
+           std::to_string(burstEvery) + ", " + formatDouble(tailScale) + ")";
+}
+
+DiurnalDriftSampler::DiurnalDriftSampler(double base_in, double amplitude_in,
+                                         double period_in, double noise_in,
+                                         double drift_in)
+    : base(base_in), amplitude(amplitude_in), period(period_in),
+      noise(noise_in), drift(drift_in)
+{
+    if (!(period >= 1.0))
+        throw std::invalid_argument("DiurnalDriftSampler period must be >= 1");
+    if (noise < 0.0)
+        throw std::invalid_argument("DiurnalDriftSampler requires noise >= 0");
+}
+
+double
+DiurnalDriftSampler::sample(Xoshiro256 &gen)
+{
+    double t = static_cast<double>(index);
+    ++index;
+    double mean = base +
+                  amplitude * std::sin(2.0 * std::numbers::pi * t / period) +
+                  drift * t;
+    return mean + noise * NormalSampler::standard(gen);
+}
+
+std::string
+DiurnalDriftSampler::describe() const
+{
+    return "diurnal-drift(" + formatDouble(base) + ", " +
+           formatDouble(amplitude) + ", " + formatDouble(period) + ", " +
+           formatDouble(noise) + ", " + formatDouble(drift) + ")";
+}
+
+CoRunnerSampler::CoRunnerSampler(double base_in, double phi_in,
+                                 double sigma_in, double noise_in)
+    : base(base_in), phi(phi_in), sigma(sigma_in), noise(noise_in)
+{
+    if (!(phi > -1.0 && phi < 1.0))
+        throw std::invalid_argument("CoRunnerSampler requires |phi| < 1");
+    if (sigma < 0.0 || noise < 0.0) {
+        throw std::invalid_argument(
+            "CoRunnerSampler requires sigma >= 0 and noise >= 0");
+    }
+}
+
+double
+CoRunnerSampler::sample(Xoshiro256 &gen)
+{
+    // Innovation scale sigma * sqrt(1 - phi^2) makes the stationary
+    // standard deviation of the interference exactly sigma.
+    double innovation = sigma * std::sqrt(1.0 - phi * phi);
+    state = phi * state + innovation * NormalSampler::standard(gen);
+    return base + state + noise * NormalSampler::standard(gen);
+}
+
+std::string
+CoRunnerSampler::describe() const
+{
+    return "co-runner(" + formatDouble(base) + ", phi=" + formatDouble(phi) +
+           ", " + formatDouble(sigma) + ", " + formatDouble(noise) + ")";
+}
+
+double
+FamilyParams::get(const std::string &name, double fallback) const
+{
+    auto it = scalars.find(name);
+    return it == scalars.end() ? fallback : it->second;
+}
+
+const std::vector<std::string> &
+familyNames()
+{
+    static const std::vector<std::string> names = {
+        "regime-switch", "load-ramp", "heavy-tail-burst",
+        "diurnal-drift", "co-runner",
+    };
+    return names;
+}
+
+bool
+isKnownFamily(const std::string &family)
+{
+    for (const auto &name : familyNames())
+        if (name == family)
+            return true;
+    return false;
+}
+
+const std::vector<std::string> &
+familyParamNames(const std::string &family)
+{
+    static const std::vector<std::string> regime = {"sigma", "mean_duration"};
+    static const std::vector<std::string> ramp = {"start", "end",
+                                                  "ramp_samples", "sigma"};
+    static const std::vector<std::string> burst = {
+        "base", "sigma", "burst_every", "burst_len", "tail_scale"};
+    static const std::vector<std::string> diurnal = {
+        "base", "amplitude", "period", "noise", "drift"};
+    static const std::vector<std::string> corunner = {"base", "phi", "sigma",
+                                                      "noise"};
+    if (family == "regime-switch")
+        return regime;
+    if (family == "load-ramp")
+        return ramp;
+    if (family == "heavy-tail-burst")
+        return burst;
+    if (family == "diurnal-drift")
+        return diurnal;
+    if (family == "co-runner")
+        return corunner;
+    throw std::out_of_range("unknown nonstationary family: " + family);
+}
+
+SyntheticClass
+familyTruth(const std::string &family)
+{
+    // The online classifier screens constant -> autocorrelated ->
+    // modality -> heavy-tail -> parametric fits, so slow
+    // nonstationarity lands in Autocorrelated (lag-1 well above the
+    // threshold) and the burst family's tail weight dominates.
+    if (family == "heavy-tail-burst")
+        return SyntheticClass::HeavyTail;
+    if (!isKnownFamily(family))
+        throw std::out_of_range("unknown nonstationary family: " + family);
+    return SyntheticClass::Autocorrelated;
+}
+
+std::shared_ptr<Sampler>
+makeFamilySampler(const std::string &family, const FamilyParams &params)
+{
+    if (family == "regime-switch") {
+        std::vector<double> levels = params.levels;
+        if (levels.empty())
+            levels = {8.0, 12.0};
+        return std::make_shared<RegimeSwitchSampler>(
+            std::move(levels), params.get("sigma", 0.35),
+            params.get("mean_duration", 40.0));
+    }
+    if (family == "load-ramp") {
+        double ramp = params.get("ramp_samples", 600.0);
+        if (!(ramp >= 1.0))
+            throw std::invalid_argument("load-ramp ramp_samples must be >= 1");
+        return std::make_shared<LoadRampSampler>(
+            params.get("start", 8.0), params.get("end", 16.0),
+            static_cast<size_t>(ramp), params.get("sigma", 0.4));
+    }
+    if (family == "heavy-tail-burst") {
+        double every = params.get("burst_every", 70.0);
+        double len = params.get("burst_len", 12.0);
+        if (!(every >= 1.0) || len < 0.0) {
+            throw std::invalid_argument(
+                "heavy-tail-burst burst_every must be >= 1 and "
+                "burst_len >= 0");
+        }
+        return std::make_shared<HeavyTailBurstSampler>(
+            params.get("base", 10.0), params.get("sigma", 0.3),
+            static_cast<size_t>(every), static_cast<size_t>(len),
+            params.get("tail_scale", 1.2));
+    }
+    if (family == "diurnal-drift") {
+        return std::make_shared<DiurnalDriftSampler>(
+            params.get("base", 10.0), params.get("amplitude", 2.5),
+            params.get("period", 300.0), params.get("noise", 0.35),
+            params.get("drift", 0.002));
+    }
+    if (family == "co-runner") {
+        return std::make_shared<CoRunnerSampler>(
+            params.get("base", 10.0), params.get("phi", 0.92),
+            params.get("sigma", 0.5), params.get("noise", 0.2));
+    }
+    throw std::out_of_range("unknown nonstationary family: " + family);
+}
+
+const std::vector<SyntheticSpec> &
+nonstationaryRegistry()
+{
+    static const std::vector<SyntheticSpec> registry = [] {
+        std::vector<SyntheticSpec> specs;
+        for (const auto &family : familyNames()) {
+            SyntheticSpec spec;
+            spec.name = family;
+            spec.truth = familyTruth(family);
+            spec.trueModes = family == "regime-switch" ? 2 : 1;
+            spec.correlated = family != "heavy-tail-burst";
+            spec.make = [family] {
+                return makeFamilySampler(family, FamilyParams{});
+            };
+            specs.push_back(std::move(spec));
+        }
+        return specs;
+    }();
+    return registry;
+}
+
+const SyntheticSpec &
+nonstationaryByName(const std::string &name)
+{
+    for (const auto &spec : nonstationaryRegistry())
+        if (spec.name == name)
+            return spec;
+    throw std::out_of_range("unknown nonstationary family: " + name);
+}
+
+} // namespace rng
+} // namespace sharp

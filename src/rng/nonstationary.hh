@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Nonstationary workload families beyond the paper's ten synthetics.
+ *
+ * The paper tunes its stopping rules and meta-heuristic on stationary
+ * distributions, but real campaigns drift, ramp, and switch regimes —
+ * exactly the conditions under which a distribution-based framework
+ * must prove itself. This module adds five seeded generator families
+ * that stress the online classifier and the meta rule where the
+ * synthetics don't:
+ *
+ *  - regime-switch:   the mean jumps between discrete levels with
+ *                     geometric dwell times (bimodal-over-time, not
+ *                     bimodal-per-sample);
+ *  - load-ramp:       the mean ramps linearly from a start to an end
+ *                     level, then holds (warm-up / load-growth shape);
+ *  - heavy-tail-burst: a well-behaved normal base stream with periodic
+ *                     windows of Cauchy bursts (GC pauses, noisy
+ *                     neighbors arriving in clumps);
+ *  - diurnal-drift:   a slow sinusoid plus a linear drift term (time-
+ *                     of-day load cycles on a slowly aging machine);
+ *  - co-runner:       an AR(1) interference process added to the base
+ *                     cost (a correlated co-located tenant).
+ *
+ * Each family is exposed two ways: as a parameterized factory for the
+ * scenario library (scenario JSON files choose the parameters), and as
+ * a canonical registry entry compatible with rng::SyntheticSpec so the
+ * calibration sweep gains a row per family and the meta rule's
+ * delegation is re-tuned, not just exercised.
+ *
+ * Ground-truth classes follow the online classifier's screen order:
+ * slow nonstationarity manifests as high lag-1 autocorrelation, so the
+ * regime/ramp/diurnal/co-runner families are Autocorrelated, while the
+ * burst family's defining feature is its tail weight (HeavyTail).
+ */
+
+#ifndef SHARP_RNG_NONSTATIONARY_HH
+#define SHARP_RNG_NONSTATIONARY_HH
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rng/sampler.hh"
+#include "rng/synthetic.hh"
+
+namespace sharp
+{
+namespace rng
+{
+
+/**
+ * The mean jumps between discrete levels; dwell time in each level is
+ * geometric with mean @p meanDuration samples. Levels are visited in
+ * cyclic order so a two-level family alternates deterministically (the
+ * switch *times* are still random). Gaussian noise rides on top.
+ */
+class RegimeSwitchSampler : public Sampler
+{
+  public:
+    RegimeSwitchSampler(std::vector<double> levels, double sigma,
+                        double meanDuration);
+
+    double sample(Xoshiro256 &gen) override;
+    std::string describe() const override;
+
+    /** Regime switches seen so far (for boundary-count properties). */
+    size_t switches() const { return switchCount; }
+    /** Index of the regime level currently in force. */
+    size_t currentLevel() const { return level; }
+
+  private:
+    std::vector<double> levels;
+    double sigma;
+    double meanDuration;
+    size_t level = 0;
+    size_t remaining = 0;
+    bool started = false;
+    size_t switchCount = 0;
+};
+
+/**
+ * The mean ramps linearly from @p start to @p end over @p rampSamples
+ * samples, then holds at @p end. Gaussian noise rides on top.
+ */
+class LoadRampSampler : public Sampler
+{
+  public:
+    LoadRampSampler(double start, double end, size_t rampSamples,
+                    double sigma);
+
+    double sample(Xoshiro256 &gen) override;
+    std::string describe() const override;
+
+  private:
+    double start;
+    double end;
+    size_t rampSamples;
+    double sigma;
+    size_t index = 0;
+};
+
+/**
+ * Normal base stream N(base, sigma) with periodic burst windows: for
+ * @p burstLen samples out of every @p burstEvery, samples come from a
+ * Cauchy centered at @p base with scale @p tailScale instead.
+ */
+class HeavyTailBurstSampler : public Sampler
+{
+  public:
+    HeavyTailBurstSampler(double base, double sigma, size_t burstEvery,
+                          size_t burstLen, double tailScale);
+
+    double sample(Xoshiro256 &gen) override;
+    std::string describe() const override;
+
+  private:
+    double base;
+    double sigma;
+    size_t burstEvery;
+    size_t burstLen;
+    double tailScale;
+    size_t index = 0;
+};
+
+/**
+ * base + amplitude * sin(2*pi*i / period) + drift * i + N(0, noise):
+ * a slow load cycle on a slowly drifting baseline.
+ */
+class DiurnalDriftSampler : public Sampler
+{
+  public:
+    DiurnalDriftSampler(double base, double amplitude, double period,
+                        double noise, double drift);
+
+    double sample(Xoshiro256 &gen) override;
+    std::string describe() const override;
+
+  private:
+    double base;
+    double amplitude;
+    double period;
+    double noise;
+    double drift;
+    size_t index = 0;
+};
+
+/**
+ * base + interference + N(0, noise), where interference follows an
+ * AR(1) process with coefficient @p phi and innovation scale chosen so
+ * the interference's stationary standard deviation is @p sigma. Models
+ * a correlated co-located tenant stealing shared resources.
+ */
+class CoRunnerSampler : public Sampler
+{
+  public:
+    CoRunnerSampler(double base, double phi, double sigma, double noise);
+
+    double sample(Xoshiro256 &gen) override;
+    std::string describe() const override;
+
+  private:
+    double base;
+    double phi;
+    double sigma;
+    double noise;
+    double state = 0.0;
+};
+
+/**
+ * Parameters for a family factory, as parsed from a scenario file.
+ * Scalar parameters by name; `levels` is the regime-switch level list.
+ */
+struct FamilyParams
+{
+    std::map<std::string, double> scalars;
+    std::vector<double> levels;
+
+    /** Value of @p name, or @p fallback when absent. */
+    double get(const std::string &name, double fallback) const;
+};
+
+/** The five family names, in canonical order. */
+const std::vector<std::string> &familyNames();
+
+/** True when @p family is one of familyNames(). */
+bool isKnownFamily(const std::string &family);
+
+/**
+ * Scalar parameter names accepted by @p family (for schema checking
+ * and did-you-mean hints). The regime-switch family additionally
+ * accepts the `levels` array, which is not listed here.
+ * @throws std::out_of_range for an unknown family.
+ */
+const std::vector<std::string> &familyParamNames(const std::string &family);
+
+/**
+ * Ground-truth class for @p family (what the online classifier should
+ * settle on given the screen order documented above).
+ * @throws std::out_of_range for an unknown family.
+ */
+SyntheticClass familyTruth(const std::string &family);
+
+/**
+ * Build a sampler for @p family with @p params; unspecified parameters
+ * take the family's canonical defaults (the registry entries below use
+ * exactly the defaults).
+ * @throws std::out_of_range for an unknown family.
+ * @throws std::invalid_argument for out-of-range parameter values.
+ */
+std::shared_ptr<Sampler> makeFamilySampler(const std::string &family,
+                                           const FamilyParams &params);
+
+/**
+ * The five nonstationary families with canonical parameters, shaped as
+ * SyntheticSpec entries so they slot into the calibration sweep next
+ * to the paper's ten synthetics.
+ */
+const std::vector<SyntheticSpec> &nonstationaryRegistry();
+
+/** Find a family registry entry. @throws std::out_of_range. */
+const SyntheticSpec &nonstationaryByName(const std::string &name);
+
+} // namespace rng
+} // namespace sharp
+
+#endif // SHARP_RNG_NONSTATIONARY_HH

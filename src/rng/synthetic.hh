@@ -18,6 +18,7 @@
 #ifndef SHARP_RNG_SYNTHETIC_HH
 #define SHARP_RNG_SYNTHETIC_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -61,8 +62,13 @@ struct SyntheticSpec
     int trueModes;
     /** Whether successive samples are autocorrelated. */
     bool correlated;
-    /** Construct a fresh sampler for this spec. */
-    std::shared_ptr<Sampler> (*make)();
+    /**
+     * Construct a fresh sampler for this spec. A std::function (not a
+     * bare function pointer) so registries built at run time — the
+     * nonstationary families and scenario-file distributions — can
+     * close over their parameters.
+     */
+    std::function<std::shared_ptr<Sampler>()> make;
 };
 
 /**

@@ -1,0 +1,43 @@
+#include "util/fs.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+namespace sharp
+{
+namespace util
+{
+
+bool
+isDirectory(const std::string &path)
+{
+    struct stat st = {};
+    return stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::vector<std::string>
+listDirectory(const std::string &path)
+{
+    DIR *dir = opendir(path.c_str());
+    if (!dir) {
+        throw std::runtime_error("cannot list directory '" + path +
+                                 "': " + std::strerror(errno));
+    }
+    std::vector<std::string> names;
+    while (const dirent *entry = readdir(dir)) {
+        std::string name = entry->d_name;
+        if (name != "." && name != "..")
+            names.push_back(std::move(name));
+    }
+    closedir(dir);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+} // namespace util
+} // namespace sharp

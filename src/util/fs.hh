@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal filesystem helpers for the CLI layer: directory detection
+ * and non-recursive, deterministically ordered listings. Kept tiny on
+ * purpose — artifact discovery (`sharp check DIR`, `--scenarios DIR`)
+ * needs exactly this much and nothing in src/ should grow a general
+ * filesystem dependency.
+ */
+
+#ifndef SHARP_UTIL_FS_HH
+#define SHARP_UTIL_FS_HH
+
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace util
+{
+
+/** True when @p path names an existing directory. */
+bool isDirectory(const std::string &path);
+
+/**
+ * Entry names (not paths) in @p path, sorted lexicographically so
+ * callers iterate in the same order on every filesystem. "." and ".."
+ * are omitted.
+ *
+ * @throws std::runtime_error when the directory cannot be opened.
+ */
+std::vector<std::string> listDirectory(const std::string &path);
+
+} // namespace util
+} // namespace sharp
+
+#endif // SHARP_UTIL_FS_HH

@@ -315,6 +315,22 @@ TEST(Fixtures, UnknownFieldIsAWarningWithAHint)
     EXPECT_EQ(unknown->hint, "did you mean 'slow_factor'?");
 }
 
+TEST(Fixtures, ScenarioParamTypoIsAWarningWithAFamilyAwareHint)
+{
+    CheckResult result;
+    ArtifactKind kind =
+        check::checkArtifactFile(fixture("scenario_typo.json"), result);
+    EXPECT_EQ(kind, ArtifactKind::Scenario);
+    EXPECT_EQ(result.exitCode(), 1);
+    const check::Diagnostic *unknown =
+        findRule(result, "unknown-field");
+    ASSERT_NE(unknown, nullptr);
+    EXPECT_EQ(unknown->severity, Severity::Warning);
+    EXPECT_EQ(unknown->line, 8u);
+    EXPECT_EQ(unknown->column, 14u);
+    EXPECT_EQ(unknown->hint, "did you mean 'period'?");
+}
+
 TEST(Fixtures, DanglingWorkloadIsALocatedError)
 {
     CheckResult result;

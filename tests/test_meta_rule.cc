@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/stopping/meta_rule.hh"
 #include "rng/synthetic.hh"
 #include "rng/xoshiro.hh"
@@ -108,6 +110,59 @@ TEST(MetaRule, DelegatesMultimodalToModalityRule)
     // probe the mapping after the modes separate.
     EXPECT_EQ(delegateAt("bimodal", 7, 300), "modality");
     EXPECT_EQ(delegateAt("multimodal", 8, 300), "modality");
+}
+
+/**
+ * Regression pin for the regime-switch hysteresis (the shift veto in
+ * MetaRule::Config). A heavy-tailed stream whose median-CI delegate is
+ * about to fire gets a level switch injected shortly before the stop:
+ * median and CI barely move (that is what robust statistics are for),
+ * so without the veto the rule stops inside the first post-switch
+ * window and the summary never represents the new regime. The
+ * unguarded arm (shiftWindow = 0) reproduces that original defect;
+ * the guarded arm must hold the stop until well past the window, and
+ * must still terminate once the new regime dominates the series.
+ */
+TEST(MetaRule, ShiftVetoHoldsStopAcrossARegimeSwitch)
+{
+    constexpr size_t kSwitchAt = 80;
+    constexpr size_t kWindow = 20; // MetaRule::Config default
+    constexpr size_t kCap = 600;
+    constexpr uint64_t kSeed = 23;
+
+    auto stopOf = [&](MetaRule::Config config) {
+        Xoshiro256 gen(kSeed);
+        MetaRule rule(config);
+        SampleSeries series;
+        while (series.size() < kCap) {
+            // Cauchy(10, 0.5) switching to Cauchy(14, 0.5): the level
+            // jump is ~8 IQRs, unmissable to a window median, yet the
+            // whole-series median moves by well under the stop
+            // criterion's resolution at 80 samples.
+            double location = series.size() < kSwitchAt ? 10.0 : 14.0;
+            double u = gen.nextDoubleOpen();
+            series.append(location +
+                          0.5 * std::tan(M_PI * (u - 0.5)));
+            if (series.size() >= rule.minSamples() &&
+                rule.evaluate(series).stop) {
+                break;
+            }
+        }
+        return series.size();
+    };
+
+    MetaRule::Config unguarded;
+    unguarded.shiftWindow = 0;
+    size_t unguardedStop = stopOf(unguarded);
+    // The defect being pinned: without hysteresis the stop lands
+    // inside the first post-switch window.
+    ASSERT_GT(unguardedStop, kSwitchAt);
+    ASSERT_LE(unguardedStop, kSwitchAt + kWindow);
+
+    size_t guardedStop = stopOf(MetaRule::Config{});
+    EXPECT_GT(guardedStop, kSwitchAt + kWindow);
+    // The veto releases once the new regime dominates: no livelock.
+    EXPECT_LT(guardedStop, kCap);
 }
 
 TEST(MetaRule, AlwaysTerminatesOnEverySynthetic)
