@@ -14,6 +14,8 @@
 #include "launcher/retry.hh"
 #include "record/journal.hh"
 #include "record/metadata.hh"
+#include "serve/queue.hh"
+#include "serve/state.hh"
 #include "sim/scenario.hh"
 #include "util/string_utils.hh"
 #include "workflow/workflow_parser.hh"
@@ -227,6 +229,10 @@ artifactKindName(ArtifactKind kind)
         return "compare report";
     case ArtifactKind::Metadata:
         return "metadata";
+    case ArtifactKind::QueueJournal:
+        return "queue journal";
+    case ArtifactKind::DaemonState:
+        return "daemon state";
     case ArtifactKind::Unknown:
         break;
     }
@@ -239,8 +245,13 @@ sniffArtifact(const std::string &path, const std::string &text,
 {
     if (util::endsWith(path, ".md") || util::startsWith(text, "# "))
         return ArtifactKind::Metadata;
-    if (util::endsWith(path, ".jsonl"))
-        return ArtifactKind::Journal;
+    if (util::endsWith(path, ".jsonl")) {
+        // Both JSONL artifacts carry their identity on line 1: the
+        // queue journal a schema tag, the run journal a spec header.
+        return serve::looksLikeQueueJournal(text)
+                   ? ArtifactKind::QueueJournal
+                   : ArtifactKind::Journal;
+    }
     if (!doc)
         return ArtifactKind::Unknown;
     if (doc->isObject() && doc->find("type") &&
@@ -257,6 +268,8 @@ sniffArtifact(const std::string &path, const std::string &text,
             return ArtifactKind::CompareReport;
         if (schema == sim::kScenarioSchema)
             return ArtifactKind::Scenario;
+        if (schema == serve::daemonStateSchema)
+            return ArtifactKind::DaemonState;
         return ArtifactKind::Baseline;
     }
     if (hasAnyKey(*doc, {"states", "functions"}))
@@ -311,6 +324,10 @@ checkDocument(ArtifactKind kind, const json::Value &doc,
     case ArtifactKind::CompareReport:
         compare::checkCompareReport(doc, out);
         break;
+    case ArtifactKind::DaemonState:
+        serve::checkDaemonState(doc, out);
+        break;
+    case ArtifactKind::QueueJournal:
     case ArtifactKind::Journal:
     case ArtifactKind::Metadata:
         // Text formats; checkArtifactText routes them before parsing.
@@ -319,7 +336,8 @@ checkDocument(ArtifactKind kind, const json::Value &doc,
         out.warning(std::string("unknown-artifact"),
                     "cannot tell what kind of artifact this is",
                     "expected a run/fault/retry/experiment spec, "
-                    "workflow, journal, baseline, or metadata");
+                    "workflow, journal, queue journal, daemon state, "
+                    "baseline, or metadata");
         break;
     }
 }
@@ -333,13 +351,19 @@ checkArtifactText(const std::string &path, const std::string &text,
         (util::endsWith(path, ".md") || util::startsWith(text, "# ")))
         kind = ArtifactKind::Metadata;
     if (kind == ArtifactKind::Unknown && util::endsWith(path, ".jsonl"))
-        kind = ArtifactKind::Journal;
+        kind = serve::looksLikeQueueJournal(text)
+                   ? ArtifactKind::QueueJournal
+                   : ArtifactKind::Journal;
     if (kind == ArtifactKind::Metadata) {
         checkMetadata(text, out);
         return kind;
     }
     if (kind == ArtifactKind::Journal) {
         checkJournal(text, out);
+        return kind;
+    }
+    if (kind == ArtifactKind::QueueJournal) {
+        serve::checkQueueText(text, out);
         return kind;
     }
 
@@ -362,6 +386,8 @@ checkArtifactText(const std::string &path, const std::string &text,
     // named .json whose single line is the spec header).
     if (kind == ArtifactKind::Journal)
         checkJournal(text, out);
+    else if (kind == ArtifactKind::QueueJournal)
+        serve::checkQueueText(text, out);
     else if (kind == ArtifactKind::Metadata)
         checkMetadata(text, out);
     else if (kind == ArtifactKind::Scenario)

@@ -54,6 +54,10 @@ enum class ArtifactKind
     CompareReport,
     /** A reproduction metadata document (markdown). */
     Metadata,
+    /** A `sharp serve` campaign queue journal (`sharp-queue-v1`). */
+    QueueJournal,
+    /** A `sharp serve` daemon state file (`sharp-daemon-state-v1`). */
+    DaemonState,
     /** Nothing recognizable. */
     Unknown,
 };

@@ -28,6 +28,9 @@
 #include "record/metadata.hh"
 #include "record/sysinfo.hh"
 #include "report/compare.hh"
+#include "serve/client.hh"
+#include "serve/daemon.hh"
+#include "serve/protocol.hh"
 #include "report/gate.hh"
 #include "report/html.hh"
 #include "report/report.hh"
@@ -194,10 +197,41 @@ commands:
                                running anything: run/fault/retry specs,
                                experiment configs, workflows, journals,
                                calibration baselines, scenarios,
-                               metadata; a directory expands to its
+                               metadata, queue journals, daemon state;
+                               a directory expands to its
                                .json/.jsonl/.md entries (non-recursive)
       --format text|json       diagnostic output format (default text)
       (exit: 0 clean, 1 warnings only, 2 errors)
+  serve                        run the campaign daemon: accept run
+                               specs over a unix socket, execute them
+                               on supervised worker shards with
+                               heartbeat/deadline watchdog, journal
+                               every transition (crash-safe, resumable)
+      --socket PATH            unix socket to listen on (required)
+      --state-dir DIR          queue journal, daemon state, campaign
+                               results (required; restart on the same
+                               directory resumes everything)
+      --shards N               concurrent worker shards (default 2)
+      --max-queued N           per-tenant cap on queued + running
+                               campaigns (default 8)
+      --round-deadline S       seconds without a heartbeat before the
+                               watchdog kills a shard (default 60)
+      --max-failovers N        failovers per campaign before it fails
+                               terminally (default 3)
+      (SIGTERM drains gracefully and exits 130; campaigns resume
+      byte-identically on restart)
+  client OP [ARG]              talk to a running daemon
+      --socket PATH            daemon socket (required)
+      submit SPEC.json         submit a run spec [--tenant NAME]
+      status [ID]              one campaign, or all + draining flag
+      results ID               result paths + CSV of a done campaign
+      cancel ID                cancel a queued or running campaign
+      drain                    ask the daemon to drain and exit
+      ping                     daemon liveness + pid
+      wait ID                  poll until ID reaches a terminal state
+                               [--timeout S, default 300]
+      (exit: 0 ok, 1 retryable rejection or unreachable daemon,
+      2 non-retryable rejection)
   help                         this text
 
 exit codes: 0 ok, 1 error (compare --against: regression to
@@ -1224,6 +1258,126 @@ cmdCheck(const ParsedArgs &args, std::ostream &out, std::ostream &err)
     return total.exitCode();
 }
 
+int
+cmdServe(const ParsedArgs &args, std::ostream &out, std::ostream &err)
+{
+    serve::ServeOptions options;
+    options.socketPath = args.get("socket");
+    options.stateDir = args.get("state-dir");
+    if (options.socketPath.empty() || options.stateDir.empty()) {
+        err << "serve: --socket and --state-dir are required\n";
+        return 2;
+    }
+    auto parse_size = [&](const char *key, size_t fallback,
+                          long floor) -> long {
+        std::string value = args.get(key);
+        if (value.empty())
+            return static_cast<long>(fallback);
+        auto parsed = util::parseLong(value);
+        if (!parsed || *parsed < floor)
+            return -1;
+        return *parsed;
+    };
+    long shards = parse_size("shards", options.shards, 1);
+    long queued =
+        parse_size("max-queued", options.maxQueuedPerTenant, 1);
+    long failovers = parse_size("max-failovers", options.maxFailovers, 0);
+    if (shards < 0 || queued < 0 || failovers < 0) {
+        err << "serve: --shards/--max-queued must be integers >= 1, "
+               "--max-failovers an integer >= 0\n";
+        return 2;
+    }
+    options.shards = static_cast<size_t>(shards);
+    options.maxQueuedPerTenant = static_cast<size_t>(queued);
+    options.maxFailovers = static_cast<size_t>(failovers);
+    std::string deadline = args.get("round-deadline");
+    if (!deadline.empty()) {
+        auto parsed = util::parseDouble(deadline);
+        if (!parsed || *parsed <= 0.0) {
+            err << "serve: --round-deadline must be a number > 0\n";
+            return 2;
+        }
+        options.roundDeadlineSeconds = *parsed;
+    }
+    return serve::runDaemon(options, out, err);
+}
+
+int
+cmdClient(const ParsedArgs &args, std::ostream &out, std::ostream &err)
+{
+    std::string socket = args.get("socket");
+    if (socket.empty()) {
+        err << "client: --socket is required\n";
+        return 2;
+    }
+    if (args.positional.empty()) {
+        err << "client: an operation is required "
+               "(submit|status|results|cancel|drain|ping|wait)\n";
+        return 2;
+    }
+    const std::string &op = args.positional[0];
+
+    if (op == "wait") {
+        if (args.positional.size() < 2) {
+            err << "client: wait needs a campaign id\n";
+            return 2;
+        }
+        double timeout = 300.0;
+        std::string flag = args.get("timeout");
+        if (!flag.empty()) {
+            auto parsed = util::parseDouble(flag);
+            if (!parsed || *parsed <= 0.0) {
+                err << "client: --timeout must be a number > 0\n";
+                return 2;
+            }
+            timeout = *parsed;
+        }
+        json::Value response = serve::waitForCampaign(
+            socket, args.positional[1], timeout);
+        out << json::writePretty(response) << "\n";
+        if (response.getBool("ok", false)) {
+            const json::Value *campaign = response.find("campaign");
+            std::string state =
+                campaign ? campaign->getString("state", "") : "";
+            return state == "done" ? 0 : 2;
+        }
+        return serve::clientExitCode(response);
+    }
+
+    json::Value request = json::Value::makeObject();
+    request.set("op", op);
+    if (op == "submit") {
+        if (args.positional.size() < 2) {
+            err << "client: submit needs a spec file\n";
+            return 2;
+        }
+        request.set("tenant", args.get("tenant", "default"));
+        request.set("spec", json::parseFile(args.positional[1]));
+    } else if (op == "results" || op == "cancel") {
+        if (args.positional.size() < 2) {
+            err << "client: " << op << " needs a campaign id\n";
+            return 2;
+        }
+        request.set("id", args.positional[1]);
+    } else if (op == "status") {
+        if (args.positional.size() > 1)
+            request.set("id", args.positional[1]);
+    } else if (op != "drain" && op != "ping") {
+        err << "client: unknown operation '" << op << "'\n";
+        return 2;
+    }
+
+    json::Value response;
+    try {
+        response = serve::clientRequest(socket, request);
+    } catch (const std::exception &problem) {
+        err << "client: " << problem.what() << "\n";
+        return 1; // unreachable daemon is retryable by definition
+    }
+    out << json::writePretty(response) << "\n";
+    return serve::clientExitCode(response);
+}
+
 } // anonymous namespace
 
 int
@@ -1261,6 +1415,10 @@ runCli(const std::vector<std::string> &argv, std::ostream &out,
             return cmdWorkflow(args, out, err);
         if (args.command == "check")
             return cmdCheck(args, out, err);
+        if (args.command == "serve")
+            return cmdServe(args, out, err);
+        if (args.command == "client")
+            return cmdClient(args, out, err);
         err << "unknown command '" << args.command
             << "' (try `sharp help`)\n";
         return 2;

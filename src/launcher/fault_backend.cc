@@ -1,6 +1,9 @@
 #include "launcher/fault_backend.hh"
 
+#include <chrono>
+#include <cmath>
 #include <stdexcept>
+#include <thread>
 
 #include "check/diagnostic.hh"
 #include "util/string_utils.hh"
@@ -14,7 +17,8 @@ namespace
 {
 
 const char *const faultProbabilityKeys[] = {
-    "crash", "spawn_error", "hang", "corrupt", "flaky_exit", "slow"};
+    "crash",   "spawn_error", "hang", "hang_recover",
+    "corrupt", "flaky_exit",  "slow"};
 
 } // anonymous namespace
 
@@ -26,9 +30,12 @@ checkFaultSpec(const json::Value &doc, check::CheckResult &out)
         return;
     }
     static const std::vector<std::string> known = {
-        "crash",      "spawn_error", "hang",        "corrupt",
-        "flaky_exit", "slow",        "slow_factor", "slow_metric",
-        "seed"};
+        "crash",       "spawn_error",
+        "hang",        "hang_recover",
+        "hang_recover_seconds", "incarnation",
+        "corrupt",     "flaky_exit",
+        "slow",        "slow_factor",
+        "slow_metric", "seed"};
     check::checkKnownFields(doc, known, "fault spec", out);
 
     double total = 0.0;
@@ -69,6 +76,25 @@ checkFaultSpec(const json::Value &doc, check::CheckResult &out)
             out.error(*factor, "out-of-range",
                       "'slow_factor' must be > 0");
     }
+    if (const json::Value *stall = doc.find("hang_recover_seconds")) {
+        if (!stall->isNumber())
+            out.error(*stall, "wrong-type",
+                      "'hang_recover_seconds' must be a number");
+        else if (stall->asNumber() <= 0.0)
+            out.error(*stall, "out-of-range",
+                      "'hang_recover_seconds' must be > 0");
+    }
+    if (const json::Value *epoch = doc.find("incarnation")) {
+        if (!epoch->isNumber() || epoch->asNumber() < 0.0 ||
+            epoch->asNumber() !=
+                static_cast<double>(
+                    static_cast<uint64_t>(epoch->asNumber()))) {
+            out.error(*epoch, "wrong-type",
+                      "'incarnation' must be a non-negative integer",
+                      "supervisors set it to the campaign's failover "
+                      "count; plain runs omit it");
+        }
+    }
     if (const json::Value *metric = doc.find("slow_metric")) {
         if (!metric->isString() || metric->asString().empty())
             out.error(*metric, "wrong-type",
@@ -91,15 +117,17 @@ double
 FaultSpec::totalProbability() const
 {
     return crashProbability + spawnErrorProbability + hangProbability +
-           corruptProbability + flakyExitProbability + slowProbability;
+           hangRecoverProbability + corruptProbability +
+           flakyExitProbability + slowProbability;
 }
 
 void
 FaultSpec::validate() const
 {
-    for (double p :
-         {crashProbability, spawnErrorProbability, hangProbability,
-          corruptProbability, flakyExitProbability, slowProbability}) {
+    for (double p : {crashProbability, spawnErrorProbability,
+                     hangProbability, hangRecoverProbability,
+                     corruptProbability, flakyExitProbability,
+                     slowProbability}) {
         if (p < 0.0 || p > 1.0)
             throw std::invalid_argument(
                 "fault probabilities must be in [0, 1]");
@@ -109,6 +137,8 @@ FaultSpec::validate() const
             "fault probabilities must sum to <= 1");
     if (slowFactor <= 0.0)
         throw std::invalid_argument("slow_factor must be > 0");
+    if (hangRecoverSeconds <= 0.0)
+        throw std::invalid_argument("hang_recover_seconds must be > 0");
 }
 
 FaultSpec
@@ -122,6 +152,10 @@ FaultSpec::fromJson(const json::Value &doc)
     spec.crashProbability = doc.getNumber("crash", 0.0);
     spec.spawnErrorProbability = doc.getNumber("spawn_error", 0.0);
     spec.hangProbability = doc.getNumber("hang", 0.0);
+    spec.hangRecoverProbability = doc.getNumber("hang_recover", 0.0);
+    spec.hangRecoverSeconds =
+        doc.getNumber("hang_recover_seconds", spec.hangRecoverSeconds);
+    spec.incarnation = doc.getUint64("incarnation", 0);
     spec.corruptProbability = doc.getNumber("corrupt", 0.0);
     spec.flakyExitProbability = doc.getNumber("flaky_exit", 0.0);
     spec.slowProbability = doc.getNumber("slow", 0.0);
@@ -139,6 +173,9 @@ FaultSpec::toJson() const
     doc.set("crash", crashProbability);
     doc.set("spawn_error", spawnErrorProbability);
     doc.set("hang", hangProbability);
+    doc.set("hang_recover", hangRecoverProbability);
+    doc.set("hang_recover_seconds", hangRecoverSeconds);
+    doc.set("incarnation", static_cast<double>(incarnation));
     doc.set("corrupt", corruptProbability);
     doc.set("flaky_exit", flakyExitProbability);
     doc.set("slow", slowProbability);
@@ -148,6 +185,24 @@ FaultSpec::toJson() const
     // round seeds >= 2^53 and replay a different fault schedule.
     doc.set("seed", std::to_string(seed));
     return doc;
+}
+
+double
+hangRecoverStallSeconds(const FaultSpec &spec, size_t index)
+{
+    // Hashed from (seed, index) rather than drawn from the band
+    // schedule, so the stall length never consumes a schedule draw
+    // and enabling hang_recover cannot shift which bands fire.
+    rng::SplitMix64 mix(spec.seed ^
+                        (0x9E3779B97F4A7C15ULL *
+                         (static_cast<uint64_t>(index) + 1)));
+    double fraction =
+        static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+    double stall = spec.hangRecoverSeconds * (0.9 + 0.2 * fraction);
+    int epoch = spec.incarnation > 1024
+                    ? 1024
+                    : static_cast<int>(spec.incarnation);
+    return std::ldexp(stall, -epoch);
 }
 
 FaultInjectingBackend::FaultInjectingBackend(
@@ -209,6 +264,19 @@ FaultInjectingBackend::run()
     if (draw < band) {
         return RunResult::failure(FailureKind::Timeout,
                                   "hung past the time budget" + tag);
+    }
+    band += spec.hangRecoverProbability;
+    if (draw < band) {
+        // Stall for real wall-clock time, then complete normally:
+        // metrics are untouched, so the run log stays byte-identical
+        // to an unstalled schedule — only a supervisor's deadline
+        // clock can tell the difference.
+        double stall = hangRecoverStallSeconds(spec, index);
+        if (stall > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(stall));
+        }
+        return inner->run();
     }
     band += spec.corruptProbability;
     if (draw < band) {

@@ -40,6 +40,26 @@ struct FaultSpec
     double spawnErrorProbability = 0.0;
     /** Run hangs past its time budget; the backend is not invoked. */
     double hangProbability = 0.0;
+    /**
+     * Run stalls for a real (seeded) wall-clock interval and then
+     * completes normally — the transient hang a supervision watchdog
+     * must detect by deadline, without anyone SIGKILLing a process
+     * from outside. The stall halves on every incarnation (see
+     * below), modeling a transient stall that clears on retry, so a
+     * supervisor that fails the campaign over eventually sees it
+     * finish. Metrics are untouched: only wall time is perturbed, so
+     * outputs stay byte-identical to an unstalled run.
+     */
+    double hangRecoverProbability = 0.0;
+    /** Base stall length for hang-then-recover faults, in seconds. */
+    double hangRecoverSeconds = 0.1;
+    /**
+     * Failover epoch: which re-execution of the campaign this is.
+     * Each increment halves every hang-then-recover stall. Supervisors
+     * set it to the campaign's failover count before rebuilding the
+     * backend; plain runs leave it 0.
+     */
+    uint64_t incarnation = 0;
     /** Backend runs but its output loses the required metrics. */
     double corruptProbability = 0.0;
     /** Backend runs but the program exits nonzero. */
@@ -78,6 +98,16 @@ struct FaultSpec
  * so `sharp run --fault` and `sharp check` agree on every finding.
  */
 void checkFaultSpec(const json::Value &doc, check::CheckResult &out);
+
+/**
+ * The stall a hang-then-recover fault at invocation @p index sleeps
+ * for: hang_recover_seconds scaled by a seeded factor in [0.9, 1.1]
+ * (SplitMix64-chained over seed and index, independent of the band
+ * schedule so enabling the entry never shifts which bands fire) and
+ * halved once per incarnation. Exposed so tests and supervisors can
+ * predict deadlines without sleeping.
+ */
+double hangRecoverStallSeconds(const FaultSpec &spec, size_t index);
 
 /**
  * Wraps any backend and injects faults per the seeded schedule.

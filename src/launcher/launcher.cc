@@ -225,6 +225,11 @@ Launcher::launch()
                 if (!done)
                     done = roundBoundary();
             }
+            // Replay is progress too: without this, a supervisor
+            // watchdog would see a resuming worker as silent for the
+            // whole fast-forward and kill it mid-resume.
+            if (options.roundObserver)
+                options.roundObserver(run);
         }
     }
 
@@ -268,6 +273,8 @@ Launcher::launch()
             report.log.add(rec);
         if (options.journal)
             options.journal->appendRound(round);
+        if (options.roundObserver)
+            options.roundObserver(run_index);
         ++run_index;
         return round;
     };

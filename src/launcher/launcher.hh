@@ -25,6 +25,7 @@
 #define SHARP_LAUNCHER_LAUNCHER_HH
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -101,6 +102,16 @@ struct LaunchOptions
      * flushes, and reports interrupted (optional, non-owning).
      */
     const std::atomic<bool> *interruptFlag = nullptr;
+    /**
+     * Called with the run index after each completed round, once the
+     * round has been journaled (optional). Also fires for each round
+     * replayed during resume — fast-forwarding a deterministic
+     * backend re-executes its call pattern, which takes real time.
+     * Supervised workers use it to emit liveness heartbeats at round
+     * granularity, so a watchdog deadline bounds the cost of one
+     * round, not a whole campaign (or a whole resume).
+     */
+    std::function<void(size_t)> roundObserver;
 };
 
 /** Everything a launch produces. */

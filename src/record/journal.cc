@@ -1,5 +1,6 @@
 #include "record/journal.hh"
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -21,6 +22,20 @@ using check::Severity;
 RunJournal::RunJournal(std::string path_in, JournalMode mode)
     : filePath(std::move(path_in))
 {
+    // Resume-mode opens repair the tail unconditionally, so a torn
+    // trailing fragment can never fuse with the first new append —
+    // even for callers (daemon failover, restart-after-crash) that
+    // did not go through loadResumedCampaign() first. A journal that
+    // is malformed beyond a torn tail throws here, before any append
+    // could make it worse.
+    if (mode == JournalMode::Resume) {
+        struct stat st = {};
+        if (::stat(filePath.c_str(), &st) == 0 && st.st_size > 0) {
+            JournalContents contents = readJournal(filePath);
+            if (contents.truncated || !contents.terminated)
+                repairJournal(filePath, contents);
+        }
+    }
     file = std::fopen(filePath.c_str(),
                       mode == JournalMode::Resume ? "ab" : "wb");
     if (!file) {
@@ -400,13 +415,22 @@ checkJournalText(const std::string &text, check::CheckResult &out)
 void
 repairJournal(const std::string &path, const JournalContents &contents)
 {
-    if (contents.truncated &&
-        ::truncate(path.c_str(),
-                   static_cast<off_t>(contents.validBytes)) != 0) {
+    repairJsonlTail(path, contents.validBytes, contents.terminated);
+}
+
+void
+repairJsonlTail(const std::string &path, size_t validBytes,
+                bool terminated)
+{
+    struct stat st = {};
+    bool oversized = ::stat(path.c_str(), &st) == 0 &&
+                     static_cast<size_t>(st.st_size) > validBytes;
+    if (oversized &&
+        ::truncate(path.c_str(), static_cast<off_t>(validBytes)) != 0) {
         throw std::runtime_error("cannot trim torn journal '" + path +
                                  "': " + std::strerror(errno));
     }
-    if (contents.terminated)
+    if (terminated)
         return;
     // The last valid line lost its newline (crash between the write
     // and the terminator); supply it so appends start a fresh line.

@@ -131,10 +131,26 @@ JournalContents readJournal(const std::string &path);
  * this, the first appended line after a resume would fuse onto the
  * fragment into one malformed line, leaving the journal unresumable.
  * A clean journal is left untouched.
+ *
+ * Callers rarely need to invoke this directly: RunJournal's Resume
+ * mode repairs the tail itself before appending, so every journal
+ * open — CLI `--resume`, daemon failover, restart after a crash —
+ * goes through the same repair no matter who opens the file.
  * @throws std::runtime_error when the file cannot be modified.
  */
 void repairJournal(const std::string &path,
                    const JournalContents &contents);
+
+/**
+ * The format-agnostic tail repair under repairJournal(): truncate
+ * @p path to @p validBytes when the file has grown past it (a torn
+ * trailing fragment), then append the missing final newline when
+ * @p terminated is false. Shared by every JSONL artifact that appends
+ * after a crash (run journals, the daemon's campaign queue).
+ * @throws std::runtime_error when the file cannot be modified.
+ */
+void repairJsonlTail(const std::string &path, size_t validBytes,
+                     bool terminated);
 
 /** Serialize one record to its journal JSON object (round-trips). */
 json::Value recordToJson(const RunRecord &record);

@@ -1,0 +1,90 @@
+#include "serve/client.hh"
+
+#include <unistd.h>
+
+#include <stdexcept>
+
+#include "json/parser.hh"
+#include "json/writer.hh"
+#include "serve/protocol.hh"
+#include "serve/queue.hh"
+#include "util/socket.hh"
+#include "util/time_utils.hh"
+
+namespace sharp
+{
+namespace serve
+{
+
+json::Value
+clientRequest(const std::string &socketPath,
+              const json::Value &request)
+{
+    int fd = util::connectUnixSocket(socketPath);
+    std::string buffer;
+    std::string line;
+    bool ok = util::sendLine(fd, json::write(request)) &&
+              util::recvLine(fd, buffer, line);
+    util::closeQuietly(fd);
+    if (!ok) {
+        throw std::runtime_error("daemon at '" + socketPath +
+                                 "' hung up without responding");
+    }
+    return json::parse(line);
+}
+
+json::Value
+waitForCampaign(const std::string &socketPath, const std::string &id,
+                double timeoutSeconds)
+{
+    json::Value request = json::Value::makeObject();
+    request.set("op", "status");
+    request.set("id", id);
+
+    json::Value last;
+    util::Stopwatch elapsed;
+    for (;;) {
+        try {
+            json::Value response = clientRequest(socketPath, request);
+            last = response;
+            if (response.getBool("ok", false)) {
+                const json::Value *campaign = response.find("campaign");
+                std::string state =
+                    campaign ? campaign->getString("state", "") : "";
+                if (state == campaignStateName(CampaignState::Done) ||
+                    state ==
+                        campaignStateName(CampaignState::Failed) ||
+                    state ==
+                        campaignStateName(CampaignState::Cancelled))
+                    return response;
+            } else if (!isRetryable(response)) {
+                // unknown-campaign etc.: waiting cannot fix it.
+                return response;
+            }
+        } catch (const std::exception &) {
+            // Unreachable daemon: keep retrying within the timeout —
+            // it may be restarting after a drain or a kill.
+        }
+        if (elapsed.elapsedSeconds() >= timeoutSeconds) {
+            if (last.isObject())
+                return last;
+            return errorResponse("timeout",
+                                 "campaign '" + id +
+                                     "' did not reach a terminal "
+                                     "state in time",
+                                 true);
+        }
+        ::usleep(200 * 1000);
+    }
+}
+
+int
+clientExitCode(const json::Value &response)
+{
+    if (response.isObject() && response.getBool("ok", false))
+        return 0;
+    return isRetryable(response) ? 1 : 2;
+}
+
+} // namespace serve
+} // namespace sharp

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Client side of the `sharp serve` protocol.
+ *
+ * `sharp client` wraps these helpers: connect to the daemon's socket,
+ * send one request line, read one response line. The exit-code
+ * mapping is the operator contract: 0 success, 1 retryable rejection
+ * (queue full, draining) or an unreachable daemon — "try again
+ * later" — and 2 a non-retryable rejection (invalid spec, unknown
+ * campaign), which retrying cannot fix.
+ */
+
+#ifndef SHARP_SERVE_CLIENT_HH
+#define SHARP_SERVE_CLIENT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "json/value.hh"
+
+namespace sharp
+{
+namespace serve
+{
+
+/**
+ * Send @p request to the daemon at @p socketPath and return its
+ * response document.
+ * @throws std::runtime_error when the daemon is unreachable or hangs
+ *         up without responding.
+ */
+json::Value clientRequest(const std::string &socketPath,
+                          const json::Value &request);
+
+/**
+ * Poll the daemon until campaign @p id reaches a terminal state
+ * (done, failed, cancelled) or @p timeoutSeconds elapses. Connection
+ * failures are retried within the timeout — the daemon may be
+ * restarting mid-wait, which is exactly the failover scenario this
+ * supports. Returns the final status response; a timeout returns the
+ * last response seen (or a synthesized error when none was).
+ */
+json::Value waitForCampaign(const std::string &socketPath,
+                            const std::string &id,
+                            double timeoutSeconds);
+
+/**
+ * Map a response to the client exit code: 0 ok, 1 retryable error,
+ * 2 non-retryable error.
+ */
+int clientExitCode(const json::Value &response);
+
+} // namespace serve
+} // namespace sharp
+
+#endif // SHARP_SERVE_CLIENT_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The `sharp serve` daemon: a supervised, crash-safe campaign runner.
+ *
+ * The daemon listens on a unix socket for line-delimited JSON requests
+ * (see protocol.hh), validates submitted run specs with the `sharp
+ * check` machinery, journals every accepted campaign in a persistent
+ * queue (see queue.hh), and executes campaigns on forked worker
+ * shards — one single-threaded process per running campaign, each
+ * with its own crash-safe run journal and a heartbeat pipe back to
+ * the supervisor.
+ *
+ * Supervision contract:
+ *  - A worker heartbeats once per completed round. A shard silent for
+ *    longer than the round deadline is SIGKILLed by the watchdog.
+ *  - Any killed shard (watchdog or external SIGKILL) triggers
+ *    failover: the campaign's run journal is repaired and the
+ *    campaign re-queued, resuming byte-identically on the next free
+ *    shard (the PR 3 resume contract). A campaign that fails over
+ *    more than max-failovers times fails terminally.
+ *  - SIGTERM (or a client `drain`) stops admission, forwards SIGTERM
+ *    to workers, waits for them to park at a round boundary, and
+ *    exits 130 with every campaign resumable. Restarting on the same
+ *    state directory replays the queue and picks all of them up.
+ *  - Workers carry PR_SET_PDEATHSIG, so a daemon killed outright
+ *    takes its shards with it — restart never races a live orphan
+ *    for a journal.
+ */
+
+#ifndef SHARP_SERVE_DAEMON_HH
+#define SHARP_SERVE_DAEMON_HH
+
+#include <iosfwd>
+#include <string>
+
+namespace sharp
+{
+namespace serve
+{
+
+/** Configuration for one daemon process. */
+struct ServeOptions
+{
+    /** Unix socket path to listen on. */
+    std::string socketPath;
+    /** State directory: queue journal, daemon state, campaign dirs. */
+    std::string stateDir;
+    /** Concurrent worker shards. */
+    size_t shards = 2;
+    /** Per-tenant admission cap on queued + running campaigns. */
+    size_t maxQueuedPerTenant = 8;
+    /** Seconds without a heartbeat before the watchdog kills a shard. */
+    double roundDeadlineSeconds = 60.0;
+    /** Failovers per campaign before it fails terminally. */
+    size_t maxFailovers = 3;
+    /** Supervisor poll granularity in milliseconds. */
+    int pollMillis = 50;
+};
+
+/**
+ * Run the daemon until drained. Returns the process exit code:
+ * 130 after a graceful drain (SIGTERM, SIGINT, or a client `drain`),
+ * 1 on a fatal startup or supervision error. Progress and supervision
+ * events go to @p out, errors to @p err.
+ */
+int runDaemon(const ServeOptions &options, std::ostream &out,
+              std::ostream &err);
+
+} // namespace serve
+} // namespace sharp
+
+#endif // SHARP_SERVE_DAEMON_HH

@@ -1,0 +1,77 @@
+#include "serve/protocol.hh"
+
+#include "json/parser.hh"
+
+namespace sharp
+{
+namespace serve
+{
+
+bool
+parseRequest(const std::string &line, Request &request,
+             std::string &error)
+{
+    json::Value doc;
+    try {
+        doc = json::parse(line);
+    } catch (const json::ParseError &e) {
+        error = e.what();
+        return false;
+    }
+    if (!doc.isObject()) {
+        error = "request must be a JSON object";
+        return false;
+    }
+    const json::Value *op = doc.find("op");
+    if (!op || !op->isString() || op->asString().empty()) {
+        error = "request needs a string 'op'";
+        return false;
+    }
+    request.op = op->asString();
+    request.tenant = doc.getString("tenant", "default");
+    if (request.tenant.empty()) {
+        error = "'tenant' must be a non-empty string";
+        return false;
+    }
+    request.id = doc.getString("id", "");
+    if (const json::Value *spec = doc.find("spec"))
+        request.spec = *spec;
+    else
+        request.spec = json::Value();
+    return true;
+}
+
+json::Value
+okResponse()
+{
+    json::Value response = json::Value::makeObject();
+    response.set("ok", true);
+    return response;
+}
+
+json::Value
+errorResponse(const std::string &code, const std::string &message,
+              bool retryable)
+{
+    json::Value response = json::Value::makeObject();
+    response.set("ok", false);
+    json::Value detail = json::Value::makeObject();
+    detail.set("code", code);
+    detail.set("message", message);
+    detail.set("retryable", retryable);
+    response.set("error", std::move(detail));
+    return response;
+}
+
+bool
+isRetryable(const json::Value &response)
+{
+    if (!response.isObject() || response.getBool("ok", false))
+        return false;
+    const json::Value *detail = response.find("error");
+    return detail && detail->isObject() &&
+           detail->getBool("retryable", false);
+}
+
+} // namespace serve
+} // namespace sharp

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The `sharp serve` wire protocol.
+ *
+ * One JSON object per line over a unix stream socket, in both
+ * directions. Requests carry an "op" ("submit", "status", "results",
+ * "cancel", "drain", "ping"); responses carry "ok": true plus
+ * op-specific payload, or "ok": false plus a typed error object
+ * {"code", "message", "retryable"}. The retryable flag is the
+ * admission-control contract: a "queue-full" or "draining" rejection
+ * means "try again later", while "invalid-spec" means the spec itself
+ * must change — clients map the two onto different exit codes.
+ */
+
+#ifndef SHARP_SERVE_PROTOCOL_HH
+#define SHARP_SERVE_PROTOCOL_HH
+
+#include <string>
+
+#include "json/value.hh"
+
+namespace sharp
+{
+namespace serve
+{
+
+/** Typed error codes carried in "ok": false responses. */
+namespace errors
+{
+/** The request line was not a JSON object with a string "op". */
+constexpr const char *badRequest = "bad-request";
+/** The "op" names no protocol operation. */
+constexpr const char *unknownOp = "unknown-op";
+/** The submitted run spec failed `sharp check` validation. */
+constexpr const char *invalidSpec = "invalid-spec";
+/** The tenant's queue is full — retryable admission rejection. */
+constexpr const char *queueFull = "queue-full";
+/** No campaign with the requested id exists. */
+constexpr const char *unknownCampaign = "unknown-campaign";
+/** Results were requested for a campaign that has not finished. */
+constexpr const char *notDone = "not-done";
+/** The daemon is draining and accepts no new work — retryable. */
+constexpr const char *draining = "draining";
+} // namespace errors
+
+/** A parsed request line. */
+struct Request
+{
+    /** Operation name ("submit", "status", ...). */
+    std::string op;
+    /** Submitting tenant ("default" when absent). */
+    std::string tenant = "default";
+    /** Campaign id for status/results/cancel (empty when absent). */
+    std::string id;
+    /** The run spec document for submit (null otherwise). */
+    json::Value spec;
+};
+
+/**
+ * Parse one request line. On failure returns false and fills
+ * @p error with a human-readable reason (the caller wraps it in a
+ * "bad-request" response).
+ */
+bool parseRequest(const std::string &line, Request &request,
+                  std::string &error);
+
+/** An "ok": true response skeleton; callers add payload fields. */
+json::Value okResponse();
+
+/** An "ok": false response with a typed error object. */
+json::Value errorResponse(const std::string &code,
+                          const std::string &message, bool retryable);
+
+/**
+ * True when @p response is an "ok": false response whose error is
+ * retryable (queue-full, draining). Tolerates malformed documents.
+ */
+bool isRetryable(const json::Value &response);
+
+} // namespace serve
+} // namespace sharp
+
+#endif // SHARP_SERVE_PROTOCOL_HH

@@ -1,0 +1,456 @@
+#include "serve/queue.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "check/diagnostic.hh"
+#include "json/parser.hh"
+#include "json/writer.hh"
+#include "launcher/reproduce.hh"
+#include "record/journal.hh"
+#include "util/fs.hh"
+#include "util/string_utils.hh"
+
+namespace sharp
+{
+namespace serve
+{
+
+namespace
+{
+
+constexpr const char *queueSchema = "sharp-queue-v1";
+
+const std::vector<std::string> eventNames = {
+    "submit", "start", "failover", "done",
+    "failed", "cancel", "drain"};
+
+bool
+isTerminal(CampaignState state)
+{
+    return state == CampaignState::Done ||
+           state == CampaignState::Failed ||
+           state == CampaignState::Cancelled;
+}
+
+} // anonymous namespace
+
+const char *
+campaignStateName(CampaignState state)
+{
+    switch (state) {
+    case CampaignState::Queued:
+        return "queued";
+    case CampaignState::Running:
+        return "running";
+    case CampaignState::Done:
+        return "done";
+    case CampaignState::Failed:
+        return "failed";
+    case CampaignState::Cancelled:
+        return "cancelled";
+    }
+    return "unknown";
+}
+
+QueueContents
+readQueue(const std::string &path)
+{
+    QueueContents contents;
+    if (!util::fileExists(path))
+        return contents;
+    std::string text = util::readFileText(path);
+
+    auto find = [&contents](const std::string &id) -> Campaign * {
+        for (auto &campaign : contents.campaigns) {
+            if (campaign.id == id)
+                return &campaign;
+        }
+        return nullptr;
+    };
+
+    auto lines = util::split(text, '\n');
+    size_t last_nonempty = lines.size();
+    for (size_t i = lines.size(); i-- > 0;) {
+        if (!lines[i].empty()) {
+            last_nonempty = i;
+            break;
+        }
+    }
+    bool saw_schema = false;
+    size_t offset = 0;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &line = lines[i];
+        size_t start = offset;
+        offset += line.size() + 1;
+        if (line.empty())
+            continue;
+        bool last = i == last_nonempty;
+        json::Value doc;
+        try {
+            doc = json::parse(line);
+        } catch (const std::exception &) {
+            if (last) {
+                contents.truncated = true;
+                break;
+            }
+            throw std::runtime_error("malformed queue line " +
+                                     std::to_string(i + 1) + " in '" +
+                                     path + "'");
+        }
+        bool has_newline = start + line.size() < text.size();
+        contents.validBytes = start + line.size() + (has_newline ? 1 : 0);
+        contents.terminated = has_newline;
+        if (!doc.isObject()) {
+            throw std::runtime_error("queue line " +
+                                     std::to_string(i + 1) + " in '" +
+                                     path + "' is not an object");
+        }
+        if (!saw_schema) {
+            if (doc.getString("schema", "") != queueSchema) {
+                throw std::runtime_error(
+                    "'" + path + "' lacks the '" +
+                    std::string(queueSchema) + "' schema header");
+            }
+            saw_schema = true;
+            continue;
+        }
+        std::string event = doc.getString("event", "");
+        if (event == "drain")
+            continue; // informational; per-campaign state is authoritative
+        std::string id = doc.getString("id", "");
+        if (event == "submit") {
+            if (find(id)) {
+                throw std::runtime_error("duplicate submit for '" + id +
+                                         "' in '" + path + "'");
+            }
+            Campaign campaign;
+            campaign.id = id;
+            campaign.tenant = doc.getString("tenant", "default");
+            if (const json::Value *spec = doc.find("spec"))
+                campaign.spec = *spec;
+            contents.campaigns.push_back(std::move(campaign));
+            // Ids are allocated as "c<number>"; replay the counter so
+            // a restarted daemon never reuses an id.
+            if (id.size() > 1 && id[0] == 'c') {
+                if (auto number = util::parseLong(id.substr(1))) {
+                    if (*number >= 0 &&
+                        static_cast<size_t>(*number) >=
+                            contents.nextIdNumber)
+                        contents.nextIdNumber =
+                            static_cast<size_t>(*number) + 1;
+                }
+            }
+            continue;
+        }
+        Campaign *campaign = find(id);
+        if (!campaign) {
+            throw std::runtime_error("queue event '" + event +
+                                     "' for unknown campaign '" + id +
+                                     "' in '" + path + "'");
+        }
+        if (event == "start") {
+            campaign->started = true;
+            // Replay cannot assert "running": the shard died with the
+            // daemon. The campaign re-queues and resumes its journal.
+            campaign->state = CampaignState::Queued;
+        } else if (event == "failover") {
+            ++campaign->failovers;
+            campaign->state = CampaignState::Queued;
+        } else if (event == "done") {
+            campaign->state = CampaignState::Done;
+        } else if (event == "failed") {
+            campaign->state = CampaignState::Failed;
+            campaign->reason = doc.getString("reason", "");
+        } else if (event == "cancel") {
+            campaign->state = CampaignState::Cancelled;
+        } else {
+            throw std::runtime_error("unknown queue event '" + event +
+                                     "' in '" + path + "'");
+        }
+    }
+    return contents;
+}
+
+QueueJournal::QueueJournal(std::string path) : filePath(std::move(path))
+{
+    bool fresh = !util::fileExists(filePath);
+    if (!fresh) {
+        // Same torn-tail discipline as run journals: never append
+        // after a fragment a crash left behind.
+        QueueContents contents = readQueue(filePath);
+        if (contents.truncated || !contents.terminated)
+            record::repairJsonlTail(filePath, contents.validBytes,
+                                    contents.terminated);
+        fresh = contents.validBytes == 0;
+    }
+    file = std::fopen(filePath.c_str(), "ab");
+    if (!file) {
+        throw std::runtime_error("cannot open queue journal '" +
+                                 filePath + "': " +
+                                 std::strerror(errno));
+    }
+    if (fresh) {
+        json::Value header = json::Value::makeObject();
+        header.set("schema", queueSchema);
+        append(header);
+    }
+}
+
+QueueJournal::~QueueJournal()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+QueueJournal::append(const json::Value &event)
+{
+    std::string line = json::write(event);
+    if (std::fwrite(line.data(), 1, line.size(), file) != line.size() ||
+        std::fputc('\n', file) == EOF || std::fflush(file) != 0) {
+        throw std::runtime_error("queue journal write failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    // The daemon acts on an event only after it is durable; replay
+    // after SIGKILL must see everything clients were told about.
+    if (fsync(fileno(file)) != 0) {
+        throw std::runtime_error("queue journal fsync failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+}
+
+void
+QueueJournal::submit(const std::string &id, const std::string &tenant,
+                     const json::Value &spec)
+{
+    json::Value event = json::Value::makeObject();
+    event.set("event", "submit");
+    event.set("id", id);
+    event.set("tenant", tenant);
+    event.set("spec", spec);
+    append(event);
+}
+
+void
+QueueJournal::start(const std::string &id, size_t shard)
+{
+    json::Value event = json::Value::makeObject();
+    event.set("event", "start");
+    event.set("id", id);
+    event.set("shard", shard);
+    append(event);
+}
+
+void
+QueueJournal::failover(const std::string &id, const std::string &reason)
+{
+    json::Value event = json::Value::makeObject();
+    event.set("event", "failover");
+    event.set("id", id);
+    event.set("reason", reason);
+    append(event);
+}
+
+void
+QueueJournal::done(const std::string &id)
+{
+    json::Value event = json::Value::makeObject();
+    event.set("event", "done");
+    event.set("id", id);
+    append(event);
+}
+
+void
+QueueJournal::failed(const std::string &id, const std::string &reason)
+{
+    json::Value event = json::Value::makeObject();
+    event.set("event", "failed");
+    event.set("id", id);
+    event.set("reason", reason);
+    append(event);
+}
+
+void
+QueueJournal::cancel(const std::string &id)
+{
+    json::Value event = json::Value::makeObject();
+    event.set("event", "cancel");
+    event.set("id", id);
+    append(event);
+}
+
+void
+QueueJournal::drain()
+{
+    json::Value event = json::Value::makeObject();
+    event.set("event", "drain");
+    append(event);
+}
+
+bool
+looksLikeQueueJournal(const std::string &text)
+{
+    size_t end = text.find('\n');
+    std::string first =
+        end == std::string::npos ? text : text.substr(0, end);
+    if (first.find(queueSchema) == std::string::npos)
+        return false;
+    try {
+        json::Value doc = json::parse(first);
+        return doc.isObject() &&
+               doc.getString("schema", "") == queueSchema;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+void
+checkQueueText(const std::string &text, check::CheckResult &out)
+{
+    using check::Severity;
+
+    auto lines = util::split(text, '\n');
+    size_t last_nonempty = lines.size();
+    for (size_t i = lines.size(); i-- > 0;) {
+        if (!lines[i].empty()) {
+            last_nonempty = i;
+            break;
+        }
+    }
+    if (last_nonempty == lines.size()) {
+        out.warning("empty-queue", "queue journal holds no lines");
+        return;
+    }
+
+    // id -> state, folded as we walk; "" reason strings elided.
+    std::vector<std::pair<std::string, CampaignState>> states;
+    auto stateOf =
+        [&states](const std::string &id) -> CampaignState * {
+        for (auto &[known, state] : states) {
+            if (known == id)
+                return &state;
+        }
+        return nullptr;
+    };
+
+    bool saw_schema = false;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &line = lines[i];
+        if (line.empty())
+            continue;
+        json::Location whole_line{static_cast<uint32_t>(i + 1), 1};
+        json::Value doc;
+        try {
+            doc = json::parse(line);
+        } catch (const std::exception &problem) {
+            if (i == last_nonempty) {
+                out.report(Severity::Warning, whole_line,
+                           "truncated-queue",
+                           "torn trailing line (crash mid-append); the "
+                           "daemon repairs it on restart",
+                           "restart `sharp serve` on the same state "
+                           "directory to repair and resume");
+            } else {
+                out.report(Severity::Error, whole_line, "queue-syntax",
+                           std::string("malformed queue line: ") +
+                               problem.what());
+            }
+            continue;
+        }
+        if (!doc.isObject()) {
+            out.report(Severity::Error, whole_line, "queue-syntax",
+                       "queue line must be a JSON object");
+            continue;
+        }
+        if (!saw_schema) {
+            if (doc.getString("schema", "") != queueSchema) {
+                out.report(Severity::Error, whole_line, "queue-schema",
+                           "first line must carry the '" +
+                               std::string(queueSchema) +
+                               "' schema header");
+            }
+            saw_schema = true;
+            continue;
+        }
+        std::string event = doc.getString("event", "");
+        if (event.empty()) {
+            out.report(Severity::Error, whole_line, "missing-field",
+                       "queue event lacks an 'event' name");
+            continue;
+        }
+        if (std::find(eventNames.begin(), eventNames.end(), event) ==
+            eventNames.end()) {
+            out.report(Severity::Error, whole_line, "unknown-event",
+                       "unknown queue event '" + event + "'",
+                       check::suggestName(event, eventNames));
+            continue;
+        }
+        if (event == "drain")
+            continue;
+        std::string id = doc.getString("id", "");
+        if (id.empty()) {
+            out.report(Severity::Error, whole_line, "missing-field",
+                       "'" + event + "' event lacks an 'id'");
+            continue;
+        }
+        CampaignState *state = stateOf(id);
+        if (event == "submit") {
+            if (state) {
+                out.report(Severity::Error, whole_line, "queue-order",
+                           "duplicate submit for campaign '" + id +
+                               "'");
+                continue;
+            }
+            const json::Value *spec = doc.find("spec");
+            if (!spec || !spec->isObject()) {
+                out.report(Severity::Error, whole_line, "missing-field",
+                           "submit event lacks a 'spec' object");
+            } else {
+                // Deep-check the spec so a queue full of unusable
+                // campaigns is caught at rest, not at dispatch. The
+                // per-line parse resets positions, so findings are
+                // re-anchored to the journal line.
+                check::CheckResult spec_findings;
+                launcher::checkRunSpec(*spec, spec_findings);
+                for (const auto &finding : spec_findings.diagnostics()) {
+                    out.report(finding.severity, whole_line,
+                               finding.rule,
+                               "in submitted spec '" + id +
+                                   "': " + finding.message,
+                               finding.hint);
+                }
+            }
+            states.emplace_back(id, CampaignState::Queued);
+            continue;
+        }
+        if (!state) {
+            out.report(Severity::Error, whole_line, "queue-order",
+                       "'" + event + "' event for campaign '" + id +
+                           "' before its submit");
+            continue;
+        }
+        if (isTerminal(*state)) {
+            out.report(Severity::Error, whole_line, "queue-order",
+                       "'" + event + "' event for campaign '" + id +
+                           "' after its terminal '" +
+                           campaignStateName(*state) + "' state");
+            continue;
+        }
+        if (event == "start" || event == "failover")
+            *state = CampaignState::Queued;
+        else if (event == "done")
+            *state = CampaignState::Done;
+        else if (event == "failed")
+            *state = CampaignState::Failed;
+        else if (event == "cancel")
+            *state = CampaignState::Cancelled;
+    }
+}
+
+} // namespace serve
+} // namespace sharp

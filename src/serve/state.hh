@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The daemon state file (`daemon.json`, schema `sharp-daemon-state-v1`).
+ *
+ * One small JSON document per state directory recording how the
+ * daemon was configured and whether it last exited through a clean
+ * drain. Operators and CI read it to tell "drained, safe to restart
+ * anywhere" from "died, restart will fail campaigns over"; `sharp
+ * check` validates it like any other artifact.
+ */
+
+#ifndef SHARP_SERVE_STATE_HH
+#define SHARP_SERVE_STATE_HH
+
+#include <string>
+
+#include "json/value.hh"
+
+namespace sharp
+{
+namespace check
+{
+class CheckResult;
+} // namespace check
+
+namespace serve
+{
+
+/** Schema tag carried by every daemon state file. */
+constexpr const char *daemonStateSchema = "sharp-daemon-state-v1";
+
+/** The daemon's on-disk self-description. */
+struct DaemonState
+{
+    /** Socket path the daemon listens (listened) on. */
+    std::string socket;
+    /** Concurrent worker shards. */
+    size_t shards = 2;
+    /** Per-tenant admission cap (queued + running). */
+    size_t maxQueuedPerTenant = 8;
+    /** Seconds without a heartbeat before the watchdog kills a shard. */
+    double roundDeadlineSeconds = 60.0;
+    /** Failovers per campaign before it fails terminally. */
+    size_t maxFailovers = 3;
+    /** Pid of the (last) daemon process. */
+    long pid = 0;
+    /** True when the daemon exited through a clean drain. */
+    bool drained = false;
+
+    /**
+     * Parse from JSON.
+     * @throws check::CheckFailure on structural errors.
+     */
+    static DaemonState fromJson(const json::Value &doc);
+
+    /** Serialize to JSON (round-trips through fromJson). */
+    json::Value toJson() const;
+
+    /** Write to @p path (pretty JSON). @throws std::runtime_error. */
+    void save(const std::string &path) const;
+};
+
+/**
+ * Static analysis of a daemon state document: schema tag, field
+ * types/ranges, and unknown fields with did-you-mean hints. Never
+ * throws; findings are appended to @p out.
+ */
+void checkDaemonState(const json::Value &doc, check::CheckResult &out);
+
+} // namespace serve
+} // namespace sharp
+
+#endif // SHARP_SERVE_STATE_HH

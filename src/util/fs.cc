@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include <dirent.h>
@@ -18,6 +20,42 @@ isDirectory(const std::string &path)
 {
     struct stat st = {};
     return stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st = {};
+    return stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+void
+makeDirectories(const std::string &path)
+{
+    if (path.empty() || isDirectory(path))
+        return;
+    // Create parents first; a trailing component beyond the last '/'
+    // is the directory itself.
+    size_t slash = path.find_last_of('/');
+    if (slash != std::string::npos && slash > 0)
+        makeDirectories(path.substr(0, slash));
+    if (mkdir(path.c_str(), 0777) != 0 && errno != EEXIST) {
+        throw std::runtime_error("cannot create directory '" + path +
+                                 "': " + std::strerror(errno));
+    }
+}
+
+std::string
+readFileText(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("cannot read '" + path +
+                                 "': " + std::strerror(errno));
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
 }
 
 std::vector<std::string>

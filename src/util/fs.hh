@@ -21,6 +21,22 @@ namespace util
 /** True when @p path names an existing directory. */
 bool isDirectory(const std::string &path);
 
+/** True when @p path names an existing regular file. */
+bool fileExists(const std::string &path);
+
+/**
+ * Create @p path and any missing parents (mkdir -p). Existing
+ * directories are fine; anything else in the way is an error.
+ * @throws std::runtime_error when a component cannot be created.
+ */
+void makeDirectories(const std::string &path);
+
+/**
+ * The entire contents of the file at @p path.
+ * @throws std::runtime_error when the file cannot be read.
+ */
+std::string readFileText(const std::string &path);
+
 /**
  * Entry names (not paths) in @p path, sorted lexicographically so
  * callers iterate in the same order on every filesystem. "." and ".."

@@ -1,0 +1,94 @@
+#include "util/heartbeat.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace sharp
+{
+namespace util
+{
+
+HeartbeatChannel
+HeartbeatChannel::create()
+{
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0) {
+        throw std::runtime_error(std::string("pipe: ") +
+                                 std::strerror(errno));
+    }
+    // Both ends are non-blocking: the supervisor drains the read end
+    // opportunistically from its poll loop, and the worker's writes
+    // must neither block nor turn a full buffer into a spurious
+    // failure (sendHeartbeat treats EAGAIN as delivered).
+    for (int fd : fds) {
+        int flags = ::fcntl(fd, F_GETFL, 0);
+        if (flags >= 0)
+            ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    }
+    HeartbeatChannel channel;
+    channel.readFd = fds[0];
+    channel.writeFd = fds[1];
+    return channel;
+}
+
+void
+HeartbeatChannel::closeRead()
+{
+    if (readFd >= 0) {
+        ::close(readFd);
+        readFd = -1;
+    }
+}
+
+void
+HeartbeatChannel::closeWrite()
+{
+    if (writeFd >= 0) {
+        ::close(writeFd);
+        writeFd = -1;
+    }
+}
+
+bool
+sendHeartbeat(int writeFd)
+{
+    if (writeFd < 0)
+        return false;
+    char beat = 1;
+    for (;;) {
+        ssize_t n = ::write(writeFd, &beat, 1);
+        if (n == 1)
+            return true;
+        if (n < 0 && errno == EINTR)
+            continue;
+        // A full pipe means the supervisor has unread beats — still
+        // alive by definition. Only a closed read end is a failure.
+        return n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+    }
+}
+
+size_t
+drainHeartbeats(int readFd)
+{
+    if (readFd < 0)
+        return 0;
+    size_t beats = 0;
+    char chunk[256];
+    for (;;) {
+        ssize_t n = ::read(readFd, chunk, sizeof(chunk));
+        if (n > 0) {
+            beats += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return beats; // EAGAIN (nothing pending), EOF, or error
+    }
+}
+
+} // namespace util
+} // namespace sharp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Heartbeat plumbing for supervised worker processes.
+ *
+ * A shard worker proves liveness by writing one byte per completed
+ * round into a pipe; the supervising daemon polls the read end and
+ * resets the shard's deadline on every byte. A worker that hangs
+ * mid-round stops beating, the deadline lapses, and the watchdog
+ * kills and fails the campaign over — no in-band protocol, no shared
+ * memory, and the pipe closes by itself when the worker dies, so a
+ * SIGKILLed shard is also detectable as EOF.
+ */
+
+#ifndef SHARP_UTIL_HEARTBEAT_HH
+#define SHARP_UTIL_HEARTBEAT_HH
+
+#include <cstddef>
+
+namespace sharp
+{
+namespace util
+{
+
+/**
+ * A one-way heartbeat pipe. The parent keeps readFd (non-blocking)
+ * and the forked worker keeps writeFd; each side closes the end it
+ * does not use.
+ */
+struct HeartbeatChannel
+{
+    int readFd = -1;
+    int writeFd = -1;
+
+    /**
+     * Create the pipe (read end non-blocking).
+     * @throws std::runtime_error when pipe() fails.
+     */
+    static HeartbeatChannel create();
+
+    void closeRead();
+    void closeWrite();
+};
+
+/**
+ * Write one heartbeat byte. A full pipe counts as a successful beat —
+ * the reader is merely behind, which is proof of life in itself.
+ * Returns false only when the pipe is broken (supervisor gone).
+ */
+bool sendHeartbeat(int writeFd);
+
+/**
+ * Drain all pending heartbeat bytes from a non-blocking read end.
+ * @return the number of beats consumed (0 when none were pending).
+ */
+size_t drainHeartbeats(int readFd);
+
+} // namespace util
+} // namespace sharp
+
+#endif // SHARP_UTIL_HEARTBEAT_HH

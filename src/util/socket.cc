@@ -1,0 +1,157 @@
+#include "util/socket.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace sharp
+{
+namespace util
+{
+
+namespace
+{
+
+/** Fill a sockaddr_un for @p path, rejecting over-long paths. */
+sockaddr_un
+unixAddress(const std::string &path)
+{
+    sockaddr_un address = {};
+    address.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(address.sun_path)) {
+        throw std::runtime_error(
+            "socket path '" + path + "' exceeds the " +
+            std::to_string(sizeof(address.sun_path) - 1) +
+            "-byte unix-socket limit");
+    }
+    std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+    return address;
+}
+
+} // anonymous namespace
+
+int
+listenUnixSocket(const std::string &path, int backlog)
+{
+    sockaddr_un address = unixAddress(path);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        throw std::runtime_error(std::string("socket: ") +
+                                 std::strerror(errno));
+    }
+    // A socket file left behind by a dead daemon would make bind fail
+    // with EADDRINUSE even though nobody is listening.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&address),
+               sizeof(address)) != 0) {
+        int saved = errno;
+        ::close(fd);
+        throw std::runtime_error("bind '" + path +
+                                 "': " + std::strerror(saved));
+    }
+    if (::listen(fd, backlog) != 0) {
+        int saved = errno;
+        ::close(fd);
+        ::unlink(path.c_str());
+        throw std::runtime_error("listen '" + path +
+                                 "': " + std::strerror(saved));
+    }
+    return fd;
+}
+
+int
+connectUnixSocket(const std::string &path)
+{
+    sockaddr_un address = unixAddress(path);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        throw std::runtime_error(std::string("socket: ") +
+                                 std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&address),
+                  sizeof(address)) != 0) {
+        int saved = errno;
+        ::close(fd);
+        throw std::runtime_error("cannot connect to '" + path +
+                                 "': " + std::strerror(saved));
+    }
+    return fd;
+}
+
+bool
+sendLine(int fd, const std::string &line)
+{
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t sent = 0;
+    while (sent < framed.size()) {
+        // MSG_NOSIGNAL: a peer that hung up must surface as an error
+        // return, not a process-killing SIGPIPE.
+        ssize_t n = ::send(fd, framed.data() + sent,
+                           framed.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // Non-blocking sender (the daemon) with a full socket
+                // buffer: wait briefly for the peer to drain rather
+                // than dropping it mid-response.
+                pollfd waiter = {};
+                waiter.fd = fd;
+                waiter.events = POLLOUT;
+                if (::poll(&waiter, 1, 5000) > 0)
+                    continue;
+            }
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+takeLine(std::string &buffer, std::string &line)
+{
+    size_t end = buffer.find('\n');
+    if (end == std::string::npos)
+        return false;
+    line = buffer.substr(0, end);
+    buffer.erase(0, end + 1);
+    return true;
+}
+
+bool
+recvLine(int fd, std::string &buffer, std::string &line)
+{
+    if (takeLine(buffer, line))
+        return true;
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // EOF with no complete line
+        buffer.append(chunk, static_cast<size_t>(n));
+        if (takeLine(buffer, line))
+            return true;
+    }
+}
+
+void
+closeQuietly(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+} // namespace util
+} // namespace sharp

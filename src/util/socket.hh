@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unix-domain stream socket helpers for the service layer.
+ *
+ * `sharp serve` speaks a line-delimited JSON protocol over a local
+ * socket; these are exactly the primitives that protocol needs — bind
+ * and listen on a path, connect to one, and move whole lines — kept
+ * out of src/serve so tests and the client library share one
+ * implementation. All functions work on raw fds; ownership stays with
+ * the caller (the daemon polls many fds at once and cannot hide them
+ * behind RAII wrappers without fighting poll()).
+ */
+
+#ifndef SHARP_UTIL_SOCKET_HH
+#define SHARP_UTIL_SOCKET_HH
+
+#include <string>
+
+namespace sharp
+{
+namespace util
+{
+
+/**
+ * Create, bind, and listen on a unix stream socket at @p path. A
+ * stale socket file from a dead daemon is unlinked first — the live
+ * daemon is the one holding the listening fd, not the file.
+ * @throws std::runtime_error when the path is too long for sockaddr_un
+ *         or any socket call fails.
+ */
+int listenUnixSocket(const std::string &path, int backlog = 16);
+
+/**
+ * Connect to the unix stream socket at @p path.
+ * @return the connected fd.
+ * @throws std::runtime_error when the socket is absent or refuses.
+ */
+int connectUnixSocket(const std::string &path);
+
+/**
+ * Write @p line plus a terminating newline, looping over partial
+ * writes. Returns false on any write error (including EPIPE from a
+ * vanished peer) — the protocol treats that as a dropped client, not
+ * a daemon failure.
+ */
+bool sendLine(int fd, const std::string &line);
+
+/**
+ * Read from @p fd into @p buffer until it holds a full line, then
+ * move that line (newline stripped) into @p line. @p buffer carries
+ * partial data between calls on the same connection. Returns false on
+ * EOF or error with no complete line available.
+ */
+bool recvLine(int fd, std::string &buffer, std::string &line);
+
+/** Extract one complete line from @p buffer if present (no I/O). */
+bool takeLine(std::string &buffer, std::string &line);
+
+/** close() that tolerates already-closed fds; -1 is a no-op. */
+void closeQuietly(int fd);
+
+} // namespace util
+} // namespace sharp
+
+#endif // SHARP_UTIL_SOCKET_HH

@@ -542,4 +542,81 @@ TEST(CliCheck, RejectsUnknownFormat)
     EXPECT_EQ(result.status, 2);
 }
 
+// ---- `sharp serve` artifacts: the campaign queue journal and the
+// ---- daemon state file get the same fixture treatment as the rest.
+
+TEST(Fixtures, QueueUnknownEventIsLocatedWithADidYouMeanHint)
+{
+    CheckResult result;
+    ArtifactKind kind = check::checkArtifactFile(
+        fixture("queue_unknown_event.jsonl"), result);
+    EXPECT_EQ(kind, ArtifactKind::QueueJournal);
+    EXPECT_EQ(result.exitCode(), 2);
+
+    const check::Diagnostic *unknown =
+        findRule(result, "unknown-event");
+    ASSERT_NE(unknown, nullptr);
+    EXPECT_EQ(unknown->severity, Severity::Error);
+    EXPECT_EQ(unknown->line, 3u);
+    EXPECT_EQ(unknown->column, 1u);
+    EXPECT_EQ(unknown->hint, "did you mean 'done'?");
+
+    // Line 6 cancels a campaign that line 5 already completed.
+    const check::Diagnostic *order = findRule(result, "queue-order");
+    ASSERT_NE(order, nullptr);
+    EXPECT_EQ(order->severity, Severity::Error);
+    EXPECT_EQ(order->line, 6u);
+    EXPECT_NE(order->message.find("after its terminal"),
+              std::string::npos);
+}
+
+TEST(Fixtures, TornQueueTailIsAWarningWithARepairHint)
+{
+    CheckResult result;
+    ArtifactKind kind =
+        check::checkArtifactFile(fixture("queue_torn.jsonl"), result);
+    EXPECT_EQ(kind, ArtifactKind::QueueJournal);
+    EXPECT_EQ(result.exitCode(), 1);
+    const check::Diagnostic *torn =
+        findRule(result, "truncated-queue");
+    ASSERT_NE(torn, nullptr);
+    EXPECT_EQ(torn->severity, Severity::Warning);
+    EXPECT_EQ(torn->line, 4u);
+    EXPECT_NE(torn->hint.find("restart `sharp serve`"),
+              std::string::npos);
+}
+
+TEST(Fixtures, DaemonStateTypoIsAWarningWithAHint)
+{
+    CheckResult result;
+    ArtifactKind kind = check::checkArtifactFile(
+        fixture("daemon_state_typo.json"), result);
+    EXPECT_EQ(kind, ArtifactKind::DaemonState);
+    EXPECT_EQ(result.exitCode(), 1);
+    const check::Diagnostic *unknown =
+        findRule(result, "unknown-field");
+    ASSERT_NE(unknown, nullptr);
+    EXPECT_EQ(unknown->severity, Severity::Warning);
+    EXPECT_EQ(unknown->line, 6u);
+    EXPECT_EQ(unknown->hint,
+              "did you mean 'round_deadline_seconds'?");
+}
+
+TEST(CliCheck, QueueFixturesGoThroughTheCliToo)
+{
+    auto clean = runCheck({"check", fixture("queue_clean.jsonl")});
+    EXPECT_EQ(clean.status, 0) << clean.out;
+    EXPECT_NE(clean.out.find("queue journal: ok"),
+              std::string::npos);
+
+    auto unknown = runCheck(
+        {"check", fixture("queue_unknown_event.jsonl")});
+    EXPECT_EQ(unknown.status, 2);
+    EXPECT_NE(unknown.out.find("unknown-event"), std::string::npos);
+
+    auto state = runCheck({"check", fixture("daemon_state_typo.json")});
+    EXPECT_EQ(state.status, 1);
+    EXPECT_NE(state.out.find("unknown-field"), std::string::npos);
+}
+
 } // anonymous namespace

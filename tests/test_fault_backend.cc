@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <memory>
 
@@ -278,6 +279,87 @@ TEST(FaultBackend, LauncherAbortNamesInjectedKinds)
     EXPECT_EQ(report.failures, 3u);
     EXPECT_NE(report.finalDecision.reason.find("signal-crash=3"),
               std::string::npos);
+}
+
+// ---- The hang-then-recover band: stalls the invocation, then lets
+// ---- it succeed untouched. This is what makes watchdog detection
+// ---- testable end to end — the run is slow, not wrong.
+
+TEST(FaultBackend, HangRecoverStallsButKeepsMetricsExact)
+{
+    FaultSpec spec;
+    spec.hangRecoverProbability = 1.0;
+    spec.hangRecoverSeconds = 0.01;
+    FaultInjectingBackend wrapped(bfsBackend(9), spec);
+    auto clean = bfsBackend(9);
+
+    RunResult stalled = wrapped.run();
+    RunResult reference = clean->run();
+    ASSERT_TRUE(stalled.success);
+    EXPECT_EQ(stalled.kind, FailureKind::None);
+    // The stall is wall-clock only; every metric stays byte-exact,
+    // which is what keeps failover resume byte-identical.
+    EXPECT_DOUBLE_EQ(stalled.metric("execution_time"),
+                     reference.metric("execution_time"));
+}
+
+TEST(FaultBackend, HangRecoverStallIsSeededAndBounded)
+{
+    FaultSpec spec;
+    spec.seed = 11;
+    spec.hangRecoverSeconds = 2.0;
+
+    for (size_t index = 0; index < 32; ++index) {
+        double stall = hangRecoverStallSeconds(spec, index);
+        EXPECT_EQ(stall, hangRecoverStallSeconds(spec, index));
+        EXPECT_GE(stall, 0.9 * spec.hangRecoverSeconds);
+        EXPECT_LE(stall, 1.1 * spec.hangRecoverSeconds);
+    }
+
+    // Different seeds and different indices draw different stalls.
+    FaultSpec other = spec;
+    other.seed = 12;
+    EXPECT_NE(hangRecoverStallSeconds(spec, 0),
+              hangRecoverStallSeconds(other, 0));
+    EXPECT_NE(hangRecoverStallSeconds(spec, 0),
+              hangRecoverStallSeconds(spec, 1));
+}
+
+TEST(FaultBackend, HangRecoverStallHalvesPerIncarnation)
+{
+    FaultSpec spec;
+    spec.seed = 21;
+    spec.hangRecoverSeconds = 1.0;
+    double first = hangRecoverStallSeconds(spec, 4);
+
+    // Each failover hands the worker a higher incarnation; the stall
+    // halves exactly, so a hung campaign provably makes progress.
+    for (uint64_t incarnation = 1; incarnation <= 8; ++incarnation) {
+        FaultSpec retry = spec;
+        retry.incarnation = incarnation;
+        EXPECT_DOUBLE_EQ(hangRecoverStallSeconds(retry, 4),
+                         std::ldexp(first, -static_cast<int>(
+                                               incarnation)));
+    }
+}
+
+TEST(FaultSpec, HangRecoverRoundTripsAndValidates)
+{
+    FaultSpec spec;
+    spec.hangRecoverProbability = 0.25;
+    spec.hangRecoverSeconds = 0.5;
+    spec.incarnation = 3;
+    spec.seed = 7;
+    spec.validate();
+
+    FaultSpec back = FaultSpec::fromJson(spec.toJson());
+    EXPECT_DOUBLE_EQ(back.hangRecoverProbability, 0.25);
+    EXPECT_DOUBLE_EQ(back.hangRecoverSeconds, 0.5);
+    EXPECT_EQ(back.incarnation, 3u);
+
+    FaultSpec bad = spec;
+    bad.hangRecoverSeconds = 0.0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
 }
 
 } // anonymous namespace
