@@ -294,7 +294,9 @@ CalibrationResult::summaryJson() const
     root.set("schema", "sharp-calibration-summary-v1");
 
     json::Value cfg = json::Value::makeObject();
-    cfg.set("base_seed", static_cast<double>(config.baseSeed));
+    // As a decimal string: JSON numbers are doubles, which would
+    // round seeds >= 2^53 (see Value::getUint64).
+    cfg.set("base_seed", std::to_string(config.baseSeed));
     cfg.set("seeds_per_cell", config.seedsPerCell);
     cfg.set("max_samples", config.maxSamples);
     cfg.set("truth_samples", config.truthSamples);

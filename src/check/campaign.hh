@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Campaign-level audit: `sharp check --campaign DIR`.
+ *
+ * A `sharp serve` state directory is a web of artifacts that must
+ * agree with each other: the queue journal (`queue.jsonl`) is the
+ * authority on campaign lifecycles, the daemon state file
+ * (`daemon.json`) on the supervisor's configuration, and each
+ * `campaigns/<id>/` directory holds the run journal, results, and
+ * reproduction metadata that the queue's events promised into
+ * existence. Per-artifact checks (check/analyzer.hh) validate each
+ * file in isolation; this module layers on the cross-artifact lints
+ * only the whole directory can reveal:
+ *
+ *  - **campaign-missing-queue** (error) — no queue journal; the
+ *    directory is not an auditable state dir.
+ *  - **campaign-missing-daemon-state** (warning) — no `daemon.json`;
+ *    supervisor-config cross-checks are skipped.
+ *  - **campaign-missing-result** (error) — the queue recorded a
+ *    `done` event but the promised result files are not on disk.
+ *  - **campaign-journal-divergence** (error) — the run journal
+ *    disagrees with the queue's terminal events (done campaign whose
+ *    journal lacks the done marker, rounds journaled for a campaign
+ *    the queue never started, ...).
+ *  - **campaign-failover-overrun** (error) — more failover events
+ *    than the daemon's own cap allows; the supervisor can never
+ *    journal past `max_failovers`, so the artifacts contradict.
+ *  - **campaign-spec-mismatch** (error) — the spec on the run
+ *    journal's header line is not the spec the queue accepted.
+ *  - **campaign-metadata-mismatch** (error) — reproduction metadata
+ *    (seed, jobs, backend, workload) disagrees with the accepted spec.
+ *  - **campaign-orphan-dir** (warning) — a `campaigns/<id>/`
+ *    directory with no submit event behind it.
+ *
+ * Every artifact-shaped file in the tree is additionally deep-checked
+ * with the per-artifact analyzer (so a stale baseline bundle dropped
+ * into the state dir is still caught); files that are not artifacts
+ * at all (sockets, CSVs, editor droppings) are counted into one
+ * informational note rather than reported one by one.
+ */
+
+#ifndef SHARP_CHECK_CAMPAIGN_HH
+#define SHARP_CHECK_CAMPAIGN_HH
+
+#include <string>
+
+#include "check/diagnostic.hh"
+
+namespace sharp
+{
+namespace check
+{
+
+/**
+ * Audit the `sharp serve` state directory at @p dir. Findings are
+ * appended to @p out; use CheckResult::exitCode() for the usual
+ * 0/1/2 contract. Never throws on malformed artifacts — those become
+ * diagnostics — only on hard I/O failures listing @p dir itself.
+ */
+void checkCampaignDir(const std::string &dir, CheckResult &out);
+
+} // namespace check
+} // namespace sharp
+
+#endif // SHARP_CHECK_CAMPAIGN_HH

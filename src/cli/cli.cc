@@ -10,6 +10,7 @@
 #include "calibrate/baseline.hh"
 #include "calibrate/calibration.hh"
 #include "check/analyzer.hh"
+#include "check/campaign.hh"
 #include "compare/bundle.hh"
 #include "compare/compare.hh"
 #include "core/stopping/stopping_rule.hh"
@@ -199,7 +200,13 @@ commands:
                                calibration baselines, scenarios,
                                metadata, queue journals, daemon state;
                                a directory expands to its
-                               .json/.jsonl/.md entries (non-recursive)
+                               .json/.jsonl/.md entries (non-recursive;
+                               other files fold into one note)
+      --campaign DIR           audit a `sharp serve` state directory
+                               as a whole: every artifact deep-checked
+                               plus cross-artifact lints (queue vs run
+                               journals vs results vs metadata vs
+                               daemon config)
       --format text|json       diagnostic output format (default text)
       (exit: 0 clean, 1 warnings only, 2 errors)
   serve                        run the campaign daemon: accept run
@@ -280,7 +287,8 @@ cmdList(std::ostream &out)
         machines.addRow({machine.id, machine.cpu,
                          std::to_string(machine.cores),
                          std::to_string(machine.ramGib),
-                         machine.hasGpu() ? machine.gpu->name : "-"});
+                         machine.gpu.has_value() ? machine.gpu->name
+                                                 : "-"});
     }
     out << machines.render();
 
@@ -298,7 +306,9 @@ std::atomic<bool> g_interrupted{false};
 void
 onInterrupt(int)
 {
-    g_interrupted.store(true);
+    // Lock-free atomic stores are signal-safe ([support.signal]p3);
+    // the POSIX allowlist the check consults predates std::atomic.
+    g_interrupted.store(true); // NOLINT(bugprone-signal-handler)
 }
 
 /**
@@ -1184,10 +1194,6 @@ cmdWorkflow(const ParsedArgs &args, std::ostream &out,
 int
 cmdCheck(const ParsedArgs &args, std::ostream &out, std::ostream &err)
 {
-    if (args.positional.empty()) {
-        err << "check requires at least one artifact path\n";
-        return 2;
-    }
     std::string format = args.get("format", "text");
     if (format != "text" && format != "json") {
         err << "unknown --format '" << format
@@ -1195,11 +1201,44 @@ cmdCheck(const ParsedArgs &args, std::ostream &out, std::ostream &err)
         return 2;
     }
 
+    // Campaign mode: one state directory, audited as a whole (every
+    // artifact deep-checked plus the cross-artifact lints).
+    if (args.has("campaign")) {
+        std::string dir = args.get("campaign");
+        if (dir.empty() && !args.positional.empty())
+            dir = args.positional.front();
+        if (dir.empty()) {
+            err << "check --campaign requires a state directory\n";
+            return 2;
+        }
+        check::CheckResult result;
+        check::checkCampaignDir(dir, result);
+        if (format == "json") {
+            out << json::writePretty(result.toJson()) << "\n";
+        } else {
+            out << result.renderText();
+            out << "campaign audit of " << dir << ": "
+                << result.errorCount() << " error"
+                << (result.errorCount() == 1 ? "" : "s") << ", "
+                << result.warningCount() << " warning"
+                << (result.warningCount() == 1 ? "" : "s") << "\n";
+        }
+        return result.exitCode();
+    }
+
+    if (args.positional.empty()) {
+        err << "check requires at least one artifact path\n";
+        return 2;
+    }
+
     // Directory arguments expand to their artifact-shaped entries
     // (.json, .jsonl, .md), non-recursively and in sorted order, so
     // `sharp check scenarios/ examples/` covers whole libraries
-    // without enumerating files in CI scripts.
+    // without enumerating files in CI scripts. Anything else in the
+    // directory folds into one informational note instead of a
+    // per-file complaint.
     std::vector<std::string> paths;
+    size_t skippedFiles = 0;
     for (const auto &path : args.positional) {
         if (!util::isDirectory(path)) {
             paths.push_back(path);
@@ -1216,10 +1255,12 @@ cmdCheck(const ParsedArgs &args, std::ostream &out, std::ostream &err)
                 util::endsWith(name, ".jsonl") ||
                 util::endsWith(name, ".md")) {
                 paths.push_back(std::move(full));
+            } else {
+                ++skippedFiles;
             }
         }
     }
-    if (paths.empty()) {
+    if (paths.empty() && skippedFiles == 0) {
         err << "check: no artifacts found under the given paths\n";
         return 2;
     }
@@ -1240,6 +1281,17 @@ cmdCheck(const ParsedArgs &args, std::ostream &out, std::ostream &err)
         if (result.clean())
             ++clean;
         total.merge(result);
+    }
+
+    if (skippedFiles > 0) {
+        check::CheckResult note;
+        note.report(check::Severity::Note, json::Location{},
+                    "skipped-files",
+                    "skipped " + std::to_string(skippedFiles) +
+                        " non-artifact file(s) (not .json/.jsonl/.md)");
+        if (format == "text")
+            out << note.renderText();
+        total.merge(note);
     }
 
     if (format == "json") {

@@ -65,7 +65,17 @@ checkExperimentConfig(const json::Value &doc, check::CheckResult &out)
     boundAtLeast("min", 1);
     boundAtLeast("max", 1);
     boundAtLeast("checkInterval", 1);
-    boundAtLeast("seed", 0);
+    if (const json::Value *seed = doc.find("seed")) {
+        try {
+            doc.getUint64("seed", 1);
+        } catch (const json::TypeError &) {
+            out.error(*seed, "wrong-type",
+                      "'seed' must be a non-negative integer or a "
+                      "decimal string",
+                      "seeds >= 2^53 need the string form to "
+                      "round-trip exactly");
+        }
+    }
     const json::Value *min_value = doc.find("min");
     const json::Value *max_value = doc.find("max");
     if (min_value && max_value && min_value->isNumber() &&
@@ -137,10 +147,7 @@ ExperimentConfig::fromJson(const json::Value &doc)
     config.options.maxSamples = static_cast<size_t>(max_samples);
     config.options.checkInterval = static_cast<size_t>(interval);
 
-    long seed = doc.getLong("seed", 1);
-    if (seed < 0)
-        throw std::invalid_argument("seed must be non-negative");
-    config.seed = static_cast<uint64_t>(seed);
+    config.seed = doc.getUint64("seed", 1);
 
     // Validate the rule name and parameters eagerly so configuration
     // errors surface at parse time, not mid-experiment.
@@ -161,7 +168,9 @@ ExperimentConfig::toJson() const
     doc.set("min", options.minSamples);
     doc.set("max", options.maxSamples);
     doc.set("checkInterval", options.checkInterval);
-    doc.set("seed", static_cast<double>(seed));
+    // As a decimal string: JSON numbers are doubles, which would
+    // round seeds >= 2^53 (see Value::getUint64).
+    doc.set("seed", std::to_string(seed));
     return doc;
 }
 

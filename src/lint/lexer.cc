@@ -1,0 +1,205 @@
+#include "lint/lexer.hh"
+
+#include <cctype>
+
+namespace sharp
+{
+namespace lint
+{
+
+namespace
+{
+
+/** Character-level cursor with line/column bookkeeping. */
+class Scanner
+{
+  public:
+    explicit Scanner(const std::string &text_in) : text(text_in) {}
+
+    bool atEnd() const { return pos >= text.size(); }
+
+    char peek(size_t ahead = 0) const
+    {
+        return pos + ahead < text.size() ? text[pos + ahead] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = text[pos++];
+        if (c == '\n') {
+            ++lineNum;
+            colNum = 1;
+        } else {
+            ++colNum;
+        }
+        return c;
+    }
+
+    const std::string &text;
+    size_t pos = 0;
+    size_t lineNum = 1;
+    size_t colNum = 1;
+};
+
+bool
+isIdentifierStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentifierChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Consume a quoted literal; the opening quote is already consumed. */
+void
+scanQuoted(Scanner &cur, char quote, std::string &out)
+{
+    while (!cur.atEnd()) {
+        char c = cur.advance();
+        out.push_back(c);
+        if (c == '\\' && !cur.atEnd()) {
+            out.push_back(cur.advance());
+            continue;
+        }
+        if (c == quote || c == '\n')
+            return; // newline: unterminated literal, don't cascade
+    }
+}
+
+/** Consume `R"delim(...)delim"`; `R"` is already consumed. */
+void
+scanRawString(Scanner &cur, std::string &out)
+{
+    std::string delimiter;
+    while (!cur.atEnd() && cur.peek() != '(' && delimiter.size() < 16)
+        delimiter.push_back(cur.advance());
+    if (!cur.atEnd())
+        out.push_back(cur.advance()); // the '('
+    out.insert(out.size() - 1, delimiter);
+    std::string closer = ")" + delimiter + "\"";
+    while (!cur.atEnd()) {
+        out.push_back(cur.advance());
+        if (out.size() >= closer.size() &&
+            out.compare(out.size() - closer.size(), closer.size(),
+                        closer) == 0)
+            return;
+    }
+}
+
+} // anonymous namespace
+
+std::vector<Token>
+lexCpp(const std::string &text)
+{
+    std::vector<Token> tokens;
+    Scanner cur(text);
+    while (!cur.atEnd()) {
+        char c = cur.peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            cur.advance();
+            continue;
+        }
+
+        Token token;
+        token.line = cur.lineNum;
+        token.column = cur.colNum;
+
+        // Comments (kept: suppression directives live in them).
+        if (c == '/' && cur.peek(1) == '/') {
+            token.kind = TokenKind::Comment;
+            while (!cur.atEnd() && cur.peek() != '\n')
+                token.text.push_back(cur.advance());
+            tokens.push_back(std::move(token));
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            token.kind = TokenKind::Comment;
+            token.text.push_back(cur.advance());
+            token.text.push_back(cur.advance());
+            while (!cur.atEnd()) {
+                char inner = cur.advance();
+                token.text.push_back(inner);
+                if (inner == '*' && cur.peek() == '/') {
+                    token.text.push_back(cur.advance());
+                    break;
+                }
+            }
+            tokens.push_back(std::move(token));
+            continue;
+        }
+
+        // Raw and ordinary string literals.
+        if (c == 'R' && cur.peek(1) == '"') {
+            token.kind = TokenKind::String;
+            token.text.push_back(cur.advance());
+            token.text.push_back(cur.advance());
+            scanRawString(cur, token.text);
+            tokens.push_back(std::move(token));
+            continue;
+        }
+        if (c == '"') {
+            token.kind = TokenKind::String;
+            token.text.push_back(cur.advance());
+            scanQuoted(cur, '"', token.text);
+            tokens.push_back(std::move(token));
+            continue;
+        }
+        if (c == '\'') {
+            token.kind = TokenKind::CharLiteral;
+            token.text.push_back(cur.advance());
+            scanQuoted(cur, '\'', token.text);
+            tokens.push_back(std::move(token));
+            continue;
+        }
+
+        if (isIdentifierStart(c)) {
+            token.kind = TokenKind::Identifier;
+            while (!cur.atEnd() && isIdentifierChar(cur.peek()))
+                token.text.push_back(cur.advance());
+            tokens.push_back(std::move(token));
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            // pp-number shape: digits, dots, digit separators, and
+            // exponent signs glued to e/E/p/P. Good enough to step
+            // over any C++ numeric literal in one token.
+            token.kind = TokenKind::Number;
+            while (!cur.atEnd()) {
+                char n = cur.peek();
+                if (isIdentifierChar(n) || n == '.' || n == '\'') {
+                    token.text.push_back(cur.advance());
+                    continue;
+                }
+                if ((n == '+' || n == '-') && !token.text.empty()) {
+                    char prev = token.text.back();
+                    if (prev == 'e' || prev == 'E' || prev == 'p' ||
+                        prev == 'P') {
+                        token.text.push_back(cur.advance());
+                        continue;
+                    }
+                }
+                break;
+            }
+            tokens.push_back(std::move(token));
+            continue;
+        }
+
+        // Punctuation; only the pair the rules read ("::", "->") is
+        // fused, everything else stays single-character.
+        token.kind = TokenKind::Punct;
+        token.text.push_back(cur.advance());
+        if ((c == ':' && cur.peek() == ':') ||
+            (c == '-' && cur.peek() == '>'))
+            token.text.push_back(cur.advance());
+        tokens.push_back(std::move(token));
+    }
+    return tokens;
+}
+
+} // namespace lint
+} // namespace sharp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A lightweight C++ token scanner for `sharp-lint`.
+ *
+ * The source linter needs just enough lexical structure to tell a
+ * call to `fsync` in code from the word "fsync" in a comment or a
+ * string, and to attach `file:line:column` to every finding — it does
+ * not need types, templates, or a preprocessor, which is why this is
+ * a few hundred lines instead of a libclang dependency. The scanner
+ * handles line and block comments (kept as tokens so suppression
+ * comments can be found), ordinary/raw string literals, character
+ * literals, numbers, identifiers, and a small set of multi-character
+ * punctuators (`::`, `->`) the rules care about; everything else is
+ * single-character punctuation.
+ */
+
+#ifndef SHARP_LINT_LEXER_HH
+#define SHARP_LINT_LEXER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sharp
+{
+namespace lint
+{
+
+/** Lexical class of one token. */
+enum class TokenKind
+{
+    /** Identifier or keyword (`fsync`, `while`, `EINTR`). */
+    Identifier,
+    /** Numeric literal (integer or floating, any base). */
+    Number,
+    /** String literal, escapes undecoded; raw strings included. */
+    String,
+    /** Character literal, escapes undecoded (`'\n'`). */
+    CharLiteral,
+    /** `//...` or a whole block comment, text included. */
+    Comment,
+    /** Everything else: one punctuator (`::` and `->` fused). */
+    Punct,
+};
+
+/** One scanned token with its 1-based source position. */
+struct Token
+{
+    TokenKind kind = TokenKind::Punct;
+    /** Raw source text (comments keep their markers). */
+    std::string text;
+    size_t line = 1;
+    size_t column = 1;
+};
+
+/**
+ * Scan @p text into tokens. Never throws on malformed input — an
+ * unterminated literal or comment simply runs to end of file; the
+ * linter is a diagnostic tool and must survive any byte stream.
+ */
+std::vector<Token> lexCpp(const std::string &text);
+
+} // namespace lint
+} // namespace sharp
+
+#endif // SHARP_LINT_LEXER_HH

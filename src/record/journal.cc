@@ -51,19 +51,26 @@ RunJournal::~RunJournal()
 }
 
 void
-RunJournal::appendLine(const std::string &line)
+appendJsonlLine(std::FILE *file, const std::string &line,
+                const std::string &what)
 {
     if (std::fwrite(line.data(), 1, line.size(), file) != line.size() ||
         std::fputc('\n', file) == EOF || std::fflush(file) != 0) {
-        throw std::runtime_error("journal write failed: " +
+        throw std::runtime_error(what + " write failed: " +
                                  std::string(std::strerror(errno)));
     }
-    // The fsync is the crash-safety contract: once appendRound
-    // returns, the round survives SIGKILL and power loss.
+    // The fsync is the crash-safety contract: once the append
+    // returns, the line survives SIGKILL and power loss.
     if (fsync(fileno(file)) != 0) {
-        throw std::runtime_error("journal fsync failed: " +
+        throw std::runtime_error(what + " fsync failed: " +
                                  std::string(std::strerror(errno)));
     }
+}
+
+void
+RunJournal::appendLine(const std::string &line)
+{
+    appendJsonlLine(file, line, "journal");
 }
 
 void
@@ -353,7 +360,11 @@ checkJournalText(const std::string &text, check::CheckResult &out)
                                    "spec ('" +
                                    spec_workload + "')");
                 }
+                // Fault injection decorates the backend name
+                // ("fault+sim") without changing the spec it runs.
                 std::string backend = entry.getString("backend", "");
+                if (backend == "fault+" + spec_backend)
+                    backend = spec_backend;
                 if (have_spec && !spec_backend.empty() &&
                     !backend.empty() && backend != spec_backend) {
                     out.report(Severity::Error, locate(i, entry),

@@ -142,6 +142,20 @@ void repairJournal(const std::string &path,
                    const JournalContents &contents);
 
 /**
+ * The one JSONL append path: write @p line plus its newline to
+ * @p file, flush, and fsync, so the line is durable before the caller
+ * acts on it. Every JSONL artifact that journals state (run journals,
+ * the daemon's campaign queue) must route appends through this helper
+ * — the durability contract lives here, and the `sharp-lint`
+ * journal-append-discipline rule bans hand-rolled fwrite/fsync
+ * elsewhere. @p what names the artifact in error messages ("journal",
+ * "queue journal").
+ * @throws std::runtime_error when the write, flush, or fsync fails.
+ */
+void appendJsonlLine(std::FILE *file, const std::string &line,
+                     const std::string &what);
+
+/**
  * The format-agnostic tail repair under repairJournal(): truncate
  * @p path to @p validBytes when the file has grown past it (a torn
  * trailing fragment), then append the missing final newline when

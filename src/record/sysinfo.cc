@@ -106,7 +106,7 @@ describeSimulatedMachine(const sim::MachineSpec &machine)
     info.cpuCores = machine.cores;
     info.cpuThreads = machine.cores;
     info.memoryMib = static_cast<long>(machine.ramGib) * 1024;
-    if (machine.hasGpu())
+    if (machine.gpu.has_value())
         info.gpuModel = machine.gpu->name;
     info.simulated = true;
     return info;

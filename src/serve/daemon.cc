@@ -57,7 +57,9 @@ std::atomic<bool> g_workerInterrupted{false};
 void
 workerSignalHandler(int)
 {
-    g_workerInterrupted.store(true);
+    // Lock-free atomic stores are signal-safe ([support.signal]p3);
+    // the POSIX allowlist the check consults predates std::atomic.
+    g_workerInterrupted.store(true); // NOLINT(bugprone-signal-handler)
 }
 
 std::string

@@ -1,7 +1,5 @@
 #include "serve/queue.hh"
 
-#include <unistd.h>
-
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
@@ -210,18 +208,9 @@ QueueJournal::~QueueJournal()
 void
 QueueJournal::append(const json::Value &event)
 {
-    std::string line = json::write(event);
-    if (std::fwrite(line.data(), 1, line.size(), file) != line.size() ||
-        std::fputc('\n', file) == EOF || std::fflush(file) != 0) {
-        throw std::runtime_error("queue journal write failed: " +
-                                 std::string(std::strerror(errno)));
-    }
     // The daemon acts on an event only after it is durable; replay
     // after SIGKILL must see everything clients were told about.
-    if (fsync(fileno(file)) != 0) {
-        throw std::runtime_error("queue journal fsync failed: " +
-                                 std::string(std::strerror(errno)));
-    }
+    record::appendJsonlLine(file, json::write(event), "queue journal");
 }
 
 void

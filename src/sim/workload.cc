@@ -15,7 +15,7 @@ double
 machineSpeedup(const BenchmarkSpec &bench, const MachineSpec &machine)
 {
     if (bench.kind == BenchmarkKind::Cuda) {
-        if (!machine.hasGpu()) {
+        if (!machine.gpu.has_value()) {
             throw std::invalid_argument(
                 "CUDA benchmark '" + bench.name + "' cannot run on '" +
                 machine.id + "' (no GPU)");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <utility>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -58,6 +59,13 @@ readFileText(const std::string &path)
     return text.str();
 }
 
+bool
+isSymlink(const std::string &path)
+{
+    struct stat st = {};
+    return lstat(path.c_str(), &st) == 0 && S_ISLNK(st.st_mode);
+}
+
 std::vector<std::string>
 listDirectory(const std::string &path)
 {
@@ -75,6 +83,64 @@ listDirectory(const std::string &path)
     closedir(dir);
     std::sort(names.begin(), names.end());
     return names;
+}
+
+namespace
+{
+
+void
+walkFiles(const std::string &dir, bool fatal,
+          std::vector<std::pair<dev_t, ino_t>> &visited,
+          std::vector<std::string> &out)
+{
+    // The identity guard is what breaks symlink cycles: a directory
+    // already on the visited list (reached through a link loop or a
+    // bind mount) is not entered again.
+    struct stat st = {};
+    if (stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+        if (fatal) {
+            throw std::runtime_error("cannot list directory '" + dir +
+                                     "': " + std::strerror(errno));
+        }
+        return;
+    }
+    std::pair<dev_t, ino_t> identity{st.st_dev, st.st_ino};
+    if (std::find(visited.begin(), visited.end(), identity) !=
+        visited.end())
+        return;
+    visited.push_back(identity);
+
+    std::vector<std::string> names;
+    try {
+        names = listDirectory(dir);
+    } catch (const std::exception &) {
+        if (fatal)
+            throw;
+        return;
+    }
+    for (const auto &name : names) {
+        std::string full = dir;
+        if (!full.empty() && full.back() != '/')
+            full += '/';
+        full += name;
+        if (isDirectory(full)) {
+            if (!isSymlink(full))
+                walkFiles(full, false, visited, out);
+        } else if (fileExists(full)) {
+            out.push_back(std::move(full));
+        }
+    }
+}
+
+} // anonymous namespace
+
+std::vector<std::string>
+listFilesRecursive(const std::string &root)
+{
+    std::vector<std::pair<dev_t, ino_t>> visited;
+    std::vector<std::string> files;
+    walkFiles(root, true, visited, files);
+    return files;
 }
 
 } // namespace util

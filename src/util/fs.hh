@@ -37,6 +37,9 @@ void makeDirectories(const std::string &path);
  */
 std::string readFileText(const std::string &path);
 
+/** True when @p path itself is a symbolic link (not its target). */
+bool isSymlink(const std::string &path);
+
 /**
  * Entry names (not paths) in @p path, sorted lexicographically so
  * callers iterate in the same order on every filesystem. "." and ".."
@@ -45,6 +48,18 @@ std::string readFileText(const std::string &path);
  * @throws std::runtime_error when the directory cannot be opened.
  */
 std::vector<std::string> listDirectory(const std::string &path);
+
+/**
+ * Every regular file under @p root (depth-first, entries in sorted
+ * order), as paths prefixed with @p root. Symlinked directories are
+ * not followed — a cycle of links (state dirs under test once grew
+ * `campaigns/loop -> ..`) must not hang artifact discovery — and each
+ * visited directory is entered at most once. Unreadable
+ * subdirectories are skipped rather than fatal.
+ *
+ * @throws std::runtime_error when @p root itself cannot be listed.
+ */
+std::vector<std::string> listFilesRecursive(const std::string &root);
 
 } // namespace util
 } // namespace sharp

@@ -1,0 +1,17 @@
+// Seeded defect fixture: a retry loop around ::read with no EINTR
+// handling anywhere in the loop -> eintr-guard (error).
+#include <unistd.h>
+
+long
+drainFd(int fd, char *buffer, unsigned long size)
+{
+    long total = 0;
+    while (size > 0) {
+        long got = ::read(fd, buffer, size); // line 10, column 22
+        if (got <= 0)
+            break;
+        total += got;
+        size -= static_cast<unsigned long>(got);
+    }
+    return total;
+}

@@ -1,0 +1,14 @@
+// Seeded defect fixture: hand-rolled durability instead of
+// record::appendJsonlLine -> journal-append-discipline (error).
+#include <cstdio>
+#include <unistd.h>
+
+void
+appendByHand(std::FILE *file, const char *line)
+{
+    std::fputs(line, file);
+    std::fflush(file);
+    if (fsync(fileno(file)) != 0) { // line 11, column 9
+        // swallowed
+    }
+}

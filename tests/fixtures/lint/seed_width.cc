@@ -1,0 +1,18 @@
+// Seeded defect fixture: seeds routed through double -> seed-width
+// (error). Reads must use getUint64; writes the decimal-string form.
+#include <cstdint>
+
+#include "json/value.hh"
+
+std::uint64_t
+readSeed(const sharp::json::Value &doc)
+{
+    return static_cast<std::uint64_t>(
+        doc.getNumber("seed", 1.0)); // line 11, column 13
+}
+
+void
+writeSeed(sharp::json::Value &doc, std::uint64_t seed)
+{
+    doc.set("jitter_seed", static_cast<double>(seed)); // line 17, col 9
+}

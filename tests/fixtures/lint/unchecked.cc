@@ -1,0 +1,9 @@
+// Seeded defect fixture: a statement-position syscall with the result
+// dropped on the floor -> unchecked-syscall (warning).
+#include <unistd.h>
+
+void
+bestEffortTruncate(int fd)
+{
+    ftruncate(fd, 0); // line 8, column 5
+}

@@ -1,0 +1,23 @@
+// Seeded defect fixture: every finding here is a no-wall-clock error.
+// Tests pin the line:column of each; keep edits append-only.
+#include <ctime>
+#include <random>
+
+unsigned
+ambientEntropy()
+{
+    std::random_device device; // line 9, column 10
+    return device();
+}
+
+long
+wallClock()
+{
+    return time(nullptr); // line 16, column 12
+}
+
+int
+hiddenState()
+{
+    return rand(); // line 22, column 12
+}

@@ -39,8 +39,7 @@ TEST(CalibrationGate, CurrentSweepStaysWithinBaselineTolerances)
     CalibrationConfig config;
     const json::Value *base_config = baseline.find("config");
     ASSERT_NE(base_config, nullptr) << "baseline has no config echo";
-    config.baseSeed = static_cast<uint64_t>(
-        base_config->getNumber("base_seed", 1));
+    config.baseSeed = base_config->getUint64("base_seed", 1);
     config.seedsPerCell = static_cast<size_t>(
         base_config->getNumber("seeds_per_cell", 5));
     config.maxSamples = static_cast<size_t>(

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "check/analyzer.hh"
+#include "check/campaign.hh"
 #include "check/diagnostic.hh"
 #include "cli/cli.hh"
 #include "core/config.hh"
@@ -617,6 +618,189 @@ TEST(CliCheck, QueueFixturesGoThroughTheCliToo)
     auto state = runCheck({"check", fixture("daemon_state_typo.json")});
     EXPECT_EQ(state.status, 1);
     EXPECT_NE(state.out.find("unknown-field"), std::string::npos);
+}
+
+// ---- Did-you-mean cutoff.
+
+TEST(SuggestName, DistanceTwoIsTheCutoff)
+{
+    const std::vector<std::string> known = {"warmup"};
+    // distance 1 and 2 suggest; distance 3 stays silent.
+    EXPECT_EQ(check::suggestName("warmups", known),
+              "did you mean 'warmup'?");
+    EXPECT_EQ(check::suggestName("warm", known),
+              "did you mean 'warmup'?");
+    EXPECT_EQ(check::suggestName("war", known), "");
+}
+
+TEST(SuggestName, PicksTheClosestCandidate)
+{
+    EXPECT_EQ(check::suggestName("roundz",
+                                 {"rounds", "bounds", "round_max"}),
+              "did you mean 'rounds'?");
+    EXPECT_EQ(check::suggestName("", {"a"}),
+              "did you mean 'a'?");
+    EXPECT_EQ(check::suggestName("x", {}), "");
+}
+
+// ---- JSON locations on awkward inputs.
+
+TEST(JsonLocation, CrlfLineEndingsKeepColumnsHonest)
+{
+    // \r\n ends the line; the value on line 2 starts at column 8.
+    json::Value doc = json::parse("{\r\n  \"a\": true\r\n}\r\n");
+    const json::Value *a = doc.find("a");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->location().line, 2u);
+    EXPECT_EQ(a->location().column, 8u);
+}
+
+TEST(JsonLocation, UnterminatedFinalLineErrorIsLocated)
+{
+    // The file ends mid-string with no trailing newline.
+    try {
+        json::parse("{\n  \"key\": \"never closed");
+        FAIL() << "expected ParseError";
+    } catch (const json::ParseError &error) {
+        EXPECT_EQ(error.line, 2u);
+        EXPECT_GE(error.column, 10u);
+    }
+}
+
+TEST(JsonLocation, CrlfParseErrorPointsAtTheRightColumn)
+{
+    try {
+        json::parse("{\r\n  \"a\": !\r\n}");
+        FAIL() << "expected ParseError";
+    } catch (const json::ParseError &error) {
+        EXPECT_EQ(error.line, 2u);
+        EXPECT_EQ(error.column, 8u);
+    }
+}
+
+// ---- Campaign-level audit (sharp check --campaign).
+
+std::string
+campaign(const std::string &name)
+{
+    return std::string(SHARP_SOURCE_DIR) +
+           "/tests/fixtures/campaign/" + name;
+}
+
+check::CheckResult
+auditCampaign(const std::string &name)
+{
+    check::CheckResult result;
+    check::checkCampaignDir(campaign(name), result);
+    return result;
+}
+
+TEST(CheckCampaign, CleanEndToEndStateDirExitsZero)
+{
+    check::CheckResult result = auditCampaign("clean");
+    EXPECT_EQ(result.errorCount(), 0u) << result.renderText();
+    EXPECT_EQ(result.warningCount(), 0u) << result.renderText();
+    EXPECT_EQ(result.exitCode(), 0);
+}
+
+TEST(CheckCampaign, MissingResultIsAnError)
+{
+    check::CheckResult result = auditCampaign("missing_result");
+    const check::Diagnostic *finding =
+        findRule(result, "campaign-missing-result");
+    ASSERT_NE(finding, nullptr) << result.renderText();
+    EXPECT_EQ(finding->severity, check::Severity::Error);
+    EXPECT_EQ(result.exitCode(), 2);
+}
+
+TEST(CheckCampaign, JournalWithoutDoneMarkerDiverges)
+{
+    check::CheckResult result = auditCampaign("journal_divergence");
+    const check::Diagnostic *finding =
+        findRule(result, "campaign-journal-divergence");
+    ASSERT_NE(finding, nullptr) << result.renderText();
+    EXPECT_EQ(finding->severity, check::Severity::Error);
+    EXPECT_EQ(result.exitCode(), 2);
+}
+
+TEST(CheckCampaign, FailoverCountBeyondDaemonCapIsFlagged)
+{
+    check::CheckResult result = auditCampaign("failover_overrun");
+    const check::Diagnostic *finding =
+        findRule(result, "campaign-failover-overrun");
+    ASSERT_NE(finding, nullptr) << result.renderText();
+    EXPECT_EQ(finding->severity, check::Severity::Error);
+    EXPECT_EQ(result.exitCode(), 2);
+}
+
+TEST(CheckCampaign, QueueSpecDisagreeingWithJournalIsFlagged)
+{
+    check::CheckResult result = auditCampaign("spec_mismatch");
+    const check::Diagnostic *finding =
+        findRule(result, "campaign-spec-mismatch");
+    ASSERT_NE(finding, nullptr) << result.renderText();
+    EXPECT_EQ(finding->severity, check::Severity::Error);
+    EXPECT_NE(finding->message.find("seed"), std::string::npos);
+    EXPECT_EQ(result.exitCode(), 2);
+}
+
+TEST(CheckCampaign, ReportMetadataDisagreeingWithSpecIsFlagged)
+{
+    check::CheckResult result = auditCampaign("metadata_mismatch");
+    const check::Diagnostic *finding =
+        findRule(result, "campaign-metadata-mismatch");
+    ASSERT_NE(finding, nullptr) << result.renderText();
+    EXPECT_EQ(finding->severity, check::Severity::Error);
+    EXPECT_EQ(result.exitCode(), 2);
+}
+
+TEST(CheckCampaign, OrphanCampaignDirWarnsAndNotesSkippedFiles)
+{
+    check::CheckResult result = auditCampaign("orphan_dir");
+    const check::Diagnostic *orphan =
+        findRule(result, "campaign-orphan-dir");
+    ASSERT_NE(orphan, nullptr) << result.renderText();
+    EXPECT_EQ(orphan->severity, check::Severity::Warning);
+    const check::Diagnostic *skipped =
+        findRule(result, "skipped-files");
+    ASSERT_NE(skipped, nullptr) << result.renderText();
+    EXPECT_EQ(skipped->severity, check::Severity::Note);
+    EXPECT_EQ(result.exitCode(), 1);
+}
+
+TEST(CheckCampaign, MissingQueueJournalIsFatal)
+{
+    check::CheckResult result;
+    check::checkCampaignDir("/no/such/state/dir", result);
+    EXPECT_NE(findRule(result, "campaign-missing-queue"), nullptr);
+    EXPECT_EQ(result.exitCode(), 2);
+}
+
+TEST(CliCheck, CampaignFlagRunsTheAudit)
+{
+    auto clean = runCheck({"check", "--campaign", campaign("clean")});
+    EXPECT_EQ(clean.status, 0) << clean.out;
+    EXPECT_NE(clean.out.find("campaign audit"), std::string::npos);
+
+    auto broken =
+        runCheck({"check", "--campaign", campaign("spec_mismatch")});
+    EXPECT_EQ(broken.status, 2);
+    EXPECT_NE(broken.out.find("campaign-spec-mismatch"),
+              std::string::npos);
+
+    auto missing = runCheck({"check", "--campaign"});
+    EXPECT_EQ(missing.status, 2);
+}
+
+TEST(CliCheck, DirectoryExpansionNotesSkippedFiles)
+{
+    // The orphan fixture's ghost dir holds a .txt; `check DIR` must
+    // fold it into one informational note, not an error.
+    auto result = runCheck(
+        {"check", campaign("orphan_dir") + "/campaigns/ghost"});
+    EXPECT_EQ(result.status, 0) << result.out;
+    EXPECT_NE(result.out.find("skipped 1 non-artifact file"),
+              std::string::npos);
 }
 
 } // anonymous namespace

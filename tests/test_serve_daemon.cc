@@ -29,6 +29,7 @@
 #include <thread>
 
 #include "check/analyzer.hh"
+#include "check/campaign.hh"
 #include "check/diagnostic.hh"
 #include "cli/cli.hh"
 #include "json/parser.hh"
@@ -236,6 +237,13 @@ expectCleanArtifacts(const Harness &harness)
                   harness.stateDir() + "/daemon.json", state),
               check::ArtifactKind::DaemonState);
     EXPECT_EQ(state.errorCount(), 0u) << state.renderText();
+
+    // And the cross-artifact audit over the whole state dir: a live
+    // daemon's campaign tree must satisfy every campaign invariant.
+    check::CheckResult audit;
+    check::checkCampaignDir(harness.stateDir(), audit);
+    EXPECT_EQ(audit.errorCount(), 0u) << audit.renderText();
+    EXPECT_EQ(audit.warningCount(), 0u) << audit.renderText();
 }
 
 void

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The `sharp-lint` executable: invariant linting over SHARP's own C++
+ * sources (see src/lint/linter.hh for the rule catalog).
+ *
+ *   sharp-lint [--format text|json] [--list-rules] PATH...
+ *
+ * Directories are walked recursively for C++ sources; files are
+ * linted as given. Exit code: 0 clean, 1 warnings only, 2 errors —
+ * the same contract as `sharp check`.
+ */
+
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/diagnostic.hh"
+#include "json/writer.hh"
+#include "lint/linter.hh"
+
+namespace
+{
+
+int
+usage(std::ostream &out, int code)
+{
+    out << "usage: sharp-lint [--format text|json] [--list-rules] "
+           "PATH...\n"
+           "\n"
+           "Lint SHARP C++ sources for reproducibility invariants.\n"
+           "Suppress one finding with a comment on the same line or\n"
+           "the line above: // sharp-lint: allow(<rule>)\n"
+           "\n"
+           "exit status: 0 clean, 1 warnings only, 2 errors\n";
+    return code;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string format = "text";
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            return usage(std::cout, 0);
+        if (arg == "--list-rules") {
+            for (const auto &rule : sharp::lint::ruleCatalog()) {
+                std::cout << rule.name << " ("
+                          << sharp::check::severityName(rule.severity)
+                          << "): " << rule.summary << "\n";
+            }
+            return 0;
+        }
+        if (arg == "--format") {
+            if (i + 1 >= argc)
+                return usage(std::cerr, 2);
+            format = argv[++i];
+            if (format != "text" && format != "json")
+                return usage(std::cerr, 2);
+            continue;
+        }
+        if (!arg.empty() && arg[0] == '-')
+            return usage(std::cerr, 2);
+        paths.push_back(std::move(arg));
+    }
+    if (paths.empty())
+        return usage(std::cerr, 2);
+
+    try {
+        sharp::check::CheckResult result =
+            sharp::lint::lintPaths(paths);
+        if (format == "json") {
+            std::cout << sharp::json::writePretty(result.toJson())
+                      << "\n";
+        } else {
+            std::cout << result.renderText();
+            std::cout << result.errorCount() << " error(s), "
+                      << result.warningCount() << " warning(s)\n";
+        }
+        return result.exitCode();
+    } catch (const std::exception &problem) {
+        std::cerr << "sharp-lint: " << problem.what() << "\n";
+        return 2;
+    }
+}
