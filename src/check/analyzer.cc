@@ -16,6 +16,7 @@
 #include "record/metadata.hh"
 #include "serve/queue.hh"
 #include "serve/state.hh"
+#include "simd/dispatch.hh"
 #include "sim/scenario.hh"
 #include "util/string_utils.hh"
 #include "workflow/workflow_parser.hh"
@@ -181,6 +182,24 @@ checkMetadata(const std::string &text, CheckResult &out)
                    "nondeterministic-repro", message,
                    "expect distribution-level, not sample-level, "
                    "agreement on reproduction");
+    }
+
+    if (auto backend = doc.get("Configuration",
+                               "repro_simd_backend")) {
+        bool known = false;
+        for (const std::string &name : simd::knownBackendNames())
+            known = known || name == *backend;
+        if (!known) {
+            out.report(
+                Severity::Error,
+                json::Location{static_cast<uint32_t>(findLine(
+                                   text, "repro_simd_backend")),
+                               0},
+                "unknown-simd-backend",
+                "metadata records SIMD backend '" + *backend +
+                    "', which this build does not know",
+                suggestName(*backend, simd::knownBackendNames()));
+        }
     }
 
     if (!spec.statsCache &&

@@ -10,6 +10,7 @@
 #include "record/journal.hh"
 #include "record/metadata.hh"
 #include "serve/queue.hh"
+#include "simd/dispatch.hh"
 #include "serve/state.hh"
 #include "util/fs.hh"
 #include "util/string_utils.hh"
@@ -155,6 +156,25 @@ auditMetadata(const serve::Campaign &campaign,
     mismatch("repro_jobs", std::to_string(submitted.jobs));
     mismatch("repro_backend", submitted.backendKind);
     mismatch("repro_workload", submitted.workload);
+
+    // The SIMD backend is provenance, not spec, so it is not compared
+    // against the submission — but an unknown name means the metadata
+    // was edited or written by a foreign build, which is an error.
+    if (auto backend = doc.get(sec, "repro_simd_backend")) {
+        bool known = false;
+        for (const std::string &name : simd::knownBackendNames())
+            known = known || name == *backend;
+        if (!known) {
+            fileFinding(out, Severity::Error, mdPath,
+                        "unknown-simd-backend",
+                        "campaign '" + campaign.id +
+                            "': metadata records SIMD backend '" +
+                            *backend +
+                            "', which this build does not know",
+                        suggestName(*backend,
+                                    simd::knownBackendNames()));
+        }
+    }
 }
 
 } // anonymous namespace

@@ -22,6 +22,7 @@
 #include "launcher/retry.hh"
 #include "launcher/suite.hh"
 #include "record/journal.hh"
+#include "simd/dispatch.hh"
 #include "micro/micro_backend.hh"
 #include "launcher/sim_backend.hh"
 #include "json/parser.hh"
@@ -600,6 +601,20 @@ cmdReproduce(const ParsedArgs &args, std::ostream &out,
     }
     record::MetadataDocument doc =
         record::MetadataDocument::load(args.positional[0]);
+    // Decisions are bitwise backend-invariant by the simd kernel
+    // contract, so a backend mismatch is a provenance note, not an
+    // error: surface it for anyone chasing a timing difference.
+    if (auto recorded =
+            doc.get("Configuration", "repro_simd_backend")) {
+        if (*recorded != simd::activeBackendName()) {
+            err << "reproduce: warning: metadata was captured with "
+                   "SIMD backend '" << *recorded
+                << "' but this replay dispatches '"
+                << simd::activeBackendName()
+                << "'; results are bit-identical by contract, timings "
+                   "may differ\n";
+        }
+    }
     launcher::LaunchReport result = launcher::reproduce(doc);
     out << "reproduced " << result.series.size() << " samples ("
         << result.finalDecision.reason << ")\n";

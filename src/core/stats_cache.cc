@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/sample_series.hh"
+#include "simd/dispatch.hh"
 #include "stats/descriptive.hh"
 #include "stats/ecdf.hh"
 #include "stats/special.hh"
@@ -163,11 +164,14 @@ StatsCache::tailLimit() const
 void
 StatsCache::mergeTail()
 {
-    CountingLess cmp{&work.comparisons};
-    mergeScratch.clear();
-    mergeScratch.reserve(body.size() + sortedTail.size());
-    std::merge(body.begin(), body.end(), sortedTail.begin(),
-               sortedTail.end(), std::back_inserter(mergeScratch), cmp);
+    // Dispatched run-batched merge. The kernel emits exactly the
+    // sequence std::merge with CountingLess would (ties from the body
+    // first) and returns that comparator's invocation count, so both
+    // the sorted view and the work counters stay backend-invariant.
+    mergeScratch.resize(body.size() + sortedTail.size());
+    work.comparisons += simd::kernels().mergeSorted(
+        body.data(), body.size(), sortedTail.data(), sortedTail.size(),
+        mergeScratch.data());
     body.swap(mergeScratch);
     sortedTail.clear();
 }
@@ -254,27 +258,12 @@ StatsCache::sorted()
 double
 StatsCache::orderStatTwoRuns(size_t k)
 {
-    CountingLess cmp{&work.comparisons};
-    const std::vector<double> &a = body;
-    const std::vector<double> &b = sortedTail;
-    // Binary search the split: take `lo` elements from a and k - lo
-    // from b such that they are exactly the k smallest overall.
-    size_t lo = k > b.size() ? k - b.size() : 0;
-    size_t hi = std::min(k, a.size());
-    while (lo < hi) {
-        size_t i = (lo + hi) / 2;
-        size_t j = k - i;
-        if (j > 0 && cmp(a[i], b[j - 1]))
-            lo = i + 1;
-        else
-            hi = i;
-    }
-    size_t j = k - lo;
-    if (lo >= a.size())
-        return b[j];
-    if (j >= b.size())
-        return a[lo];
-    return cmp(b[j], a[lo]) ? b[j] : a[lo];
+    // The binary-search probe sequence is the counter contract, so
+    // every simd backend binds the same scalar implementation; the
+    // dispatch keeps the call shape uniform with the other kernels.
+    return simd::kernels().orderStatTwoRuns(
+        body.data(), body.size(), sortedTail.data(), sortedTail.size(),
+        k, &work.comparisons);
 }
 
 double
@@ -380,11 +369,8 @@ StatsCache::varianceMemo()
         varianceValue = 0.0;
     } else {
         double m = kahanSum / static_cast<double>(n);
-        double ss = 0.0;
-        for (double v : owner.values()) {
-            double d = v - m;
-            ss += d * d;
-        }
+        double ss = simd::kernels().sumSquaredDeviations(
+            owner.values().data(), n, m);
         varianceValue = ss / static_cast<double>(n - 1);
     }
     varianceVersion = owner.version();

@@ -11,6 +11,7 @@
 #include "launcher/local_backend.hh"
 #include "launcher/scenario_backend.hh"
 #include "launcher/sim_backend.hh"
+#include "simd/dispatch.hh"
 #include "sim/faas.hh"
 #include "sim/machine.hh"
 #include "sim/rodinia.hh"
@@ -418,6 +419,11 @@ annotate(record::RunLog &log, const ReproSpec &spec)
     // kill switch is process-wide, so the spec field tracks it).
     if (!spec.statsCache || !core::statsCacheEnabled())
         log.setConfigEntry("repro_stats_cache", "off");
+    // The dispatched SIMD backend is environment, not spec: decisions
+    // are bitwise backend-invariant by the kernel contract, so this is
+    // provenance for auditing, and `sharp reproduce` warns (not fails)
+    // when replaying on a different backend.
+    log.setConfigEntry("repro_simd_backend", simd::activeBackendName());
 }
 
 ReproSpec

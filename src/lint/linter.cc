@@ -270,6 +270,8 @@ class Linter
         checkSeedWidth();
         checkEintrGuard();
         checkUncheckedSyscall();
+        if (!contains(source.path, "src/simd"))
+            checkIntrinsicsConfined();
     }
 
   private:
@@ -497,6 +499,49 @@ class Linter
         }
     }
 
+    void
+    checkIntrinsicsConfined()
+    {
+        static const char *const hint =
+            "add a kernel to src/simd behind the dispatch table; raw "
+            "intrinsics elsewhere dodge the CPUID probe and the "
+            "scalar-parity suite";
+        auto hasPrefix = [](const std::string &text, const char *p) {
+            return text.compare(0, std::char_traits<char>::length(p),
+                                p) == 0;
+        };
+        for (size_t i = 0; i < source.size(); ++i) {
+            const Token &token = source.at(i);
+            if (token.kind != TokenKind::Identifier)
+                continue;
+            if (token.text == "include" && i > 0 &&
+                source.text(i - 1) == "#" &&
+                source.text(i + 1) == "<" &&
+                oneOf(source.text(i + 2),
+                      {"immintrin", "x86intrin", "arm_neon"})) {
+                report("intrinsics-confined", source.at(i + 2),
+                       "#include <" + source.text(i + 2) + ".h> "
+                       "outside src/simd",
+                       hint);
+                continue;
+            }
+            bool vector_intrinsic =
+                hasPrefix(token.text, "_mm") ||
+                hasPrefix(token.text, "__m128") ||
+                hasPrefix(token.text, "__m256") ||
+                hasPrefix(token.text, "__m512") ||
+                hasPrefix(token.text, "__mmask") ||
+                hasPrefix(token.text, "vld1") ||
+                hasPrefix(token.text, "vst1");
+            if (vector_intrinsic && !isMemberAccess(i)) {
+                report("intrinsics-confined", token,
+                       "raw SIMD intrinsic '" + token.text +
+                           "' outside src/simd",
+                       hint);
+            }
+        }
+    }
+
     const Source &source;
     check::CheckResult &out;
 };
@@ -517,6 +562,8 @@ ruleCatalog()
          "looped poll/read/write without EINTR handling"},
         {"unchecked-syscall", check::Severity::Warning,
          "statement-position syscall result discarded"},
+        {"intrinsics-confined", check::Severity::Error,
+         "raw SIMD intrinsics outside the src/simd dispatch layer"},
     };
     return catalog;
 }

@@ -20,6 +20,10 @@
  *  - **unchecked-syscall** (warning) — statement-position syscalls
  *    whose result is discarded (`write`, `fsync`, `ftruncate`, ...)
  *    must consume the return value or cast it to `(void)`.
+ *  - **intrinsics-confined** (error) — raw SIMD intrinsics
+ *    (`_mm*`, `vld1*`/`vst1*`, `#include <immintrin.h>`) are banned
+ *    outside `src/simd`: kernels belong behind the runtime-dispatch
+ *    table where the CPUID probe and scalar-parity suite cover them.
  *
  * Findings reuse the `sharp check` diagnostic currency (severity,
  * rule id, file:line:column, hint) and the 0/1/2 exit contract. A

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * AVX-512 backend: 8-lane mask-register prescans and deviation loop;
+ * the merge reuses the 256-bit bitonic network (merge256.hh — the
+ * network is shuffle-port-bound, so wider lanes buy little, and
+ * AVX-512 hosts run the 256-bit forms natively without license-based
+ * downclocking). Compiled with -mavx512f/bw/dq/vl -ffp-contract=off;
+ * entered only when the runtime probe confirms the same feature set,
+ * so the baseline build stays legal on any x86-64.
+ */
+
+#include "simd/kernels.hh"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include "simd/merge256.hh"
+
+namespace sharp
+{
+namespace simd
+{
+namespace detail
+{
+namespace
+{
+
+bool
+hasNanAvx512(const double *p, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m512d v = _mm512_loadu_pd(p + i);
+        if (_mm512_cmp_pd_mask(v, v, _CMP_UNORD_Q) != 0)
+            return true;
+    }
+    for (; i < n; ++i)
+        if (p[i] != p[i])
+            return true;
+    return false;
+}
+
+uint64_t
+mergeSortedAvx512(const double *a, size_t na, const double *b,
+                  size_t nb, double *out)
+{
+    return mergeSortedBitonic256(a, na, b, nb, out);
+}
+
+double
+ksSortedAvx512(const double *a, size_t na, const double *b, size_t nb)
+{
+    // Same routing as the AVX2 slot: NaN-bearing inputs break the
+    // co-rank total-order assumption and take the reference walk.
+    if (hasNanAvx512(a, na) || hasNanAvx512(b, nb))
+        return ksSortedScalar(a, na, b, nb);
+    return ksSortedChunked(a, na, b, nb);
+}
+
+double
+sumSquaredDeviationsAvx512(const double *v, size_t n, double m)
+{
+    // Same contract as the AVX2 slot: lanes batch the elementwise
+    // subtract/multiply, the adds stay scalar and in element order so
+    // the bits match the scalar loop.
+    const __m512d vm = _mm512_set1_pd(m);
+    double ss = 0.0;
+    alignas(64) double d2[8];
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m512d d = _mm512_sub_pd(_mm512_loadu_pd(v + i), vm);
+        _mm512_store_pd(d2, _mm512_mul_pd(d, d));
+        for (size_t lane = 0; lane < 8; ++lane)
+            ss += d2[lane];
+    }
+    for (; i < n; ++i) {
+        double d = v[i] - m;
+        ss += d * d;
+    }
+    return ss;
+}
+
+} // anonymous namespace
+
+const KernelTable &
+avx512Table()
+{
+    static const KernelTable table = {
+        &mergeSortedAvx512,      &ksSortedAvx512,
+        &orderStatTwoRunsScalar, &kahanSumScalar,
+        &sumSquaredDeviationsAvx512,
+    };
+    return table;
+}
+
+} // namespace detail
+} // namespace simd
+} // namespace sharp
+
+#endif // defined(__AVX512F__)

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/dispatch.hh"
 #include "util/string_utils.hh"
 
 namespace sharp
@@ -29,15 +30,11 @@ mean(const std::vector<double> &values)
 {
     requireNonEmpty(values, "mean");
     // Pairwise-ish accumulation is overkill here; Kahan summation keeps
-    // error bounded for the long series the launcher accumulates.
-    double sum = 0.0, comp = 0.0;
-    for (double v : values) {
-        double y = v - comp;
-        double t = sum + y;
-        comp = (t - sum) - y;
-        sum = t;
-    }
-    return sum / static_cast<double>(values.size());
+    // error bounded for the long series the launcher accumulates. The
+    // loop lives in src/simd (every backend keeps the serial Kahan
+    // recurrence, so the bits are backend-invariant).
+    return simd::kernels().kahanSum(values.data(), values.size()) /
+           static_cast<double>(values.size());
 }
 
 double
@@ -48,11 +45,7 @@ variance(const std::vector<double> &values)
     if (n < 2)
         return 0.0;
     double m = mean(values);
-    double ss = 0.0;
-    for (double v : values) {
-        double d = v - m;
-        ss += d * d;
-    }
+    double ss = simd::kernels().sumSquaredDeviations(values.data(), n, m);
     return ss / static_cast<double>(n - 1);
 }
 

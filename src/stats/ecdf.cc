@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/dispatch.hh"
+
 namespace sharp
 {
 namespace stats
@@ -36,126 +38,12 @@ Ecdf::inverse(double p) const
     return sorted[std::min(i, sorted.size() - 1)];
 }
 
-namespace
-{
-
-/**
- * Reference walk: step both ECDFs past each distinct value and track
- * the supremum in doubles at every tie-group boundary. Kept as the
- * fallback for sample sizes where the integer-scaled fast path could
- * overflow, and as the executable specification the fast path must
- * reproduce bit for bit.
- */
-double
-ksSortedReference(const std::vector<double> &a, const std::vector<double> &b)
-{
-    size_t na = a.size(), nb = b.size();
-    size_t ia = 0, ib = 0;
-    double fa = 0.0, fb = 0.0;
-    double sup = 0.0;
-    while (ia < na && ib < nb) {
-        double va = a[ia], vb = b[ib];
-        double v = std::min(va, vb);
-        // Step both ECDFs past all observations equal to v so ties are
-        // handled exactly.
-        while (ia < na && a[ia] == v)
-            ++ia;
-        while (ib < nb && b[ib] == v)
-            ++ib;
-        fa = static_cast<double>(ia) / static_cast<double>(na);
-        fb = static_cast<double>(ib) / static_cast<double>(nb);
-        sup = std::max(sup, std::fabs(fa - fb));
-    }
-    // After one sample is exhausted its ECDF is 1; the gap can only
-    // shrink toward the final point where both reach 1, except at the
-    // first unprocessed point of the other sample.
-    if (ia < na)
-        sup = std::max(sup, std::fabs(1.0 - fb));
-    if (ib < nb)
-        sup = std::max(sup, std::fabs(fa - 1.0));
-    return sup;
-}
-
-double
-ksSorted(const std::vector<double> &a, const std::vector<double> &b)
-{
-    size_t na = a.size(), nb = b.size();
-    if (na > (size_t{1} << 31) || nb > (size_t{1} << 31))
-        return ksSortedReference(a, b);
-
-    // Single-step merge with an integer guard. The ECDF gap at a merge
-    // point is |ia/na - ib/nb|; scaled by na*nb it is the integer
-    // |ia*nb - ib*na|, maintained here as a running sum (+nb per a
-    // element, -na per b element). Distinct integer values are at
-    // least 1/(na*nb) apart as reals, which dwarfs the rounding of the
-    // two divisions, so the integer order strictly dominates the
-    // double order: every point achieving the double supremum ties the
-    // integer maximum. The double expression of the reference walk is
-    // evaluated only when the integer maximum is reached (>=, so ties
-    // are never skipped), at tie-group boundaries only — yielding a
-    // bit-identical supremum while skipping two divisions and a
-    // hard-to-predict tie loop at almost every point.
-    size_t ia = 0, ib = 0;
-    const long long lna = static_cast<long long>(na);
-    const long long lnb = static_cast<long long>(nb);
-    long long cum = 0, best = 0;
-    double sup = 0.0;
-    double v = 0.0;
-    while (ia < na && ib < nb) {
-        double va = a[ia], vb = b[ib];
-        bool take_a = va <= vb;
-        v = take_a ? va : vb;
-        ia += take_a ? 1 : 0;
-        ib += take_a ? 0 : 1;
-        cum += take_a ? lnb : -lna;
-        // Evaluate only once the whole tie group is consumed: the
-        // reference walk's merge points are tie-group boundaries, and
-        // mid-group gaps may exceed every boundary gap.
-        if ((ia >= na || a[ia] != v) && (ib >= nb || b[ib] != v)) {
-            long long gap = cum < 0 ? -cum : cum;
-            if (gap >= best) {
-                best = gap;
-                double fa =
-                    static_cast<double>(ia) / static_cast<double>(na);
-                double fb =
-                    static_cast<double>(ib) / static_cast<double>(nb);
-                sup = std::max(sup, std::fabs(fa - fb));
-            }
-        }
-    }
-    // If one side ran out mid-group, finish the group and evaluate its
-    // boundary; re-evaluating an already-scored point is idempotent.
-    while (ia < na && a[ia] == v) {
-        ++ia;
-        cum += lnb;
-    }
-    while (ib < nb && b[ib] == v) {
-        ++ib;
-        cum -= lna;
-    }
-    {
-        long long gap = cum < 0 ? -cum : cum;
-        if (gap >= best) {
-            double fa = static_cast<double>(ia) / static_cast<double>(na);
-            double fb = static_cast<double>(ib) / static_cast<double>(nb);
-            sup = std::max(sup, std::fabs(fa - fb));
-        }
-    }
-    // After one sample is exhausted its ECDF is 1; the gap can only
-    // shrink toward the final point where both reach 1, except at the
-    // first unprocessed point of the other sample.
-    if (ia < na) {
-        double fb = static_cast<double>(ib) / static_cast<double>(nb);
-        sup = std::max(sup, std::fabs(1.0 - fb));
-    }
-    if (ib < nb) {
-        double fa = static_cast<double>(ia) / static_cast<double>(na);
-        sup = std::max(sup, std::fabs(fa - 1.0));
-    }
-    return sup;
-}
-
-} // anonymous namespace
+// The two-sample KS walks (the double-precision reference and the
+// integer-guard single-step fast path it specifies) live in src/simd
+// as dispatchable kernels: scalar.cc holds the former anonymous-
+// namespace implementations verbatim, and the vector backends batch
+// the same walk over tie-group runs. Every backend is bit-identical
+// to the scalar kernel by contract (tests/test_simd.cc).
 
 double
 ksStatistic(const std::vector<double> &a, const std::vector<double> &b)
@@ -165,13 +53,14 @@ ksStatistic(const std::vector<double> &a, const std::vector<double> &b)
     std::vector<double> sa = a, sb = b;
     std::sort(sa.begin(), sa.end());
     std::sort(sb.begin(), sb.end());
-    return ksSorted(sa, sb);
+    return simd::kernels().ksSorted(sa.data(), sa.size(), sb.data(),
+                                    sb.size());
 }
 
 double
 ksStatistic(const Ecdf &a, const Ecdf &b)
 {
-    return ksSorted(a.sortedSample(), b.sortedSample());
+    return ksStatisticSorted(a.sortedSample(), b.sortedSample());
 }
 
 double
@@ -180,7 +69,8 @@ ksStatisticSorted(const std::vector<double> &a,
 {
     if (a.empty() || b.empty())
         throw std::invalid_argument("ksStatistic requires non-empty samples");
-    return ksSorted(a, b);
+    return simd::kernels().ksSorted(a.data(), a.size(), b.data(),
+                                    b.size());
 }
 
 double
@@ -189,7 +79,8 @@ ksStatisticSortedReference(const std::vector<double> &a,
 {
     if (a.empty() || b.empty())
         throw std::invalid_argument("ksStatistic requires non-empty samples");
-    return ksSortedReference(a, b);
+    return simd::ksSortedReference(a.data(), a.size(), b.data(),
+                                   b.size());
 }
 
 double

@@ -1,0 +1,20 @@
+// Seeded defect fixture: every finding here is an intrinsics-confined
+// error (the fixture path is outside src/simd). Tests pin the
+// line:column of each; keep edits append-only.
+#include <immintrin.h> // line 4, column 11 (header identifier)
+
+double
+rawAvxSum(const double *p)
+{
+    __m256d v = _mm256_loadu_pd(p); // line 9, column 17
+    double out[4];
+    _mm256_storeu_pd(out, v); // line 11, column 5
+    return out[0] + out[1] + out[2] + out[3];
+}
+
+double
+rawNeonLoad(const double *p)
+{
+    // NEON load/store intrinsics are confined the same way.
+    return vld1q_f64(p); // line 19, column 12
+}

@@ -442,6 +442,39 @@ TEST(CheckMetadata, NoWarningForRulesWithoutACachedFastPath)
     EXPECT_EQ(findRule(on_result, "disabled-stats-cache"), nullptr);
 }
 
+TEST(CheckMetadata, FlagsUnknownSimdBackendWithSuggestion)
+{
+    launcher::ReproSpec spec;
+    spec.backendKind = "sim";
+    spec.workload = "hotspot";
+    spec.machines = {"machine1"};
+    spec.experiment.ruleName = "ks";
+    record::RunLog log("hotspot");
+    launcher::annotate(log, spec);
+    record::MetadataDocument doc = log.toMetadata();
+
+    // Whatever the dispatch layer recorded is a known name: quiet.
+    CheckResult clean;
+    check::checkArtifactText("run.md", doc.render(),
+                             ArtifactKind::Unknown, clean);
+    EXPECT_EQ(findRule(clean, "unknown-simd-backend"), nullptr);
+
+    // An edited or foreign-build name is an error, with a did-you-mean
+    // hint when it is one typo away from a real backend.
+    doc.set("Configuration", "repro_simd_backend", "avx512f");
+    CheckResult result;
+    check::checkArtifactText("run.md", doc.render(),
+                             ArtifactKind::Unknown, result);
+    const check::Diagnostic *bad =
+        findRule(result, "unknown-simd-backend");
+    ASSERT_NE(bad, nullptr);
+    EXPECT_EQ(bad->severity, Severity::Error);
+    EXPECT_NE(bad->message.find("'avx512f'"), std::string::npos);
+    EXPECT_NE(bad->hint.find("did you mean 'avx512'?"),
+              std::string::npos);
+    EXPECT_GT(bad->line, 0u);
+}
+
 // ---- The CLI command.
 
 struct CliResult

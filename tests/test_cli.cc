@@ -11,6 +11,9 @@
 #include <sstream>
 
 #include "cli/cli.hh"
+#include "launcher/reproduce.hh"
+#include "record/metadata.hh"
+#include "simd/dispatch.hh"
 
 namespace
 {
@@ -135,6 +138,42 @@ TEST(Cli, RunProducesReportAndArtifacts)
     fs::remove(base.string() + ".csv");
     fs::remove(base.string() + ".md");
     fs::remove(html);
+}
+
+TEST(Cli, ReproduceWarnsOnSimdBackendMismatch)
+{
+    // Results are bit-identical across backends by contract, so a
+    // replay on different silicon succeeds — but the CLI flags that
+    // timings were measured under a different kernel set.
+    sharp::launcher::ReproSpec spec;
+    spec.backendKind = "sim";
+    spec.workload = "hotspot";
+    spec.machines = {"machine1"};
+    spec.experiment.ruleName = "fixed";
+    spec.experiment.ruleParams = {{"count", 20}};
+    spec.experiment.options.maxSamples = 200;
+    sharp::record::RunLog log("hotspot");
+    sharp::launcher::annotate(log, spec);
+    sharp::record::MetadataDocument doc = log.toMetadata();
+
+    fs::path path =
+        fs::temp_directory_path() / "sharp_cli_simd_meta.md";
+    doc.save(path.string());
+    CliResult same = run({"reproduce", path.string()});
+    EXPECT_EQ(same.status, 0) << same.err;
+    EXPECT_EQ(same.err.find("SIMD backend"), std::string::npos);
+
+    // Rewrite the provenance as if captured on another backend.
+    std::string active(sharp::simd::activeBackendName());
+    std::string other = active == "scalar" ? "avx2" : "scalar";
+    doc.set("Configuration", "repro_simd_backend", other);
+    doc.save(path.string());
+    CliResult warned = run({"reproduce", path.string()});
+    EXPECT_EQ(warned.status, 0) << warned.err;
+    EXPECT_NE(warned.err.find("SIMD backend '" + other + "'"),
+              std::string::npos);
+    EXPECT_NE(warned.err.find(active), std::string::npos);
+    fs::remove(path);
 }
 
 TEST(Cli, RunRejectsBadNumbers)

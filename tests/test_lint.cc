@@ -243,6 +243,46 @@ TEST(LintRules, JournalHelperHomeIsAllowlisted)
               nullptr);
 }
 
+TEST(LintRules, IntrinsicsFixturePinsNameSeverityAndLocation)
+{
+    CheckResult result = lintFixture("intrinsics.cc");
+    EXPECT_EQ(result.errorCount(), 5u);
+    const auto *finding = findRule(result, "intrinsics-confined");
+    ASSERT_NE(finding, nullptr);
+    EXPECT_EQ(finding->severity, Severity::Error);
+    // First finding is the include of <immintrin.h>.
+    EXPECT_EQ(finding->line, 4u);
+    EXPECT_EQ(finding->column, 11u);
+    EXPECT_NE(finding->message.find("immintrin"), std::string::npos);
+    // The remaining pinned findings: __m256d declaration, the two
+    // _mm256_* calls, and the NEON load.
+    ASSERT_EQ(result.diagnostics().size(), 5u);
+    EXPECT_EQ(result.diagnostics()[1].line, 9u);
+    EXPECT_EQ(result.diagnostics()[1].column, 5u);
+    EXPECT_EQ(result.diagnostics()[2].line, 9u);
+    EXPECT_EQ(result.diagnostics()[2].column, 17u);
+    EXPECT_EQ(result.diagnostics()[3].line, 11u);
+    EXPECT_EQ(result.diagnostics()[3].column, 5u);
+    EXPECT_EQ(result.diagnostics()[4].line, 19u);
+    EXPECT_EQ(result.diagnostics()[4].column, 12u);
+}
+
+TEST(LintRules, SimdHomeIsAllowlistedForIntrinsics)
+{
+    const std::string text =
+        "#include <immintrin.h>\n"
+        "double f(const double *p) {\n"
+        "  __m256d v = _mm256_loadu_pd(p);\n"
+        "  return _mm256_cvtsd_f64(v);\n"
+        "}\n";
+    CheckResult allowlisted;
+    lint::lintSourceText("src/simd/avx2.cc", text, allowlisted);
+    EXPECT_TRUE(allowlisted.clean()) << allowlisted.renderText();
+    CheckResult elsewhere;
+    lint::lintSourceText("src/stats/ecdf.cc", text, elsewhere);
+    EXPECT_NE(findRule(elsewhere, "intrinsics-confined"), nullptr);
+}
+
 TEST(LintPaths, FixtureDirectoryExitsTwo)
 {
     CheckResult result = lint::lintPaths({fixture("")});
@@ -263,15 +303,18 @@ TEST(LintPaths, SelfHostSrcIsClean)
 TEST(LintCatalog, NamesSeveritiesAndOrderAreStable)
 {
     const auto &catalog = lint::ruleCatalog();
-    ASSERT_EQ(catalog.size(), 5u);
+    ASSERT_EQ(catalog.size(), 6u);
     EXPECT_STREQ(catalog[0].name, "no-wall-clock");
     EXPECT_STREQ(catalog[1].name, "journal-append-discipline");
     EXPECT_STREQ(catalog[2].name, "seed-width");
     EXPECT_STREQ(catalog[3].name, "eintr-guard");
     EXPECT_STREQ(catalog[4].name, "unchecked-syscall");
-    EXPECT_EQ(catalog[4].severity, Severity::Warning);
-    for (size_t i = 0; i + 1 < catalog.size(); ++i)
-        EXPECT_EQ(catalog[i].severity, Severity::Error);
+    EXPECT_STREQ(catalog[5].name, "intrinsics-confined");
+    for (size_t i = 0; i < catalog.size(); ++i) {
+        EXPECT_EQ(catalog[i].severity, i == 4 ? Severity::Warning
+                                              : Severity::Error)
+            << catalog[i].name;
+    }
 }
 
 } // namespace

@@ -17,6 +17,7 @@
 #include "launcher/reproduce.hh"
 #include "launcher/sim_backend.hh"
 #include "record/metadata.hh"
+#include "simd/dispatch.hh"
 
 namespace
 {
@@ -142,6 +143,25 @@ TEST(Reproduce, MetadataWithoutJobsDefaultsToSerial)
     doc.remove("Configuration", "repro_jobs");
     ReproSpec spec = launcher::reproSpecFromMetadata(doc);
     EXPECT_EQ(spec.jobs, 1u);
+}
+
+TEST(Reproduce, AnnotateRecordsActiveSimdBackend)
+{
+    // Provenance: the backend the dispatch layer actually selected is
+    // recorded alongside the spec, so a replay on different silicon
+    // can explain timing (not result) differences.
+    record::RunLog log("hotspot");
+    launcher::annotate(log, hotspotSpec());
+    auto entry =
+        log.toMetadata().get("Configuration", "repro_simd_backend");
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(*entry, std::string(simd::activeBackendName()));
+    // The backend is environment, not spec: it must not leak into the
+    // reproduced spec JSON.
+    ReproSpec spec = launcher::reproSpecFromMetadata(log.toMetadata());
+    EXPECT_EQ(sharp::json::write(spec.toJson())
+                  .find("simd"),
+              std::string::npos);
 }
 
 TEST(Reproduce, SimulatedReproductionIsBitExact)
